@@ -1,0 +1,45 @@
+"""Ablation — DiCo-Arin's provider-on-read optimization (Sec. IV-B).
+
+"Every time a copy of such a block is sent to an L1 cache, that L1
+cache becomes a provider instead of a sharer.  Therefore, read requests
+are more likely to find a provider."  This bench toggles the
+optimization and measures the share of misses resolved by providers.
+"""
+
+from repro.stats.counters import MISS_CATEGORIES
+
+from .common import print_table, run_one
+
+
+def _provider_share(stats) -> float:
+    total = sum(stats.miss_categories.values()) or 1
+    return (
+        stats.miss_categories["pred_provider_hit"]
+        + stats.miss_categories["unpredicted_provider"]
+    ) / total
+
+
+def bench_ablation_arin_provider(benchmark):
+    on = benchmark.pedantic(
+        lambda: run_one(
+            "dico-arin", "apache", protocol_kwargs={"provider_on_read": True}
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    off = run_one(
+        "dico-arin", "apache", protocol_kwargs={"provider_on_read": False}
+    )
+
+    rows = [
+        ("provider-on", [round(_provider_share(on), 4), on.operations]),
+        ("provider-off", [round(_provider_share(off), 4), off.operations]),
+    ]
+    print_table(
+        "DiCo-Arin provider-on-read ablation (apache)",
+        ["provider share", "operations"],
+        rows,
+    )
+
+    # with the optimization, at least as many misses resolve at providers
+    assert _provider_share(on) >= _provider_share(off)

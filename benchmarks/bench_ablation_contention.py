@@ -1,0 +1,44 @@
+"""Ablation — the optional NoC contention model.
+
+The paper models latency "in absence of contention" (Table III); our
+default does the same.  This bench turns the simple per-link occupancy
+model on and verifies the expected direction: same traffic, higher
+latencies, fewer operations per window.
+"""
+
+from dataclasses import replace
+
+from repro import paper_scaled_chip
+
+from .common import print_table, run_one
+
+
+def bench_ablation_contention(benchmark):
+    base_cfg = paper_scaled_chip()
+    cont_cfg = replace(base_cfg, noc=replace(base_cfg.noc, model_contention=True))
+
+    no_contention = benchmark.pedantic(
+        lambda: run_one("directory", "apache", config=base_cfg),
+        rounds=1,
+        iterations=1,
+    )
+    contention = run_one("directory", "apache", config=cont_cfg)
+
+    rows = [
+        (
+            "no-contention",
+            [no_contention.operations, round(no_contention.miss_latency.mean, 1)],
+        ),
+        (
+            "contention",
+            [contention.operations, round(contention.miss_latency.mean, 1)],
+        ),
+    ]
+    print_table(
+        "NoC contention ablation (directory, apache)",
+        ["operations", "avg miss latency"],
+        rows,
+    )
+
+    assert contention.miss_latency.mean >= no_contention.miss_latency.mean
+    assert contention.operations <= no_contention.operations

@@ -1,0 +1,65 @@
+"""Ablation — sensitivity to the deduplicated-data share.
+
+The area protocols' headline benefit comes from resolving misses to
+deduplicated (cross-VM shared read-only) data inside the requestor's
+area.  This bench sweeps the fraction of accesses that target the
+dedup region and reports how the provider-resolved share responds.
+"""
+
+from dataclasses import replace
+
+from repro.workloads import spec as spec_module
+
+from .common import print_table, run_one
+
+
+def _provider_share(stats) -> float:
+    total = sum(stats.miss_categories.values()) or 1
+    return (
+        stats.miss_categories["pred_provider_hit"]
+        + stats.miss_categories["unpredicted_provider"]
+    ) / total
+
+
+def _with_dedup_frac(base, frac_dedup: float):
+    rest = 1.0 - frac_dedup
+    scale = rest / (base.frac_private + base.frac_vm_shared)
+    return replace(
+        base,
+        frac_private=base.frac_private * scale,
+        frac_vm_shared=base.frac_vm_shared * scale,
+        frac_dedup=frac_dedup,
+    )
+
+
+def bench_ablation_dedup(benchmark):
+    base = spec_module.BENCHMARKS["apache"]
+    fracs = (0.05, 0.25, 0.45)
+    results = {}
+    try:
+        def run_first():
+            spec_module.BENCHMARKS["apache"] = _with_dedup_frac(base, fracs[0])
+            return run_one("dico-providers", "apache")
+
+        results[fracs[0]] = benchmark.pedantic(run_first, rounds=1, iterations=1)
+        for frac in fracs[1:]:
+            spec_module.BENCHMARKS["apache"] = _with_dedup_frac(base, frac)
+            results[frac] = run_one("dico-providers", "apache")
+    finally:
+        spec_module.BENCHMARKS["apache"] = base
+
+    rows = [
+        (
+            f"dedup={frac:.0%}",
+            [round(_provider_share(st), 4), round(st.l1_miss_rate, 3)],
+        )
+        for frac, st in results.items()
+    ]
+    print_table(
+        "Dedup-share ablation (dico-providers, apache)",
+        ["provider share", "l1 miss rate"],
+        rows,
+    )
+
+    # more dedup traffic -> more provider-resolved misses
+    assert _provider_share(results[0.45]) >= _provider_share(results[0.05])

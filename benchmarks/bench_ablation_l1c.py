@@ -1,0 +1,53 @@
+"""Ablation — L1C$ size sensitivity.
+
+The supplier-prediction cache drives DiCo's two-hop misses.  This bench
+sweeps its size and reports the share of predicted misses: too small an
+L1C$ cannot retain suppliers across repeat misses and degenerates the
+protocol toward home-indirection.
+"""
+
+from dataclasses import replace
+
+from repro import paper_scaled_chip
+
+from .common import print_table, run_one
+
+
+def _pred_share(stats) -> float:
+    total = sum(stats.miss_categories.values()) or 1
+    predicted = (
+        stats.miss_categories["pred_owner_hit"]
+        + stats.miss_categories["pred_provider_hit"]
+        + stats.miss_categories["pred_miss"]
+    )
+    return predicted / total
+
+
+def bench_ablation_l1c(benchmark):
+    sizes = (32, 128, 512)
+    results = {}
+
+    def run_smallest():
+        cfg = replace(paper_scaled_chip(), l1c_entries=sizes[0])
+        return run_one("dico", "apache", config=cfg)
+
+    results[sizes[0]] = benchmark.pedantic(run_smallest, rounds=1, iterations=1)
+    for size in sizes[1:]:
+        cfg = replace(paper_scaled_chip(), l1c_entries=size)
+        results[size] = run_one("dico", "apache", config=cfg)
+
+    rows = [
+        (
+            f"l1c={size}",
+            [round(_pred_share(st), 3), round(st.l1_miss_rate, 3), st.operations],
+        )
+        for size, st in results.items()
+    ]
+    print_table(
+        "L1C$ size ablation (dico, apache)",
+        ["pred share", "l1 miss rate", "operations"],
+        rows,
+    )
+
+    # more prediction capacity -> more predicted misses
+    assert _pred_share(results[512]) >= _pred_share(results[32])

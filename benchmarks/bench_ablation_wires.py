@@ -1,0 +1,52 @@
+"""Ablation — heterogeneous wires on top of the area protocols.
+
+Sec. II cites Flores et al. [10] as a complementary power technique.
+This bench combines it with DiCo-Providers: critical short messages on
+fast wires, non-critical ones on low-power wires, and reports the link
+energy and performance deltas.
+"""
+
+from repro import Chip, paper_scaled_chip
+from repro.noc.heterogeneous import WireConfig, install_heterogeneous_network
+from repro.sim.chip import make_protocol
+
+from .common import WINDOWS, print_table
+
+
+def _run(heterogeneous: bool):
+    cfg = paper_scaled_chip()
+    proto = make_protocol("dico-providers", cfg, seed=1)
+    net = None
+    if heterogeneous:
+        net = install_heterogeneous_network(proto, WireConfig())
+    chip = Chip(proto, "apache", seed=1)
+    warmup, window = WINDOWS["apache"]
+    stats = chip.run_cycles(window, warmup=warmup)
+    chip.verify_coherence()
+    return stats, net
+
+
+def bench_ablation_wires(benchmark):
+    base, _ = benchmark.pedantic(lambda: _run(False), rounds=1, iterations=1)
+    het, net = _run(True)
+
+    ratio = net.link_energy_ratio()
+    rows = [
+        ("homogeneous", [base.operations, base.network.flit_link_traversals, 1.0]),
+        (
+            "heterogeneous",
+            [het.operations, het.network.flit_link_traversals, round(ratio, 3)],
+        ),
+    ]
+    print_table(
+        "Heterogeneous wires (dico-providers, apache)",
+        ["operations", "flit-links", "link energy x"],
+        rows,
+    )
+    print(f"  fast messages: {net.fast_messages}, slow: {net.slow_messages}")
+
+    # non-critical traffic dominates flits -> net link-energy saving
+    assert ratio < 1.15
+    # performance within a few percent (critical path got faster,
+    # background traffic slower)
+    assert het.operations > 0.9 * base.operations

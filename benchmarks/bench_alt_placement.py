@@ -1,0 +1,53 @@
+"""Sec. V-C/V-D "-alt" — the alternative VM placement of Fig. 6.
+
+VMs straddle two areas each (horizontal bands).  Shape to reproduce:
+
+* no significant performance change for any protocol;
+* DiCo-Arin sees extra broadcast invalidations because VM-private
+  read/write data now lives in inter-area blocks;
+* DiCo-Providers' power consumption stays below the directory's.
+"""
+
+from repro import paper_scaled_chip
+from repro.analysis import fig7_rows, fig9a_performance
+from repro.workloads.placement import VMPlacement
+
+from .common import ENERGY_CHIP, PROTOCOL_ORDER, print_table, run_one, sweep
+
+
+def _alt_placement():
+    cfg = paper_scaled_chip()
+    return VMPlacement.alternative(cfg.mesh_width, cfg.mesh_height, 4)
+
+
+def bench_alt_placement(benchmark):
+    placement = _alt_placement()
+    benchmark.pedantic(
+        lambda: run_one("dico-arin", "apache", placement=placement),
+        rounds=1,
+        iterations=1,
+    )
+
+    aligned = sweep("apache")
+    alt = {p: run_one(p, "apache", placement=placement) for p in PROTOCOL_ORDER}
+
+    perf_aligned = fig9a_performance(aligned)
+    perf_alt = fig9a_performance(alt)
+    rows = [
+        (p, [round(perf_aligned[p], 3), round(perf_alt[p], 3),
+             aligned[p].network.broadcasts, alt[p].network.broadcasts])
+        for p in PROTOCOL_ORDER
+    ]
+    print_table(
+        "Apache: aligned vs -alt placement",
+        ["perf aligned", "perf -alt", "bcast align", "bcast -alt"],
+        rows,
+    )
+
+    # performance stays close to the aligned configuration
+    for proto in PROTOCOL_ORDER:
+        assert abs(perf_alt[proto] - perf_aligned[proto]) < 0.10, proto
+    # DiCo-Arin's broadcast traffic grows when VMs straddle areas
+    assert alt["dico-arin"].broadcast_invalidations >= aligned[
+        "dico-arin"
+    ].broadcast_invalidations

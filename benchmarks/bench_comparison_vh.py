@@ -1,0 +1,80 @@
+"""Comparison — Virtual Hierarchies vs the paper's area protocols.
+
+Sec. II's two claims against VH, both measured here:
+
+1. "VHs increase the overhead and power consumption of the cache
+   coherence protocol due to the second level of coherence information"
+   — storage: VH > flat directory > the area protocols;
+2. "VHs reduplicate previously deduplicated data in the shared levels
+   of the cache hierarchy, which also results in an increase of the L2
+   miss rate [6]" — measured: the number of L2 frames holding copies of
+   deduplicated blocks, and the resulting L2 miss rate, on the
+   dedup-heavy apache workload.
+"""
+
+from repro import Chip, paper_scaled_chip
+from repro.core.protocols.vh import vh_storage_breakdown
+from repro.core.storage import storage_breakdown
+from repro.sim.config import DEFAULT_CHIP
+
+from .common import WINDOWS, print_table, sweep
+
+
+def _dedup_l2_copies(chip) -> int:
+    """L2 frames chip-wide holding data of deduplicated pages."""
+    proto = chip.protocol
+    table = chip.workload.table
+    copies = 0
+    for l2 in proto.l2s:
+        for block, entry in l2:
+            if not entry.has_data:
+                continue
+            if table.is_deduplicated_ppage(proto.addr.page_of_block(block)):
+                copies += 1
+    return copies
+
+
+def _run_vh():
+    chip = Chip("vh", "apache", config=paper_scaled_chip(), seed=1)
+    warmup, window = WINDOWS["apache"]
+    stats = chip.run_cycles(window, warmup=warmup)
+    chip.verify_coherence()
+    return chip, stats
+
+
+def bench_comparison_vh(benchmark):
+    chip, vh_stats = benchmark.pedantic(_run_vh, rounds=1, iterations=1)
+    others = sweep("apache")
+
+    # claim 1: storage
+    vh_storage = vh_storage_breakdown(DEFAULT_CHIP)
+    rows = [("vh", [round(100 * vh_storage.overhead, 2)])]
+    for p in ("directory", "dico-providers", "dico-arin"):
+        rows.append((p, [round(100 * storage_breakdown(p).overhead, 2)]))
+    print_table("Coherence storage overhead %", ["%"], rows)
+    assert vh_storage.overhead > storage_breakdown("directory").overhead
+    assert vh_storage.overhead > 2 * storage_breakdown("dico-providers").overhead
+
+    # claim 2: reduplication and L2 pressure
+    vh_copies = _dedup_l2_copies(chip)
+    dir_chip = Chip("directory", "apache", config=paper_scaled_chip(), seed=1)
+    warmup, window = WINDOWS["apache"]
+    dir_stats = dir_chip.run_cycles(window, warmup=warmup)
+    dir_copies = _dedup_l2_copies(dir_chip)
+
+    rows = [
+        ("vh", [vh_copies, round(vh_stats.l2_miss_rate, 3), vh_stats.operations]),
+        ("directory", [dir_copies, round(dir_stats.l2_miss_rate, 3),
+                       dir_stats.operations]),
+        ("dico-providers", ["-", round(others["dico-providers"].l2_miss_rate, 3),
+                            others["dico-providers"].operations]),
+    ]
+    print_table(
+        "Dedup reduplication in the L2 (apache)",
+        ["dedup L2 copies", "L2 miss rate", "operations"],
+        rows,
+    )
+
+    # VH holds more L2 copies of deduplicated data than the single-copy
+    # flat directory
+    assert vh_copies > dir_copies

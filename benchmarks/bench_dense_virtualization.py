@@ -1,0 +1,75 @@
+"""Sec. V-D projection — densely virtualized 256-tile CMP, 64 VMs.
+
+"As the number of tiles and VMs increases, this potential benefit
+should grow.  For example, in a densely virtualized 256-tile CMP with
+4-tile areas (that is, 64 VMs), indirect misses would take an average
+of 32 links, normal misses would take 21.3 links, and shortened misses
+would take just 2.6 links."
+
+This bench measures an actual 16x16-mesh run with 64 four-tile VMs and
+compares the storage overheads at that scale, alongside the paper's
+link-distance arithmetic (validated in bench_link_distance).
+"""
+
+from repro import Chip, DEFAULT_CHIP
+from repro.core.storage import overhead_percent
+from repro.sim.chip import paper_scaled_chip
+from repro.workloads.placement import VMPlacement
+
+from .common import print_table
+
+
+def _dense_chip():
+    return paper_scaled_chip(mesh_width=16, mesh_height=16, n_areas=64)
+
+
+def _run(protocol: str):
+    cfg = _dense_chip()
+    chip = Chip(protocol, "volrend", config=cfg, seed=1, n_vms=64)
+    stats = chip.run_cycles(20_000, warmup=20_000)
+    chip.verify_coherence()
+    return stats
+
+
+def bench_dense_virtualization(benchmark):
+    directory = benchmark.pedantic(lambda: _run("directory"), rounds=1, iterations=1)
+    providers = _run("dico-providers")
+    arin = _run("dico-arin")
+
+    rows = [
+        (
+            name,
+            [
+                st.operations,
+                round(st.miss_links.mean, 2),
+                round(st.l1_miss_rate, 3),
+                st.network.broadcasts,
+            ],
+        )
+        for name, st in (
+            ("directory", directory),
+            ("dico-providers", providers),
+            ("dico-arin", arin),
+        )
+    ]
+    print_table(
+        "256 tiles, 64 VMs (4-tile areas), volrend",
+        ["operations", "links/miss", "l1 miss", "bcasts"],
+        rows,
+    )
+
+    # storage overheads on the paper's full-size geometry (Table VII row)
+    full_cfg = DEFAULT_CHIP.with_mesh(16, 16).with_areas(64)
+    rows = [
+        (p, [round(overhead_percent(p, full_cfg), 1)])
+        for p in ("directory", "dico", "dico-providers", "dico-arin")
+    ]
+    print_table("Storage overhead % at 256 cores / 64 areas", ["%"], rows)
+
+    # at this scale the directory's full map becomes very expensive
+    assert overhead_percent("directory", full_cfg) > 45
+    assert overhead_percent("dico-arin", full_cfg) < 25
+    # the dense-area protocols keep misses local: fewer links per miss
+    assert providers.miss_links.mean <= directory.miss_links.mean + 1.0
+    # performance remains comparable
+    assert providers.operations > 0.85 * directory.operations

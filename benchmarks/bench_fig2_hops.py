@@ -1,0 +1,93 @@
+"""Fig. 2 — read to a deduplicated block: hops per protocol.
+
+The paper's motivating figure: four VMs; a block owned by a remote
+VM's L1; one sharer already exists in the requestor's area.
+
+  (a) directory     — 3-hop indirection through the home;
+  (b) DiCo          — 2 hops straight to the owner (predicted);
+  (c) DiCo-Providers — 2 hops to the *provider inside the area*,
+                       traversing far fewer links.
+
+This bench constructs exactly that scenario on the paper's 8x8 chip
+and measures the links the final miss traverses under each protocol.
+"""
+
+from repro import paper_scaled_chip
+from repro.sim.chip import make_protocol
+
+from .common import print_table
+
+# 8x8 chip, 4 areas (4x4 quadrants).  The owner lives in area 0, the
+# requestor and the existing sharer in area 3 (bottom-right), and the
+# home bank sits in the far corner, outside the owner-requestor
+# bounding box, so the directory's indirection actually detours (on a
+# mesh, a home *between* the two would ride the direct path for free).
+OWNER = 3          # (3,0), area 0
+PROVIDER = 52      # (4,6), area 3
+REQUESTOR = 60     # (4,7), area 3
+HOME = 0           # (0,0) corner, area 0
+
+
+def _scenario(protocol: str):
+    cfg = paper_scaled_chip()
+    proto = make_protocol(protocol, cfg, seed=0)
+    block = HOME + cfg.n_tiles  # a block homed at tile 0
+    addr = block << 6
+    now = 0
+
+    def settle(tile, is_write):
+        nonlocal now
+        r = proto.access(tile, addr, is_write, now)
+        while r.needs_retry:
+            now = r.retry_at
+            r = proto.access(tile, addr, is_write, now)
+        now += max(1, r.latency) + 500
+        return r
+
+    settle(OWNER, True)            # the block is owned by area 0's L1
+    if protocol != "directory":
+        # in the DiCo family a copy can exist in the requestor's area
+        # while the owner keeps the ownership (the provider of Fig. 2);
+        # a MESI directory would have downgraded the owner instead, so
+        # its sub-scenario (a) reads the exclusively-owned block
+        settle(PROVIDER, False)
+        # the requestor has missed the block before: its L1C$ holds a
+        # supplier prediction (warm state via a read+evict cycle)
+        settle(REQUESTOR, False)
+        proto.drop_l1(REQUESTOR, block)
+    links_before = proto.stats.miss_links.total
+    misses_before = proto.stats.miss_links.count
+    r = settle(REQUESTOR, False)
+    links = proto.stats.miss_links.total - links_before
+    assert proto.stats.miss_links.count == misses_before + 1
+    return links, r.category
+
+
+def bench_fig2_hops(benchmark):
+    results = {}
+    results["directory"] = benchmark(lambda: _scenario("directory"))
+    for p in ("dico", "dico-providers", "dico-arin"):
+        results[p] = _scenario(p)
+
+    rows = [
+        (p, [links, cat]) for p, (links, cat) in results.items()
+    ]
+    print_table(
+        "Fig. 2: links traversed by the requestor's read",
+        ["links", "resolution"],
+        rows,
+    )
+
+    dir_links, dir_cat = results["directory"]
+    dico_links, dico_cat = results["dico"]
+    prov_links, prov_cat = results["dico-providers"]
+    # (a): the directory pays the 3-hop indirection R->H->O->R
+    assert dir_cat == "unpredicted_fwd"
+    # (b) beats (a): DiCo's predicted 2-hop avoids the home indirection
+    assert dico_cat == "pred_owner_hit"
+    assert dico_links < dir_links
+    # (c) beats (b): the provider is inside the requestor's area
+    assert prov_links < dico_links
+    assert prov_cat in ("pred_provider_hit", "unpredicted_provider")
+    # the shortened miss stays within the 4x4 area: at most 2 x 6 links
+    assert prov_links <= 12

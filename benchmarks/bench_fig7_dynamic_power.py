@@ -1,0 +1,62 @@
+"""Fig. 7 — total dynamic power per workload, per protocol.
+
+Runs the consolidated-workload sweep (4 VMs x 16 tiles) and evaluates
+the dynamic energy model, normalized to the directory protocol's cache
+energy, split into cache / network links / network routing.
+
+Shape to reproduce (Sec. V-C):
+
+* the scientific workloads are L1-power-dominated (network share is
+  small); Apache and JBB are L2/network-dominated;
+* the DiCo family moves fewer flits than the directory on the
+  commercial workloads (two-hop misses);
+* DiCo-Arin's broadcasts push its network power back up in JBB
+  ("approaches that of the directory").
+"""
+
+from repro.analysis import fig7_rows
+
+from .common import (
+    ENERGY_CHIP,
+    PROTOCOL_ORDER,
+    WORKLOAD_ORDER,
+    full_sweep,
+    print_table,
+    run_one,
+)
+
+
+def bench_fig7_dynamic_power(benchmark):
+    # the timed portion is one representative protocol run; the full
+    # sweep is computed once and shared with the other figure benches
+    benchmark.pedantic(
+        lambda: run_one("dico-providers", "radix"), rounds=1, iterations=1
+    )
+    results = full_sweep()
+
+    for workload in WORKLOAD_ORDER:
+        rows = []
+        norm = fig7_rows(results[workload], ENERGY_CHIP)
+        for proto in PROTOCOL_ORDER:
+            n = norm[proto]
+            rows.append(
+                (proto, [round(n["cache"], 3), round(n["links"], 3),
+                         round(n["routing"], 3), round(n["total"], 3)])
+            )
+        print_table(
+            f"Fig. 7 ({workload}): dynamic power normalized to directory cache",
+            ["cache", "links", "routing", "total"],
+            rows,
+        )
+
+    # shape checks on the headline workload
+    apache = fig7_rows(results["apache"], ENERGY_CHIP)
+    # DiCo-family saves network link energy on the L2-dominated workload
+    assert apache["dico-providers"]["links"] < apache["directory"]["links"]
+    # Arin's broadcasts hurt it most in JBB
+    jbb = fig7_rows(results["jbb"], ENERGY_CHIP)
+    assert jbb["dico-arin"]["links"] > jbb["dico-providers"]["links"]
+    # L1-dominated workloads: small network share for every protocol
+    radix = fig7_rows(results["radix"], ENERGY_CHIP)
+    for proto in PROTOCOL_ORDER:
+        assert radix[proto]["links"] < radix[proto]["cache"]

@@ -1,0 +1,48 @@
+"""Fig. 8a — cache dynamic power broken down by event class.
+
+Shape to reproduce (Sec. V-C): "due to the directory information stored
+in the L1 caches, tag accesses are more power consuming in DiCo-based
+protocols than in the flat directory", while the DiCo family performs
+fewer (expensive) L2 data reads because an L1 supplies most misses.
+"""
+
+from repro.analysis import fig8a_rows
+
+from .common import (
+    ENERGY_CHIP,
+    PROTOCOL_ORDER,
+    WORKLOAD_ORDER,
+    full_sweep,
+    print_table,
+    run_one,
+)
+
+COLUMNS = ("l1_tag", "l1_data", "l2_tag", "l2_data", "dir_tag", "l1c_tag", "l2c_tag")
+
+
+def bench_fig8a_cache_power(benchmark):
+    benchmark.pedantic(lambda: run_one("dico", "lu"), rounds=1, iterations=1)
+    results = full_sweep()
+
+    for workload in WORKLOAD_ORDER:
+        rows = []
+        norm = fig8a_rows(results[workload], ENERGY_CHIP)
+        for proto in PROTOCOL_ORDER:
+            comps = norm[proto]
+            rows.append(
+                (proto, [round(comps.get(c, 0.0), 3) for c in COLUMNS])
+            )
+        print_table(
+            f"Fig. 8a ({workload}): cache power by event class",
+            list(COLUMNS),
+            rows,
+        )
+
+    apache = fig8a_rows(results["apache"], ENERGY_CHIP)
+    # L1 tag energy: directory < arin < providers < dico (payload widths)
+    l1_tags = {p: apache[p].get("l1_tag", 0.0) for p in PROTOCOL_ORDER}
+    assert l1_tags["directory"] < l1_tags["dico-arin"]
+    assert l1_tags["dico-arin"] < l1_tags["dico-providers"]
+    assert l1_tags["dico-providers"] < l1_tags["dico"]
+    # the directory does more expensive L2 data reads than DiCo/Providers
+    assert apache["directory"]["l2_data"] > apache["dico"]["l2_data"]

@@ -1,0 +1,45 @@
+"""Fig. 8b — network dynamic power: link usage vs routing.
+
+Shape to reproduce (Sec. V-C): DiCo reduces network usage vs the
+directory on the commercial workloads; the area protocols shave a bit
+more thanks to shortened in-area misses; and in JBB "broadcasts make
+DiCo-Arin network consumption approach that of the directory".
+"""
+
+from repro.analysis import fig8b_rows
+
+from .common import (
+    ENERGY_CHIP,
+    PROTOCOL_ORDER,
+    WORKLOAD_ORDER,
+    full_sweep,
+    print_table,
+    run_one,
+)
+
+
+def bench_fig8b_network_power(benchmark):
+    benchmark.pedantic(lambda: run_one("dico-arin", "lu"), rounds=1, iterations=1)
+    results = full_sweep()
+
+    for workload in WORKLOAD_ORDER:
+        rows = []
+        norm = fig8b_rows(results[workload], ENERGY_CHIP)
+        for proto in PROTOCOL_ORDER:
+            comps = norm[proto]
+            rows.append(
+                (proto, [round(comps["links"], 3), round(comps["routing"], 3),
+                         round(comps["total"], 3)])
+            )
+        print_table(
+            f"Fig. 8b ({workload}): network power (normalized to directory)",
+            ["links", "routing", "total"],
+            rows,
+        )
+
+    # broadcasts visible in JBB for Arin
+    jbb = results["jbb"]
+    assert jbb["dico-arin"].network.broadcasts > 0
+    assert jbb["dico-providers"].network.broadcasts == 0
+    norm = fig8b_rows(jbb, ENERGY_CHIP)
+    assert norm["dico-arin"]["total"] > norm["dico-providers"]["total"]

@@ -1,0 +1,45 @@
+"""Fig. 9b — L1 miss breakdown by prediction/destination category.
+
+Shape to reproduce (Sec. V-D): the DiCo family resolves a sizeable
+share of misses in two hops by predicting the supplier; the area
+protocols additionally resolve misses at providers inside the
+requestor's area (*shortened misses*), which the directory cannot do at
+all.
+"""
+
+from repro.analysis import fig9b_miss_breakdown
+from repro.stats.counters import MISS_CATEGORIES
+
+from .common import PROTOCOL_ORDER, WORKLOAD_ORDER, full_sweep, print_table, run_one
+
+
+def bench_fig9b_miss_breakdown(benchmark):
+    benchmark.pedantic(lambda: run_one("dico-providers", "tomcatv"), rounds=1, iterations=1)
+    results = full_sweep()
+
+    for workload in WORKLOAD_ORDER:
+        rows = []
+        shares = fig9b_miss_breakdown(results[workload])
+        for proto in PROTOCOL_ORDER:
+            rows.append(
+                (proto, [round(shares[proto][c], 3) for c in MISS_CATEGORIES])
+            )
+        print_table(
+            f"Fig. 9b ({workload}): miss categories",
+            [c[:14] for c in MISS_CATEGORIES],
+            rows,
+        )
+
+    apache = fig9b_miss_breakdown(results["apache"])
+    # the directory never predicts
+    assert apache["directory"]["pred_owner_hit"] == 0.0
+    assert apache["directory"]["pred_provider_hit"] == 0.0
+    # DiCo resolves a sizeable share of misses via prediction
+    assert apache["dico"]["pred_owner_hit"] > 0.1
+    # only the area protocols resolve misses at in-area providers
+    providers_share = (
+        apache["dico-providers"]["pred_provider_hit"]
+        + apache["dico-providers"]["unpredicted_provider"]
+    )
+    assert providers_share > 0.0
+    assert apache["dico"]["pred_provider_hit"] == 0.0

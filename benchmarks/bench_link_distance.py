@@ -1,0 +1,60 @@
+"""Sec. V-D — link-distance arithmetic of shortened misses.
+
+The paper: a two-hop miss with arbitrary endpoints on the 64-tile chip
+traverses 10.6 links on average (2 x (2/3) x sqrt(64)); a shortened
+miss confined to a 16-tile area traverses 5.4; and on a 256-tile chip
+with 4-tile areas, indirect misses take 32 links, normal two-hop
+misses 21.3, shortened misses 2.6.
+
+This bench regenerates those numbers from the mesh model and reports
+the measured per-miss link counts of the simulation sweep.
+"""
+
+import pytest
+
+from repro.noc.topology import Mesh
+
+from .common import PROTOCOL_ORDER, print_table, sweep
+
+
+def _theoretical():
+    chip64 = Mesh(8, 8)
+    area16 = Mesh(4, 4)
+    chip256 = Mesh(16, 16)
+    area4 = Mesh(2, 2)
+    return {
+        "two_hop_64": 2 * chip64.average_distance(),
+        "shortened_64": 2 * area16.average_distance(),
+        "indirect_256": 3 * chip256.average_distance(),
+        "two_hop_256": 2 * chip256.average_distance(),
+        "shortened_256": 2 * area4.average_distance(),
+    }
+
+
+def bench_link_distance(benchmark):
+    theory = benchmark(_theoretical)
+
+    print_table(
+        "Sec. V-D: theoretical links per miss",
+        ["links"],
+        [(k, [round(v, 1)]) for k, v in theory.items()],
+    )
+
+    # the paper's quoted figures
+    assert theory["two_hop_64"] == pytest.approx(10.6, abs=0.3)
+    assert theory["shortened_64"] == pytest.approx(5.4, abs=0.3)
+    assert theory["two_hop_256"] == pytest.approx(21.3, abs=0.6)
+    assert theory["shortened_256"] == pytest.approx(2.6, abs=0.2)
+    assert theory["indirect_256"] == pytest.approx(32, abs=1.0)
+
+    # measured average links per miss on the apache sweep
+    apache = sweep("apache")
+    rows = [
+        (p, [round(apache[p].miss_links.mean, 2)]) for p in PROTOCOL_ORDER
+    ]
+    print_table("Measured links per L1 miss (apache)", ["links"], rows)
+    # DiCo-family misses traverse no more links than the directory's
+    assert (
+        apache["dico-providers"].miss_links.mean
+        <= apache["directory"].miss_links.mean + 0.5
+    )

@@ -1,0 +1,51 @@
+"""Table VII — storage overhead vs core count and area count.
+
+Regenerates the full sweep (64..1024 cores x 2..cores areas) and spot
+checks it against the paper's printed cells.  The shape to reproduce:
+
+* directory/DiCo overheads are flat in the area count and explode with
+  the core count (12.6% -> 195%);
+* DiCo-Providers grows with the area count (one ProPo per area);
+* DiCo-Arin is minimized at intermediate area counts and collapses when
+  every tile is its own area.
+"""
+
+import pytest
+
+from repro.core.storage import overhead_table
+
+from .common import print_table
+
+
+def bench_table7_scaling(benchmark):
+    table = benchmark(overhead_table)
+
+    for cores, per_area in table.items():
+        areas = sorted(per_area)
+        rows = [
+            (
+                proto,
+                [round(per_area[a][proto], 1) for a in areas],
+            )
+            for proto in ("directory", "dico", "dico-providers", "dico-arin")
+        ]
+        print_table(
+            f"Table VII ({cores} cores): overhead % by area count",
+            [str(a) for a in areas],
+            rows,
+        )
+
+    # paper spot checks
+    assert table[64][4]["dico-providers"] == pytest.approx(5.1, abs=0.1)
+    assert table[64][4]["dico-arin"] == pytest.approx(4.5, abs=0.1)
+    assert table[1024][4]["directory"] == pytest.approx(195, abs=1)
+    assert table[1024][4]["dico-providers"] == pytest.approx(13.1, abs=0.3)
+    # shape assertions
+    for cores, per_area in table.items():
+        areas = sorted(per_area)
+        prov = [per_area[a]["dico-providers"] for a in areas]
+        # Providers overhead grows with the area count (up to saturation)
+        assert prov[0] <= prov[-2] + 1e-9
+        # Arin with per-tile areas is the global minimum configuration
+        arin = {a: per_area[a]["dico-arin"] for a in areas}
+        assert min(arin, key=arin.get) == cores

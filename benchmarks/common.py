@@ -1,0 +1,108 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+The trace-driven figures (7, 8a, 8b, 9a, 9b) all consume the same
+simulation sweep — every workload of Table IV run under all four
+protocols — so the sweep is computed once per pytest session and
+cached here.
+
+Simulation windows are sized per workload: the commercial benchmarks
+(transaction metric) run a fixed cycle window after warmup; JBB gets a
+longer window so its huge working set actually pressures the L2 (the
+paper's "worst case for DiCo-Arin").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import Chip, DEFAULT_CHIP, paper_scaled_chip
+from repro.stats.counters import RunStats
+from repro.workloads.placement import VMPlacement
+from repro.workloads.spec import BENCHMARKS, MIXES
+
+PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
+WORKLOAD_ORDER = (
+    "apache",
+    "jbb",
+    "radix",
+    "lu",
+    "volrend",
+    "tomcatv",
+    "mixed-com",
+    "mixed-sci",
+)
+
+#: per-workload (warmup, window) cycles on the scaled chip
+WINDOWS: Dict[str, tuple] = {
+    "apache": (100_000, 100_000),
+    "jbb": (250_000, 150_000),
+    "radix": (60_000, 80_000),
+    "lu": (60_000, 80_000),
+    "volrend": (60_000, 80_000),
+    "tomcatv": (60_000, 80_000),
+    "mixed-com": (150_000, 120_000),
+    "mixed-sci": (60_000, 80_000),
+}
+
+SEED = 1
+
+#: energy-model geometry: per-access energies come from the paper's
+#: full-size Table III structures, event counts from the scaled runs
+ENERGY_CHIP = DEFAULT_CHIP
+
+_sweep_cache: Dict[str, Dict[str, RunStats]] = {}
+
+
+def run_one(
+    protocol: str,
+    workload: str,
+    seed: int = SEED,
+    placement: Optional[VMPlacement] = None,
+    protocol_kwargs: Optional[dict] = None,
+    config=None,
+) -> RunStats:
+    """One measured run of (protocol, workload) on the scaled chip."""
+    cfg = config or paper_scaled_chip()
+    warmup, window = WINDOWS.get(workload, (60_000, 80_000))
+    chip = Chip(
+        protocol,
+        workload,
+        config=cfg,
+        seed=seed,
+        placement=placement,
+        protocol_kwargs=protocol_kwargs,
+    )
+    stats = chip.run_cycles(window, warmup=warmup)
+    chip.verify_coherence()
+    return stats
+
+
+def sweep(workload: str) -> Dict[str, RunStats]:
+    """All four protocols on one workload (cached per session)."""
+    cached = _sweep_cache.get(workload)
+    if cached is None:
+        cached = {p: run_one(p, workload) for p in PROTOCOL_ORDER}
+        _sweep_cache[workload] = cached
+    return cached
+
+
+def full_sweep() -> Dict[str, Dict[str, RunStats]]:
+    """Every Table IV workload under every protocol (cached)."""
+    return {w: sweep(w) for w in WORKLOAD_ORDER}
+
+
+def fmt_row(label: str, values, width: int = 16, prec: int = 3) -> str:
+    cells = "".join(
+        f"{v:>{width}.{prec}f}" if isinstance(v, float) else f"{v:>{width}}"
+        for v in values
+    )
+    return f"{label:<16}{cells}"
+
+
+def print_table(title: str, header, rows) -> None:
+    print()
+    print(f"== {title} ==")
+    print(fmt_row("", header))
+    for label, values in rows:
+        print(fmt_row(label, values))

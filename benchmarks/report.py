@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Generate the complete paper-vs-measured report (EXPERIMENTS.md data).
+
+Runs every experiment of the evaluation section and prints the
+regenerated tables and figures in one pass.
+
+Run:  python -m benchmarks.report
+"""
+
+from repro.analysis import (
+    average_miss_links,
+    fig7_rows,
+    fig8a_rows,
+    fig8b_rows,
+    fig9a_performance,
+    fig9b_miss_breakdown,
+)
+from repro.core.storage import PROTOCOL_NAMES, overhead_table, storage_breakdown
+from repro.power.cacti import leakage_table
+from repro.stats.counters import MISS_CATEGORIES
+
+from .common import (
+    ENERGY_CHIP,
+    PROTOCOL_ORDER,
+    WORKLOAD_ORDER,
+    full_sweep,
+    print_table,
+)
+
+
+def main() -> None:
+    print("# Regenerated evaluation artifacts\n")
+
+    print_table(
+        "Table V: coherence storage per tile",
+        ["KB", "overhead %"],
+        [
+            (p, [round(storage_breakdown(p).coherence_kb, 2),
+                 round(100 * storage_breakdown(p).overhead, 2)])
+            for p in PROTOCOL_NAMES
+        ],
+    )
+
+    lt = leakage_table()
+    base = lt["directory"]
+    print_table(
+        "Table VI: leakage per tile",
+        ["total mW", "vs dir %", "tag mW", "vs dir %"],
+        [
+            (p, [round(r.total_mw, 1), round(r.vs(base)["total_pct"], 1),
+                 round(r.tag_mw, 1), round(r.vs(base)["tag_pct"], 1)])
+            for p, r in lt.items()
+        ],
+    )
+
+    table7 = overhead_table()
+    for cores in (64, 256, 1024):
+        per_area = table7[cores]
+        areas = sorted(per_area)
+        print_table(
+            f"Table VII ({cores} cores)",
+            [str(a) for a in areas],
+            [
+                (p, [round(per_area[a][p], 1) for a in areas])
+                for p in PROTOCOL_NAMES
+            ],
+        )
+
+    results = full_sweep()
+
+    for workload in WORKLOAD_ORDER:
+        stats = results[workload]
+        print(f"\n#### {workload}")
+        print_table(
+            "run summary",
+            ["ops", "l1 miss", "l2 miss", "lat", "links/miss", "bcasts"],
+            [
+                (p, [stats[p].operations, round(stats[p].l1_miss_rate, 3),
+                     round(stats[p].l2_miss_rate, 3),
+                     round(stats[p].miss_latency.mean, 1),
+                     round(stats[p].miss_links.mean, 2),
+                     stats[p].network.broadcasts])
+                for p in PROTOCOL_ORDER
+            ],
+        )
+        print_table(
+            "Fig. 7 (normalized dynamic power)",
+            ["cache", "links", "routing", "total"],
+            [
+                (p, [round(v, 3) for v in (
+                    fig7_rows(stats, ENERGY_CHIP)[p]["cache"],
+                    fig7_rows(stats, ENERGY_CHIP)[p]["links"],
+                    fig7_rows(stats, ENERGY_CHIP)[p]["routing"],
+                    fig7_rows(stats, ENERGY_CHIP)[p]["total"],
+                )])
+                for p in PROTOCOL_ORDER
+            ],
+        )
+        print_table(
+            "Fig. 9b (miss categories)",
+            [c[:13] for c in MISS_CATEGORIES],
+            [
+                (p, [round(fig9b_miss_breakdown(stats)[p][c], 3)
+                     for c in MISS_CATEGORIES])
+                for p in PROTOCOL_ORDER
+            ],
+        )
+
+    print_table(
+        "Fig. 9a (performance normalized to directory)",
+        [w[:12] for w in WORKLOAD_ORDER],
+        [
+            (p, [round(fig9a_performance(results[w])[p], 3)
+                 for w in WORKLOAD_ORDER])
+            for p in PROTOCOL_ORDER
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

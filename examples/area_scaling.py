@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Storage and leakage scaling with core count and area count.
+
+Regenerates the analytic side of the paper — Tables V, VI and VII —
+and explores the design space beyond it: for each chip size, which
+area count minimizes each protocol's storage overhead?
+
+Run:  python examples/area_scaling.py
+"""
+
+from repro import DEFAULT_CHIP, leakage_table, overhead_table, storage_breakdown
+from repro.core.storage import PROTOCOL_NAMES
+
+
+def main() -> None:
+    print("Table V — per-tile coherence storage (64 tiles, 4 areas)")
+    for proto in PROTOCOL_NAMES:
+        b = storage_breakdown(proto, DEFAULT_CHIP)
+        parts = "  ".join(f"{s.name}={s.total_kb:g}KB" for s in b.coherence)
+        print(f"  {proto:16s} {b.coherence_kb:7.2f} KB  "
+              f"({100 * b.overhead:5.2f}%)   {parts}")
+
+    print("\nTable VI — cache leakage per tile (calibrated CACTI model)")
+    table = leakage_table()
+    base = table["directory"]
+    for proto, rep in table.items():
+        rel = rep.vs(base)
+        print(
+            f"  {proto:16s} total={rep.total_mw:6.1f} mW ({rel['total_pct']:+5.1f}%)"
+            f"   tags={rep.tag_mw:5.1f} mW ({rel['tag_pct']:+5.1f}%)"
+        )
+
+    print("\nTable VII — storage overhead %% by (cores, areas)")
+    sweep = overhead_table()
+    for cores, per_area in sweep.items():
+        areas = sorted(per_area)
+        print(f"\n  {cores} cores" + "".join(f"{a:>8}" for a in areas))
+        for proto in PROTOCOL_NAMES:
+            cells = "".join(f"{per_area[a][proto]:8.1f}" for a in areas)
+            print(f"  {proto:12s}{cells}")
+
+    print("\nBest area count per protocol and chip size:")
+    for cores, per_area in sweep.items():
+        for proto in ("dico-providers", "dico-arin"):
+            best = min(per_area, key=lambda a: per_area[a][proto])
+            print(
+                f"  {cores:5d} cores  {proto:16s} -> {best:4d} areas "
+                f"({per_area[best][proto]:.1f}%)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Server-consolidation study: deduplication and provider behaviour.
+
+Reproduces the paper's core scenario in detail: four VMs on a 64-tile
+chip with hypervisor page deduplication.  The script shows
+
+1. how much physical memory deduplication saves (Table IV column),
+2. copy-on-write breaks when a VM writes a deduplicated page,
+3. where the copies of a hot deduplicated block end up under
+   DiCo-Providers (one provider per area), and
+4. the share of misses the area protocols resolve *inside* the
+   requestor's area (the paper's "shortened misses").
+
+Run:  python examples/consolidation_study.py
+"""
+
+from collections import Counter
+
+from repro import Chip, paper_scaled_chip
+from repro.core.states import L1State
+
+PROTOCOLS = ("dico-providers", "dico-arin")
+
+
+def main() -> None:
+    config = paper_scaled_chip()
+
+    for protocol in PROTOCOLS:
+        chip = Chip(protocol, "apache", config=config, seed=3)
+        workload = chip.workload
+        print(f"=== {protocol} ===")
+        print(
+            f"dedup: {workload.table.pages_allocated} physical pages allocated, "
+            f"{workload.table.pages_saved} saved "
+            f"({workload.dedup_saving:.1%} of logical pages — "
+            f"Table IV reports 21.72% for Apache)"
+        )
+
+        stats = chip.run_cycles(80_000, warmup=80_000)
+        chip.verify_coherence()
+        print(f"copy-on-write breaks during the run: {workload.cow_breaks}")
+
+        # census of L1 states for deduplicated blocks
+        proto = chip.protocol
+        states: Counter = Counter()
+        dedup_blocks_cached = 0
+        for tile, l1 in enumerate(proto.l1s):
+            for block, line in l1:
+                page = proto.addr.page_of_block(block)
+                if workload.table.is_deduplicated_ppage(page):
+                    states[line.state.name] += 1
+                    dedup_blocks_cached += 1
+        print(
+            f"cached copies of deduplicated blocks: {dedup_blocks_cached} "
+            f"by state: {dict(states)}"
+        )
+
+        # providers per area for one hot deduplicated block
+        providers_per_area: Counter = Counter()
+        for tile, l1 in enumerate(proto.l1s):
+            for block, line in l1:
+                if line.state is L1State.P:
+                    providers_per_area[proto.areas.area_of(tile)] += 1
+        print(f"provider copies per area: {dict(providers_per_area)}")
+
+        total_misses = sum(stats.miss_categories.values()) or 1
+        shortened = (
+            stats.miss_categories["pred_provider_hit"]
+            + stats.miss_categories["unpredicted_provider"]
+        )
+        print(
+            f"misses resolved by a provider in the requestor's area: "
+            f"{shortened} ({shortened / total_misses:.1%} of misses)"
+        )
+        print(
+            f"average links per miss: {stats.miss_links.mean:.2f} "
+            f"(a chip-wide 2-hop miss averages 10.6 links, an in-area one 5.4)"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

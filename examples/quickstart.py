@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: compare the four coherence protocols on one workload.
+
+Builds the paper's 64-tile chip (scaled caches), runs four consolidated
+Apache VMs under each protocol, and prints the performance, miss and
+power comparison — a miniature version of the paper's evaluation.
+
+Run:  python examples/quickstart.py [workload] [cycles]
+"""
+
+import sys
+
+from repro import Chip, DEFAULT_CHIP, paper_scaled_chip
+from repro.analysis import (
+    fig7_rows,
+    fig9a_performance,
+    fig9b_miss_breakdown,
+    grouped_bars,
+    stacked_bars,
+)
+
+PROTOCOLS = ("directory", "dico", "dico-providers", "dico-arin")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "apache"
+    cycles = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    config = paper_scaled_chip()
+
+    print(f"workload={workload}  window={cycles} cycles  "
+          f"chip={config.mesh_width}x{config.mesh_height}, "
+          f"{config.n_areas} areas, 4 VMs")
+    print()
+
+    results = {}
+    for protocol in PROTOCOLS:
+        chip = Chip(protocol, workload, config=config, seed=1)
+        stats = chip.run_cycles(cycles, warmup=cycles // 2)
+        chip.verify_coherence()  # the run must be provably coherent
+        results[protocol] = stats
+        print(
+            f"{protocol:16s} ops={stats.operations:>8}  "
+            f"L1 miss={stats.l1_miss_rate:6.1%}  "
+            f"avg miss latency={stats.miss_latency.mean:6.1f} cyc  "
+            f"broadcasts={stats.network.broadcasts}"
+        )
+
+    print()
+    print(grouped_bars(
+        fig9a_performance(results),
+        title="Performance normalized to the directory (bigger is better):",
+    ))
+
+    power = {
+        proto: {k: row[k] for k in ("cache", "links", "routing")}
+        for proto, row in fig7_rows(results, DEFAULT_CHIP).items()
+    }
+    print()
+    print(stacked_bars(
+        power,
+        segments=("cache", "links", "routing"),
+        title="Dynamic power normalized to the directory's cache power\n"
+              "(energies use the paper's full-size Table III geometry):",
+    ))
+
+    print("\nHow L1 misses were resolved:")
+    for proto, shares in fig9b_miss_breakdown(results).items():
+        top = ", ".join(
+            f"{cat}={share:.1%}" for cat, share in shares.items() if share > 0.005
+        )
+        print(f"  {proto:16s} {top}")
+
+
+if __name__ == "__main__":
+    main()

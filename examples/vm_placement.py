@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""VM placement study: area-aligned vs the Fig. 6 alternative.
+
+The paper's protocols are optimized for VMs that fit the static areas,
+but Sec. V shows they degrade gracefully when VMs straddle areas.  This
+script runs both placements side by side and reports performance,
+broadcast traffic (DiCo-Arin's weak spot) and where misses resolve.
+
+Run:  python examples/vm_placement.py
+"""
+
+from repro import Chip, paper_scaled_chip
+from repro.workloads.placement import VMPlacement
+
+PROTOCOLS = ("directory", "dico-providers", "dico-arin")
+CYCLES = 60_000
+
+
+def run(protocol: str, placement) -> dict:
+    chip = Chip(protocol, "apache", config=paper_scaled_chip(), seed=2,
+                placement=placement)
+    stats = chip.run_cycles(CYCLES, warmup=CYCLES)
+    chip.verify_coherence()
+    total_misses = sum(stats.miss_categories.values()) or 1
+    shortened = (
+        stats.miss_categories["pred_provider_hit"]
+        + stats.miss_categories["unpredicted_provider"]
+    )
+    return {
+        "ops": stats.operations,
+        "broadcasts": stats.broadcast_invalidations,
+        "avg_links": stats.miss_links.mean,
+        "shortened": shortened / total_misses,
+    }
+
+
+def main() -> None:
+    cfg = paper_scaled_chip()
+    alt = VMPlacement.alternative(cfg.mesh_width, cfg.mesh_height, 4)
+
+    print(f"{'protocol':16s} {'placement':10s} {'ops':>9} {'bcasts':>7} "
+          f"{'links/miss':>11} {'shortened':>10}")
+    for protocol in PROTOCOLS:
+        for name, placement in (("aligned", None), ("alt", alt)):
+            r = run(protocol, placement)
+            print(
+                f"{protocol:16s} {name:10s} {r['ops']:>9} "
+                f"{r['broadcasts']:>7} {r['avg_links']:>11.2f} "
+                f"{r['shortened']:>10.1%}"
+            )
+
+    print(
+        "\nExpected shape (Sec. V): performance barely moves under the\n"
+        "alternative placement; DiCo-Arin's broadcast invalidations grow\n"
+        "because VM-private read/write data becomes inter-area data;\n"
+        "DiCo-Providers now uses providers for VM-private data too."
+    )
+
+
+if __name__ == "__main__":
+    main()

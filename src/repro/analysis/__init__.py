@@ -1,0 +1,12 @@
+"""Analysis: the paper's figures from run statistics."""
+from .ascii import grouped_bars, hbar, stacked_bars
+from .linkload import area_crossing_flits, heatmap, hotspots, tile_load
+from .report import (
+    average_miss_links,
+    energy_breakdowns,
+    fig7_rows,
+    fig8a_rows,
+    fig8b_rows,
+    fig9a_performance,
+    fig9b_miss_breakdown,
+)

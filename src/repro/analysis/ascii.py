@@ -1,0 +1,73 @@
+"""Terminal-friendly rendering of the paper's figures.
+
+The evaluation figures are stacked bar charts; this module renders
+them as Unicode bars so the benchmark harness and the examples can show
+the *shape* of a result directly in the terminal, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["hbar", "stacked_bars", "grouped_bars"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, scale: float, width: int = 40) -> str:
+    """One horizontal bar for ``value`` with ``scale`` = full width."""
+    if scale <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / scale))
+    cells = frac * width
+    full = int(cells)
+    rem = int((cells - full) * 8)
+    bar = "█" * full
+    if rem and full < width:
+        bar += _BLOCKS[rem]
+    return bar
+
+
+def stacked_bars(
+    rows: Mapping[str, Mapping[str, float]],
+    segments: Sequence[str],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render stacked horizontal bars (one row per key).
+
+    ``rows`` maps a label to per-segment values; each segment gets a
+    distinct fill character so the stacking is readable without color.
+    """
+    fills = "█▓▒░╳+o·"
+    totals = {
+        label: sum(values.get(s, 0.0) for s in segments)
+        for label, values in rows.items()
+    }
+    scale = max(totals.values(), default=1.0) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{fills[i % len(fills)]}={seg}" for i, seg in enumerate(segments)
+    )
+    lines.append(f"  [{legend}]")
+    for label, values in rows.items():
+        bar = ""
+        for i, seg in enumerate(segments):
+            cells = int(round(values.get(seg, 0.0) / scale * width))
+            bar += fills[i % len(fills)] * cells
+        lines.append(f"  {label:<16} {bar} {totals[label]:.3f}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    values: Mapping[str, float], width: int = 40, title: str = ""
+) -> str:
+    """Render plain labelled bars, scaled to the maximum value."""
+    scale = max(values.values(), default=1.0) or 1.0
+    lines = [title] if title else []
+    for label, v in values.items():
+        lines.append(f"  {label:<16} {hbar(v, scale, width):<{width}} {v:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Per-link traffic analysis (NoC hotspot study).
+
+Sec. V-D argues that the area protocols shorten the average distance
+messages travel; a complementary view is *where* the flits go.  With
+``NocConfig.track_link_load`` enabled the network records flits per
+directed link; this module turns that into per-tile forwarding load, a
+hotspot ranking and a terminal heat map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..noc.network import NetworkStats
+from ..noc.topology import Mesh
+
+__all__ = ["tile_load", "hotspots", "area_crossing_flits", "heatmap"]
+
+_SHADES = " ░▒▓█"
+
+
+def tile_load(stats: NetworkStats, mesh: Mesh) -> List[int]:
+    """Flits forwarded per tile (the load on each tile's router)."""
+    load = [0] * mesh.n_tiles
+    for (src, _dst), flits in stats.link_load.items():
+        load[src] += flits
+    return load
+
+
+def hotspots(
+    stats: NetworkStats, mesh: Mesh, top: int = 5
+) -> List[Tuple[Tuple[int, int], int]]:
+    """The ``top`` busiest directed links as ``((src, dst), flits)``."""
+    return sorted(stats.link_load.items(), key=lambda kv: -kv[1])[:top]
+
+
+def area_crossing_flits(
+    stats: NetworkStats, mesh: Mesh, area_of: Mapping[int, int]
+) -> Dict[str, int]:
+    """Flit·links split into intra-area and inter-area traffic.
+
+    The area protocols' pitch is precisely that deduplicated-data
+    traffic stops crossing area boundaries.
+    """
+    intra = 0
+    inter = 0
+    for (src, dst), flits in stats.link_load.items():
+        if area_of[src] == area_of[dst]:
+            intra += flits
+        else:
+            inter += flits
+    return {"intra_area": intra, "inter_area": inter}
+
+
+def heatmap(stats: NetworkStats, mesh: Mesh) -> str:
+    """Terminal heat map of per-tile router load."""
+    load = tile_load(stats, mesh)
+    peak = max(load) or 1
+    lines = []
+    for y in range(mesh.height):
+        row = ""
+        for x in range(mesh.width):
+            v = load[mesh.tile_at(x, y)]
+            shade = _SHADES[min(len(_SHADES) - 1, int(v / peak * (len(_SHADES) - 1) + 0.5))]
+            row += shade * 2
+        lines.append(row)
+    lines.append(f"(peak: {peak} flits forwarded by one tile)")
+    return "\n".join(lines)

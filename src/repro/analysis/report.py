@@ -1,0 +1,122 @@
+"""Result analysis: the paper's figures from run statistics.
+
+Functions here turn :class:`repro.stats.counters.RunStats` (plus the
+power models) into the exact rows/series of Figs. 7–9, normalized the
+way the paper normalizes:
+
+* Fig. 7 — total dynamic power normalized to the *directory protocol's
+  cache* dynamic power, split into cache / network links / routing;
+* Fig. 8a — cache dynamic power by event class;
+* Fig. 8b — network dynamic power split into link and routing energy;
+* Fig. 9a — performance normalized to the directory protocol
+  (transactions for the commercial metric, inverse time for the
+  scientific metric; bigger is better);
+* Fig. 9b — L1 miss breakdown into the six prediction categories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..power.dynamic import DynamicEnergyModel, EnergyBreakdown
+from ..sim.config import ChipConfig, DEFAULT_CHIP
+from ..stats.counters import MISS_CATEGORIES, RunStats
+
+__all__ = [
+    "energy_breakdowns",
+    "fig7_rows",
+    "fig8a_rows",
+    "fig8b_rows",
+    "fig9a_performance",
+    "fig9b_miss_breakdown",
+    "average_miss_links",
+]
+
+
+def energy_breakdowns(
+    stats_by_protocol: Mapping[str, RunStats],
+    config: ChipConfig = DEFAULT_CHIP,
+) -> Dict[str, EnergyBreakdown]:
+    """Evaluate the dynamic energy model for each protocol's run."""
+    return {
+        name: DynamicEnergyModel(name, config).evaluate(stats)
+        for name, stats in stats_by_protocol.items()
+    }
+
+
+def fig7_rows(
+    stats_by_protocol: Mapping[str, RunStats],
+    config: ChipConfig = DEFAULT_CHIP,
+    baseline: str = "directory",
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 7: normalized total dynamic power with breakdown."""
+    energies = energy_breakdowns(stats_by_protocol, config)
+    ref = energies[baseline].cache_energy
+    return {name: e.normalized(ref) for name, e in energies.items()}
+
+
+def fig8a_rows(
+    stats_by_protocol: Mapping[str, RunStats],
+    config: ChipConfig = DEFAULT_CHIP,
+    baseline: str = "directory",
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 8a: cache dynamic power by event class, normalized."""
+    energies = energy_breakdowns(stats_by_protocol, config)
+    ref = energies[baseline].cache_energy
+    return {
+        name: {k: v / ref for k, v in e.cache_events.items()}
+        for name, e in energies.items()
+    }
+
+
+def fig8b_rows(
+    stats_by_protocol: Mapping[str, RunStats],
+    config: ChipConfig = DEFAULT_CHIP,
+    baseline: str = "directory",
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 8b: network dynamic power (links vs routing), normalized."""
+    energies = energy_breakdowns(stats_by_protocol, config)
+    ref = energies[baseline].network_energy or 1.0
+    return {
+        name: {
+            "links": e.link_energy / ref,
+            "routing": e.routing_energy / ref,
+            "total": e.network_energy / ref,
+        }
+        for name, e in energies.items()
+    }
+
+
+def fig9a_performance(
+    stats_by_protocol: Mapping[str, RunStats],
+    metric: str = "transactions",
+    baseline: str = "directory",
+) -> Dict[str, float]:
+    """Fig. 9a: performance normalized to the directory (bigger=better)."""
+    def score(stats: RunStats) -> float:
+        if metric == "transactions":
+            return stats.operations
+        if metric == "time":
+            return 1.0 / stats.cycles if stats.cycles else 0.0
+        raise ValueError(f"unknown metric {metric!r}")
+
+    ref = score(stats_by_protocol[baseline])
+    return {name: score(s) / ref for name, s in stats_by_protocol.items()}
+
+
+def fig9b_miss_breakdown(
+    stats_by_protocol: Mapping[str, RunStats],
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 9b: share of L1 misses per prediction category."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, stats in stats_by_protocol.items():
+        total = sum(stats.miss_categories.values()) or 1
+        rows[name] = {c: stats.miss_categories[c] / total for c in MISS_CATEGORIES}
+    return rows
+
+
+def average_miss_links(stats_by_protocol: Mapping[str, RunStats]) -> Dict[str, float]:
+    """Average links traversed per L1 miss (the Sec. V-D discussion)."""
+    return {
+        name: stats.miss_links.mean for name, stats in stats_by_protocol.items()
+    }

@@ -1,0 +1,4 @@
+"""Cache substrate: set-associative arrays, replacement policies, MSHRs."""
+from .cache import CacheAccessStats, SetAssocCache
+from .mshr import MshrEntry, MshrFullError, MshrTable
+from .replacement import FIFO, LRU, RandomRepl, ReplacementPolicy, TreePLRU, make_policy

@@ -1,0 +1,208 @@
+"""Generic set-associative cache array.
+
+The cache stores opaque protocol entries keyed by *block number* (the
+physical address shifted right by the block-offset bits).  It does not
+know about coherence states; the protocols attach whatever entry object
+they need.  Victim selection returns the evicted ``(block, entry)``
+pair so the protocol can run its replacement actions (Table II of the
+paper).
+
+Access counting happens here so that the dynamic power model can charge
+tag and data array energies per structure (Fig. 8a categories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .replacement import ReplacementPolicy, make_policy
+
+__all__ = ["CacheAccessStats", "SetAssocCache"]
+
+E = TypeVar("E")
+
+
+@dataclass
+class CacheAccessStats:
+    """Per-structure access counters (inputs to the power model)."""
+
+    tag_reads: int = 0
+    tag_writes: int = 0
+    data_reads: int = 0
+    data_writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def merge(self, other: "CacheAccessStats") -> None:
+        self.tag_reads += other.tag_reads
+        self.tag_writes += other.tag_writes
+        self.data_reads += other.data_reads
+        self.data_writes += other.data_writes
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+
+class SetAssocCache(Generic[E]):
+    """A set-associative array of protocol entries.
+
+    ``n_sets`` must be a power of two; the set index is the low-order
+    bits of the block number (the block offset is already stripped).
+    """
+
+    def __init__(
+        self,
+        n_sets: int,
+        n_ways: int,
+        policy: str = "lru",
+        name: str = "cache",
+        index_shift: int = 0,
+    ) -> None:
+        """``index_shift`` drops low block bits before set selection —
+        home-bank structures must shift out the bank-interleaving bits,
+        which are constant within one bank."""
+        if n_sets < 1 or n_sets & (n_sets - 1):
+            raise ValueError(f"n_sets={n_sets} must be a positive power of two")
+        if n_ways < 1:
+            raise ValueError("n_ways must be positive")
+        if index_shift < 0:
+            raise ValueError("index_shift must be non-negative")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.name = name
+        self.index_shift = index_shift
+        self._policy_name = policy
+        # per set: way -> (block, entry); None when invalid
+        self._ways: List[List[Optional[Tuple[int, E]]]] = [
+            [None] * n_ways for _ in range(n_sets)
+        ]
+        # per set: block -> way, for O(1) lookup
+        self._index: List[Dict[int, int]] = [dict() for _ in range(n_sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, n_ways) for _ in range(n_sets)
+        ]
+        self.stats = CacheAccessStats()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.n_sets * self.n_ways
+
+    def set_of(self, block: int) -> int:
+        return (block >> self.index_shift) & (self.n_sets - 1)
+
+    def __len__(self) -> int:
+        return sum(len(ix) for ix in self._index)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._index[self.set_of(block)]
+
+    def __iter__(self) -> Iterator[Tuple[int, E]]:
+        """Iterates ``(block, entry)`` over all valid frames."""
+        for s in range(self.n_sets):
+            for frame in self._ways[s]:
+                if frame is not None:
+                    yield frame
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, block: int, touch: bool = True) -> Optional[E]:
+        """Tag lookup; returns the entry on hit, ``None`` on miss."""
+        s = self.set_of(block)
+        self.stats.tag_reads += 1
+        way = self._index[s].get(block)
+        if way is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if touch:
+            self._policies[s].touch(way)
+        frame = self._ways[s][way]
+        assert frame is not None
+        return frame[1]
+
+    def peek(self, block: int) -> Optional[E]:
+        """Lookup without touching LRU state or counting an access."""
+        s = self.set_of(block)
+        way = self._index[s].get(block)
+        if way is None:
+            return None
+        frame = self._ways[s][way]
+        assert frame is not None
+        return frame[1]
+
+    def victim_for(self, block: int) -> Optional[Tuple[int, E]]:
+        """What would be evicted if ``block`` were inserted now.
+
+        Returns ``None`` when the set has a free way or already holds
+        the block.
+        """
+        s = self.set_of(block)
+        if block in self._index[s]:
+            return None
+        for frame in self._ways[s]:
+            if frame is None:
+                return None
+        way = self._policies[s].victim()
+        return self._ways[s][way]
+
+    def insert(self, block: int, entry: E) -> Optional[Tuple[int, E]]:
+        """Insert (or overwrite) ``block``; returns the evicted frame.
+
+        The caller must have handled the victim's coherence actions
+        beforehand (use :meth:`victim_for` to inspect it).
+        """
+        s = self.set_of(block)
+        self.stats.tag_writes += 1
+        existing = self._index[s].get(block)
+        if existing is not None:
+            self._ways[s][existing] = (block, entry)
+            self._policies[s].touch(existing)
+            return None
+        # free way?
+        for way, frame in enumerate(self._ways[s]):
+            if frame is None:
+                self._ways[s][way] = (block, entry)
+                self._index[s][block] = way
+                self._policies[s].touch(way)
+                return None
+        way = self._policies[s].victim()
+        victim = self._ways[s][way]
+        assert victim is not None
+        del self._index[s][victim[0]]
+        self._ways[s][way] = (block, entry)
+        self._index[s][block] = way
+        self._policies[s].touch(way)
+        self.stats.evictions += 1
+        return victim
+
+    def invalidate(self, block: int) -> Optional[E]:
+        """Drop ``block``; returns its entry if it was present."""
+        s = self.set_of(block)
+        way = self._index[s].pop(block, None)
+        if way is None:
+            return None
+        self.stats.tag_writes += 1  # state update on invalidation
+        frame = self._ways[s][way]
+        self._ways[s][way] = None
+        self._policies[s].reset(way)
+        assert frame is not None
+        return frame[1]
+
+    def blocks_in_set(self, s: int) -> List[int]:
+        return list(self._index[s])
+
+    # ------------------------------------------------------------------
+    # power-model hooks: explicit data-array access charging
+
+    def charge_data_read(self, n: int = 1) -> None:
+        self.stats.data_reads += n
+
+    def charge_data_write(self, n: int = 1) -> None:
+        self.stats.data_writes += n
+
+    def charge_tag_write(self, n: int = 1) -> None:
+        self.stats.tag_writes += n

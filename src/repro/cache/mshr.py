@@ -1,0 +1,120 @@
+"""Miss Status Holding Registers.
+
+In the transaction-level engine a block with an in-flight transaction
+is *busy*: any other request to the same block is delayed until the
+transaction completes (this models both the requestor-side MSHR
+blocking and the serialization at the protocol's ordering point — the
+owner L1 or the home L2).
+
+:class:`MshrTable` tracks one busy-until timestamp per block plus two
+acknowledgement counters per entry.  The dual counters reproduce the
+paper's write-miss mechanism: "Two counters are needed in the MSHR of
+the requestor, one to track the number of pending acknowledgement
+messages from the providers and another to track the number of pending
+acknowledgement messages from the sharers" (Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["MshrEntry", "MshrFullError", "MshrTable"]
+
+
+class MshrFullError(RuntimeError):
+    """All MSHR entries are occupied; the request must retry."""
+
+
+@dataclass
+class MshrEntry:
+    block: int
+    busy_until: int
+    #: pending acks from providers (each carries its area sharer count)
+    pending_provider_acks: int = 0
+    #: pending acks from plain sharers
+    pending_sharer_acks: int = 0
+
+    @property
+    def invalidation_done(self) -> bool:
+        return self.pending_provider_acks == 0 and self.pending_sharer_acks == 0
+
+    def ack_from_provider(self, sharers_in_area: int) -> None:
+        if self.pending_provider_acks <= 0:
+            raise ValueError("unexpected provider acknowledgement")
+        self.pending_provider_acks -= 1
+        self.pending_sharer_acks += sharers_in_area
+
+    def ack_from_sharer(self) -> None:
+        if self.pending_sharer_acks <= 0:
+            raise ValueError("unexpected sharer acknowledgement")
+        self.pending_sharer_acks -= 1
+
+
+class MshrTable:
+    """Busy-block table with a bounded number of entries."""
+
+    def __init__(self, n_entries: int = 16) -> None:
+        if n_entries < 1:
+            raise ValueError("MSHR needs at least one entry")
+        self.n_entries = n_entries
+        self._entries: Dict[int, MshrEntry] = {}
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    def get(self, block: int) -> Optional[MshrEntry]:
+        return self._entries.get(block)
+
+    def busy_until(self, block: int, now: int) -> int:
+        """Earliest cycle at which ``block`` is free (``now`` if free)."""
+        entry = self._entries.get(block)
+        if entry is None:
+            return now
+        return max(now, entry.busy_until)
+
+    def allocate(self, block: int, busy_until: int, now: int) -> MshrEntry:
+        """Allocate an entry for ``block`` busy until ``busy_until``.
+
+        Expired entries are garbage-collected first.  Raises
+        :class:`MshrFullError` when no entry is free — callers turn that
+        into a retry delay.
+        """
+        self.expire(now)
+        existing = self._entries.get(block)
+        if existing is not None:
+            existing.busy_until = max(existing.busy_until, busy_until)
+            return existing
+        if len(self._entries) >= self.n_entries:
+            self.full_stalls += 1
+            raise MshrFullError(f"all {self.n_entries} MSHRs busy")
+        entry = MshrEntry(block=block, busy_until=busy_until)
+        self._entries[block] = entry
+        self.allocations += 1
+        return entry
+
+    def extend(self, block: int, busy_until: int) -> None:
+        entry = self._entries.get(block)
+        if entry is not None and busy_until > entry.busy_until:
+            entry.busy_until = busy_until
+
+    def release(self, block: int) -> None:
+        self._entries.pop(block, None)
+
+    def expire(self, now: int) -> None:
+        """Drop entries whose transactions completed before ``now``."""
+        dead = [b for b, e in self._entries.items() if e.busy_until <= now]
+        for b in dead:
+            del self._entries[b]
+
+    def next_free_time(self, now: int) -> int:
+        """Earliest time any entry frees up; ``now`` if one is free."""
+        self.expire(now)
+        if len(self._entries) < self.n_entries:
+            return now
+        return min(e.busy_until for e in self._entries.values())

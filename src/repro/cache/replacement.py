@@ -1,0 +1,143 @@
+"""Replacement policies for set-associative caches.
+
+All policies operate on way indices within one set and are stateful per
+set.  :class:`LRU` is the default everywhere (GEMS' L1/L2 default);
+:class:`TreePLRU` and :class:`FIFO` exist for sensitivity studies and
+are exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+__all__ = ["ReplacementPolicy", "LRU", "FIFO", "TreePLRU", "RandomRepl", "make_policy"]
+
+
+class ReplacementPolicy(ABC):
+    """Tracks use of ``n_ways`` ways in one cache set."""
+
+    def __init__(self, n_ways: int) -> None:
+        if n_ways < 1:
+            raise ValueError("need at least one way")
+        self.n_ways = n_ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit/fill on ``way``."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """Pick the way to evict (does not update state)."""
+
+    def reset(self, way: int) -> None:
+        """Way was invalidated; by default no state change is needed."""
+
+
+class LRU(ReplacementPolicy):
+    """True least-recently-used via an age stack."""
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        self._stack: List[int] = list(range(n_ways))  # MRU first
+
+    def touch(self, way: int) -> None:
+        self._stack.remove(way)
+        self._stack.insert(0, way)
+
+    def victim(self) -> int:
+        return self._stack[-1]
+
+    def reset(self, way: int) -> None:
+        # demote invalidated way to LRU position so it is refilled first
+        self._stack.remove(way)
+        self._stack.append(way)
+
+
+class FIFO(ReplacementPolicy):
+    """First-in-first-out: touch on hit does not change the order."""
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        self._queue: List[int] = list(range(n_ways))
+        self._filled = [False] * n_ways
+
+    def touch(self, way: int) -> None:
+        if not self._filled[way]:
+            self._filled[way] = True
+            self._queue.remove(way)
+            self._queue.insert(0, way)
+
+    def victim(self) -> int:
+        return self._queue[-1]
+
+    def reset(self, way: int) -> None:
+        self._filled[way] = False
+        self._queue.remove(way)
+        self._queue.append(way)
+
+
+class TreePLRU(ReplacementPolicy):
+    """Tree pseudo-LRU (requires a power-of-two associativity)."""
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        if n_ways & (n_ways - 1):
+            raise ValueError("TreePLRU needs a power-of-two associativity")
+        self._bits = [False] * max(1, n_ways - 1)
+
+    def touch(self, way: int) -> None:
+        node = 0
+        span = self.n_ways
+        while span > 1:
+            span //= 2
+            go_right = way % (span * 2) >= span
+            self._bits[node] = not go_right  # point away from touched half
+            node = 2 * node + (2 if go_right else 1)
+
+    def victim(self) -> int:
+        node = 0
+        way = 0
+        span = self.n_ways
+        while span > 1:
+            span //= 2
+            if self._bits[node]:
+                way += span
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+        return way
+
+
+class RandomRepl(ReplacementPolicy):
+    """Seeded random replacement."""
+
+    def __init__(self, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.n_ways)
+
+
+_POLICIES = {
+    "lru": LRU,
+    "fifo": FIFO,
+    "plru": TreePLRU,
+    "random": RandomRepl,
+}
+
+
+def make_policy(name: str, n_ways: int) -> ReplacementPolicy:
+    """Factory by name (``lru``, ``fifo``, ``plru``, ``random``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; options: {sorted(_POLICIES)}"
+        ) from None
+    return cls(n_ways)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — simulate one (protocol, workload) pair and print stats
+* ``compare``  — all four protocols on one workload (Figs. 7/9 style)
+* ``storage``  — Tables V and VII (analytic)
+* ``leakage``  — Table VI (calibrated CACTI-like model)
+* ``workloads``— list the Table IV benchmark models
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import (
+    BENCHMARKS,
+    Chip,
+    DEFAULT_CHIP,
+    MIXES,
+    PROTOCOLS,
+    leakage_table,
+    overhead_table,
+    paper_scaled_chip,
+    spec_names,
+    storage_breakdown,
+)
+from .analysis import fig7_rows, fig9a_performance, fig9b_miss_breakdown
+from .workloads.placement import VMPlacement
+
+PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
+
+
+def _build_chip(args, protocol: str) -> Chip:
+    config = paper_scaled_chip()
+    placement = None
+    if args.placement == "alt":
+        placement = VMPlacement.alternative(
+            config.mesh_width, config.mesh_height, 4
+        )
+    return Chip(protocol, args.workload, config=config, seed=args.seed,
+                placement=placement)
+
+
+def cmd_run(args) -> int:
+    chip = _build_chip(args, args.protocol)
+    stats = chip.run_cycles(args.cycles, warmup=args.warmup)
+    chip.verify_coherence()
+    out = stats.summary()
+    out["miss_categories"] = stats.miss_categories
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    results = {}
+    for protocol in PROTOCOL_ORDER:
+        chip = _build_chip(args, protocol)
+        results[protocol] = chip.run_cycles(args.cycles, warmup=args.warmup)
+        chip.verify_coherence()
+    perf = fig9a_performance(results)
+    power = fig7_rows(results, DEFAULT_CHIP)
+    misses = fig9b_miss_breakdown(results)
+    print(f"{'protocol':16s} {'perf':>7} {'power':>7} {'cache':>7} "
+          f"{'links':>7} {'pred%':>7}")
+    for protocol in PROTOCOL_ORDER:
+        predicted = (
+            misses[protocol]["pred_owner_hit"]
+            + misses[protocol]["pred_provider_hit"]
+        )
+        row = power[protocol]
+        print(
+            f"{protocol:16s} {perf[protocol]:7.3f} {row['total']:7.3f} "
+            f"{row['cache']:7.3f} {row['links']:7.3f} {100 * predicted:6.1f}%"
+        )
+    return 0
+
+
+def cmd_storage(args) -> int:
+    print("Table V (64 tiles, 4 areas):")
+    for protocol in PROTOCOL_ORDER:
+        b = storage_breakdown(protocol)
+        print(f"  {protocol:16s} {b.coherence_kb:8.2f} KB "
+              f"({100 * b.overhead:5.2f}%)")
+    print("\nTable VII (overhead % by cores x areas):")
+    table = overhead_table()
+    for cores, per_area in table.items():
+        areas = sorted(per_area)
+        print(f"  {cores} cores" + "".join(f"{a:>8}" for a in areas))
+        for protocol in PROTOCOL_ORDER:
+            print(
+                f"  {protocol:12s}"
+                + "".join(f"{per_area[a][protocol]:8.1f}" for a in areas)
+            )
+    return 0
+
+
+def cmd_leakage(args) -> int:
+    table = leakage_table()
+    base = table["directory"]
+    print("Table VI (per tile):")
+    for protocol, rep in table.items():
+        rel = rep.vs(base)
+        print(
+            f"  {protocol:16s} total={rep.total_mw:6.1f} mW "
+            f"({rel['total_pct']:+5.1f}%)  tags={rep.tag_mw:5.1f} mW "
+            f"({rel['tag_pct']:+6.1f}%)"
+        )
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    print(f"{'name':12s} {'pages/VM':>9} {'dedup%':>7} {'metric':>13}")
+    for name, spec in BENCHMARKS.items():
+        saving = spec.expected_dedup_saving(16, 4)
+        print(
+            f"{name:12s} {spec.logical_pages(16):>9} {100 * saving:6.1f}% "
+            f"{spec.metric:>13}"
+        )
+    for name, vms in MIXES.items():
+        print(f"{name:12s} {'(' + ', '.join(vms) + ')'}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICPP 2011 energy-efficient coherence reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--workload", default="apache", choices=spec_names())
+    common.add_argument("--cycles", type=int, default=60_000)
+    common.add_argument("--warmup", type=int, default=60_000)
+    common.add_argument("--seed", type=int, default=1)
+    common.add_argument(
+        "--placement", default="aligned", choices=("aligned", "alt")
+    )
+
+    p_run = sub.add_parser("run", parents=[common], help="one protocol run")
+    p_run.add_argument("--protocol", default="dico-providers",
+                       choices=sorted(PROTOCOLS))
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", parents=[common],
+                           help="compare all four protocols")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    sub.add_parser("storage", help="Tables V and VII").set_defaults(
+        func=cmd_storage
+    )
+    sub.add_parser("leakage", help="Table VI").set_defaults(func=cmd_leakage)
+    sub.add_parser("workloads", help="Table IV models").set_defaults(
+        func=cmd_workloads
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

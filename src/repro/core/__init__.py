@@ -1,0 +1,8 @@
+"""Coherence framework: states, areas, pointers, caches, protocols."""
+from .area import AreaMap
+from .checker import CoherenceChecker, CoherenceViolation
+from .messages import MessageType, flits_for
+from .ownercache import OwnerCache
+from .pointers import GenPo, ProPo, genpo_bits, propo_bits
+from .predcache import PredictionCache
+from .states import L1State, can_supply, is_owner_state

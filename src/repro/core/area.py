@@ -1,0 +1,87 @@
+"""Static division of the chip into areas.
+
+The paper hard-wires the division: "the chip is statically divided in
+four square areas of 16 tiles".  :class:`AreaMap` produces square (or
+as-square-as-possible rectangular) areas for any power-of-two area
+count that tiles the mesh, and answers the two queries the protocols
+need: *which area is this tile in* and *which tiles form this area*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["AreaMap"]
+
+
+def _factor_grid(n_areas: int, width: int, height: int) -> Tuple[int, int]:
+    """Split ``n_areas`` into an ``ax x ay`` grid dividing the mesh.
+
+    Prefers the squarest grid (areas as square as possible).
+    """
+    best: Tuple[int, int] | None = None
+    best_aspect = None
+    for ax in range(1, n_areas + 1):
+        if n_areas % ax:
+            continue
+        ay = n_areas // ax
+        if width % ax or height % ay:
+            continue
+        aw, ah = width // ax, height // ay
+        aspect = max(aw, ah) / min(aw, ah)
+        if best_aspect is None or aspect < best_aspect:
+            best, best_aspect = (ax, ay), aspect
+    if best is None:
+        raise ValueError(
+            f"cannot tile a {width}x{height} mesh with {n_areas} areas"
+        )
+    return best
+
+
+class AreaMap:
+    """Maps tiles to areas on a ``width x height`` mesh."""
+
+    def __init__(self, width: int, height: int, n_areas: int) -> None:
+        if n_areas < 1:
+            raise ValueError("need at least one area")
+        self.width = width
+        self.height = height
+        self.n_areas = n_areas
+        self.grid_x, self.grid_y = _factor_grid(n_areas, width, height)
+        self.area_width = width // self.grid_x
+        self.area_height = height // self.grid_y
+        self._area_of: List[int] = []
+        for tile in range(width * height):
+            x, y = tile % width, tile // width
+            area = (y // self.area_height) * self.grid_x + (x // self.area_width)
+            self._area_of.append(area)
+        self._tiles: List[List[int]] = [[] for _ in range(n_areas)]
+        for tile, area in enumerate(self._area_of):
+            self._tiles[area].append(tile)
+
+    @property
+    def n_tiles(self) -> int:
+        return self.width * self.height
+
+    @property
+    def tiles_per_area(self) -> int:
+        return self.n_tiles // self.n_areas
+
+    def area_of(self, tile: int) -> int:
+        """Area id containing ``tile``."""
+        return self._area_of[tile]
+
+    def tiles_of(self, area: int) -> Sequence[int]:
+        """Tiles composing ``area``, in tile-id order."""
+        return tuple(self._tiles[area])
+
+    def same_area(self, a: int, b: int) -> bool:
+        return self._area_of[a] == self._area_of[b]
+
+    def local_index(self, tile: int) -> int:
+        """Index of ``tile`` within its area (the ProPo value)."""
+        return self._tiles[self._area_of[tile]].index(tile)
+
+    def tile_from_local(self, area: int, local_index: int) -> int:
+        """Inverse of :meth:`local_index`."""
+        return self._tiles[area][local_index]

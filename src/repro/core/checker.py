@@ -1,0 +1,97 @@
+"""Global coherence-invariant checker.
+
+Used by the test suite (and optionally enabled in simulations) to
+verify that a protocol run never violates the fundamental coherence
+invariants, independent of which protocol produced the state:
+
+* **SWMR** — at any commit point a block has at most one owner on the
+  chip (an L1 in ``E/M/O`` or the home L2), and if an L1 holds ``E`` or
+  ``M`` no other L1 holds any copy;
+* **value propagation** — every readable copy carries the version
+  number of the last committed write to that block, so a read can never
+  observe stale data;
+* **directory consistency** — protocol-specific callbacks let each
+  protocol assert that its sharing codes cover all actual copies
+  (precise protocols) or at least never miss an owner.
+
+Blocks carry monotonically increasing version numbers instead of data:
+a write commits ``version + 1``; any copy handed to a reader must equal
+the current global version.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["CoherenceViolation", "CoherenceChecker"]
+
+
+class CoherenceViolation(AssertionError):
+    """A coherence invariant was broken."""
+
+
+class CoherenceChecker:
+    """Tracks committed writes and validates reads/copies."""
+
+    def __init__(self) -> None:
+        self._version: Dict[int, int] = defaultdict(int)
+        self.reads_checked = 0
+        self.writes_committed = 0
+
+    def current_version(self, block: int) -> int:
+        return self._version[block]
+
+    def commit_write(self, block: int) -> int:
+        """A write to ``block`` became globally visible; returns the
+        new version the writer's copy must carry."""
+        self._version[block] += 1
+        self.writes_committed += 1
+        return self._version[block]
+
+    def check_read(self, block: int, version_seen: int, where: str = "") -> None:
+        """A reader observed ``version_seen``; must be the latest."""
+        self.reads_checked += 1
+        expect = self._version[block]
+        if version_seen != expect:
+            raise CoherenceViolation(
+                f"stale read of block {block:#x}{' at ' + where if where else ''}: "
+                f"saw version {version_seen}, current is {expect}"
+            )
+
+    def check_copy_set(
+        self,
+        block: int,
+        copies: Iterable[Tuple[str, str, int]],
+    ) -> None:
+        """Validate the set of live copies of one block.
+
+        ``copies`` yields ``(holder, state_name, version)`` for every
+        cached copy (L1s and the home L2).  State names follow
+        :class:`repro.core.states.L1State` plus ``"L2"``/``"L2_OWNER"``
+        for the home bank.
+        """
+        owners: List[str] = []
+        exclusive: List[str] = []
+        holders: List[str] = []
+        expect = self._version[block]
+        for holder, state, version in copies:
+            holders.append(holder)
+            if state in ("E", "M", "O", "L2_OWNER"):
+                owners.append(holder)
+            if state in ("E", "M"):
+                exclusive.append(holder)
+            if version != expect:
+                raise CoherenceViolation(
+                    f"block {block:#x}: copy at {holder} ({state}) has stale "
+                    f"version {version}, current is {expect}"
+                )
+        if len(owners) > 1:
+            raise CoherenceViolation(
+                f"block {block:#x}: multiple owners {owners}"
+            )
+        if exclusive and len(holders) > 1:
+            raise CoherenceViolation(
+                f"block {block:#x}: exclusive copy at {exclusive[0]} "
+                f"coexists with {sorted(set(holders) - set(exclusive))}"
+            )

@@ -1,0 +1,93 @@
+"""Coherence message vocabulary.
+
+Message *types* exist purely for accounting: the network power model
+distinguishes control (1-flit) from data (5-flit) packets, and the
+analysis module reports traffic per category.  The protocols pass these
+names to :meth:`repro.noc.network.Network.send`.
+
+The classification into control vs data follows Table III (control
+packet 1 flit, data packet 5 flits = 16 B header + 64 B block).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MessageType", "CONTROL_MESSAGES", "DATA_MESSAGES", "flits_for"]
+
+
+class MessageType:
+    """String constants for every message the protocols exchange."""
+
+    # requests
+    GETS = "GetS"                      # read request
+    GETX = "GetX"                      # write / upgrade request
+    FWD_GETS = "Fwd_GetS"              # request forwarded toward a supplier
+    FWD_GETX = "Fwd_GetX"
+    # data transfers
+    DATA = "Data"                      # block data to the requestor
+    DATA_OWNER = "Data_Owner"          # data + ownership/sharing code
+    WRITEBACK = "Writeback"            # dirty data to home L2 / memory
+    # invalidation
+    INV = "Inv"                        # unicast invalidation
+    INV_ACK = "Inv_Ack"                # acknowledgement to the requestor
+    INV_BCAST = "Inv_Bcast"            # DiCo-Arin phase-1 broadcast
+    UNBLOCK_BCAST = "Unblock_Bcast"    # DiCo-Arin phase-3 broadcast
+    # ownership / providership management (Sec. IV-A1)
+    CHANGE_OWNER = "Change_Owner"
+    CHANGE_OWNER_ACK = "Change_Owner_Ack"
+    CHANGE_PROVIDER = "Change_Provider"
+    CHANGE_PROVIDER_ACK = "Change_Provider_Ack"
+    NO_PROVIDER = "No_Provider"
+    OWNER_RELINQUISH = "Owner_Relinquish"  # home asks owner to give up (L2C$ eviction)
+    PROVIDERSHIP = "Providership"      # providership + sharing code transfer
+    # prediction maintenance (Fig. 5 hints)
+    HINT = "Hint"
+    # memory
+    MEM_FETCH = "Mem_Fetch"
+    MEM_DATA = "Mem_Data"
+    # replacement notices
+    PUT = "Put"                        # ownership + data to the home
+    PUT_CLEAN = "Put_Clean"            # dataless ownership return (home
+                                       # already holds the current data)
+
+
+CONTROL_MESSAGES = frozenset(
+    {
+        MessageType.GETS,
+        MessageType.GETX,
+        MessageType.FWD_GETS,
+        MessageType.FWD_GETX,
+        MessageType.INV,
+        MessageType.INV_ACK,
+        MessageType.INV_BCAST,
+        MessageType.UNBLOCK_BCAST,
+        MessageType.CHANGE_OWNER,
+        MessageType.CHANGE_OWNER_ACK,
+        MessageType.CHANGE_PROVIDER,
+        MessageType.CHANGE_PROVIDER_ACK,
+        MessageType.NO_PROVIDER,
+        MessageType.OWNER_RELINQUISH,
+        MessageType.HINT,
+        MessageType.MEM_FETCH,
+        MessageType.PUT_CLEAN,
+    }
+)
+
+DATA_MESSAGES = frozenset(
+    {
+        MessageType.DATA,
+        MessageType.DATA_OWNER,
+        MessageType.WRITEBACK,
+        MessageType.MEM_DATA,
+        MessageType.PROVIDERSHIP,  # carries the sharing code; modelled as data
+        MessageType.PUT,
+    }
+)
+
+
+def flits_for(msg_type: str, control_flits: int, data_flits: int) -> int:
+    """Packet size in flits for a message type."""
+    if msg_type in CONTROL_MESSAGES:
+        return control_flits
+    if msg_type in DATA_MESSAGES:
+        return data_flits
+    raise ValueError(f"unknown message type {msg_type!r}")

@@ -1,0 +1,102 @@
+"""Sharing-code pointer arithmetic (GenPo / ProPo).
+
+Sec. IV of the paper: a *GenPo* (general pointer) of ``log2(ntc)`` bits
+can name any tile of the chip; a *ProPo* (provider pointer) of
+``log2(nta)`` bits names a tile within one fixed area.  These widths
+drive the storage-overhead model of Tables V and VII, and the runtime
+classes here are used by the protocols to hold real pointer values with
+the corresponding encode/decode semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .area import AreaMap
+
+__all__ = ["genpo_bits", "propo_bits", "GenPo", "ProPo"]
+
+
+def genpo_bits(n_tiles: int) -> int:
+    """Width in bits of a general pointer for an ``n_tiles`` chip."""
+    if n_tiles < 1:
+        raise ValueError("need at least one tile")
+    return max(1, (n_tiles - 1).bit_length())
+
+
+def propo_bits(tiles_per_area: int) -> int:
+    """Width in bits of a provider pointer.
+
+    Degenerates to 0 for one-tile areas: the single possible target is
+    implied, only the valid bit (where applicable) is stored.
+    """
+    if tiles_per_area < 1:
+        raise ValueError("need at least one tile per area")
+    return (tiles_per_area - 1).bit_length() if tiles_per_area > 1 else 0
+
+
+@dataclass
+class GenPo:
+    """A chip-wide tile pointer with validity."""
+
+    n_tiles: int
+    tile: Optional[int] = None
+
+    @property
+    def bits(self) -> int:
+        return genpo_bits(self.n_tiles)
+
+    @property
+    def valid(self) -> bool:
+        return self.tile is not None
+
+    def set(self, tile: int) -> None:
+        if not 0 <= tile < self.n_tiles:
+            raise ValueError(f"tile {tile} out of range")
+        self.tile = tile
+
+    def clear(self) -> None:
+        self.tile = None
+
+    def encode(self) -> int:
+        """Raw pointer field value (0 when invalid)."""
+        return self.tile if self.tile is not None else 0
+
+
+@dataclass
+class ProPo:
+    """An intra-area tile pointer with validity.
+
+    Stored as a local index; the :class:`AreaMap` converts to and from
+    global tile ids.
+    """
+
+    areas: AreaMap
+    area: int
+    local_index: Optional[int] = None
+
+    @property
+    def bits(self) -> int:
+        return propo_bits(self.areas.tiles_per_area)
+
+    @property
+    def valid(self) -> bool:
+        return self.local_index is not None
+
+    @property
+    def tile(self) -> Optional[int]:
+        if self.local_index is None:
+            return None
+        return self.areas.tile_from_local(self.area, self.local_index)
+
+    def set_tile(self, tile: int) -> None:
+        if self.areas.area_of(tile) != self.area:
+            raise ValueError(
+                f"tile {tile} is not in area {self.area} "
+                f"(it is in {self.areas.area_of(tile)})"
+            )
+        self.local_index = self.areas.local_index(tile)
+
+    def clear(self) -> None:
+        self.local_index = None

@@ -1,0 +1,7 @@
+"""The four coherence protocols of the paper's evaluation."""
+from .arin import DiCoArinProtocol
+from .base import AccessResult, CoherenceProtocol, L1Line, L2Line
+from .dico import DiCoProtocol
+from .directory import DirectoryProtocol
+from .providers import DiCoProvidersProtocol
+from .vh import VirtualHierarchyProtocol, vh_storage_breakdown

@@ -1,0 +1,451 @@
+"""Shared machinery for the four coherence protocols.
+
+The protocols are implemented as *transaction-level* state machines:
+when a core issues a request, the full coherence transaction (every
+message hop, every structure access) is computed and committed
+atomically, and only its *timing* unfolds over simulated cycles.
+Conflicting transactions are serialized through a per-block busy table
+(write transactions and invalidation chains hold the block busy for
+their full duration; racing requests are retried when the block frees
+up).  See DESIGN.md for why this substitution preserves the paper's
+metrics.
+
+Subclasses implement the four hooks:
+
+* ``_handle_read_miss``  — everything after an L1 read miss
+* ``_handle_write_miss`` — write misses and upgrade misses
+* ``_evict_l1_line``     — Table II replacement actions
+* ``_evict_l2_entry``    — home-bank eviction (full invalidation)
+
+and use the helpers here for network legs, L1 fills, busy marking and
+statistics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ...cache.cache import CacheAccessStats, SetAssocCache
+from ...mem.address import AddressMap
+from ...mem.controller import MemoryControllers
+from ...noc.network import Network
+from ...noc.topology import Mesh
+from ...sim.config import ChipConfig
+from ...stats.counters import RunStats
+from ..area import AreaMap
+from ..checker import CoherenceChecker
+from ..messages import MessageType, flits_for
+from ..ownercache import OwnerCache
+from ..predcache import PredictionCache
+from ..states import L1State
+
+__all__ = ["L1Line", "L2Line", "AccessResult", "Leg", "CoherenceProtocol"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+@dataclass
+class L1Line:
+    """One L1 cache line's coherence metadata."""
+
+    state: L1State
+    version: int = 0
+    dirty: bool = False
+    #: sharer bitmask over global tile ids (owners/providers only);
+    #: DiCo uses the full chip, the area protocols only set bits of the
+    #: holder's own area — the storage model accounts the narrower field
+    sharers: int = 0
+    #: DiCo-Providers owners: area id -> provider tile
+    propos: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class L2Line:
+    """One home-bank entry (data and/or directory information)."""
+
+    has_data: bool = True
+    dirty: bool = False
+    version: int = 0
+    #: the home L2 holds the block's ownership (DiCo family)
+    is_owner: bool = False
+    #: sharer bitmask (full map for Directory/DiCo; area-local for Arin)
+    sharers: int = 0
+    #: Directory: L1 holding the block exclusively
+    owner_tile: Optional[int] = None
+    #: Arin: area of a home-owned intra-area block
+    owner_area: Optional[int] = None
+    #: area id -> provider tile (Providers L2-owner / Arin inter-area)
+    propos: Dict[int, int] = field(default_factory=dict)
+    #: Arin: block is in the inter-area regime (no owner, broadcast inv.)
+    inter_area: bool = False
+    #: DiCo family: a stale-safe data copy kept at the home while an L1
+    #: holds the ownership; never served directly (requests route
+    #: through the owner), refreshed or re-promoted on owner evictions
+    plain_copy: bool = False
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one core memory access."""
+
+    latency: int = 0
+    retry_at: Optional[int] = None
+    l1_hit: bool = False
+    category: Optional[str] = None
+
+    @property
+    def needs_retry(self) -> bool:
+        return self.retry_at is not None
+
+
+@dataclass
+class Leg:
+    """A network leg on a transaction's critical path."""
+
+    latency: int
+    hops: int
+
+
+class CoherenceProtocol(ABC):
+    """Base class: owns the chip structures and the access entry point."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        seed: int = 0,
+        checker: Optional[CoherenceChecker] = None,
+    ) -> None:
+        self.config = config
+        self.mesh = Mesh(config.mesh_width, config.mesh_height, config.noc)
+        self.network = Network(
+            self.mesh, track_link_load=config.noc.track_link_load
+        )
+        self.areas = AreaMap(config.mesh_width, config.mesh_height, config.n_areas)
+        self.addr = AddressMap(
+            phys_addr_bits=config.phys_addr_bits,
+            block_bytes=config.block_bytes,
+            page_bytes=config.memory.page_bytes,
+            n_tiles=config.n_tiles,
+        )
+        self.memctl = MemoryControllers(
+            self.mesh,
+            n_controllers=config.memory.n_controllers,
+            latency_cycles=config.memory.latency_cycles,
+            jitter_cycles=config.memory.jitter_cycles,
+            seed=seed,
+        )
+        self.checker = checker if checker is not None else CoherenceChecker()
+        self.stats = RunStats(protocol=self.name)
+
+        n = config.n_tiles
+        bank_bits = (n - 1).bit_length()
+        self.l1s: List[SetAssocCache[L1Line]] = [
+            SetAssocCache(config.l1.n_sets, config.l1.assoc, name=f"l1[{t}]")
+            for t in range(n)
+        ]
+        # home-bank structures see only blocks with the same low bits
+        # (the bank-select bits), so their set index starts above them
+        self.l2s: List[SetAssocCache[L2Line]] = [
+            SetAssocCache(
+                config.l2.n_sets, config.l2.assoc,
+                name=f"l2[{t}]", index_shift=bank_bits,
+            )
+            for t in range(n)
+        ]
+        self.l1cs: List[PredictionCache] = [
+            PredictionCache(t, config.l1c_entries) for t in range(n)
+        ]
+        self.l2cs: List[OwnerCache] = [
+            OwnerCache(t, config.l2c_entries, index_shift=bank_bits)
+            for t in range(n)
+        ]
+        #: per-block busy-until time (transaction serialization)
+        self._busy: Dict[int, int] = {}
+        #: memory's version of each block (checker bookkeeping)
+        self._mem_version: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def access(self, tile: int, addr: int, is_write: bool, now: int) -> AccessResult:
+        """Perform one memory access from the core at ``tile``.
+
+        Returns either a completed access with its latency or a retry
+        time when the block is busy with a conflicting transaction.
+        """
+        block = self.addr.block_of(addr)
+        busy_until = self._busy.get(block, 0)
+        if busy_until > now:
+            self.stats.retries += 1
+            return AccessResult(retry_at=busy_until)
+
+        st = self.stats
+        st.operations += 1
+        if is_write:
+            st.writes += 1
+        else:
+            st.reads += 1
+
+        l1 = self.l1s[tile]
+        line = l1.lookup(block)
+        hit_latency = self.config.l1.access_latency
+
+        if line is not None and line.state is not L1State.I:
+            if not is_write:
+                l1.charge_data_read()
+                st.l1_hits += 1
+                self.checker.check_read(block, line.version, where=f"L1[{tile}]")
+                return AccessResult(latency=hit_latency, l1_hit=True)
+            if line.state in (L1State.E, L1State.M) or (
+                line.state is L1State.O
+                and line.sharers == 0
+                and not line.propos
+                and self._owner_upgrade_is_local(block, line)
+            ):
+                # silent upgrade: we are the only copy on chip
+                l1.charge_data_write()
+                st.l1_hits += 1
+                st.upgrades += 1
+                line.state = L1State.M
+                line.dirty = True
+                line.version = self.checker.commit_write(block)
+                return AccessResult(latency=hit_latency, l1_hit=True)
+            # upgrade miss: we hold a copy but must gain ownership
+            st.l1_misses += 1
+            latency, links, category = self._handle_write_miss(
+                tile, block, now, had_copy=True
+            )
+            st.miss_latency.add(latency)
+            st.miss_links.add(links)
+            if category:
+                st.classify_miss(category)
+            return AccessResult(latency=latency, category=category)
+
+        st.l1_misses += 1
+        if is_write:
+            latency, links, category = self._handle_write_miss(
+                tile, block, now, had_copy=False
+            )
+        else:
+            latency, links, category = self._handle_read_miss(tile, block, now)
+        st.miss_latency.add(latency)
+        st.miss_links.add(links)
+        if category:
+            st.classify_miss(category)
+        return AccessResult(latency=latency, category=category)
+
+    def _owner_upgrade_is_local(self, block: int, line: L1Line) -> bool:
+        """May an owner with empty sharing code upgrade silently?
+
+        DiCo-Arin home-owned or inter-area blocks must not (the home is
+        the ordering point); subclasses override as needed.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # hooks
+
+    @abstractmethod
+    def _handle_read_miss(
+        self, tile: int, block: int, now: int
+    ) -> Tuple[int, int, str]:
+        """Resolve an L1 read miss.  Returns (latency, links, category)."""
+
+    @abstractmethod
+    def _handle_write_miss(
+        self, tile: int, block: int, now: int, had_copy: bool
+    ) -> Tuple[int, int, str]:
+        """Resolve a write/upgrade miss.  Returns (latency, links, category)."""
+
+    @abstractmethod
+    def _evict_l1_line(
+        self, tile: int, block: int, line: L1Line, now: int
+    ) -> None:
+        """Run the Table II replacement actions for an evicted L1 line."""
+
+    @abstractmethod
+    def _evict_l2_entry(
+        self, home: int, block: int, entry: L2Line, now: int
+    ) -> None:
+        """Evict a home-bank entry: invalidate every copy on the chip."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+
+    def home_of(self, block: int) -> int:
+        return self.addr.home_tile(block)
+
+    def msg(self, src: int, dst: int, msg_type: str, now: int) -> Leg:
+        """Send one protocol message; returns its critical-path leg."""
+        flits = flits_for(
+            msg_type, self.config.noc.control_flits, self.config.noc.data_flits
+        )
+        d = self.network.send(src, dst, flits, msg_type=msg_type, now=now)
+        return Leg(latency=d.latency, hops=d.hops)
+
+    def bcast(self, src: int, msg_type: str, now: int) -> Leg:
+        flits = flits_for(
+            msg_type, self.config.noc.control_flits, self.config.noc.data_flits
+        )
+        d = self.network.broadcast(src, flits, msg_type=msg_type, now=now)
+        return Leg(latency=d.latency, hops=d.hops)
+
+    def set_busy(self, block: int, until: int) -> None:
+        current = self._busy.get(block, 0)
+        if until > current:
+            self._busy[block] = until
+
+    def l2_tag_latency(self) -> int:
+        return self.config.l2.tag_latency
+
+    def l2_access_latency(self) -> int:
+        return self.config.l2.access_latency
+
+    def l1c_latency(self) -> int:
+        """Latency of consulting the prediction cache after an L1 miss."""
+        return 1
+
+    # -- memory ---------------------------------------------------------
+
+    def mem_fetch(self, home: int, block: int) -> int:
+        """Fetch a block from memory; returns the latency."""
+        self.stats.memory_fetches += 1
+        self.stats.l2_misses += 1
+        # request to the controller and the data response are part of the
+        # controller's latency model; count the two messages for traffic
+        ctrl = self.memctl.controller_for(home)
+        self.msg(home, ctrl, MessageType.MEM_FETCH, 0)
+        self.msg(ctrl, home, MessageType.MEM_DATA, 0)
+        return self.memctl.access_latency(home)
+
+    def mem_version(self, block: int) -> int:
+        return self._mem_version.get(block, 0)
+
+    def mem_writeback(self, home: int, block: int, version: int) -> None:
+        """Write dirty data back to memory (block leaves the chip dirty)."""
+        self.stats.writebacks += 1
+        ctrl = self.memctl.controller_for(home)
+        self.msg(home, ctrl, MessageType.WRITEBACK, 0)
+        self._mem_version[block] = version
+
+    # -- L1 fills and evictions -----------------------------------------
+
+    def fill_l1(
+        self,
+        tile: int,
+        block: int,
+        line: L1Line,
+        now: int,
+        supplier: Optional[int] = None,
+    ) -> None:
+        """Insert ``line`` into the L1 at ``tile``, evicting as needed.
+
+        The eviction's coherence actions run via the subclass hook;
+        their messages are counted but happen off the fill's critical
+        path (writebacks are not blocking).
+        """
+        l1 = self.l1s[tile]
+        victim = l1.victim_for(block)
+        if victim is not None:
+            vblock, vline = victim
+            l1.invalidate(vblock)
+            self.l1cs[tile].block_evicted(vblock)
+            self.stats.structure("l1").evictions += 1
+            self._evict_l1_line(tile, vblock, vline, now)
+        l1.insert(block, line)
+        l1.charge_data_write()
+        self.l1cs[tile].block_cached(block, supplier)
+
+    def drop_l1(self, tile: int, block: int) -> Optional[L1Line]:
+        """Invalidate an L1 copy (external invalidation, no actions)."""
+        line = self.l1s[tile].invalidate(block)
+        if line is not None:
+            self.l1cs[tile].block_evicted(block)
+        return line
+
+    def l1_line(self, tile: int, block: int) -> Optional[L1Line]:
+        return self.l1s[tile].peek(block)
+
+    # -- L2 fills --------------------------------------------------------
+
+    def fill_l2(self, home: int, block: int, entry: L2Line, now: int) -> None:
+        """Insert a home-bank entry, running eviction actions as needed."""
+        l2 = self.l2s[home]
+        victim = l2.victim_for(block)
+        if victim is not None:
+            vblock, ventry = victim
+            l2.invalidate(vblock)
+            self.stats.structure("l2").evictions += 1
+            self._evict_l2_entry(home, vblock, ventry, now)
+        l2.insert(block, entry)
+        if entry.has_data:
+            l2.charge_data_write()
+
+    # -- statistics -------------------------------------------------------
+
+    def live_copies(self, block: int) -> List[Tuple[str, str, int]]:
+        """All live copies of a block, for the coherence checker."""
+        copies: List[Tuple[str, str, int]] = []
+        for tile, l1 in enumerate(self.l1s):
+            line = l1.peek(block)
+            if line is not None and line.state is not L1State.I:
+                copies.append((f"L1[{tile}]", line.state.name, line.version))
+        home = self.home_of(block)
+        entry = self.l2s[home].peek(block)
+        if (
+            entry is not None
+            and entry.has_data
+            and entry.owner_tile is None
+            and not entry.plain_copy
+        ):
+            # plain copies and entries under an exclusive L1 owner are
+            # architecturally stale and never served directly
+            kind = "L2_OWNER" if entry.is_owner else "L2"
+            copies.append((f"L2[{home}]", kind, entry.version))
+        return copies
+
+    def check_block(self, block: int) -> None:
+        """Assert the coherence invariants for one block."""
+        self.checker.check_copy_set(block, self.live_copies(block))
+
+    def reset_stats(self) -> None:
+        """Discard all counters (cache contents survive).
+
+        Used to exclude the cold-start warmup from measurements, like
+        the paper's checkpoint-based sampling does.
+        """
+        self.stats = RunStats(protocol=self.name)
+        self.network.reset_stats()
+        for cache in (*self.l1s, *self.l2s):
+            cache.stats = CacheAccessStats()
+        for pred in self.l1cs:
+            pred.array.stats = CacheAccessStats()
+            pred.stats.lookups = pred.stats.hits = pred.stats.updates = 0
+        for oc in self.l2cs:
+            oc.array.stats = CacheAccessStats()
+
+    def finalize_stats(self, cycles: int) -> RunStats:
+        """Aggregate per-structure counters into the run statistics."""
+        st = self.stats
+        st.cycles = cycles
+        for group, caches in (
+            ("l1", self.l1s),
+            ("l2", self.l2s),
+            ("l1c", [p.array for p in self.l1cs]),
+            ("l2c", [c.array for c in self.l2cs]),
+        ):
+            agg = st.structure(group)
+            for cache in caches:
+                agg.merge(cache.stats)
+        st.network.merge(self.network.stats)
+        return st

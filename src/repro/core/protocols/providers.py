@@ -1,0 +1,456 @@
+"""DiCo-Providers (Sec. III-A / IV-A of the paper).
+
+The chip is statically divided into areas.  On top of DiCo:
+
+* up to one L1 per area is the block's **provider**; it tracks the
+  sharers of its own area with an area-local bit vector and answers
+  read requests from its area in two hops without leaving the area;
+* the **owner** (one per chip — an L1 or the home L2) remains the single
+  ordering point; it tracks the providers with one ProPo per area and
+  acts as the provider for its own area;
+* writes invalidate through the tree: the owner invalidates its own
+  area's sharers and the providers; each provider invalidates its
+  area's sharers; all acknowledgements converge on the requestor, which
+  counts provider acks and sharer acks separately (dual MSHR counters);
+* ownership and providership transfers on replacement follow Table II,
+  with ``Change_Owner`` / ``Change_Provider`` / ``No_Provider``
+  messages and home acknowledgements.
+
+The request-reception semantics implement Table I case by case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..messages import MessageType
+from ..states import L1State
+from .base import L1Line, L2Line
+from .dico import DiCoProtocol
+
+__all__ = ["DiCoProvidersProtocol"]
+
+
+class DiCoProvidersProtocol(DiCoProtocol):
+    name = "dico-providers"
+
+    # ------------------------------------------------------------------
+    # Table I: reads received by an L1
+
+    def _read_at_l1(
+        self, holder: int, requestor: int, block: int, now: int
+    ) -> Optional[Tuple[int, int, str]]:
+        line = self.l1s[holder].lookup(block)
+        if line is None:
+            return None
+        local = self.areas.same_area(holder, requestor)
+
+        if line.state in (L1State.E, L1State.M, L1State.O):
+            t = self.config.l1.access_latency
+            if local:
+                # owner serves its own area: requestor becomes sharer
+                return self._supply(holder, requestor, block, line, now, t,
+                                    as_provider=False, category="pred_owner_hit")
+            area_r = self.areas.area_of(requestor)
+            provider = line.propos.get(area_r)
+            if provider is not None:
+                # forward into the requestor's area
+                fwd = self.msg(holder, provider, MessageType.FWD_GETS, now)
+                pline = self.l1s[provider].lookup(block)
+                assert pline is not None and pline.state is L1State.P, (
+                    "owner's ProPo must point at a live provider"
+                )
+                t += fwd.latency
+                lat, hops, _ = self._supply(
+                    provider, requestor, block, pline, now,
+                    self.config.l1.access_latency,
+                    as_provider=False, category="unpredicted_provider",
+                )
+                return t + lat, fwd.hops + hops, "unpredicted_provider"
+            # no supplier in the requestor's area: it becomes the provider
+            line.propos[area_r] = requestor
+            return self._supply(holder, requestor, block, line, now, t,
+                                as_provider=True, category="pred_owner_hit")
+
+        if line.state is L1State.P:
+            if local:
+                t = self.config.l1.access_latency
+                return self._supply(holder, requestor, block, line, now, t,
+                                    as_provider=False,
+                                    category="pred_provider_hit")
+            return None  # Table I: provider forwards remote reads to home
+
+        return None
+
+    def _supply(
+        self,
+        supplier: int,
+        requestor: int,
+        block: int,
+        line: L1Line,
+        now: int,
+        base_latency: int,
+        as_provider: bool,
+        category: str,
+    ) -> Tuple[int, int, str]:
+        """Send data from an L1 supplier and register the requestor."""
+        self.l1s[supplier].charge_data_read()
+        if not as_provider:
+            line.sharers |= 1 << requestor
+            if line.state in (L1State.E, L1State.M):
+                line.state = L1State.O
+        elif line.state in (L1State.E, L1State.M):
+            line.state = L1State.O
+        data = self.msg(supplier, requestor, MessageType.DATA, now)
+        self.checker.check_read(block, line.version, where=f"L1[{requestor}]")
+        new_state = L1State.P if as_provider else L1State.S
+        # the supplier identity is retained even when the requestor
+        # becomes a provider itself: after this copy is evicted the
+        # L1C$ still points at a live supplier (Fig. 5)
+        self.fill_l1(
+            requestor,
+            block,
+            L1Line(state=new_state, version=line.version),
+            now,
+            supplier=supplier,
+        )
+        return base_latency + data.latency, data.hops, category
+
+    # ------------------------------------------------------------------
+    # Table I: reads received by the home L2
+
+    def _read_at_home(
+        self, tile: int, block: int, now: int, forwarder: Optional[int]
+    ) -> Tuple[int, int, str]:
+        home = self.home_of(block)
+        t = self.l2_tag_latency()
+        links = 0
+        owner = self._owner_tile(block)
+        if owner is not None:
+            fwd = self.msg(home, owner, MessageType.FWD_GETS, now)
+            t += fwd.latency
+            links += fwd.hops
+            served = self._read_at_l1(owner, tile, block, now)
+            assert served is not None, "L2C$ pointed at a non-owner"
+            lat, hops, cat = served
+            if cat == "unpredicted_provider":
+                return t + lat, links + hops, cat
+            return t + lat, links + hops, "unpredicted_fwd"
+
+        entry = self.l2s[home].lookup(block)
+        if entry is not None and entry.is_owner:
+            area_r = self.areas.area_of(tile)
+            provider = entry.propos.get(area_r)
+            if provider is not None:
+                fwd = self.msg(home, provider, MessageType.FWD_GETS, now)
+                pline = self.l1s[provider].lookup(block)
+                assert pline is not None and pline.state is L1State.P
+                t += fwd.latency
+                links += fwd.hops
+                lat, hops, _ = self._supply(
+                    provider, tile, block, pline, now,
+                    self.config.l1.access_latency,
+                    as_provider=False, category="unpredicted_provider",
+                )
+                return t + lat, links + hops, "unpredicted_provider"
+            # Table I: no provider in the area -> requestor becomes owner
+            if not entry.has_data:
+                t += self.mem_fetch(home, block)
+                entry.version = self.mem_version(block)
+                entry.has_data = True
+            else:
+                self.stats.l2_data_hits += 1
+                t += self.config.l2.data_latency
+                self.l2s[home].charge_data_read()
+            data = self.msg(home, tile, MessageType.DATA_OWNER, now)
+            t += data.latency
+            links += data.hops
+            self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+            propos = dict(entry.propos)
+            propos.pop(area_r, None)
+            state = L1State.O if propos else (
+                L1State.M if entry.dirty else L1State.E
+            )
+            version, dirty = entry.version, entry.dirty
+            self._demote_to_copy(home, block)
+            self.fill_l1(
+                tile,
+                block,
+                L1Line(state=state, version=version, dirty=dirty, propos=propos),
+                now,
+                supplier=None,
+            )
+            self._set_l1_owner(block, tile, now)
+            return t, links, "unpredicted_home"
+
+        # not on chip: the home keeps a plain copy alongside the grant
+        t += self.mem_fetch(home, block)
+        version = self.mem_version(block)
+        data = self.msg(home, tile, MessageType.DATA_OWNER, now)
+        t += data.latency
+        links += data.hops
+        self.checker.check_read(block, version, where=f"L1[{tile}]")
+        self._fill_plain_copy(home, block, version, now)
+        self.fill_l1(
+            tile, block, L1Line(state=L1State.E, version=version), now, supplier=None
+        )
+        self._set_l1_owner(block, tile, now)
+        self.set_busy(block, now + t)
+        return t, links, "memory"
+
+    # ------------------------------------------------------------------
+    # writes: tree invalidation through owner + providers
+
+    def _write_at_owner(
+        self, owner: int, tile: int, block: int, now: int, had_copy: bool
+    ) -> Tuple[int, int]:
+        home = self.home_of(block)
+        line = self.l1s[owner].peek(block)
+        assert line is not None
+        t = self.config.l1.access_latency
+        inv_worst, self_inval_needed = self._invalidate_tree(
+            owner, tile, block, line.sharers, line.propos, now, skip=tile
+        )
+        if owner == tile:
+            t += inv_worst
+            self._commit_write(tile, block, now)
+            return t, 0
+        msg_type = (
+            MessageType.CHANGE_OWNER_ACK if had_copy else MessageType.DATA_OWNER
+        )
+        data = self.msg(owner, tile, msg_type, now)
+        self.l1s[owner].charge_data_read()
+        self.l1cs[owner].update(block, tile)
+        self.drop_l1(owner, block)
+        co = self.msg(owner, home, MessageType.CHANGE_OWNER, now)
+        ack = self.msg(home, tile, MessageType.CHANGE_OWNER_ACK, now)
+        self._set_l1_owner(block, tile, now)
+        extra = 0
+        if self_inval_needed:
+            # Sec. IV-A special case: the requestor is a provider and
+            # must invalidate its own area's sharers, but only after it
+            # receives the ownership (the data/grant message)
+            extra = data.latency + self._invalidate_own_area(tile, block, now)
+        t += max(inv_worst, data.latency, co.latency + ack.latency, extra)
+        self._commit_write(tile, block, now)
+        return t, data.hops
+
+    def _invalidate_tree(
+        self,
+        orderer: int,
+        requestor: int,
+        block: int,
+        sharer_mask: int,
+        propos: Dict[int, int],
+        now: int,
+        ack_to: Optional[int] = None,
+        skip: Optional[int] = None,
+    ) -> Tuple[int, bool]:
+        if ack_to is None:
+            ack_to = requestor
+        """Owner-rooted invalidation of sharers and provider subtrees.
+
+        Returns ``(worst leg latency, requestor_is_provider)``; in the
+        latter case the requestor's own area is left for it to clean up
+        once it holds the ownership.
+        """
+        worst = self._invalidate_sharers(
+            orderer, ack_to, block, sharer_mask, now, skip=skip
+        )
+        requestor_is_provider = False
+        for area, provider in list(propos.items()):
+            if provider == skip:
+                # the requestor itself is a provider: it cleans its own
+                # area after it receives the ownership (Sec. IV-A)
+                requestor_is_provider = True
+                continue
+            inv = self.msg(orderer, provider, MessageType.INV, now)
+            pline = self.l1s[provider].peek(block)
+            sub = 0
+            if pline is not None:
+                sub = self._invalidate_sharers(
+                    provider, ack_to, block, pline.sharers, now, skip=skip
+                )
+            self.drop_l1(provider, block)
+            self.l1cs[provider].update(block, ack_to)
+            pack = self.msg(provider, ack_to, MessageType.INV_ACK, now)
+            sub = max(sub, pack.latency)
+            worst = max(worst, inv.latency + sub)
+            self.stats.unicast_invalidations += 1
+        return worst, requestor_is_provider
+
+    def _invalidate_own_area(self, tile: int, block: int, now: int) -> int:
+        line = self.l1s[tile].peek(block)
+        if line is None:
+            return 0
+        return self._invalidate_sharers(
+            tile, tile, block, line.sharers, now, skip=tile
+        )
+
+    def _write_at_home(
+        self, tile: int, block: int, now: int, had_copy: bool
+    ) -> Tuple[int, int, str]:
+        home = self.home_of(block)
+        t = self.l2_tag_latency()
+        links = 0
+        owner = self._owner_tile(block)
+        if owner is not None:
+            fwd = self.msg(home, owner, MessageType.FWD_GETX, now)
+            t += fwd.latency
+            links += fwd.hops
+            lat, hops = self._write_at_owner(owner, tile, block, now, had_copy)
+            return t + lat, links + hops, "unpredicted_fwd"
+
+        entry = self.l2s[home].lookup(block)
+        if entry is not None and entry.is_owner:
+            inv_worst, self_inval = self._invalidate_tree(
+                home, tile, block, entry.sharers, entry.propos, now, skip=tile
+            )
+            if had_copy:
+                grant = self.msg(home, tile, MessageType.CHANGE_OWNER_ACK, now)
+                data_lat, data_hops = grant.latency, grant.hops
+            else:
+                if entry.has_data:
+                    self.stats.l2_data_hits += 1
+                    self.l2s[home].charge_data_read()
+                    data_lat = self.config.l2.data_latency
+                else:
+                    data_lat = self.mem_fetch(home, block)
+                data = self.msg(home, tile, MessageType.DATA_OWNER, now)
+                data_lat += data.latency
+                data_hops = data.hops
+            extra = 0
+            if self_inval:
+                extra = data_lat + self._invalidate_own_area(tile, block, now)
+            self._demote_to_copy(home, block)
+            self._set_l1_owner(block, tile, now)
+            t += max(inv_worst, data_lat, extra)
+            links += data_hops
+            self._commit_write(tile, block, now)
+            return t, links, "unpredicted_home"
+
+        t += self.mem_fetch(home, block)
+        data = self.msg(home, tile, MessageType.DATA_OWNER, now)
+        t += data.latency
+        links += data.hops
+        self._set_l1_owner(block, tile, now)
+        self._commit_write(tile, block, now)
+        return t, links, "memory"
+
+    # ------------------------------------------------------------------
+    # Table II replacements
+
+    def _evict_l1_line(self, tile: int, block: int, line: L1Line, now: int) -> None:
+        if line.state is L1State.S:
+            return  # silent eviction
+        if line.state is L1State.P:
+            self._evict_provider(tile, block, line, now)
+            return
+        if line.state in (L1State.E, L1State.M, L1State.O):
+            self._evict_owner(tile, block, line, now)
+
+    def _locate_owner(self, block: int) -> Tuple[int, bool]:
+        """Returns ``(tile, owner_is_l1)``; the home when the L2 owns."""
+        owner = self._owner_tile(block)
+        if owner is not None:
+            return owner, True
+        return self.home_of(block), False
+
+    def _evict_provider(self, tile: int, block: int, line: L1Line, now: int) -> None:
+        area = self.areas.area_of(tile)
+        owner_loc, owner_is_l1 = self._locate_owner(block)
+        live = self._live_sharers(block, line.sharers, exclude=tile)
+        if live:
+            # providership + sharing code to a sharer of the area
+            target = live[0]
+            self.msg(tile, target, MessageType.PROVIDERSHIP, now)
+            tline = self.l1s[target].peek(block)
+            assert tline is not None
+            tline.state = L1State.P
+            tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
+            self.msg(target, owner_loc, MessageType.CHANGE_PROVIDER, now)
+            self.msg(owner_loc, target, MessageType.CHANGE_PROVIDER_ACK, now)
+            self._update_propo(block, owner_loc, owner_is_l1, area, target)
+            self._send_hints(block, live[1:], target, now)
+        else:
+            self.msg(tile, owner_loc, MessageType.NO_PROVIDER, now)
+            self._update_propo(block, owner_loc, owner_is_l1, area, None)
+
+    def _update_propo(
+        self,
+        block: int,
+        owner_loc: int,
+        owner_is_l1: bool,
+        area: int,
+        provider: Optional[int],
+    ) -> None:
+        if owner_is_l1:
+            oline = self.l1s[owner_loc].peek(block)
+            if oline is None:
+                return
+            propos = oline.propos
+        else:
+            entry = self.l2s[owner_loc].peek(block)
+            if entry is None:
+                return
+            propos = entry.propos
+        if provider is None:
+            propos.pop(area, None)
+        else:
+            propos[area] = provider
+
+    def _evict_owner(self, tile: int, block: int, line: L1Line, now: int) -> None:
+        home = self.home_of(block)
+        live = self._live_sharers(block, line.sharers, exclude=tile)
+        if live:
+            # ownership + sharing code stay inside the area
+            target = live[0]
+            self.msg(tile, target, MessageType.CHANGE_OWNER, now)
+            tline = self.l1s[target].peek(block)
+            assert tline is not None
+            tline.state = L1State.O
+            tline.dirty = line.dirty
+            tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
+            tline.propos = dict(line.propos)
+            self.msg(target, home, MessageType.CHANGE_OWNER, now)
+            self.msg(home, target, MessageType.CHANGE_OWNER_ACK, now)
+            self._set_l1_owner(block, target, now)
+            self._send_hints(block, live[1:], target, now)
+        else:
+            # no sharers in the area: ownership goes to the home L2,
+            # which keeps only the ProPos (Table V: no sharer info in L2)
+            entry = self._put_ownership_home(tile, block, line, now)
+            entry.propos = dict(line.propos)
+
+    # ------------------------------------------------------------------
+    # forced relinquish: former owner stays as its area's provider
+
+    def _forced_relinquish(self, block: int, owner: int, now: int) -> None:
+        home = self.home_of(block)
+        self.msg(home, owner, MessageType.OWNER_RELINQUISH, now)
+        line = self.l1s[owner].peek(block)
+        if line is None or line.state not in (L1State.E, L1State.M, L1State.O):
+            return
+        propos = dict(line.propos)
+        propos[self.areas.area_of(owner)] = owner
+        entry = self._put_ownership_home(owner, block, line, now)
+        entry.propos = propos
+        # the former owner becomes the provider for its area (Sec. IV-A1)
+        line.state = L1State.P
+        line.dirty = False
+        line.propos = {}
+
+    # ------------------------------------------------------------------
+
+    def _evict_l2_entry(self, home: int, block: int, entry: L2Line, now: int) -> None:
+        """Home-owned entry eviction: invalidate the provider tree."""
+        if entry.plain_copy:
+            return  # redundant copy under a live L1 owner: silent drop
+        worst, _ = self._invalidate_tree(
+            home, home, block, entry.sharers, entry.propos, now, ack_to=home
+        )
+        if entry.dirty:
+            self.mem_writeback(home, block, entry.version)
+        else:
+            self._mem_version.setdefault(block, entry.version)
+        self.set_busy(block, now + worst)

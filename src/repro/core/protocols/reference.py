@@ -1,0 +1,161 @@
+"""Machine-readable transcription of the paper's Tables I and II.
+
+Table I (actions upon the reception of a request) and Table II (actions
+upon a block replacement) define DiCo-Providers' behaviour case by
+case.  This module transcribes them as data so that
+
+* the conformance suite (``tests/protocols/test_reference.py``) can
+  assert the implementation hits exactly the action the paper mandates
+  for every reachable row, and
+* readers can query "what should happen here?" programmatically.
+
+Row fields mirror the paper's columns; ``action`` is a short symbolic
+tag the conformance tests map onto observable state changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["TableIRow", "TableIIRow", "TABLE_I", "TABLE_II", "lookup_table_i",
+           "lookup_table_ii"]
+
+
+@dataclass(frozen=True)
+class TableIRow:
+    """One row of Table I."""
+
+    request: str                    # "read" | "write"
+    receiver: str                   # "L1" | "L2"
+    state: str                      # "owner" | "provider" | "other"
+    from_local_area: Optional[bool]  # None = column empty in the paper
+    provider_exists: Optional[bool]
+    owner_in_l1: Optional[bool]
+    action: str
+    description: str
+
+
+TABLE_I: Tuple[TableIRow, ...] = (
+    # --- reads received by an L1 -------------------------------------
+    TableIRow("read", "L1", "owner", True, None, None,
+              "supply_add_sharer",
+              "Send data. Store coherence info in bit vector "
+              "(requestor becomes sharer)"),
+    TableIRow("read", "L1", "owner", False, True, None,
+              "forward_to_provider",
+              "Forward request to provider"),
+    TableIRow("read", "L1", "owner", False, False, None,
+              "supply_make_provider",
+              "Send data. Store coherence info in ProPo "
+              "(requestor becomes provider)"),
+    TableIRow("read", "L1", "provider", True, None, None,
+              "supply_add_sharer",
+              "Send data. Store coherence info in bit vector "
+              "(requestor becomes sharer)"),
+    TableIRow("read", "L1", "provider", False, None, None,
+              "forward_to_home",
+              "Forward request to home L2"),
+    TableIRow("read", "L1", "other", None, None, None,
+              "forward_to_home",
+              "Forward request to home L2"),
+    # --- reads received by the home L2 --------------------------------
+    TableIRow("read", "L2", "owner", None, True, None,
+              "forward_to_provider",
+              "Forward request to provider"),
+    TableIRow("read", "L2", "owner", None, False, None,
+              "supply_grant_ownership",
+              "Send data. Store coherence info in the L2C$ "
+              "(requestor becomes owner)"),
+    TableIRow("read", "L2", "other", None, None, True,
+              "forward_to_owner",
+              "Forward request to owner"),
+    TableIRow("read", "L2", "other", None, None, False,
+              "fetch_memory_grant_exclusive",
+              "Send request to memory controller; requestor will become "
+              "owner in exclusive state"),
+    # --- writes --------------------------------------------------------
+    TableIRow("write", "L1", "owner", None, None, None,
+              "invalidate_supply_change_owner",
+              "Start invalidation. Send data. Send Change_Owner to home "
+              "(requestor becomes owner in modified state)"),
+    TableIRow("write", "L1", "other", None, None, None,
+              "forward_to_home",
+              "Forward request to home L2"),
+    TableIRow("write", "L2", "owner", None, None, None,
+              "invalidate_supply_update_l2c",
+              "Start invalidation. Send data. Store coherence info in the "
+              "L2C$ (requestor becomes owner in modified state)"),
+    TableIRow("write", "L2", "other", None, None, True,
+              "forward_to_owner",
+              "Forward request to owner"),
+    TableIRow("write", "L2", "other", None, None, False,
+              "fetch_memory_grant_modified",
+              "Send request to memory controller; requestor will become "
+              "owner in modified state"),
+)
+
+
+@dataclass(frozen=True)
+class TableIIRow:
+    """One row of Table II."""
+
+    state: str                       # "shared" | "provider" | "owner"
+    sharers_in_area: Optional[bool]  # None = column empty
+    action: str
+    description: str
+
+
+TABLE_II: Tuple[TableIIRow, ...] = (
+    TableIIRow("shared", None, "silent",
+               "Silent eviction"),
+    TableIIRow("provider", True, "transfer_providership",
+               "Send providership and sharing code to a sharer (the sharer "
+               "will send a Change_Provider message to the owner)"),
+    TableIIRow("provider", False, "notify_no_provider",
+               "Send No_Provider to the owner"),
+    TableIIRow("owner", True, "transfer_ownership",
+               "Send ownership and sharing code to a sharer (the sharer "
+               "will send a Change_Owner message to the home L2)"),
+    TableIIRow("owner", False, "ownership_to_home",
+               "Send ownership (and data if dirty) to the home L2"),
+)
+
+
+def lookup_table_i(
+    request: str,
+    receiver: str,
+    state: str,
+    from_local_area: Optional[bool] = None,
+    provider_exists: Optional[bool] = None,
+    owner_in_l1: Optional[bool] = None,
+) -> TableIRow:
+    """The Table I row matching the given situation."""
+    for row in TABLE_I:
+        if row.request != request or row.receiver != receiver:
+            continue
+        if row.state != state:
+            continue
+        if row.from_local_area is not None and row.from_local_area != from_local_area:
+            continue
+        if row.provider_exists is not None and row.provider_exists != provider_exists:
+            continue
+        if row.owner_in_l1 is not None and row.owner_in_l1 != owner_in_l1:
+            continue
+        return row
+    raise KeyError(
+        f"no Table I row for {request}/{receiver}/{state} "
+        f"local={from_local_area} provider={provider_exists} "
+        f"owner_l1={owner_in_l1}"
+    )
+
+
+def lookup_table_ii(state: str, sharers_in_area: Optional[bool]) -> TableIIRow:
+    """The Table II row matching the given replacement situation."""
+    for row in TABLE_II:
+        if row.state != state:
+            continue
+        if row.sharers_in_area is not None and row.sharers_in_area != sharers_in_area:
+            continue
+        return row
+    raise KeyError(f"no Table II row for {state} sharers={sharers_in_area}")

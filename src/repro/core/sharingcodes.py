@@ -1,0 +1,169 @@
+"""Alternative sharing codes (Sec. II-A extension).
+
+The paper's base architecture uses a full-map bit vector "because the
+full-map provides the best performance and lowest traffic", but notes
+that "our protocols could be implemented using any of those alternative
+sharing codes to further reduce the directory overhead if desired".
+
+This module provides the storage arithmetic (and runtime encoding) of
+the classic alternatives so that trade-off can be quantified:
+
+* **full-map** — one bit per trackable node (the paper's choice);
+* **coarse vector** — one bit per *group* of K nodes; invalidations
+  over-approximate to whole groups;
+* **limited pointers** (Dir-i-B) — ``i`` pointers of ``log2(n)`` bits
+  plus an overflow-to-broadcast bit;
+* **gray-tokens / none** — no sharer information at all, always
+  broadcast (the degenerate lower bound, what DiCo-Arin uses for
+  inter-area blocks).
+
+Each code reports its entry width for ``n`` trackable nodes and can
+encode/decode a sharer set, returning the over-approximation the
+protocol would have to invalidate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, Set
+
+__all__ = [
+    "SharingCode",
+    "FullMap",
+    "CoarseVector",
+    "LimitedPointers",
+    "BroadcastCode",
+    "make_sharing_code",
+]
+
+
+class SharingCode(ABC):
+    """Width and precision model of one sharing-code family."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one trackable node")
+        self.n_nodes = n_nodes
+
+    @property
+    @abstractmethod
+    def bits(self) -> int:
+        """Entry width in bits."""
+
+    @abstractmethod
+    def targets(self, sharers: Iterable[int]) -> FrozenSet[int]:
+        """Nodes an invalidation must visit for this sharer set.
+
+        Always a superset of the true sharers (imprecise codes
+        over-approximate, never under-approximate).
+        """
+
+    def overshoot(self, sharers: Iterable[int]) -> int:
+        """Extra invalidations caused by imprecision."""
+        s = set(sharers)
+        return len(self.targets(s)) - len(s)
+
+    def _check(self, sharers: Iterable[int]) -> Set[int]:
+        s = set(sharers)
+        for node in s:
+            if not 0 <= node < self.n_nodes:
+                raise ValueError(f"node {node} out of range")
+        return s
+
+
+class FullMap(SharingCode):
+    """One bit per node: exact."""
+
+    @property
+    def bits(self) -> int:
+        return self.n_nodes
+
+    def targets(self, sharers: Iterable[int]) -> FrozenSet[int]:
+        return frozenset(self._check(sharers))
+
+
+class CoarseVector(SharingCode):
+    """One bit per group of ``group_size`` nodes."""
+
+    def __init__(self, n_nodes: int, group_size: int = 4) -> None:
+        super().__init__(n_nodes)
+        if group_size < 1:
+            raise ValueError("group size must be positive")
+        self.group_size = group_size
+
+    @property
+    def n_groups(self) -> int:
+        return -(-self.n_nodes // self.group_size)
+
+    @property
+    def bits(self) -> int:
+        return self.n_groups
+
+    def targets(self, sharers: Iterable[int]) -> FrozenSet[int]:
+        s = self._check(sharers)
+        groups = {node // self.group_size for node in s}
+        out = set()
+        for g in groups:
+            out.update(
+                range(
+                    g * self.group_size,
+                    min((g + 1) * self.group_size, self.n_nodes),
+                )
+            )
+        return frozenset(out)
+
+
+class LimitedPointers(SharingCode):
+    """Dir-i-B: ``i`` exact pointers, broadcast on overflow."""
+
+    def __init__(self, n_nodes: int, n_pointers: int = 2) -> None:
+        super().__init__(n_nodes)
+        if n_pointers < 1:
+            raise ValueError("need at least one pointer")
+        self.n_pointers = n_pointers
+
+    @property
+    def pointer_bits(self) -> int:
+        return max(1, (self.n_nodes - 1).bit_length())
+
+    @property
+    def bits(self) -> int:
+        # i pointers + i valid bits + 1 overflow (broadcast) bit
+        return self.n_pointers * (self.pointer_bits + 1) + 1
+
+    def targets(self, sharers: Iterable[int]) -> FrozenSet[int]:
+        s = self._check(sharers)
+        if len(s) <= self.n_pointers:
+            return frozenset(s)
+        return frozenset(range(self.n_nodes))  # overflow: broadcast
+
+
+class BroadcastCode(SharingCode):
+    """No sharer information: every invalidation is a broadcast."""
+
+    @property
+    def bits(self) -> int:
+        return 1  # just the "sharers exist" bit
+
+    def targets(self, sharers: Iterable[int]) -> FrozenSet[int]:
+        s = self._check(sharers)
+        if not s:
+            return frozenset()
+        return frozenset(range(self.n_nodes))
+
+
+def make_sharing_code(name: str, n_nodes: int, **kwargs) -> SharingCode:
+    """Factory: ``full-map``, ``coarse``, ``limited``, ``broadcast``."""
+    codes = {
+        "full-map": FullMap,
+        "coarse": CoarseVector,
+        "limited": LimitedPointers,
+        "broadcast": BroadcastCode,
+    }
+    try:
+        cls = codes[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sharing code {name!r}; options: {sorted(codes)}"
+        ) from None
+    return cls(n_nodes, **kwargs)

@@ -1,0 +1,49 @@
+"""Coherence states.
+
+The four protocols share one state alphabet; each uses a subset:
+
+* **Directory** (MESI): ``I S E M``
+* **DiCo**: ``I S E M O`` — the owner (``O``/``E``/``M``) L1 stores the
+  full-map sharing code and is the ordering point.
+* **DiCo-Providers**: adds ``P`` — a provider serves reads inside its
+  area and tracks the area's sharers.
+* **DiCo-Arin**: ``P`` marks copies of blocks shared between areas
+  (no owner exists for those; the home L2 is the ordering point).
+
+``E``/``M``/``O`` all denote ownership; ``E`` and ``M`` additionally
+imply exclusivity (``M`` dirty).  ``O`` is an owner with sharers
+present (dirty or clean — the entry's ``dirty`` flag says which).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+__all__ = ["L1State", "is_owner_state", "can_supply"]
+
+
+class L1State(Enum):
+    I = auto()  # invalid / not present
+    S = auto()  # shared, read-only copy
+    E = auto()  # exclusive clean owner
+    M = auto()  # exclusive dirty owner
+    O = auto()  # owner with sharers (ordering point in DiCo family)
+    P = auto()  # provider (serves reads in its area)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: states in which an L1 holds the block's ownership
+OWNER_STATES = frozenset({L1State.E, L1State.M, L1State.O})
+
+#: states in which an L1 may answer a read request with data
+SUPPLIER_STATES = frozenset({L1State.E, L1State.M, L1State.O, L1State.P})
+
+
+def is_owner_state(state: L1State) -> bool:
+    return state in OWNER_STATES
+
+
+def can_supply(state: L1State) -> bool:
+    return state in SUPPLIER_STATES

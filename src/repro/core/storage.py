@@ -1,0 +1,218 @@
+"""Analytic storage model for coherence information (Tables V and VII).
+
+Computes, per tile, the bits each protocol spends on coherence
+metadata, following Sec. V-B of the paper exactly:
+
+* five tag types: ``L1Tag`` (25 bits), ``L2Tag`` (17), ``DirTag`` (17),
+  ``L1CTag`` (23) and ``L2CTag`` (17) for the default 40-bit physical
+  address, 8x8 chip and Table III cache geometry.  Home-side structures
+  (L2, directory cache, L2C$) do not store the ``log2(ntc)`` bank-select
+  bits; the coherence caches and the directory cache are modelled as
+  directly indexed by ``log2(entries)`` bits, which reproduces the
+  paper's published tag widths;
+* a GenPo is ``log2(ntc)`` bits; a ProPo is ``log2(nta)`` bits
+  (0 for single-tile areas);
+* per-protocol directory payloads:
+
+  =================  =======================================  =====================================
+  protocol           per L1 entry                             per L2 entry
+  =================  =======================================  =====================================
+  directory          —                                        ntc-bit full map
+  dico               ntc-bit full map                         ntc-bit full map
+  dico-providers     nta-bit map + (na-1)·(ProPo + valid)     na·(ProPo + valid)
+  dico-arin          nta-bit map                              max(nta + log2(na), na·ProPo)
+  =================  =======================================  =====================================
+
+  plus, for the directory protocol, a directory cache whose entries
+  hold ``DirTag + ntc + GenPo``, and for the DiCo family the L1C$
+  (``L1CTag + GenPo + valid``) and the L2C$ (``L2CTag + GenPo + valid``).
+
+The model is validated against the paper's Table V (exact) and
+Table VII (exact up to <1.3 percentage points on two degenerate
+DiCo-Providers corner cells; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.config import ChipConfig, DEFAULT_CHIP
+from .pointers import genpo_bits, propo_bits
+
+__all__ = [
+    "StructureSize",
+    "StorageBreakdown",
+    "PROTOCOL_NAMES",
+    "tag_bits",
+    "storage_breakdown",
+    "overhead_percent",
+    "overhead_table",
+]
+
+PROTOCOL_NAMES = ("directory", "dico", "dico-providers", "dico-arin")
+
+
+@dataclass(frozen=True)
+class StructureSize:
+    """One storage structure of a tile."""
+
+    name: str
+    entry_bits: int
+    entries: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.entry_bits * self.entries
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bits / 8 / 1024
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """All coherence structures of one protocol, per tile."""
+
+    protocol: str
+    data: Tuple[StructureSize, ...]
+    coherence: Tuple[StructureSize, ...]
+
+    @property
+    def data_kb(self) -> float:
+        return sum(s.total_kb for s in self.data)
+
+    @property
+    def coherence_kb(self) -> float:
+        return sum(s.total_kb for s in self.coherence)
+
+    @property
+    def overhead(self) -> float:
+        """Coherence bits as a fraction of the data arrays (+tags)."""
+        return self.coherence_kb / self.data_kb
+
+    def structure(self, name: str) -> StructureSize:
+        for s in (*self.data, *self.coherence):
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def tag_structures(self) -> List[StructureSize]:
+        """Everything that lives in tag arrays: data-cache tags plus all
+        coherence structures (used by the leakage model, Table VI)."""
+        tags = [s for s in self.data if s.name.endswith("tags")]
+        return tags + list(self.coherence)
+
+
+def _log2(x: int) -> int:
+    return (x - 1).bit_length() if x > 1 else 0
+
+
+def tag_bits(config: ChipConfig, structure: str) -> int:
+    """Tag width of one of the five structures of Sec. V-B."""
+    pa = config.phys_addr_bits
+    off = config.l1.offset_bits
+    bank = _log2(config.n_tiles)
+    if structure == "l1":
+        return pa - off - _log2(config.l1.n_sets)
+    if structure == "l2":
+        return pa - off - bank - _log2(config.l2.n_sets)
+    if structure == "dir":
+        return pa - off - bank - _log2(config.dir_cache_entries)
+    if structure == "l1c":
+        return pa - off - _log2(config.l1c_entries)
+    if structure == "l2c":
+        return pa - off - bank - _log2(config.l2c_entries)
+    raise ValueError(f"unknown structure {structure!r}")
+
+
+def storage_breakdown(
+    protocol: str, config: ChipConfig = DEFAULT_CHIP
+) -> StorageBreakdown:
+    """Per-tile storage structures of ``protocol`` on ``config``."""
+    if protocol not in PROTOCOL_NAMES:
+        raise ValueError(f"unknown protocol {protocol!r}; options {PROTOCOL_NAMES}")
+    ntc = config.n_tiles
+    na = config.n_areas
+    nta = config.tiles_per_area
+    genpo = genpo_bits(ntc)
+    propo = propo_bits(nta)
+    nl1 = config.l1.n_blocks
+    nl2 = config.l2.n_blocks
+    block_bits = config.block_bytes * 8
+
+    data = (
+        StructureSize("l1_tags", tag_bits(config, "l1"), nl1),
+        StructureSize("l1_data", block_bits, nl1),
+        StructureSize("l2_tags", tag_bits(config, "l2"), nl2),
+        StructureSize("l2_data", block_bits, nl2),
+    )
+
+    l1c = StructureSize("l1c", tag_bits(config, "l1c") + genpo + 1, config.l1c_entries)
+    l2c = StructureSize("l2c", tag_bits(config, "l2c") + genpo + 1, config.l2c_entries)
+
+    if protocol == "directory":
+        coherence = (
+            StructureSize("l2_dir", ntc, nl2),
+            StructureSize(
+                "dir_cache",
+                tag_bits(config, "dir") + ntc + genpo,
+                config.dir_cache_entries,
+            ),
+        )
+    elif protocol == "dico":
+        coherence = (
+            StructureSize("l1_dir", ntc, nl1),
+            StructureSize("l2_dir", ntc, nl2),
+            l1c,
+            l2c,
+        )
+    elif protocol == "dico-providers":
+        l1_entry = nta + (na - 1) * (propo + 1)
+        l2_entry = na * (propo + 1)
+        coherence = (
+            StructureSize("l1_dir", l1_entry, nl1),
+            StructureSize("l2_dir", l2_entry, nl2),
+            l1c,
+            l2c,
+        )
+    else:  # dico-arin
+        l1_entry = nta
+        l2_entry = max(nta + _log2(na), na * propo)
+        coherence = (
+            StructureSize("l1_dir", l1_entry, nl1),
+            StructureSize("l2_dir", l2_entry, nl2),
+            l1c,
+            l2c,
+        )
+    return StorageBreakdown(protocol=protocol, data=data, coherence=coherence)
+
+
+def overhead_percent(protocol: str, config: ChipConfig = DEFAULT_CHIP) -> float:
+    """Coherence storage overhead in percent (Table V/VII cells)."""
+    return 100.0 * storage_breakdown(protocol, config).overhead
+
+
+def overhead_table(
+    core_counts: Tuple[int, ...] = (64, 128, 256, 512, 1024),
+    config: ChipConfig = DEFAULT_CHIP,
+) -> Dict[int, Dict[int, Dict[str, float]]]:
+    """The full Table VII sweep: cores -> areas -> protocol -> %.
+
+    The mesh is kept as square as possible for each core count and the
+    area counts sweep powers of two from 2 to the number of cores.
+    """
+    result: Dict[int, Dict[int, Dict[str, float]]] = {}
+    for cores in core_counts:
+        w = 1 << (_log2(cores) // 2 + _log2(cores) % 2)
+        h = cores // w
+        per_areas: Dict[int, Dict[str, float]] = {}
+        n_areas = 2
+        while n_areas <= cores:
+            cfg = config.with_mesh(w, h).with_areas(n_areas)
+            per_areas[n_areas] = {
+                p: overhead_percent(p, cfg) for p in PROTOCOL_NAMES
+            }
+            n_areas *= 2
+        result[cores] = per_areas
+    return result

@@ -1,0 +1,4 @@
+"""Memory substrate: addressing, deduplication, memory controllers."""
+from .address import AddressMap
+from .controller import MemoryControllers, border_positions
+from .dedup import CowEvent, DedupPageTable

@@ -1,0 +1,81 @@
+"""Physical-address manipulation.
+
+The paper assumes 40-bit physical addresses, 64-byte cache blocks and
+4 KB pages.  The home L2 bank of a block is selected by low-order block
+address bits ("some bits of the address of a memory block are used to
+map the block to its home L2 bank"), i.e. blocks are interleaved across
+all L2 banks of the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressMap"]
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Splits physical addresses into block/page/home-bank components."""
+
+    phys_addr_bits: int = 40
+    block_bytes: int = 64
+    page_bytes: int = 4096
+    n_tiles: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("block_bytes", "page_bytes", "n_tiles"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name}={value} must be a positive power of two")
+        if self.page_bytes < self.block_bytes:
+            raise ValueError("pages must be at least one block")
+
+    @property
+    def block_offset_bits(self) -> int:
+        return (self.block_bytes - 1).bit_length()
+
+    @property
+    def page_offset_bits(self) -> int:
+        return (self.page_bytes - 1).bit_length()
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_bytes // self.block_bytes
+
+    @property
+    def max_address(self) -> int:
+        return (1 << self.phys_addr_bits) - 1
+
+    def block_of(self, addr: int) -> int:
+        """Block number (address without the intra-block offset)."""
+        self._check(addr)
+        return addr >> self.block_offset_bits
+
+    def block_base(self, addr: int) -> int:
+        """Address of the first byte of the block containing ``addr``."""
+        self._check(addr)
+        return addr & ~(self.block_bytes - 1)
+
+    def page_of(self, addr: int) -> int:
+        self._check(addr)
+        return addr >> self.page_offset_bits
+
+    def page_of_block(self, block: int) -> int:
+        return block >> (self.page_offset_bits - self.block_offset_bits)
+
+    def block_in_page(self, page: int, block_index: int) -> int:
+        """Block number of the ``block_index``-th block of ``page``."""
+        if not 0 <= block_index < self.blocks_per_page:
+            raise ValueError(f"block index {block_index} outside page")
+        return (page << (self.page_offset_bits - self.block_offset_bits)) | block_index
+
+    def home_tile(self, block: int) -> int:
+        """Home L2 bank for a block: low-order block-address interleave."""
+        return block % self.n_tiles
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr <= self.max_address:
+            raise ValueError(
+                f"address {addr:#x} outside {self.phys_addr_bits}-bit space"
+            )

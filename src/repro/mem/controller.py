@@ -1,0 +1,93 @@
+"""Off-chip memory controllers.
+
+Table III: 8 memory controllers placed along the borders of the chip,
+memory latency 300 cycles plus the on-chip delay to reach the
+controller and a small random delay.  Each block is statically assigned
+to the controller nearest to its home tile (ties broken toward the
+lower controller index), which mirrors GEMS' border-controller mapping
+closely enough for traffic purposes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..noc.topology import Mesh
+
+__all__ = ["border_positions", "MemoryControllers"]
+
+
+def border_positions(width: int, height: int, n_controllers: int) -> List[int]:
+    """Tile ids of ``n_controllers`` evenly spread along the mesh border.
+
+    Controllers sit on border tiles (the paper places them "along the
+    borders of the chip").  We walk the border clockwise from the
+    top-left corner and pick evenly spaced positions.
+    """
+    border: List[Tuple[int, int]] = []
+    for x in range(width):  # top edge, left→right
+        border.append((x, 0))
+    for y in range(1, height):  # right edge, top→bottom
+        border.append((width - 1, y))
+    for x in range(width - 2, -1, -1):  # bottom edge, right→left
+        border.append((x, height - 1))
+    for y in range(height - 2, 0, -1):  # left edge, bottom→top
+        border.append((0, y))
+    if n_controllers > len(border):
+        raise ValueError(
+            f"{n_controllers} controllers do not fit on a "
+            f"{width}x{height} mesh border ({len(border)} tiles)"
+        )
+    step = len(border) / n_controllers
+    tiles = []
+    for i in range(n_controllers):
+        x, y = border[int(i * step)]
+        tiles.append(y * width + x)
+    return tiles
+
+
+class MemoryControllers:
+    """Maps blocks to controllers and produces access latencies."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        n_controllers: int = 8,
+        latency_cycles: int = 300,
+        jitter_cycles: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.mesh = mesh
+        self.latency_cycles = latency_cycles
+        self.jitter_cycles = jitter_cycles
+        self.positions: List[int] = border_positions(
+            mesh.width, mesh.height, n_controllers
+        )
+        self._rng = random.Random(seed)
+        # precompute nearest controller for every tile
+        self._nearest: List[int] = []
+        for tile in range(mesh.n_tiles):
+            best = min(
+                range(n_controllers),
+                key=lambda c: (mesh.hops(tile, self.positions[c]), c),
+            )
+            self._nearest.append(best)
+        self.accesses = 0
+
+    def controller_for(self, home_tile: int) -> int:
+        """Tile id of the controller serving blocks homed at ``home_tile``."""
+        return self.positions[self._nearest[home_tile]]
+
+    def access_latency(self, home_tile: int) -> int:
+        """Latency of a memory access issued by the home L2 bank.
+
+        Includes the round trip between the home tile and its
+        controller over the mesh plus the fixed DRAM latency and the
+        paper's small random delay.
+        """
+        self.accesses += 1
+        ctrl = self.controller_for(home_tile)
+        on_chip = 2 * self.mesh.hops(home_tile, ctrl) * self.mesh.hop_cycles
+        jitter = self._rng.randint(0, self.jitter_cycles) if self.jitter_cycles else 0
+        return self.latency_cycles + on_chip + jitter

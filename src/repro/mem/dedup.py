@@ -1,0 +1,176 @@
+"""Hypervisor memory-deduplication model.
+
+In a consolidated server the hypervisor (KVM/Xen/VMware ESX) scans for
+pages with identical contents across virtual machines and maps them all
+to a single read-only physical page; a store triggers copy-on-write
+(CoW) and gives the writing VM a fresh private copy.
+
+This module models exactly the part of that mechanism the coherence
+protocols can observe:
+
+* a :class:`DedupPageTable` maps ``(vm, virtual page)`` to a physical
+  page; deduplicated virtual pages of several VMs share one physical
+  page, so their cache blocks become *inter-area shared read-only*
+  blocks from the coherence protocol's point of view;
+* a write to a deduplicated page breaks the sharing: the writer VM is
+  remapped to a newly allocated private physical page (CoW), and
+  subsequent accesses from that VM go to the private copy.
+
+The workload generators decide *which* virtual pages are deduplicated
+(fraction taken from Table IV of the paper); this module only provides
+the mapping machinery and bookkeeping (pages saved, CoW breaks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["CowEvent", "DedupPageTable"]
+
+
+@dataclass(frozen=True)
+class CowEvent:
+    """Record of one copy-on-write break."""
+
+    vm: int
+    vpage: int
+    old_ppage: int
+    new_ppage: int
+
+
+class DedupPageTable:
+    """Per-chip page table with cross-VM page deduplication.
+
+    Physical pages are allocated sequentially from ``base_ppage``.  The
+    table distinguishes three kinds of mappings:
+
+    * **private** — one VM's virtual page on its own physical page;
+    * **deduplicated** — virtual pages from several VMs sharing one
+      physical page (read-only until CoW);
+    * **vm-shared** — a page shared by the threads of a single VM
+      (ordinary read-write shared memory; no dedup involved, but the
+      table tracks it so the workload generators can reason uniformly).
+    """
+
+    def __init__(self, base_ppage: int = 0) -> None:
+        self._next_ppage = base_ppage
+        self._map: Dict[Tuple[int, int], int] = {}
+        #: physical pages currently shared by >1 VM (deduplicated)
+        self._dedup_ppages: Set[int] = set()
+        #: reverse map: dedup physical page -> set of (vm, vpage) mapped to it
+        self._dedup_users: Dict[int, Set[Tuple[int, int]]] = {}
+        self.cow_events: List[CowEvent] = []
+        self._pages_allocated = 0
+        self._pages_saved = 0
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _alloc_ppage(self) -> int:
+        ppage = self._next_ppage
+        self._next_ppage += 1
+        self._pages_allocated += 1
+        return ppage
+
+    def map_private(self, vm: int, vpage: int) -> int:
+        """Map a private page for ``vm``; returns the physical page."""
+        key = (vm, vpage)
+        if key in self._map:
+            raise ValueError(f"page {key} already mapped")
+        ppage = self._alloc_ppage()
+        self._map[key] = ppage
+        return ppage
+
+    def map_deduplicated(self, vpage_by_vm: Dict[int, int]) -> int:
+        """Map one identical page of several VMs onto a single frame.
+
+        ``vpage_by_vm`` gives, for each VM id, the virtual page number
+        that holds the (identical) content.  Returns the shared
+        physical page.
+        """
+        if len(vpage_by_vm) < 2:
+            raise ValueError("deduplication needs at least two VMs")
+        keys = [(vm, vp) for vm, vp in vpage_by_vm.items()]
+        for key in keys:
+            if key in self._map:
+                raise ValueError(f"page {key} already mapped")
+        ppage = self._alloc_ppage()
+        self._pages_saved += len(keys) - 1
+        self._dedup_ppages.add(ppage)
+        self._dedup_users[ppage] = set(keys)
+        for key in keys:
+            self._map[key] = ppage
+        return ppage
+
+    def map_vm_shared(self, vm: int, vpage: int) -> int:
+        """Map a page shared among the threads of one VM.
+
+        Coherence-wise this is an ordinary page; it exists as a
+        separate call so generators can label intra-VM shared data.
+        """
+        return self.map_private(vm, vpage)
+
+    # ------------------------------------------------------------------
+    # translation
+
+    def translate(self, vm: int, vpage: int) -> int:
+        """Virtual-to-physical page translation for reads."""
+        try:
+            return self._map[(vm, vpage)]
+        except KeyError:
+            raise KeyError(f"VM {vm} vpage {vpage:#x} not mapped") from None
+
+    def translate_write(self, vm: int, vpage: int) -> Tuple[int, Optional[CowEvent]]:
+        """Translation for writes; breaks dedup sharing when needed.
+
+        Returns ``(physical page, CowEvent or None)``.  The CoW event is
+        produced only on the *first* write of this VM to a deduplicated
+        page; the caller is responsible for charging any fault latency.
+        """
+        key = (vm, vpage)
+        ppage = self.translate(vm, vpage)
+        if ppage not in self._dedup_ppages:
+            return ppage, None
+        users = self._dedup_users[ppage]
+        new_ppage = self._alloc_ppage()
+        self._pages_saved -= 1
+        users.discard(key)
+        self._map[key] = new_ppage
+        if len(users) <= 1:
+            # sharing fully broken: the remaining mapping becomes private
+            self._dedup_ppages.discard(ppage)
+            del self._dedup_users[ppage]
+        event = CowEvent(vm=vm, vpage=vpage, old_ppage=ppage, new_ppage=new_ppage)
+        self.cow_events.append(event)
+        return new_ppage, event
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def is_deduplicated_ppage(self, ppage: int) -> bool:
+        return ppage in self._dedup_ppages
+
+    def dedup_vms(self, ppage: int) -> Set[int]:
+        """VMs currently mapping the deduplicated physical page."""
+        return {vm for vm, _ in self._dedup_users.get(ppage, ())}
+
+    @property
+    def pages_allocated(self) -> int:
+        return self._pages_allocated
+
+    @property
+    def pages_saved(self) -> int:
+        """Physical pages avoided thanks to deduplication (current)."""
+        return self._pages_saved
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of logical pages saved, as reported in Table IV."""
+        logical = self._pages_allocated + self._pages_saved
+        return self._pages_saved / logical if logical else 0.0
+
+    def mapped_pages(self) -> Iterable[Tuple[int, int, int]]:
+        """Yields ``(vm, vpage, ppage)`` for every mapping."""
+        for (vm, vpage), ppage in self._map.items():
+            yield vm, vpage, ppage

@@ -1,0 +1,3 @@
+"""Network-on-chip substrate: mesh topology and the message layer."""
+from .network import Delivery, Network, NetworkStats
+from .topology import Mesh

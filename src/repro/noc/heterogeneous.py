@@ -1,0 +1,178 @@
+"""Heterogeneous interconnect extension (Sec. II related work, [10]).
+
+Flores et al., "Heterogeneous Interconnects for Energy-Efficient
+Message Management in CMPs" (IEEE ToC 2010) — cited by the paper as a
+complementary power-saving technique: *critical, short messages travel
+on fast power-hungry wires; non-critical messages on slower low-power
+wires*.  The paper's protocols are orthogonal to this idea, so this
+module implements it as an opt-in wrapper around the message layer,
+letting the combination be evaluated (``bench_ablation_wires``).
+
+Model (following [10]'s L-wire/PW-wire split):
+
+* **L-wires** (fast): ``fast_speedup`` x lower per-hop latency,
+  ``fast_energy_factor`` x higher per-flit energy; only 1-flit control
+  messages fit their narrow width;
+* **PW-wires** (power-efficient): ``slow_slowdown`` x higher per-hop
+  latency, ``slow_energy_factor`` x lower per-flit energy; used by
+  non-critical messages (writebacks, replacement notices, hints, acks
+  that are off the critical path).
+
+Criticality classification lives here, derived from the protocol
+message vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.messages import MessageType
+from .network import Delivery, Network
+from .topology import Mesh
+
+__all__ = ["WireConfig", "HeterogeneousNetwork", "CRITICAL_MESSAGES"]
+
+#: messages on an L1 miss's critical path: requests, forwards, data and
+#: the acks a requestor must collect before retiring its access
+CRITICAL_MESSAGES = frozenset(
+    {
+        MessageType.GETS,
+        MessageType.GETX,
+        MessageType.FWD_GETS,
+        MessageType.FWD_GETX,
+        MessageType.DATA,
+        MessageType.DATA_OWNER,
+        MessageType.INV,
+        MessageType.INV_ACK,
+        MessageType.INV_BCAST,
+        MessageType.MEM_FETCH,
+        MessageType.MEM_DATA,
+        MessageType.CHANGE_OWNER_ACK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class WireConfig:
+    """Latency/energy trade-off of the two wire classes."""
+
+    fast_speedup: float = 2.0        # L-wires: half the per-hop latency
+    fast_energy_factor: float = 2.0  # ...at twice the per-flit energy
+    slow_slowdown: float = 1.5       # PW-wires: 50% slower
+    slow_energy_factor: float = 0.5  # ...at half the per-flit energy
+    #: L-wires are narrow: only packets up to this many flits fit
+    fast_max_flits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fast_speedup < 1 or self.slow_slowdown < 1:
+            raise ValueError("speedup/slowdown factors must be >= 1")
+
+
+class HeterogeneousNetwork(Network):
+    """A message layer that routes by criticality class.
+
+    Critical short messages ride the fast wires (lower latency, higher
+    energy); everything else rides the power-efficient wires.  The
+    energy model reads :attr:`weighted_flit_links` instead of the raw
+    flit-link count.
+    """
+
+    def __init__(self, mesh: Mesh, wires: WireConfig | None = None, **kwargs) -> None:
+        super().__init__(mesh, **kwargs)
+        self.wires = wires or WireConfig()
+        #: flit-link traversals weighted by each class's energy factor
+        self.weighted_flit_links = 0.0
+        self.fast_messages = 0
+        self.slow_messages = 0
+
+    def _wire_class(self, msg_type: str, flits: int) -> str:
+        if (
+            msg_type in CRITICAL_MESSAGES
+            and flits <= self.wires.fast_max_flits
+        ):
+            return "fast"
+        if msg_type in CRITICAL_MESSAGES:
+            return "normal"  # critical but too wide for L-wires
+        return "slow"
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        flits: int,
+        msg_type: str = "msg",
+        now: int = 0,
+    ) -> Delivery:
+        base = super().send(src, dst, flits, msg_type=msg_type, now=now)
+        wire = self._wire_class(msg_type, flits)
+        hops = base.hops
+        if wire == "fast":
+            self.fast_messages += 1
+            latency = int(round(base.latency / self.wires.fast_speedup))
+            self.weighted_flit_links += (
+                flits * hops * self.wires.fast_energy_factor
+            )
+        elif wire == "slow":
+            self.slow_messages += 1
+            latency = int(round(base.latency * self.wires.slow_slowdown))
+            self.weighted_flit_links += (
+                flits * hops * self.wires.slow_energy_factor
+            )
+        else:
+            latency = base.latency
+            self.weighted_flit_links += flits * hops
+        return Delivery(latency=latency, hops=hops, flits=flits)
+
+    def broadcast(
+        self,
+        src: int,
+        flits: int,
+        msg_type: str = "bcast",
+        now: int = 0,
+    ) -> Delivery:
+        base = super().broadcast(src, flits, msg_type=msg_type, now=now)
+        links = self.mesh.n_tiles - 1
+        wire = self._wire_class(msg_type, flits)
+        if wire == "fast":
+            self.fast_messages += 1
+            self.weighted_flit_links += flits * links * self.wires.fast_energy_factor
+            return Delivery(
+                latency=int(round(base.latency / self.wires.fast_speedup)),
+                hops=base.hops,
+                flits=flits,
+            )
+        if wire == "slow":
+            self.slow_messages += 1
+            self.weighted_flit_links += flits * links * self.wires.slow_energy_factor
+            return Delivery(
+                latency=int(round(base.latency * self.wires.slow_slowdown)),
+                hops=base.hops,
+                flits=flits,
+            )
+        self.weighted_flit_links += flits * links
+        return base
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.weighted_flit_links = 0.0
+        self.fast_messages = 0
+        self.slow_messages = 0
+
+    def link_energy_ratio(self) -> float:
+        """Weighted vs unweighted flit-link energy (the [10] saving)."""
+        raw = self.stats.flit_link_traversals or 1
+        return self.weighted_flit_links / raw
+
+
+def install_heterogeneous_network(protocol, wires: WireConfig | None = None):
+    """Swap a protocol's message layer for the heterogeneous one.
+
+    Must be called before the first access; traffic statistics restart.
+    Returns the new network for inspection.
+    """
+    net = HeterogeneousNetwork(
+        protocol.mesh, wires=wires,
+        track_link_load=protocol.network.track_link_load,
+    )
+    protocol.network = net
+    return net

@@ -1,0 +1,212 @@
+"""Network layer: message delivery, traffic accounting, broadcast.
+
+Every coherence message the protocols exchange goes through
+:class:`Network`, which
+
+* computes the delivery latency from the mesh constants (plus optional
+  link contention),
+* accumulates traffic statistics for the power model: flit·link
+  traversals (link energy) and router traversals (routing energy),
+* supports tree broadcasts, used by DiCo-Arin's three-phase
+  invalidation.
+
+The default mode matches the paper's "in absence of contention"
+latency.  When ``NocConfig.model_contention`` is set, a per-link
+next-free-time table adds queueing delay: each packet occupies every
+link of its path for ``flits`` cycles.  This is a deliberately simple
+wormhole approximation used only for the contention ablation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from .topology import Mesh
+
+__all__ = ["Delivery", "NetworkStats", "Network"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome of injecting a packet."""
+
+    latency: int  # cycles from injection to full reception
+    hops: int
+    flits: int
+
+
+class NetworkStats:
+    """Traffic counters feeding the dynamic power model."""
+
+    __slots__ = (
+        "messages",
+        "flit_link_traversals",
+        "router_traversals",
+        "routing_events",
+        "broadcasts",
+        "by_type",
+        "flits_by_type",
+        "link_load",
+    )
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.flit_link_traversals = 0
+        self.router_traversals = 0
+        #: message-routing events: one per unicast packet that enters
+        #: the NoC, one per tree link on broadcasts (the Barrow-Williams
+        #: model charges "routing a message" at this granularity)
+        self.routing_events = 0
+        self.broadcasts = 0
+        self.by_type: Dict[str, int] = defaultdict(int)
+        self.flits_by_type: Dict[str, int] = defaultdict(int)
+        self.link_load: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.messages += other.messages
+        self.flit_link_traversals += other.flit_link_traversals
+        self.router_traversals += other.router_traversals
+        self.routing_events += other.routing_events
+        self.broadcasts += other.broadcasts
+        for k, v in other.by_type.items():
+            self.by_type[k] += v
+        for k, v in other.flits_by_type.items():
+            self.flits_by_type[k] += v
+        for k, v in other.link_load.items():
+            self.link_load[k] += v
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "messages": self.messages,
+            "flit_link_traversals": self.flit_link_traversals,
+            "router_traversals": self.router_traversals,
+            "routing_events": self.routing_events,
+            "broadcasts": self.broadcasts,
+        }
+
+
+class Network:
+    """Message transport over a :class:`Mesh` with traffic accounting."""
+
+    def __init__(self, mesh: Mesh, track_link_load: bool = False) -> None:
+        self.mesh = mesh
+        self.stats = NetworkStats()
+        self.track_link_load = track_link_load
+        self._link_free: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def contention(self) -> bool:
+        return self.mesh.noc.model_contention
+
+    def control_flits(self) -> int:
+        return self.mesh.noc.control_flits
+
+    def data_flits(self) -> int:
+        return self.mesh.noc.data_flits
+
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        flits: int,
+        msg_type: str = "msg",
+        now: int = 0,
+    ) -> Delivery:
+        """Deliver one unicast packet; returns latency and accounting.
+
+        A self-send (``src == dst``) costs zero network cycles and no
+        traffic — intra-tile requests never enter the NoC.
+        """
+        hops = self.mesh.hops(src, dst)
+        st = self.stats
+        st.messages += 1
+        st.by_type[msg_type] += 1
+        st.flits_by_type[msg_type] += flits
+        if hops == 0:
+            return Delivery(latency=0, hops=0, flits=flits)
+        st.flit_link_traversals += flits * hops
+        st.router_traversals += hops
+        st.routing_events += 1
+        latency = self.mesh.unicast_latency(src, dst, flits)
+        if self.track_link_load or self.contention:
+            route = self.mesh.route(src, dst)
+            if self.track_link_load:
+                for link in route:
+                    st.link_load[link] += flits
+            if self.contention:
+                latency += self._contention_delay(route, flits, now)
+        return Delivery(latency=latency, hops=hops, flits=flits)
+
+    def _contention_delay(
+        self, route: Sequence[Tuple[int, int]], flits: int, now: int
+    ) -> int:
+        """Queueing delay of a packet that occupies each link for
+        ``flits`` cycles, walking the path link by link."""
+        delay = 0
+        t = now
+        for link in route:
+            free = self._link_free.get(link, 0)
+            wait = max(0, free - t)
+            delay += wait
+            t += wait + self.mesh.hop_cycles
+            self._link_free[link] = t - self.mesh.hop_cycles + flits
+        return delay
+
+    # ------------------------------------------------------------------
+
+    def broadcast(
+        self,
+        src: int,
+        flits: int,
+        msg_type: str = "bcast",
+        now: int = 0,
+    ) -> Delivery:
+        """Tree broadcast from ``src`` to every tile of the chip.
+
+        Traffic cost: ``flits`` on each of the ``n_tiles - 1`` tree
+        links and one router traversal per tile reached.  Latency is the
+        depth of the tree (the farthest tile).
+        """
+        links, depth = self.mesh.broadcast_tree(src)
+        st = self.stats
+        st.messages += 1
+        st.broadcasts += 1
+        st.by_type[msg_type] += 1
+        st.flits_by_type[msg_type] += flits * max(1, len(links))
+        st.flit_link_traversals += flits * len(links)
+        st.router_traversals += len(links)
+        st.routing_events += len(links)
+        if self.track_link_load:
+            for link in links:
+                st.link_load[link] += flits
+        latency = self.mesh.broadcast_latency(src, flits)
+        return Delivery(latency=latency, hops=depth, flits=flits)
+
+    def multicast(
+        self,
+        src: int,
+        dsts: Iterable[int],
+        flits: int,
+        msg_type: str = "mcast",
+        now: int = 0,
+    ) -> Delivery:
+        """Send the same packet to several destinations as unicasts.
+
+        Coherence invalidations to a sharer list are independent
+        unicast packets in the baseline protocols.  Latency is the
+        maximum of the individual deliveries (they travel in parallel).
+        """
+        worst = Delivery(latency=0, hops=0, flits=flits)
+        for dst in dsts:
+            d = self.send(src, dst, flits, msg_type=msg_type, now=now)
+            if d.latency > worst.latency:
+                worst = d
+        return worst
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+        self._link_free.clear()

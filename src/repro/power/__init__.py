@@ -1,0 +1,3 @@
+"""Power models: CACTI-like leakage and event-based dynamic energy."""
+from .cacti import LeakageModel, LeakageReport, leakage_table
+from .dynamic import FLIT_ENERGY, ROUTE_ENERGY, DynamicEnergyModel, EnergyBreakdown

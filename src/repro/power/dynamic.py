@@ -1,0 +1,143 @@
+"""Event-based dynamic energy model (Figs. 7, 8a, 8b).
+
+Energy unit: **one L1 data-block read = 1.0**.  Every other per-access
+energy derives from CACTI-style square-root scaling with the array
+size, and the network constants follow the model of Barrow-Williams et
+al. [22] quoted in Sec. V-A: *routing a message consumes as much power
+as reading an L1 block, and four times as much power as transmitting a
+flit*::
+
+    E(structure access) = sqrt(structure_bits / l1_data_bits)
+    E(route one message through one router) = 1.0
+    E(transmit one flit over one link)      = 0.25
+
+Because the per-protocol directory payload is folded into the L1/L2
+tag arrays (Sec. V-B), tag accesses cost more in DiCo-family protocols
+than in the flat directory — which is exactly the effect Fig. 8a
+reports for the L1-dominated workloads.
+
+The model consumes the access counters a protocol run accumulated
+(:class:`repro.stats.counters.RunStats`) and produces the Fig. 7/8
+breakdowns.  Absolute numbers are in "L1-read units"; the figures are
+normalized exactly as the paper normalizes (to the directory
+protocol's cache energy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.storage import StorageBreakdown, storage_breakdown
+from ..sim.config import ChipConfig, DEFAULT_CHIP
+from ..stats.counters import RunStats
+
+__all__ = ["ROUTE_ENERGY", "FLIT_ENERGY", "DynamicEnergyModel", "EnergyBreakdown"]
+
+#: Barrow-Williams network model [22], in L1-block-read units
+ROUTE_ENERGY = 1.0
+FLIT_ENERGY = 0.25
+
+#: map from RunStats structure groups to storage-model structure names
+_TAG_ARRAYS = {
+    "l1": ("l1_tags", "l1_dir"),
+    "l2": ("l2_tags", "l2_dir"),
+    "dir": ("dir_cache",),
+    "l1c": ("l1c",),
+    "l2c": ("l2c",),
+}
+_DATA_ARRAYS = {
+    "l1": "l1_data",
+    "l2": "l2_data",
+}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy split used by Figs. 7/8 (L1-block-read units)."""
+
+    protocol: str
+    workload: str
+    #: Fig. 8a categories: per-structure tag/data energies
+    cache_events: Dict[str, float] = field(default_factory=dict)
+    link_energy: float = 0.0
+    routing_energy: float = 0.0
+
+    @property
+    def cache_energy(self) -> float:
+        return sum(self.cache_events.values())
+
+    @property
+    def network_energy(self) -> float:
+        return self.link_energy + self.routing_energy
+
+    @property
+    def total(self) -> float:
+        return self.cache_energy + self.network_energy
+
+    def normalized(self, reference: float) -> Dict[str, float]:
+        """Fig. 7 bars: normalized to a reference cache energy."""
+        return {
+            "cache": self.cache_energy / reference,
+            "links": self.link_energy / reference,
+            "routing": self.routing_energy / reference,
+            "total": self.total / reference,
+        }
+
+
+class DynamicEnergyModel:
+    """Per-access energies for one protocol on one chip configuration."""
+
+    def __init__(self, protocol: str, config: ChipConfig = DEFAULT_CHIP) -> None:
+        self.protocol = protocol
+        self.config = config
+        self.storage: StorageBreakdown = storage_breakdown(protocol, config)
+        self._l1_data_bits = self.storage.structure("l1_data").total_bits
+        self._tag_energy: Dict[str, float] = {}
+        self._data_energy: Dict[str, float] = {}
+        for group, names in _TAG_ARRAYS.items():
+            bits = 0
+            for name in names:
+                try:
+                    bits += self.storage.structure(name).total_bits
+                except KeyError:
+                    pass  # structure absent in this protocol
+            if bits:
+                self._tag_energy[group] = self._access_energy(bits)
+        for group, name in _DATA_ARRAYS.items():
+            self._data_energy[group] = self._access_energy(
+                self.storage.structure(name).total_bits
+            )
+
+    def _access_energy(self, bits: int) -> float:
+        """CACTI-style sqrt scaling, normalized to an L1 data read."""
+        return math.sqrt(bits / self._l1_data_bits)
+
+    def tag_access_energy(self, group: str) -> float:
+        return self._tag_energy.get(group, 0.0)
+
+    def data_access_energy(self, group: str) -> float:
+        return self._data_energy.get(group, 0.0)
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, stats: RunStats) -> EnergyBreakdown:
+        """Turn a run's access counters into the Fig. 7/8 breakdown."""
+        out = EnergyBreakdown(protocol=self.protocol, workload=stats.workload)
+        for group, access in stats.cache_access.items():
+            tag_e = self._tag_energy.get(group, 0.0)
+            tag_total = (access.tag_reads + access.tag_writes) * tag_e
+            if tag_total:
+                out.cache_events[f"{group}_tag"] = (
+                    out.cache_events.get(f"{group}_tag", 0.0) + tag_total
+                )
+            data_e = self._data_energy.get(group, 0.0)
+            data_total = (access.data_reads + access.data_writes) * data_e
+            if data_total:
+                out.cache_events[f"{group}_data"] = (
+                    out.cache_events.get(f"{group}_data", 0.0) + data_total
+                )
+        out.link_energy = stats.network.flit_link_traversals * FLIT_ENERGY
+        out.routing_energy = stats.network.routing_events * ROUTE_ENERGY
+        return out

@@ -1,0 +1,3 @@
+"""Simulation engine, configuration and the full-chip driver."""
+from .config import ChipConfig, DEFAULT_CHIP, small_test_chip
+from .engine import Simulator, SimulationError

@@ -1,0 +1,256 @@
+"""Full-chip simulation driver.
+
+Assembles a coherence protocol, a consolidated workload and one
+in-order core per active tile, then runs the discrete-event loop.  Two
+stop conditions mirror Table IV's two performance metrics:
+
+* ``run_cycles(n)`` — run for a fixed cycle window and count committed
+  memory operations (the "transactions in 500 million cycles" metric of
+  the commercial workloads, scaled);
+* ``run_ops(n)`` — run until every core commits ``n`` operations and
+  report the elapsed cycles (the "average execution time" metric of the
+  scientific workloads).
+
+Cores are blocking and in-order (Table III: 2-way in-order
+UltraSPARC-III): a core issues its next memory operation ``think``
+cycles after the previous one completes; the think time stands for the
+non-memory instructions in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..core.checker import CoherenceChecker
+from ..core.protocols.arin import DiCoArinProtocol
+from ..core.protocols.base import CoherenceProtocol
+from ..core.protocols.dico import DiCoProtocol
+from ..core.protocols.directory import DirectoryProtocol
+from ..core.protocols.providers import DiCoProvidersProtocol
+from ..core.protocols.vh import VirtualHierarchyProtocol
+from ..stats.counters import RunStats
+from ..workloads.generator import ConsolidatedWorkload, MemOp
+from ..workloads.placement import VMPlacement
+from .config import ChipConfig, DEFAULT_CHIP
+from .engine import Simulator
+
+__all__ = ["PROTOCOLS", "make_protocol", "Core", "Chip", "paper_scaled_chip"]
+
+PROTOCOLS: Dict[str, Type[CoherenceProtocol]] = {
+    "directory": DirectoryProtocol,
+    "dico": DiCoProtocol,
+    "dico-providers": DiCoProvidersProtocol,
+    "dico-arin": DiCoArinProtocol,
+    # the related-work comparator (Sec. II); not part of the paper's
+    # four-protocol evaluation but used by bench_comparison_vh
+    "vh": VirtualHierarchyProtocol,
+}
+
+
+def make_protocol(
+    name: str,
+    config: ChipConfig = DEFAULT_CHIP,
+    seed: int = 0,
+    checker: Optional[CoherenceChecker] = None,
+    **kwargs,
+) -> CoherenceProtocol:
+    """Instantiate a protocol by name."""
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; options: {sorted(PROTOCOLS)}"
+        ) from None
+    return cls(config, seed=seed, checker=checker, **kwargs)
+
+
+def paper_scaled_chip(
+    mesh_width: int = 8, mesh_height: int = 8, n_areas: int = 4
+) -> ChipConfig:
+    """The evaluation chip with caches scaled down 8x.
+
+    The trace-driven Python simulator cannot affordably warm 128 KB L1s
+    and 1 MB L2 banks on 64 tiles; this configuration shrinks every
+    cache (and the workload specs are sized against it) while keeping
+    the working-set/L1/L2 capacity *ratios* of the paper's platform, so
+    the L1- vs L2-power-dominated regimes of Sec. V-C are preserved.
+    """
+    from .config import CacheGeometry
+
+    return ChipConfig(
+        mesh_width=mesh_width,
+        mesh_height=mesh_height,
+        n_areas=n_areas,
+        l1=CacheGeometry(size_bytes=8 << 10, assoc=4, tag_latency=1, data_latency=2),
+        l2=CacheGeometry(size_bytes=32 << 10, assoc=8, tag_latency=2, data_latency=3),
+        # the coherence caches scale less aggressively than the data
+        # caches: prediction reach must still cover the repeat-miss
+        # stack distances of the (scaled) working sets, like the paper's
+        # 2048-entry L1C$/L2C$ cover its 2048-block L1s
+        l1c_entries=512,
+        l2c_entries=512,
+        dir_cache_entries=512,
+    )
+
+
+class Core:
+    """An in-order core draining one memory-reference stream."""
+
+    __slots__ = (
+        "tile",
+        "chip",
+        "_trace",
+        "_pending",
+        "ops_done",
+        "ops_target",
+        "done",
+    )
+
+    def __init__(self, tile: int, chip: "Chip") -> None:
+        self.tile = tile
+        self.chip = chip
+        self._trace = chip.workload.trace(tile)
+        self._pending: Optional[MemOp] = None
+        self.ops_done = 0
+        self.ops_target: Optional[int] = None
+        self.done = False
+
+    def start(self) -> None:
+        self.chip.sim.schedule(0, self._issue)
+
+    def _issue(self) -> None:
+        if self.done:
+            return
+        sim = self.chip.sim
+        if self.chip.deadline is not None and sim.now >= self.chip.deadline:
+            return
+        if self._pending is None:
+            self._pending = next(self._trace)
+        op = self._pending
+        result = self.chip.protocol.access(self.tile, op.addr, op.is_write, sim.now)
+        if result.needs_retry:
+            sim.schedule_at(max(result.retry_at, sim.now + 1), self._issue)
+            return
+        self._pending = None
+        self.ops_done += 1
+        if self.ops_target is not None and self.ops_done >= self.ops_target:
+            self.done = True
+            self.chip._core_finished(sim.now)
+            return
+        sim.schedule(max(1, result.latency + op.think), self._issue)
+
+
+class Chip:
+    """One protocol + one workload, ready to run."""
+
+    def __init__(
+        self,
+        protocol: str | CoherenceProtocol,
+        workload: str | ConsolidatedWorkload,
+        config: ChipConfig = DEFAULT_CHIP,
+        placement: Optional[VMPlacement] = None,
+        n_vms: int = 4,
+        seed: int = 0,
+        checker: Optional[CoherenceChecker] = None,
+        protocol_kwargs: Optional[dict] = None,
+    ) -> None:
+        if isinstance(protocol, CoherenceProtocol):
+            self.protocol = protocol
+        else:
+            self.protocol = make_protocol(
+                protocol, config, seed=seed, checker=checker,
+                **(protocol_kwargs or {}),
+            )
+        config = self.protocol.config
+        self.config = config
+        default_placement = placement is None
+        if placement is None:
+            placement = VMPlacement.area_aligned(self.protocol.areas, n_vms)
+        self.placement = placement
+        if isinstance(workload, str):
+            self.workload = ConsolidatedWorkload(
+                workload, placement, self.protocol.addr, seed=seed
+            )
+        else:
+            # any object with .name / .trace(tile) / .cow_breaks works
+            # (e.g. a recorded TraceFileWorkload)
+            self.workload = workload
+        core_tiles = placement.tiles_used
+        if default_placement and hasattr(self.workload, "tiles"):
+            core_tiles = tuple(self.workload.tiles)
+        self.sim = Simulator()
+        self.cores = [Core(t, self) for t in core_tiles]
+        self.deadline: Optional[int] = None
+        self._cores_running = 0
+        self._finish_time = 0
+
+    # ------------------------------------------------------------------
+
+    def _core_finished(self, now: int) -> None:
+        self._cores_running -= 1
+        self._finish_time = max(self._finish_time, now)
+
+    def run_cycles(self, cycles: int, warmup: int = 0) -> RunStats:
+        """Fixed time window; the metric is committed operations.
+
+        ``warmup`` cycles run first with statistics discarded, so the
+        measurement window starts with warm caches (the paper measures
+        from checkpoints taken after warmup).
+        """
+        self.deadline = warmup + cycles
+        for core in self.cores:
+            core.start()
+        if warmup:
+            self.sim.run(until=warmup)
+            self.protocol.reset_stats()
+            ops_at_warmup = [c.ops_done for c in self.cores]
+        self.sim.run(until=warmup + cycles)
+        if warmup:
+            for c, base_ops in zip(self.cores, ops_at_warmup):
+                c.ops_done -= base_ops
+            self.protocol.stats.operations = sum(c.ops_done for c in self.cores)
+        return self._finalize(cycles)
+
+    def run_ops(self, ops_per_core: int) -> RunStats:
+        """Fixed work per core; the metric is elapsed cycles."""
+        self._cores_running = len(self.cores)
+        for core in self.cores:
+            core.ops_target = ops_per_core
+            core.start()
+        self.sim.run()
+        return self._finalize(self._finish_time or self.sim.now)
+
+    def _finalize(self, cycles: int) -> RunStats:
+        stats = self.protocol.finalize_stats(cycles)
+        stats.workload = self.workload.name
+        stats.cow_breaks = self.workload.cow_breaks
+        return stats
+
+    def per_vm_operations(self) -> Dict[int, int]:
+        """Committed operations per VM (the isolation/fairness view).
+
+        The commercial metric of Table IV counts transactions per VM;
+        with area-aligned placement the protocols should not starve any
+        VM relative to the others.
+        """
+        totals: Dict[int, int] = {}
+        for core in self.cores:
+            vm = self.placement.vm_of(core.tile)
+            totals[vm] = totals.get(vm, 0) + core.ops_done
+        return totals
+
+    # ------------------------------------------------------------------
+
+    def verify_coherence(self, blocks: Optional[list] = None) -> None:
+        """Run the invariant checker over cached blocks (test hook)."""
+        if blocks is None:
+            seen = set()
+            for l1 in self.protocol.l1s:
+                for block, _ in l1:
+                    seen.add(block)
+            for l2 in self.protocol.l2s:
+                for block, _ in l2:
+                    seen.add(block)
+            blocks = sorted(seen)
+        for block in blocks:
+            self.protocol.check_block(block)

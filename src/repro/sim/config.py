@@ -1,0 +1,223 @@
+"""System configuration for the simulated tiled CMP.
+
+The defaults follow Table III of the paper:
+
+* 64 in-order cores at 3 GHz (8x8 mesh of tiles)
+* per-tile split L1 (128 KB, 4-way, 64-byte blocks, 1+2 cycle access)
+* per-tile L2 bank (1 MB, 8-way, 64-byte blocks, 2+3 cycle access),
+  logically shared, physically distributed, non-inclusive with L1
+* 4 GB DRAM behind 8 memory controllers on the chip borders,
+  300 cycles latency plus on-chip delay and a small random component
+* 2D mesh NoC: 16-byte links, 2 cycles/link + 2 cycles/switch +
+  1 cycle/router, 1-flit control packets, 5-flit data packets
+
+Everything is expressed in core clock cycles.  The configuration is a
+plain frozen dataclass so experiment sweeps can derive variants with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CacheGeometry",
+    "NocConfig",
+    "MemoryConfig",
+    "ChipConfig",
+    "DEFAULT_CHIP",
+    "small_test_chip",
+]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache structure.
+
+    ``size_bytes`` counts only the data array; tag overhead is derived
+    by the storage model (:mod:`repro.core.storage`).
+    """
+
+    size_bytes: int
+    assoc: int
+    block_bytes: int = 64
+    tag_latency: int = 1
+    data_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.block_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"assoc*block ({self.assoc}*{self.block_bytes})"
+            )
+        if not _is_pow2(self.n_sets):
+            raise ValueError(f"number of sets {self.n_sets} must be a power of two")
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of block frames in the cache."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_blocks // self.assoc
+
+    @property
+    def offset_bits(self) -> int:
+        return (self.block_bytes - 1).bit_length()
+
+    @property
+    def index_bits(self) -> int:
+        return (self.n_sets - 1).bit_length() if self.n_sets > 1 else 0
+
+    def tag_bits(self, phys_addr_bits: int) -> int:
+        """Width of the tag for a physical address of the given width."""
+        return phys_addr_bits - self.index_bits - self.offset_bits
+
+    @property
+    def access_latency(self) -> int:
+        """Tag + data access latency in cycles."""
+        return self.tag_latency + self.data_latency
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """2D-mesh network-on-chip parameters (Table III)."""
+
+    link_cycles: int = 2
+    switch_cycles: int = 2
+    router_cycles: int = 1
+    flit_bytes: int = 16
+    control_flits: int = 1
+    data_flits: int = 5
+    #: when True, a simple per-link occupancy model adds queueing delay
+    model_contention: bool = False
+    #: when True, the network records per-link flit counts (hotspot
+    #: analysis); off by default to keep the hot path lean
+    track_link_load: bool = False
+
+    @property
+    def hop_cycles(self) -> int:
+        """Latency of advancing one hop in the absence of contention."""
+        return self.link_cycles + self.switch_cycles + self.router_cycles
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip memory parameters (Table III)."""
+
+    latency_cycles: int = 300
+    #: uniform random extra delay in [0, jitter_cycles]; the paper adds a
+    #: "small random delay" on top of the fixed latency
+    jitter_cycles: int = 8
+    n_controllers: int = 8
+    page_bytes: int = 4096
+    total_bytes: int = 4 << 30
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Full chip configuration.
+
+    ``n_areas`` is the static hard-wired division used by DiCo-Providers
+    and DiCo-Arin; areas are square sub-meshes whenever the geometry
+    allows it (e.g. 8x8 chip with 4 areas -> four 4x4 quadrants).
+    """
+
+    mesh_width: int = 8
+    mesh_height: int = 8
+    n_areas: int = 4
+    phys_addr_bits: int = 40
+    l1: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(
+            size_bytes=128 << 10, assoc=4, tag_latency=1, data_latency=2
+        )
+    )
+    l2: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(
+            size_bytes=1 << 20, assoc=8, tag_latency=2, data_latency=3
+        )
+    )
+    #: entries in the L1 coherence (prediction) cache, dedicated array
+    l1c_entries: int = 2048
+    #: entries in the L2 coherence cache (exact owner pointers)
+    l2c_entries: int = 2048
+    #: entries in the directory cache of the flat directory protocol
+    dir_cache_entries: int = 2048
+    noc: NocConfig = field(default_factory=NocConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_tiles % self.n_areas:
+            raise ValueError(
+                f"{self.n_areas} areas do not evenly divide {self.n_tiles} tiles"
+            )
+        if not _is_pow2(self.n_tiles):
+            raise ValueError("number of tiles must be a power of two")
+        if not _is_pow2(self.n_areas):
+            raise ValueError("number of areas must be a power of two")
+
+    @property
+    def n_tiles(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def tiles_per_area(self) -> int:
+        return self.n_tiles // self.n_areas
+
+    @property
+    def block_bytes(self) -> int:
+        return self.l1.block_bytes
+
+    @property
+    def genpo_bits(self) -> int:
+        """Size of a general pointer: log2 of the number of tiles."""
+        return max(1, (self.n_tiles - 1).bit_length())
+
+    @property
+    def propo_bits(self) -> int:
+        """Size of a provider pointer: log2 of the tiles per area.
+
+        Degenerates to 0 bits for single-tile areas (the pointer target
+        is implied), matching the storage model in Sec. V-B.
+        """
+        nta = self.tiles_per_area
+        return (nta - 1).bit_length() if nta > 1 else 0
+
+    def with_mesh(self, width: int, height: int) -> "ChipConfig":
+        return replace(self, mesh_width=width, mesh_height=height)
+
+    def with_areas(self, n_areas: int) -> "ChipConfig":
+        return replace(self, n_areas=n_areas)
+
+
+#: the paper's 64-tile, 4-area evaluation platform
+DEFAULT_CHIP = ChipConfig()
+
+
+def small_test_chip(
+    mesh_width: int = 4,
+    mesh_height: int = 4,
+    n_areas: int = 4,
+    l1_kb: int = 1,
+    l2_kb: int = 4,
+) -> ChipConfig:
+    """A deliberately tiny chip for unit tests.
+
+    Small caches force frequent replacements so eviction paths
+    (Table II of the paper) get exercised by short traces.
+    """
+    return ChipConfig(
+        mesh_width=mesh_width,
+        mesh_height=mesh_height,
+        n_areas=n_areas,
+        l1=CacheGeometry(size_bytes=l1_kb << 10, assoc=2, tag_latency=1, data_latency=2),
+        l2=CacheGeometry(size_bytes=l2_kb << 10, assoc=4, tag_latency=2, data_latency=3),
+        l1c_entries=64,
+        l2c_entries=64,
+        dir_cache_entries=64,
+    )

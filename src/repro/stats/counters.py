@@ -1,0 +1,142 @@
+"""Simulation statistics containers.
+
+One :class:`RunStats` object aggregates everything a protocol run
+produces; the analysis and power modules consume it.  The miss
+categories implement Fig. 9b's six-way breakdown of L1 misses:
+
+* ``unpredicted_home``   — no L1C$ prediction; the home L2 (or memory
+  behind it) supplied the data;
+* ``unpredicted_fwd``    — no prediction; the home forwarded the
+  request to the owner L1 (the classic 3-hop indirection);
+* ``unpredicted_provider`` — the request was routed (via home and/or
+  owner) to a provider in the requestor's area, which supplied;
+* ``pred_owner_hit``     — prediction sent the request straight to the
+  owner, which supplied (2-hop miss);
+* ``pred_provider_hit``  — prediction sent the request to a provider in
+  the requestor's area, which supplied (2-hop *shortened* miss);
+* ``pred_miss``          — the prediction was wrong; the request was
+  forwarded to the home and resolved from there;
+* ``memory``             — the block was not on chip at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..cache.cache import CacheAccessStats
+from ..noc.network import NetworkStats
+
+__all__ = ["MISS_CATEGORIES", "LatencyAccumulator", "RunStats"]
+
+MISS_CATEGORIES = (
+    "unpredicted_home",
+    "unpredicted_fwd",
+    "unpredicted_provider",
+    "pred_owner_hit",
+    "pred_provider_hit",
+    "pred_miss",
+    "memory",
+)
+
+
+@dataclass
+class LatencyAccumulator:
+    """Mean/min/max accumulator without storing samples."""
+
+    count: int = 0
+    total: int = 0
+    minimum: int = 0
+    maximum: int = 0
+
+    def add(self, value: int) -> None:
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class RunStats:
+    """Everything measured during one protocol run."""
+
+    protocol: str = ""
+    workload: str = ""
+    cycles: int = 0
+    #: committed memory operations (the performance numerator for
+    #: transaction-counting workloads)
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_data_hits: int = 0
+    l2_misses: int = 0
+    memory_fetches: int = 0
+    writebacks: int = 0
+    upgrades: int = 0
+    cow_breaks: int = 0
+    broadcast_invalidations: int = 0
+    unicast_invalidations: int = 0
+    retries: int = 0
+
+    miss_categories: Dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in MISS_CATEGORIES}
+    )
+    miss_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    #: links traversed on the critical path of each L1 miss (Sec. V-D)
+    miss_links: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    #: per structure name: aggregated access counters
+    cache_access: Dict[str, CacheAccessStats] = field(default_factory=dict)
+    network: NetworkStats = field(default_factory=NetworkStats)
+
+    def classify_miss(self, category: str) -> None:
+        if category not in self.miss_categories:
+            raise KeyError(f"unknown miss category {category!r}")
+        self.miss_categories[category] += 1
+
+    @property
+    def l1_accesses(self) -> int:
+        return self.l1_hits + self.l1_misses
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Misses of the shared L2 over requests that reached it."""
+        reached = self.l2_data_hits + self.l2_misses
+        return self.l2_misses / reached if reached else 0.0
+
+    def structure(self, name: str) -> CacheAccessStats:
+        stats = self.cache_access.get(name)
+        if stats is None:
+            stats = CacheAccessStats()
+            self.cache_access[name] = stats
+        return stats
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "operations": self.operations,
+            "l1_miss_rate": round(self.l1_miss_rate, 4),
+            "l2_miss_rate": round(self.l2_miss_rate, 4),
+            "avg_miss_latency": round(self.miss_latency.mean, 2),
+            "avg_miss_links": round(self.miss_links.mean, 2),
+            "flit_links": self.network.flit_link_traversals,
+            "routings": self.network.routing_events,
+            "broadcasts": self.network.broadcasts,
+        }

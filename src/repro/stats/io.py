@@ -1,0 +1,170 @@
+"""Persist and compare run statistics.
+
+Experiment campaigns want results on disk: each :class:`RunStats` can
+be serialized to a JSON document (schema-versioned), reloaded, and two
+runs can be diffed metric by metric — the tooling behind "did this
+change move any result by more than x%?".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping
+
+from .counters import MISS_CATEGORIES, LatencyAccumulator, RunStats
+
+__all__ = ["stats_to_dict", "stats_from_dict", "save_stats", "load_stats",
+           "MetricDelta", "compare_stats"]
+
+_SCHEMA = 1
+
+_SCALARS = (
+    "protocol",
+    "workload",
+    "cycles",
+    "operations",
+    "reads",
+    "writes",
+    "l1_hits",
+    "l1_misses",
+    "l2_data_hits",
+    "l2_misses",
+    "memory_fetches",
+    "writebacks",
+    "upgrades",
+    "cow_breaks",
+    "broadcast_invalidations",
+    "unicast_invalidations",
+    "retries",
+)
+
+_ACCUMULATORS = ("miss_latency", "miss_links")
+
+_CACHE_FIELDS = (
+    "tag_reads",
+    "tag_writes",
+    "data_reads",
+    "data_writes",
+    "hits",
+    "misses",
+    "evictions",
+)
+
+
+def stats_to_dict(stats: RunStats) -> Dict:
+    """JSON-serializable view of a run's statistics."""
+    out: Dict = {"schema": _SCHEMA}
+    for name in _SCALARS:
+        out[name] = getattr(stats, name)
+    out["miss_categories"] = dict(stats.miss_categories)
+    for name in _ACCUMULATORS:
+        acc: LatencyAccumulator = getattr(stats, name)
+        out[name] = {
+            "count": acc.count,
+            "total": acc.total,
+            "minimum": acc.minimum,
+            "maximum": acc.maximum,
+        }
+    out["cache_access"] = {
+        group: {f: getattr(access, f) for f in _CACHE_FIELDS}
+        for group, access in stats.cache_access.items()
+    }
+    net = stats.network
+    out["network"] = {
+        "messages": net.messages,
+        "flit_link_traversals": net.flit_link_traversals,
+        "router_traversals": net.router_traversals,
+        "routing_events": net.routing_events,
+        "broadcasts": net.broadcasts,
+        "by_type": dict(net.by_type),
+    }
+    return out
+
+
+def stats_from_dict(data: Mapping) -> RunStats:
+    """Inverse of :func:`stats_to_dict`."""
+    if data.get("schema") != _SCHEMA:
+        raise ValueError(f"unsupported stats schema {data.get('schema')!r}")
+    stats = RunStats()
+    for name in _SCALARS:
+        setattr(stats, name, data[name])
+    for cat, count in data["miss_categories"].items():
+        if cat not in MISS_CATEGORIES:
+            raise ValueError(f"unknown miss category {cat!r} in stats file")
+        stats.miss_categories[cat] = count
+    for name in _ACCUMULATORS:
+        acc = getattr(stats, name)
+        saved = data[name]
+        acc.count = saved["count"]
+        acc.total = saved["total"]
+        acc.minimum = saved["minimum"]
+        acc.maximum = saved["maximum"]
+    for group, fields in data["cache_access"].items():
+        access = stats.structure(group)
+        for f, v in fields.items():
+            setattr(access, f, v)
+    net = data["network"]
+    stats.network.messages = net["messages"]
+    stats.network.flit_link_traversals = net["flit_link_traversals"]
+    stats.network.router_traversals = net["router_traversals"]
+    stats.network.routing_events = net["routing_events"]
+    stats.network.broadcasts = net["broadcasts"]
+    for k, v in net["by_type"].items():
+        stats.network.by_type[k] = v
+    return stats
+
+
+def save_stats(stats: RunStats, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(stats_to_dict(stats), indent=1))
+
+
+def load_stats(path: str | Path) -> RunStats:
+    return stats_from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between two runs."""
+
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return self.after / self.before - 1.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.metric}: {self.before} -> {self.after} ({self.relative:+.1%})"
+
+
+def compare_stats(
+    before: RunStats,
+    after: RunStats,
+    threshold: float = 0.02,
+    metrics: Iterable[str] = (
+        "operations",
+        "l1_misses",
+        "memory_fetches",
+        "unicast_invalidations",
+        "broadcast_invalidations",
+    ),
+) -> List[MetricDelta]:
+    """Metrics whose relative change exceeds ``threshold``."""
+    deltas = []
+    for metric in metrics:
+        b = getattr(before, metric)
+        a = getattr(after, metric)
+        delta = MetricDelta(metric=metric, before=b, after=a)
+        if abs(delta.relative) > threshold:
+            deltas.append(delta)
+    net_b = before.network.flit_link_traversals
+    net_a = after.network.flit_link_traversals
+    delta = MetricDelta("flit_link_traversals", net_b, net_a)
+    if abs(delta.relative) > threshold:
+        deltas.append(delta)
+    return deltas

@@ -1,0 +1,4 @@
+"""Consolidated workloads: specs, placement and trace generation."""
+from .generator import ConsolidatedWorkload, MemOp
+from .placement import VMPlacement
+from .spec import BENCHMARKS, MIXES, WorkloadSpec, spec_names, workload_for_vm

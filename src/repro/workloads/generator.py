@@ -1,0 +1,276 @@
+"""Synthetic trace generation for consolidated workloads.
+
+A :class:`ConsolidatedWorkload` sets up the physical address space of a
+multi-VM run — private, VM-shared and deduplicated pages, through the
+hypervisor model of :mod:`repro.mem.dedup` — and produces one memory
+reference stream per tile.
+
+Reference streams are generated in NumPy batches (the HPC guides'
+vectorize-the-hot-loop rule: page/offset/write draws for thousands of
+accesses cost one RNG call each) and then iterated one access at a
+time by the core model.  Page popularity follows a truncated Zipf
+distribution whose skew is a per-benchmark parameter; deduplicated
+pages share one popularity ranking across all VMs of the same
+benchmark, because they hold the *same* content (shared libraries,
+binaries), which maximizes the cross-VM read sharing the paper's
+protocols exploit.
+
+Writes to a deduplicated page go through
+:meth:`repro.mem.dedup.DedupPageTable.translate_write`, breaking the
+sharing copy-on-write exactly like the hypervisor would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..mem.address import AddressMap
+from ..mem.dedup import DedupPageTable
+from .placement import VMPlacement
+from .spec import WorkloadSpec, workload_for_vm
+
+__all__ = ["MemOp", "ConsolidatedWorkload"]
+
+_BATCH = 4096
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One memory operation issued by a core."""
+
+    addr: int
+    is_write: bool
+    think: int
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-s)
+    return w / w.sum()
+
+
+class _Region:
+    """One class of pages (private / vm-shared / dedup) for one thread."""
+
+    __slots__ = ("vpages", "weights")
+
+    def __init__(self, vpages: np.ndarray, weights: np.ndarray) -> None:
+        self.vpages = vpages
+        self.weights = weights
+
+
+class ConsolidatedWorkload:
+    """Address-space setup plus per-tile trace streams for one run."""
+
+    def __init__(
+        self,
+        workload: str,
+        placement: VMPlacement,
+        addr_map: AddressMap,
+        seed: int = 0,
+        os_pages: int = 10,
+    ) -> None:
+        """``os_pages`` models the guest-OS pages (kernel text, shared
+        libraries) that are identical across *all* VMs regardless of
+        the benchmark they run — the reason the paper's heterogeneous
+        mixes still save ~15% of memory through deduplication."""
+        self.name = workload
+        self.placement = placement
+        self.addr = addr_map
+        self.seed = seed
+        self.os_pages = os_pages
+        self.table = DedupPageTable()
+        self.spec_by_vm: Dict[int, WorkloadSpec] = {
+            vm: workload_for_vm(workload, vm, placement.n_vms)
+            for vm in range(placement.n_vms)
+        }
+        # virtual page layout per VM: [private(t0) .. private(tN)][shared][dedup]
+        self._private_base: Dict[int, int] = {}
+        self._shared_base: Dict[int, int] = {}
+        self._dedup_base: Dict[int, int] = {}
+        self._build_address_space()
+
+    # ------------------------------------------------------------------
+
+    def _build_address_space(self) -> None:
+        # group VMs by benchmark: application pages deduplicate only
+        # between VMs running the same (identical-content) benchmark
+        groups: Dict[str, List[int]] = {}
+        for vm, spec in self.spec_by_vm.items():
+            groups.setdefault(spec.name, []).append(vm)
+        all_vms = sorted(self.spec_by_vm)
+
+        for vm, spec in self.spec_by_vm.items():
+            threads = self.placement.threads_per_vm(vm)
+            vpage = 0
+            self._private_base[vm] = vpage
+            for _ in range(threads * spec.private_pages):
+                self.table.map_private(vm, vpage)
+                vpage += 1
+            self._shared_base[vm] = vpage
+            for _ in range(spec.vm_shared_pages):
+                self.table.map_vm_shared(vm, vpage)
+                vpage += 1
+            # the dedup region: guest-OS pages first (identical in
+            # every VM), then the benchmark's own deduplicable pages
+            self._dedup_base[vm] = vpage
+            vpage += self.os_pages + spec.dedup_pages  # mapped below
+
+        for j in range(self.os_pages):
+            if len(all_vms) >= 2:
+                self.table.map_deduplicated(
+                    {vm: self._dedup_base[vm] + j for vm in all_vms}
+                )
+            else:
+                self.table.map_private(
+                    all_vms[0], self._dedup_base[all_vms[0]] + j
+                )
+        for bench, vms in groups.items():
+            spec = self.spec_by_vm[vms[0]]
+            for j in range(spec.dedup_pages):
+                offsets = {
+                    vm: self._dedup_base[vm] + self.os_pages + j for vm in vms
+                }
+                if len(vms) >= 2:
+                    self.table.map_deduplicated(offsets)
+                else:
+                    self.table.map_private(vms[0], offsets[vms[0]])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dedup_saving(self) -> float:
+        """Measured fraction of pages saved (compare with Table IV)."""
+        return self.table.dedup_ratio
+
+    @property
+    def cow_breaks(self) -> int:
+        return len(self.table.cow_events)
+
+    def _regions_for(self, vm: int, thread: int) -> List[_Region]:
+        """Block-granular regions with Zipf popularity.
+
+        Each region is a flat array of ``(vpage, block_in_page)`` pairs;
+        the Zipf ranking is permuted per VM for the VM-shared region (one
+        hot set per VM) and shared across VMs for the dedup region (the
+        pages hold identical content, so the hot blocks coincide —
+        which is what makes cross-VM providers useful).
+        """
+        spec = self.spec_by_vm[vm]
+        bpp = self.addr.blocks_per_page
+
+        def blocks_of(page_lo: int, n_pages: int) -> np.ndarray:
+            pages = np.repeat(np.arange(page_lo, page_lo + n_pages), bpp)
+            offs = np.tile(np.arange(bpp), n_pages)
+            return np.stack([pages, offs], axis=1)
+
+        priv = blocks_of(
+            self._private_base[vm] + thread * spec.private_pages, spec.private_pages
+        )
+        shared = blocks_of(self._shared_base[vm], spec.vm_shared_pages)
+        dedup = blocks_of(
+            self._dedup_base[vm], self.os_pages + spec.dedup_pages
+        )
+        regions = []
+        for blocks, permute_seed in (
+            (priv, None),  # private: ranking is irrelevant
+            (shared, vm),  # VM-shared: one hot set per VM
+            (dedup, -1),   # dedup: one hot set shared by all VMs
+        ):
+            n = len(blocks)
+            if n == 0:
+                regions.append(_Region(blocks, np.ones(0)))
+                continue
+            w = _zipf_weights(n, spec.zipf_s)
+            if permute_seed is not None:
+                perm = np.random.default_rng(
+                    (self.seed, permute_seed & 0xFFFF)
+                ).permutation(n)
+                blocks = blocks[perm]
+            regions.append(_Region(blocks, w))
+        return regions
+
+    def trace(self, tile: int) -> Iterator[MemOp]:
+        """Infinite memory-reference stream for the core at ``tile``.
+
+        Temporal locality comes from a per-thread *reuse window*: with
+        probability ``spec.reuse_prob`` the next access re-touches one
+        of the last ``spec.reuse_window`` distinct blocks; otherwise a
+        fresh block is drawn from the Zipf-ranked region mix.
+        """
+        vm = self.placement.vm_of(tile)
+        thread = self.placement.thread_of(tile)
+        spec = self.spec_by_vm[vm]
+        rng = np.random.default_rng((self.seed, vm, thread))
+        regions = self._regions_for(vm, thread)
+        fracs = np.array(
+            [spec.frac_private, spec.frac_vm_shared, spec.frac_dedup], dtype=float
+        )
+        for i, r in enumerate(regions):
+            if len(r.vpages) == 0:
+                fracs[i] = 0.0
+        fracs = fracs / fracs.sum()
+        wprobs = (spec.write_private, spec.write_vm_shared, spec.write_dedup)
+        think_lo, think_hi = spec.think
+        window: List[Tuple[int, int, int]] = []  # (region, vpage, block_off)
+        wpos = 0
+        # cyclic sweep over the leading dedup pages (hot shared content)
+        bpp = self.addr.blocks_per_page
+        scan_blocks = (
+            min(spec.dedup_scan_pages, self.os_pages + spec.dedup_pages) * bpp
+        )
+        scan_base = self._dedup_base[vm]
+        scan_pos = int(
+            np.random.default_rng((self.seed, vm, thread, 7)).integers(
+                0, max(1, scan_blocks)
+            )
+        )
+
+        while True:
+            region_ids = rng.choice(3, size=_BATCH, p=fracs)
+            reuse_draw = rng.random(size=_BATCH)
+            reuse_pick = rng.integers(0, max(1, spec.reuse_window), size=_BATCH)
+            wdraw = rng.random(size=_BATCH)
+            thinks = rng.integers(think_lo, think_hi + 1, size=_BATCH)
+            fresh_draws = [
+                rng.choice(len(r.vpages), size=_BATCH, p=r.weights)
+                if len(r.vpages)
+                else None
+                for r in regions
+            ]
+            scan_draw = rng.random(size=_BATCH)
+            for i in range(_BATCH):
+                if window and reuse_draw[i] < spec.reuse_prob:
+                    rid, vpage, off = window[int(reuse_pick[i]) % len(window)]
+                else:
+                    rid = int(region_ids[i])
+                    if (
+                        rid == 2
+                        and scan_blocks
+                        and scan_draw[i] < spec.dedup_scan_frac
+                    ):
+                        # streaming sweep: no reuse-window insertion
+                        vpage = scan_base + scan_pos // bpp
+                        off = scan_pos % bpp
+                        scan_pos = (scan_pos + 1) % scan_blocks
+                    else:
+                        region = regions[rid]
+                        vpage, off = region.vpages[fresh_draws[rid][i]]
+                        vpage, off = int(vpage), int(off)
+                        item = (rid, vpage, off)
+                        if len(window) < spec.reuse_window:
+                            window.append(item)
+                        else:
+                            window[wpos] = item
+                            wpos = (wpos + 1) % spec.reuse_window
+                is_write = bool(wdraw[i] < wprobs[rid])
+                if is_write:
+                    ppage, _ = self.table.translate_write(vm, vpage)
+                else:
+                    ppage = self.table.translate(vm, vpage)
+                addr = self.addr.block_in_page(ppage, off)
+                addr <<= self.addr.block_offset_bits
+                yield MemOp(addr=addr, is_write=is_write, think=int(thinks[i]))

@@ -1,0 +1,99 @@
+"""VM-to-tile placement (Sec. V-A and Fig. 6).
+
+Two placements are studied in the paper:
+
+* **area-aligned** (default): the OS/hypervisor schedules each VM's
+  threads onto the tiles of one static area — the configuration the
+  protocols are optimized for;
+* **alternative** ("-alt", Fig. 6): the threads were not carefully
+  scheduled and each VM straddles two areas.  We realize it with
+  horizontal bands: on the 8x8 chip each VM occupies two full rows,
+  spanning two of the four square areas — the worst case for
+  DiCo-Arin, whose VM-private read/write data then becomes inter-area.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.area import AreaMap
+
+__all__ = ["VMPlacement"]
+
+
+class VMPlacement:
+    """Maps virtual machines to tiles (one thread per tile)."""
+
+    def __init__(self, tiles_by_vm: Dict[int, Sequence[int]]) -> None:
+        if not tiles_by_vm:
+            raise ValueError("need at least one VM")
+        seen: Dict[int, int] = {}
+        for vm, tiles in tiles_by_vm.items():
+            if not tiles:
+                raise ValueError(f"VM {vm} has no tiles")
+            for t in tiles:
+                if t in seen:
+                    raise ValueError(f"tile {t} assigned to VMs {seen[t]} and {vm}")
+                seen[t] = vm
+        self._tiles_by_vm: Dict[int, Tuple[int, ...]] = {
+            vm: tuple(tiles) for vm, tiles in tiles_by_vm.items()
+        }
+        self._vm_of = seen
+        self._thread_of: Dict[int, int] = {}
+        for vm, tiles in self._tiles_by_vm.items():
+            for i, t in enumerate(tiles):
+                self._thread_of[t] = i
+
+    # ------------------------------------------------------------------
+    # constructors
+
+    @classmethod
+    def area_aligned(cls, areas: AreaMap, n_vms: int) -> "VMPlacement":
+        """One VM per area (the paper's default configuration)."""
+        if n_vms > areas.n_areas:
+            raise ValueError(
+                f"{n_vms} VMs do not fit {areas.n_areas} areas one-to-one"
+            )
+        return cls({vm: areas.tiles_of(vm) for vm in range(n_vms)})
+
+    @classmethod
+    def alternative(cls, width: int, height: int, n_vms: int) -> "VMPlacement":
+        """Fig. 6 right: VMs as horizontal bands straddling areas."""
+        if height % n_vms:
+            raise ValueError(f"{n_vms} bands do not divide height {height}")
+        rows_per_vm = height // n_vms
+        tiles_by_vm: Dict[int, List[int]] = {}
+        for vm in range(n_vms):
+            tiles: List[int] = []
+            for r in range(vm * rows_per_vm, (vm + 1) * rows_per_vm):
+                tiles.extend(r * width + x for x in range(width))
+            tiles_by_vm[vm] = tiles
+        return cls(tiles_by_vm)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_vms(self) -> int:
+        return len(self._tiles_by_vm)
+
+    @property
+    def tiles_used(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._vm_of))
+
+    def tiles_of(self, vm: int) -> Tuple[int, ...]:
+        return self._tiles_by_vm[vm]
+
+    def threads_per_vm(self, vm: int) -> int:
+        return len(self._tiles_by_vm[vm])
+
+    def vm_of(self, tile: int) -> int:
+        """VM running on ``tile`` (KeyError if the tile is idle)."""
+        return self._vm_of[tile]
+
+    def thread_of(self, tile: int) -> int:
+        """Thread index of the tile within its VM."""
+        return self._thread_of[tile]
+
+    def areas_spanned(self, vm: int, areas: AreaMap) -> Tuple[int, ...]:
+        """Distinct areas a VM's tiles touch (1 for aligned placement)."""
+        return tuple(sorted({areas.area_of(t) for t in self._tiles_by_vm[vm]}))

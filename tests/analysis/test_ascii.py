@@ -1,0 +1,46 @@
+"""Unit tests for the terminal figure rendering."""
+
+from repro.analysis.ascii import grouped_bars, hbar, stacked_bars
+
+
+def test_hbar_scaling():
+    assert hbar(1.0, 1.0, width=10) == "█" * 10
+    assert hbar(0.5, 1.0, width=10) == "█" * 5
+    assert hbar(0.0, 1.0, width=10) == ""
+    assert hbar(2.0, 1.0, width=10) == "█" * 10  # clamped
+
+
+def test_hbar_fractional_cells():
+    bar = hbar(0.55, 1.0, width=10)
+    assert len(bar) == 6  # 5 full + 1 partial block
+    assert bar[-1] in " ▏▎▍▌▋▊▉█"
+
+
+def test_hbar_zero_scale():
+    assert hbar(1.0, 0.0) == ""
+
+
+def test_grouped_bars_contains_labels_and_values():
+    out = grouped_bars({"directory": 1.0, "dico": 0.5}, title="perf")
+    assert "perf" in out
+    assert "directory" in out
+    assert "1.000" in out and "0.500" in out
+    # longest bar belongs to the maximum
+    lines = out.splitlines()
+    assert lines[1].count("█") > lines[2].count("█")
+
+
+def test_stacked_bars_renders_all_segments():
+    rows = {
+        "directory": {"cache": 1.0, "links": 0.5},
+        "dico": {"cache": 0.8, "links": 0.3},
+    }
+    out = stacked_bars(rows, segments=("cache", "links"), title="Fig 7")
+    assert "Fig 7" in out
+    assert "█=cache" in out and "▓=links" in out
+    assert "1.500" in out  # directory total
+
+
+def test_stacked_bars_handles_missing_segments():
+    out = stacked_bars({"a": {"x": 1.0}}, segments=("x", "y"))
+    assert "a" in out

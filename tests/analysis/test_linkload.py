@@ -1,0 +1,79 @@
+"""Unit tests for the link-load hotspot analysis."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.linkload import (
+    area_crossing_flits,
+    heatmap,
+    hotspots,
+    tile_load,
+)
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+from repro.sim.config import NocConfig
+
+
+@pytest.fixture
+def loaded():
+    mesh = Mesh(4, 4)
+    net = Network(mesh, track_link_load=True)
+    net.send(0, 3, flits=5)   # along the top row
+    net.send(0, 3, flits=5)
+    net.send(12, 15, flits=1)  # along the bottom row
+    return mesh, net
+
+
+def test_tile_load_counts_forwarded_flits(loaded):
+    mesh, net = loaded
+    load = tile_load(net.stats, mesh)
+    assert load[0] == 10  # two 5-flit sends leave tile 0
+    assert load[1] == 10
+    assert load[3] == 0   # destination forwards nothing
+    assert load[12] == 1
+
+
+def test_hotspots_ranked(loaded):
+    mesh, net = loaded
+    top = hotspots(net.stats, mesh, top=2)
+    assert top[0][1] == 10
+    assert top[0][0] in {(0, 1), (1, 2), (2, 3)}
+
+
+def test_area_crossing_split():
+    mesh = Mesh(4, 4)
+    net = Network(mesh, track_link_load=True)
+    # areas: 2x2 quadrants
+    from repro.core.area import AreaMap
+
+    areas = AreaMap(4, 4, 4)
+    area_of = {t: areas.area_of(t) for t in range(16)}
+    net.send(0, 1, flits=2)    # intra-area (both in quadrant 0)
+    net.send(0, 3, flits=1)    # crosses into quadrant 1
+    split = area_crossing_flits(net.stats, mesh, area_of)
+    assert split["intra_area"] >= 2
+    assert split["inter_area"] >= 1
+    total_flits = sum(net.stats.link_load.values())
+    assert split["intra_area"] + split["inter_area"] == total_flits
+
+
+def test_heatmap_renders_grid(loaded):
+    mesh, net = loaded
+    art = heatmap(net.stats, mesh)
+    lines = art.splitlines()
+    assert len(lines) == mesh.height + 1  # rows + caption
+    assert all(len(l) == mesh.width * 2 for l in lines[:-1])
+    assert "peak" in lines[-1]
+
+
+def test_chip_level_tracking_flag():
+    """track_link_load threads from NocConfig into the protocol."""
+    from repro.sim.chip import Chip
+    from repro.sim.config import small_test_chip
+
+    cfg = small_test_chip()
+    cfg = replace(cfg, noc=replace(cfg.noc, track_link_load=True))
+    chip = Chip("dico", "radix", config=cfg, seed=0)
+    chip.run_cycles(3_000)
+    assert chip.protocol.network.stats.link_load  # populated

@@ -1,0 +1,94 @@
+"""Unit tests for the figure-generation analysis functions."""
+
+import pytest
+
+from repro.analysis.report import (
+    average_miss_links,
+    energy_breakdowns,
+    fig7_rows,
+    fig8a_rows,
+    fig8b_rows,
+    fig9a_performance,
+    fig9b_miss_breakdown,
+)
+from repro.stats.counters import RunStats
+
+
+def fake_stats(protocol: str, ops: int, cycles: int, flits: int) -> RunStats:
+    st = RunStats(protocol=protocol, workload="synth")
+    st.operations = ops
+    st.cycles = cycles
+    st.structure("l1").tag_reads = ops
+    st.structure("l1").data_reads = ops
+    st.structure("l2").data_reads = ops // 4
+    st.network.flit_link_traversals = flits
+    st.network.routing_events = flits // 5
+    st.miss_categories["pred_owner_hit"] = 30
+    st.miss_categories["unpredicted_home"] = 70
+    st.miss_links.add(10)
+    st.miss_links.add(12)
+    return st
+
+
+@pytest.fixture
+def stats():
+    return {
+        "directory": fake_stats("directory", 1000, 5000, 10000),
+        "dico": fake_stats("dico", 1100, 5000, 8000),
+    }
+
+
+def test_fig9a_transactions_metric(stats):
+    perf = fig9a_performance(stats, metric="transactions")
+    assert perf["directory"] == 1.0
+    assert perf["dico"] == pytest.approx(1.1)
+
+
+def test_fig9a_time_metric():
+    stats = {
+        "directory": fake_stats("directory", 100, 2000, 0),
+        "dico": fake_stats("dico", 100, 1000, 0),
+    }
+    perf = fig9a_performance(stats, metric="time")
+    assert perf["dico"] == pytest.approx(2.0)  # half the time = 2x perf
+
+
+def test_fig9a_unknown_metric(stats):
+    with pytest.raises(ValueError):
+        fig9a_performance(stats, metric="flops")
+
+
+def test_fig7_normalized_to_directory_cache(stats):
+    rows = fig7_rows(stats)
+    assert rows["directory"]["cache"] == pytest.approx(1.0)
+    assert rows["directory"]["total"] > 1.0
+    # dico moved fewer flits: lower link energy
+    assert rows["dico"]["links"] < rows["directory"]["links"]
+
+
+def test_fig8a_components_sum_to_cache_energy(stats):
+    rows = fig8a_rows(stats)
+    energies = energy_breakdowns(stats)
+    ref = energies["directory"].cache_energy
+    for proto, comps in rows.items():
+        assert sum(comps.values()) == pytest.approx(
+            energies[proto].cache_energy / ref
+        )
+
+
+def test_fig8b_links_plus_routing_is_total(stats):
+    rows = fig8b_rows(stats)
+    for comps in rows.values():
+        assert comps["links"] + comps["routing"] == pytest.approx(comps["total"])
+
+
+def test_fig9b_shares_sum_to_one(stats):
+    rows = fig9b_miss_breakdown(stats)
+    for shares in rows.values():
+        assert sum(shares.values()) == pytest.approx(1.0)
+    assert rows["directory"]["pred_owner_hit"] == pytest.approx(0.3)
+
+
+def test_average_miss_links(stats):
+    links = average_miss_links(stats)
+    assert links["directory"] == pytest.approx(11.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the MSHR table."""
+
+import pytest
+
+from repro.cache.mshr import MshrEntry, MshrFullError, MshrTable
+
+
+def test_allocate_and_busy_until():
+    t = MshrTable(4)
+    t.allocate(0x10, busy_until=100, now=0)
+    assert 0x10 in t
+    assert t.busy_until(0x10, now=50) == 100
+    assert t.busy_until(0x10, now=150) == 150
+    assert t.busy_until(0x99, now=7) == 7
+
+
+def test_reallocate_extends_busy_window():
+    t = MshrTable(4)
+    t.allocate(1, busy_until=100, now=0)
+    t.allocate(1, busy_until=80, now=0)  # shorter: no shrink
+    assert t.busy_until(1, 0) == 100
+    t.allocate(1, busy_until=120, now=0)
+    assert t.busy_until(1, 0) == 120
+    assert len(t) == 1
+
+
+def test_full_raises_and_counts():
+    t = MshrTable(2)
+    t.allocate(1, 100, now=0)
+    t.allocate(2, 100, now=0)
+    with pytest.raises(MshrFullError):
+        t.allocate(3, 100, now=0)
+    assert t.full_stalls == 1
+
+
+def test_expired_entries_are_garbage_collected():
+    t = MshrTable(2)
+    t.allocate(1, busy_until=10, now=0)
+    t.allocate(2, busy_until=100, now=0)
+    # at time 50, entry 1 has expired: room for a new one
+    t.allocate(3, busy_until=200, now=50)
+    assert 1 not in t
+    assert len(t) == 2
+
+
+def test_next_free_time():
+    t = MshrTable(2)
+    assert t.next_free_time(0) == 0
+    t.allocate(1, 30, now=0)
+    t.allocate(2, 50, now=0)
+    assert t.next_free_time(0) == 30
+    assert t.next_free_time(40) == 40  # entry 1 expired
+
+
+def test_release():
+    t = MshrTable(1)
+    t.allocate(1, 100, now=0)
+    t.release(1)
+    assert 1 not in t
+    t.release(1)  # idempotent
+
+
+class TestDualAckCounters:
+    """Sec. IV-A: separate provider and sharer ack counters."""
+
+    def test_provider_ack_adds_its_sharers(self):
+        e = MshrEntry(block=1, busy_until=0)
+        e.pending_provider_acks = 2
+        assert not e.invalidation_done
+        e.ack_from_provider(sharers_in_area=3)
+        assert e.pending_provider_acks == 1
+        assert e.pending_sharer_acks == 3
+        e.ack_from_provider(sharers_in_area=0)
+        for _ in range(3):
+            e.ack_from_sharer()
+        assert e.invalidation_done
+
+    def test_unexpected_acks_rejected(self):
+        e = MshrEntry(block=1, busy_until=0)
+        with pytest.raises(ValueError):
+            e.ack_from_provider(0)
+        with pytest.raises(ValueError):
+            e.ack_from_sharer()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MshrTable(0)

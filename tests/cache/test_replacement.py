@@ -1,0 +1,96 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFO,
+    LRU,
+    RandomRepl,
+    TreePLRU,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        p = LRU(4)
+        for way in (0, 1, 2, 3):
+            p.touch(way)
+        assert p.victim() == 0
+        p.touch(0)
+        assert p.victim() == 1
+
+    def test_reset_demotes_to_lru(self):
+        p = LRU(4)
+        for way in (0, 1, 2, 3):
+            p.touch(way)
+        p.reset(3)  # invalidated way becomes the next victim
+        assert p.victim() == 3
+
+
+class TestFIFO:
+    def test_hit_does_not_change_order(self):
+        p = FIFO(3)
+        for way in (0, 1, 2):
+            p.touch(way)  # fills
+        p.touch(0)  # hit: no reordering
+        assert p.victim() == 0
+
+    def test_refill_after_reset_goes_to_back(self):
+        p = FIFO(3)
+        for way in (0, 1, 2):
+            p.touch(way)
+        p.reset(1)
+        p.touch(1)  # re-filled: now newest
+        assert p.victim() == 0
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRU(3)
+
+    def test_victim_avoids_recent_touches(self):
+        p = TreePLRU(4)
+        p.touch(0)
+        assert p.victim() != 0
+        p.touch(p.victim())
+        v = p.victim()
+        p.touch(v)
+        assert p.victim() != v
+
+    def test_covers_all_ways_eventually(self):
+        p = TreePLRU(8)
+        seen = set()
+        for _ in range(64):
+            v = p.victim()
+            seen.add(v)
+            p.touch(v)
+        assert seen == set(range(8))
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        a = RandomRepl(8, seed=1)
+        b = RandomRepl(8, seed=1)
+        assert [a.victim() for _ in range(20)] == [b.victim() for _ in range(20)]
+
+    def test_victims_in_range(self):
+        p = RandomRepl(4, seed=0)
+        assert all(0 <= p.victim() < 4 for _ in range(50))
+
+
+def test_factory():
+    assert isinstance(make_policy("lru", 4), LRU)
+    assert isinstance(make_policy("fifo", 4), FIFO)
+    assert isinstance(make_policy("plru", 4), TreePLRU)
+    assert isinstance(make_policy("random", 4), RandomRepl)
+    with pytest.raises(ValueError):
+        make_policy("mru", 4)
+
+
+def test_single_way_policies():
+    for name in ("lru", "fifo", "plru", "random"):
+        p = make_policy(name, 1)
+        p.touch(0)
+        assert p.victim() == 0

@@ -1,0 +1,70 @@
+"""Unit tests for the static area division."""
+
+import pytest
+
+from repro.core.area import AreaMap
+
+
+def test_paper_four_quadrants():
+    areas = AreaMap(8, 8, 4)
+    assert areas.tiles_per_area == 16
+    assert areas.area_width == 4 and areas.area_height == 4
+    # quadrant corners
+    assert areas.area_of(0) == 0
+    assert areas.area_of(7) == 1
+    assert areas.area_of(56) == 2
+    assert areas.area_of(63) == 3
+    # each area has exactly 16 tiles and they partition the chip
+    all_tiles = []
+    for a in range(4):
+        tiles = areas.tiles_of(a)
+        assert len(tiles) == 16
+        assert all(areas.area_of(t) == a for t in tiles)
+        all_tiles.extend(tiles)
+    assert sorted(all_tiles) == list(range(64))
+
+
+def test_same_area():
+    areas = AreaMap(8, 8, 4)
+    assert areas.same_area(0, 27)  # both in quadrant 0
+    assert not areas.same_area(0, 63)
+
+
+def test_local_index_roundtrip():
+    areas = AreaMap(8, 8, 4)
+    for t in range(64):
+        a = areas.area_of(t)
+        li = areas.local_index(t)
+        assert 0 <= li < 16
+        assert areas.tile_from_local(a, li) == t
+
+
+def test_two_areas_split():
+    areas = AreaMap(8, 8, 2)
+    assert areas.tiles_per_area == 32
+    assert areas.area_of(0) != areas.area_of(63)
+
+
+def test_areas_equal_tiles():
+    areas = AreaMap(4, 4, 16)
+    assert areas.tiles_per_area == 1
+    assert [areas.area_of(t) for t in range(16)] == list(range(16))
+
+
+def test_single_area():
+    areas = AreaMap(4, 4, 1)
+    assert areas.area_of(0) == areas.area_of(15) == 0
+
+
+def test_rectangular_mesh():
+    areas = AreaMap(16, 8, 8)
+    assert areas.tiles_per_area == 16
+    sizes = [len(areas.tiles_of(a)) for a in range(8)]
+    assert sizes == [16] * 8
+
+
+def test_impossible_tiling_rejected():
+    with pytest.raises(ValueError):
+        AreaMap(8, 8, 5)  # 5 does not tile 8x8
+    with pytest.raises(ValueError):
+        AreaMap(8, 8, 0)

@@ -1,0 +1,74 @@
+"""Unit tests for the coherence-invariant checker."""
+
+import pytest
+
+from repro.core.checker import CoherenceChecker, CoherenceViolation
+
+
+def test_versions_start_at_zero():
+    c = CoherenceChecker()
+    assert c.current_version(0x10) == 0
+    c.check_read(0x10, 0)  # fresh block readable at version 0
+
+
+def test_commit_write_increments():
+    c = CoherenceChecker()
+    assert c.commit_write(0x10) == 1
+    assert c.commit_write(0x10) == 2
+    assert c.current_version(0x10) == 2
+    assert c.writes_committed == 2
+
+
+def test_stale_read_raises():
+    c = CoherenceChecker()
+    c.commit_write(0x10)
+    with pytest.raises(CoherenceViolation, match="stale read"):
+        c.check_read(0x10, 0)
+    c.check_read(0x10, 1)
+    assert c.reads_checked == 2  # the failed check also counted
+
+
+def test_copy_set_single_owner_ok():
+    c = CoherenceChecker()
+    c.commit_write(1)
+    c.check_copy_set(1, [("L1[0]", "M", 1)])
+    c.check_copy_set(1, [("L1[0]", "O", 1), ("L1[1]", "S", 1)])
+    c.check_copy_set(1, [("L2[5]", "L2_OWNER", 1), ("L1[1]", "S", 1)])
+
+
+def test_multiple_owners_violate():
+    c = CoherenceChecker()
+    with pytest.raises(CoherenceViolation, match="multiple owners"):
+        c.check_copy_set(1, [("L1[0]", "M", 0), ("L1[1]", "O", 0)])
+    with pytest.raises(CoherenceViolation, match="multiple owners"):
+        c.check_copy_set(1, [("L1[0]", "E", 0), ("L2[5]", "L2_OWNER", 0)])
+
+
+def test_exclusive_with_other_copies_violates():
+    c = CoherenceChecker()
+    with pytest.raises(CoherenceViolation, match="exclusive"):
+        c.check_copy_set(1, [("L1[0]", "M", 0), ("L1[1]", "S", 0)])
+
+
+def test_stale_copy_violates():
+    c = CoherenceChecker()
+    c.commit_write(1)
+    with pytest.raises(CoherenceViolation, match="stale"):
+        c.check_copy_set(1, [("L1[0]", "S", 0)])
+
+
+def test_providers_and_sharers_coexist():
+    c = CoherenceChecker()
+    c.check_copy_set(
+        1,
+        [
+            ("L1[0]", "O", 0),
+            ("L1[17]", "P", 0),
+            ("L1[18]", "S", 0),
+            ("L1[33]", "P", 0),
+        ],
+    )
+
+
+def test_empty_copy_set_is_fine():
+    CoherenceChecker().check_copy_set(1, [])

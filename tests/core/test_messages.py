@@ -1,0 +1,54 @@
+"""Unit tests for the coherence message vocabulary."""
+
+import pytest
+
+from repro.core.messages import (
+    CONTROL_MESSAGES,
+    DATA_MESSAGES,
+    MessageType,
+    flits_for,
+)
+
+
+def test_every_message_type_is_classified():
+    names = [
+        getattr(MessageType, attr)
+        for attr in dir(MessageType)
+        if not attr.startswith("_")
+    ]
+    for name in names:
+        assert name in CONTROL_MESSAGES or name in DATA_MESSAGES, name
+
+
+def test_no_message_is_both():
+    assert not (CONTROL_MESSAGES & DATA_MESSAGES)
+
+
+def test_flits_for_table_iii_sizes():
+    # Table III: control 1 flit, data 5 flits (16 B header + 64 B block)
+    assert flits_for(MessageType.GETS, 1, 5) == 1
+    assert flits_for(MessageType.INV, 1, 5) == 1
+    assert flits_for(MessageType.DATA, 1, 5) == 5
+    assert flits_for(MessageType.WRITEBACK, 1, 5) == 5
+    assert flits_for(MessageType.DATA_OWNER, 1, 5) == 5
+
+
+def test_requests_and_acks_are_control():
+    for m in (
+        MessageType.GETS,
+        MessageType.GETX,
+        MessageType.FWD_GETS,
+        MessageType.INV_ACK,
+        MessageType.CHANGE_OWNER,
+        MessageType.CHANGE_PROVIDER,
+        MessageType.NO_PROVIDER,
+        MessageType.INV_BCAST,
+        MessageType.UNBLOCK_BCAST,
+        MessageType.HINT,
+    ):
+        assert m in CONTROL_MESSAGES
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError):
+        flits_for("Bogus", 1, 5)

@@ -1,0 +1,72 @@
+"""Unit tests for GenPo/ProPo pointer arithmetic."""
+
+import pytest
+
+from repro.core.area import AreaMap
+from repro.core.pointers import GenPo, ProPo, genpo_bits, propo_bits
+
+
+def test_paper_pointer_widths():
+    # Sec. V-B: 6-bit GenPo for 64 tiles, 4-bit ProPo for 16-tile areas
+    assert genpo_bits(64) == 6
+    assert propo_bits(16) == 4
+
+
+def test_widths_across_scales():
+    assert genpo_bits(2) == 1
+    assert genpo_bits(128) == 7
+    assert genpo_bits(1024) == 10
+    assert propo_bits(1) == 0  # degenerate single-tile area
+    assert propo_bits(2) == 1
+    assert propo_bits(512) == 9
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        genpo_bits(0)
+    with pytest.raises(ValueError):
+        propo_bits(0)
+
+
+class TestGenPo:
+    def test_set_clear_valid(self):
+        p = GenPo(n_tiles=64)
+        assert not p.valid
+        p.set(42)
+        assert p.valid and p.tile == 42 and p.encode() == 42
+        p.clear()
+        assert not p.valid and p.encode() == 0
+
+    def test_range_checked(self):
+        p = GenPo(n_tiles=16)
+        with pytest.raises(ValueError):
+            p.set(16)
+
+    def test_bits(self):
+        assert GenPo(n_tiles=64).bits == 6
+
+
+class TestProPo:
+    def test_points_within_its_area(self):
+        areas = AreaMap(8, 8, 4)
+        p = ProPo(areas=areas, area=3)
+        tile = areas.tiles_of(3)[5]
+        p.set_tile(tile)
+        assert p.valid
+        assert p.tile == tile
+        assert p.local_index == 5
+
+    def test_rejects_foreign_tiles(self):
+        areas = AreaMap(8, 8, 4)
+        p = ProPo(areas=areas, area=0)
+        with pytest.raises(ValueError):
+            p.set_tile(63)  # tile of area 3
+
+    def test_bits_and_clear(self):
+        areas = AreaMap(8, 8, 4)
+        p = ProPo(areas=areas, area=0)
+        assert p.bits == 4
+        assert p.tile is None
+        p.set_tile(0)
+        p.clear()
+        assert not p.valid

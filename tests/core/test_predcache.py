@@ -1,0 +1,85 @@
+"""Unit tests for the L1C$ supplier-prediction cache (Fig. 5)."""
+
+from repro.core.predcache import PredictionCache
+
+
+def make() -> PredictionCache:
+    return PredictionCache(owner_tile=0, n_entries=16, assoc=4)
+
+
+def test_no_prediction_initially():
+    pc = make()
+    assert pc.predict(0x10) is None
+    assert pc.stats.lookups == 1
+    assert pc.stats.hits == 0
+
+
+def test_update_then_predict():
+    pc = make()
+    pc.update(0x10, supplier=7)
+    assert pc.predict(0x10) == 7
+    assert pc.stats.hit_ratio == 1.0
+
+
+def test_self_pointer_is_discarded():
+    pc = make()
+    pc.update(0x10, supplier=0)  # we are tile 0 ourselves
+    assert pc.predict(0x10) is None
+
+
+def test_resident_pointer_lives_in_the_l1_entry():
+    pc = make()
+    pc.block_cached(0x10, supplier=5)
+    assert pc.resident_prediction(0x10) == 5
+    # the dedicated array holds nothing for a resident block
+    assert pc.array.peek(0x10) is None
+    assert pc.predict(0x10) == 5
+
+
+def test_eviction_moves_pointer_to_dedicated_array():
+    """Sec. IV: 'when a block is evicted from the L1 cache, the identity
+    of the supplier is retained in the L1C$'."""
+    pc = make()
+    pc.block_cached(0x10, supplier=5)
+    pc.block_evicted(0x10)
+    assert pc.resident_prediction(0x10) is None
+    assert pc.array.peek(0x10) == 5
+    assert pc.predict(0x10) == 5
+
+
+def test_update_of_resident_block_stays_resident():
+    pc = make()
+    pc.block_cached(0x10, supplier=5)
+    pc.update(0x10, supplier=9)  # e.g. an invalidation hint
+    assert pc.resident_prediction(0x10) == 9
+    assert pc.array.peek(0x10) is None
+
+
+def test_caching_without_supplier_clears_prediction():
+    pc = make()
+    pc.update(0x10, supplier=3)
+    pc.block_cached(0x10, supplier=None)  # we became the owner
+    pc.block_evicted(0x10)
+    assert pc.predict(0x10) is None
+
+
+def test_forget():
+    pc = make()
+    pc.update(0x10, supplier=3)
+    pc.forget(0x10)
+    assert pc.predict(0x10) is None
+
+
+def test_dedicated_array_capacity_evicts_old_predictions():
+    pc = PredictionCache(owner_tile=0, n_entries=4, assoc=4)
+    for b in range(5):
+        pc.update(b, supplier=1)
+    present = [b for b in range(5) if pc.array.peek(b) is not None]
+    assert len(present) == 4  # one prediction was displaced
+
+
+def test_stats_track_updates():
+    pc = make()
+    pc.update(1, 2)
+    pc.update(2, 3)
+    assert pc.stats.updates == 2

@@ -1,0 +1,106 @@
+"""Unit tests for the alternative sharing codes (Sec. II-A extension)."""
+
+import pytest
+
+from repro.core.sharingcodes import (
+    BroadcastCode,
+    CoarseVector,
+    FullMap,
+    LimitedPointers,
+    make_sharing_code,
+)
+
+
+class TestFullMap:
+    def test_exact(self):
+        code = FullMap(64)
+        assert code.bits == 64
+        assert code.targets({1, 17, 63}) == frozenset({1, 17, 63})
+        assert code.overshoot({1, 17, 63}) == 0
+
+    def test_empty(self):
+        assert FullMap(16).targets(set()) == frozenset()
+
+
+class TestCoarseVector:
+    def test_bits(self):
+        assert CoarseVector(64, group_size=4).bits == 16
+        assert CoarseVector(64, group_size=8).bits == 8
+        assert CoarseVector(10, group_size=4).bits == 3  # ragged tail
+
+    def test_over_approximates_whole_groups(self):
+        code = CoarseVector(16, group_size=4)
+        assert code.targets({5}) == frozenset({4, 5, 6, 7})
+        assert code.overshoot({5}) == 3
+        assert code.targets({4, 5, 6, 7}) == frozenset({4, 5, 6, 7})
+
+    def test_ragged_last_group(self):
+        code = CoarseVector(10, group_size=4)
+        assert code.targets({9}) == frozenset({8, 9})
+
+    def test_superset_property(self):
+        code = CoarseVector(32, group_size=4)
+        sharers = {0, 9, 31}
+        assert set(sharers) <= set(code.targets(sharers))
+
+
+class TestLimitedPointers:
+    def test_bits(self):
+        code = LimitedPointers(64, n_pointers=2)
+        assert code.pointer_bits == 6
+        assert code.bits == 2 * 7 + 1
+
+    def test_exact_below_capacity(self):
+        code = LimitedPointers(64, n_pointers=2)
+        assert code.targets({3, 40}) == frozenset({3, 40})
+        assert code.overshoot({3, 40}) == 0
+
+    def test_broadcast_on_overflow(self):
+        code = LimitedPointers(8, n_pointers=2)
+        assert code.targets({1, 2, 3}) == frozenset(range(8))
+        assert code.overshoot({1, 2, 3}) == 5
+
+
+class TestBroadcastCode:
+    def test_minimal_storage_maximal_traffic(self):
+        code = BroadcastCode(64)
+        assert code.bits == 1
+        assert code.targets(set()) == frozenset()
+        assert code.targets({5}) == frozenset(range(64))
+
+
+def test_factory():
+    assert isinstance(make_sharing_code("full-map", 8), FullMap)
+    assert isinstance(make_sharing_code("coarse", 8, group_size=2), CoarseVector)
+    assert isinstance(make_sharing_code("limited", 8), LimitedPointers)
+    assert isinstance(make_sharing_code("broadcast", 8), BroadcastCode)
+    with pytest.raises(ValueError):
+        make_sharing_code("chained", 8)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FullMap(0)
+    with pytest.raises(ValueError):
+        CoarseVector(8, group_size=0)
+    with pytest.raises(ValueError):
+        LimitedPointers(8, n_pointers=0)
+    with pytest.raises(ValueError):
+        FullMap(8).targets({8})
+
+
+def test_storage_vs_precision_tradeoff():
+    """The Sec. II-A trade-off: less storage, more over-invalidation."""
+    n = 64
+    sharers = {1, 2, 3, 40}
+    full = FullMap(n)
+    coarse = CoarseVector(n, group_size=4)
+    limited = LimitedPointers(n, n_pointers=2)
+    bcast = BroadcastCode(n)
+    assert full.bits > coarse.bits > limited.bits > bcast.bits
+    assert (
+        full.overshoot(sharers)
+        < coarse.overshoot(sharers)
+        < bcast.overshoot(sharers)
+    )
+    assert limited.overshoot(sharers) == 60  # overflowed

@@ -1,0 +1,56 @@
+"""Unit tests for physical-address manipulation."""
+
+import pytest
+
+from repro.mem.address import AddressMap
+
+
+@pytest.fixture
+def am() -> AddressMap:
+    return AddressMap(phys_addr_bits=40, block_bytes=64, page_bytes=4096, n_tiles=64)
+
+
+def test_block_and_page_of(am):
+    addr = 0x12345678
+    assert am.block_of(addr) == addr >> 6
+    assert am.page_of(addr) == addr >> 12
+    assert am.block_base(addr) == addr & ~0x3F
+
+
+def test_blocks_per_page(am):
+    assert am.blocks_per_page == 64
+    assert am.page_offset_bits == 12
+    assert am.block_offset_bits == 6
+
+
+def test_block_in_page_roundtrip(am):
+    page = 123
+    for idx in (0, 1, 63):
+        block = am.block_in_page(page, idx)
+        assert am.page_of_block(block) == page
+    with pytest.raises(ValueError):
+        am.block_in_page(page, 64)
+
+
+def test_home_tile_interleaves_over_all_tiles(am):
+    homes = {am.home_tile(b) for b in range(256)}
+    assert homes == set(range(64))
+    assert am.home_tile(64) == 0
+    assert am.home_tile(65) == 1
+
+
+def test_address_bounds_checked(am):
+    with pytest.raises(ValueError):
+        am.block_of(1 << 40)
+    with pytest.raises(ValueError):
+        am.block_of(-1)
+    am.block_of((1 << 40) - 1)  # max address is fine
+
+
+def test_validation_of_construction():
+    with pytest.raises(ValueError):
+        AddressMap(block_bytes=48)
+    with pytest.raises(ValueError):
+        AddressMap(page_bytes=32, block_bytes=64)
+    with pytest.raises(ValueError):
+        AddressMap(n_tiles=48)

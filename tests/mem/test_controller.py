@@ -1,0 +1,64 @@
+"""Unit tests for the memory-controller model."""
+
+import pytest
+
+from repro.mem.controller import MemoryControllers, border_positions
+from repro.noc.topology import Mesh
+
+
+def test_border_positions_are_on_the_border():
+    tiles = border_positions(8, 8, 8)
+    assert len(tiles) == 8
+    assert len(set(tiles)) == 8
+    for t in tiles:
+        x, y = t % 8, t // 8
+        assert x in (0, 7) or y in (0, 7)
+
+
+def test_border_positions_small_mesh():
+    tiles = border_positions(2, 2, 4)
+    assert sorted(tiles) == [0, 1, 2, 3]
+
+
+def test_too_many_controllers_rejected():
+    with pytest.raises(ValueError):
+        border_positions(2, 2, 5)
+
+
+def test_controller_mapping_is_nearest():
+    mesh = Mesh(8, 8)
+    mc = MemoryControllers(mesh, n_controllers=8, jitter_cycles=0)
+    for tile in range(mesh.n_tiles):
+        ctrl = mc.controller_for(tile)
+        best = min(mesh.hops(tile, c) for c in mc.positions)
+        assert mesh.hops(tile, ctrl) == best
+
+
+def test_access_latency_includes_round_trip():
+    mesh = Mesh(8, 8)
+    mc = MemoryControllers(mesh, latency_cycles=300, jitter_cycles=0)
+    center = mesh.tile_at(3, 3)
+    lat = mc.access_latency(center)
+    ctrl = mc.controller_for(center)
+    expected = 300 + 2 * mesh.hops(center, ctrl) * mesh.hop_cycles
+    assert lat == expected
+    assert mc.accesses == 1
+
+
+def test_latency_on_controller_tile_is_just_dram():
+    mesh = Mesh(8, 8)
+    mc = MemoryControllers(mesh, latency_cycles=300, jitter_cycles=0)
+    ctrl = mc.positions[0]
+    assert mc.access_latency(ctrl) == 300
+
+
+def test_jitter_is_bounded_and_deterministic():
+    mesh = Mesh(4, 4)
+    a = MemoryControllers(mesh, latency_cycles=100, jitter_cycles=8, seed=42)
+    b = MemoryControllers(mesh, latency_cycles=100, jitter_cycles=8, seed=42)
+    seq_a = [a.access_latency(0) for _ in range(50)]
+    seq_b = [b.access_latency(0) for _ in range(50)]
+    assert seq_a == seq_b  # same seed, same delays
+    base = 100 + 2 * mesh.hops(0, a.controller_for(0)) * mesh.hop_cycles
+    assert all(base <= v <= base + 8 for v in seq_a)
+    assert len(set(seq_a)) > 1  # jitter actually varies

@@ -1,0 +1,100 @@
+"""Unit tests for the hypervisor memory-deduplication model."""
+
+import pytest
+
+from repro.mem.dedup import DedupPageTable
+
+
+def test_private_mapping_allocates_distinct_frames():
+    t = DedupPageTable()
+    p0 = t.map_private(0, 0)
+    p1 = t.map_private(0, 1)
+    p2 = t.map_private(1, 0)
+    assert len({p0, p1, p2}) == 3
+    assert t.translate(0, 0) == p0
+    assert t.translate(1, 0) == p2
+
+
+def test_duplicate_mapping_rejected():
+    t = DedupPageTable()
+    t.map_private(0, 0)
+    with pytest.raises(ValueError):
+        t.map_private(0, 0)
+
+
+def test_deduplication_shares_one_frame():
+    t = DedupPageTable()
+    ppage = t.map_deduplicated({0: 5, 1: 9, 2: 7, 3: 5})
+    for vm, vp in ((0, 5), (1, 9), (2, 7), (3, 5)):
+        assert t.translate(vm, vp) == ppage
+    assert t.is_deduplicated_ppage(ppage)
+    assert t.dedup_vms(ppage) == {0, 1, 2, 3}
+    assert t.pages_saved == 3
+    assert t.pages_allocated == 1
+
+
+def test_dedup_needs_two_vms():
+    t = DedupPageTable()
+    with pytest.raises(ValueError):
+        t.map_deduplicated({0: 1})
+
+
+def test_copy_on_write_breaks_sharing_for_writer_only():
+    t = DedupPageTable()
+    shared = t.map_deduplicated({0: 1, 1: 1, 2: 1})
+    new_ppage, event = t.translate_write(0, 1)
+    assert new_ppage != shared
+    assert event is not None
+    assert event.vm == 0 and event.old_ppage == shared
+    # the writer now reads its private copy; others keep the shared one
+    assert t.translate(0, 1) == new_ppage
+    assert t.translate(1, 1) == shared
+    assert t.translate(2, 1) == shared
+    assert t.dedup_vms(shared) == {1, 2}
+
+
+def test_cow_on_second_to_last_sharer_dissolves_dedup():
+    t = DedupPageTable()
+    shared = t.map_deduplicated({0: 1, 1: 1})
+    t.translate_write(0, 1)
+    assert not t.is_deduplicated_ppage(shared)
+    # VM 1 still reads the old frame
+    assert t.translate(1, 1) == shared
+
+
+def test_write_to_private_page_is_not_cow():
+    t = DedupPageTable()
+    p = t.map_private(0, 0)
+    ppage, event = t.translate_write(0, 0)
+    assert ppage == p
+    assert event is None
+    assert t.cow_events == []
+
+
+def test_dedup_ratio_matches_saved_fraction():
+    t = DedupPageTable()
+    # 4 VMs x 10 logical pages each: 6 private + 4 deduplicated
+    for vm in range(4):
+        for vp in range(6):
+            t.map_private(vm, vp)
+    for j in range(4):
+        t.map_deduplicated({vm: 6 + j for vm in range(4)})
+    # logical = 40 pages, physical = 24 + 4 = 28, saved = 12
+    assert t.pages_saved == 12
+    assert t.dedup_ratio == pytest.approx(12 / 40)
+
+
+def test_translate_unmapped_raises():
+    t = DedupPageTable()
+    with pytest.raises(KeyError):
+        t.translate(0, 99)
+
+
+def test_mapped_pages_iteration():
+    t = DedupPageTable()
+    t.map_private(0, 0)
+    t.map_deduplicated({0: 1, 1: 1})
+    entries = set(t.mapped_pages())
+    assert len(entries) == 3
+    vms = {vm for vm, _, _ in entries}
+    assert vms == {0, 1}

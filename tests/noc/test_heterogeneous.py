@@ -1,0 +1,88 @@
+"""Unit tests for the heterogeneous-interconnect extension."""
+
+import pytest
+
+from repro.core.messages import MessageType
+from repro.noc.heterogeneous import (
+    CRITICAL_MESSAGES,
+    HeterogeneousNetwork,
+    WireConfig,
+    install_heterogeneous_network,
+)
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+
+
+@pytest.fixture
+def het():
+    return HeterogeneousNetwork(Mesh(4, 4))
+
+
+def test_critical_control_rides_fast_wires(het):
+    base = Network(Mesh(4, 4))
+    d_base = base.send(0, 3, flits=1, msg_type=MessageType.GETS)
+    d_het = het.send(0, 3, flits=1, msg_type=MessageType.GETS)
+    assert d_het.latency == round(d_base.latency / 2)
+    assert het.fast_messages == 1
+    # fast wires cost double the flit energy
+    assert het.weighted_flit_links == pytest.approx(2 * 1 * 3)
+
+
+def test_noncritical_rides_slow_wires(het):
+    base = Network(Mesh(4, 4))
+    d_base = base.send(0, 3, flits=5, msg_type=MessageType.WRITEBACK)
+    d_het = het.send(0, 3, flits=5, msg_type=MessageType.WRITEBACK)
+    assert d_het.latency == round(d_base.latency * 1.5)
+    assert het.slow_messages == 1
+    assert het.weighted_flit_links == pytest.approx(0.5 * 5 * 3)
+
+
+def test_critical_data_too_wide_for_l_wires(het):
+    base = Network(Mesh(4, 4))
+    d_base = base.send(0, 3, flits=5, msg_type=MessageType.DATA)
+    d_het = het.send(0, 3, flits=5, msg_type=MessageType.DATA)
+    assert d_het.latency == d_base.latency  # normal wires
+    assert het.fast_messages == 0 and het.slow_messages == 0
+    assert het.weighted_flit_links == pytest.approx(5 * 3)
+
+
+def test_broadcast_classification(het):
+    d = het.broadcast(0, flits=1, msg_type=MessageType.INV_BCAST)
+    assert het.fast_messages == 1
+    # tree links weighted at the fast factor
+    assert het.weighted_flit_links == pytest.approx(2 * 15)
+
+
+def test_hint_messages_are_noncritical():
+    assert MessageType.HINT not in CRITICAL_MESSAGES
+    assert MessageType.PUT not in CRITICAL_MESSAGES
+    assert MessageType.GETS in CRITICAL_MESSAGES
+
+
+def test_link_energy_ratio(het):
+    het.send(0, 3, flits=1, msg_type=MessageType.GETS)      # 2x energy
+    het.send(0, 3, flits=1, msg_type=MessageType.HINT)      # 0.5x
+    assert 0.5 < het.link_energy_ratio() < 2.0
+
+
+def test_wire_config_validation():
+    with pytest.raises(ValueError):
+        WireConfig(fast_speedup=0.5)
+    with pytest.raises(ValueError):
+        WireConfig(slow_slowdown=0.9)
+
+
+def test_install_on_protocol_and_run():
+    from repro.sim.chip import Chip, make_protocol
+    from repro.sim.config import small_test_chip
+
+    proto = make_protocol("dico-providers", small_test_chip(), seed=0)
+    net = install_heterogeneous_network(proto)
+    chip = Chip(proto, "radix", seed=0)
+    stats = chip.run_cycles(5_000)
+    chip.verify_coherence()
+    assert stats.operations > 0
+    assert net.fast_messages > 0
+    assert net.slow_messages > 0
+    # the mix saves link energy overall (most flits are data/acks)
+    assert net.link_energy_ratio() < 1.1

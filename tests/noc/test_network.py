@@ -1,0 +1,88 @@
+"""Unit tests for the network message layer."""
+
+import pytest
+
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+from repro.sim.config import NocConfig
+
+
+@pytest.fixture
+def net() -> Network:
+    return Network(Mesh(4, 4))
+
+
+def test_send_accounts_flits_and_routing(net):
+    d = net.send(0, 3, flits=5, msg_type="Data")
+    assert d.hops == 3
+    assert d.latency == 3 * 5 + 4
+    st = net.stats
+    assert st.messages == 1
+    assert st.flit_link_traversals == 15
+    assert st.router_traversals == 3
+    assert st.routing_events == 1
+    assert st.by_type["Data"] == 1
+    assert st.flits_by_type["Data"] == 5
+
+
+def test_self_send_is_free(net):
+    d = net.send(5, 5, flits=5)
+    assert d.latency == 0 and d.hops == 0
+    assert net.stats.flit_link_traversals == 0
+    assert net.stats.messages == 1  # still counted as a message
+
+
+def test_broadcast_accounting(net):
+    d = net.broadcast(0, flits=1, msg_type="Inv_Bcast")
+    st = net.stats
+    assert st.broadcasts == 1
+    assert st.flit_link_traversals == 15  # n_tiles - 1 tree links
+    assert st.routing_events == 15
+    assert d.latency == 6 * net.mesh.hop_cycles  # depth from corner of 4x4
+
+
+def test_multicast_latency_is_worst_leg(net):
+    d = net.multicast(0, [1, 15], flits=1)
+    assert d.latency == net.mesh.unicast_latency(0, 15, 1)
+    assert net.stats.messages == 2
+
+
+def test_link_load_tracking():
+    net = Network(Mesh(4, 4), track_link_load=True)
+    net.send(0, 3, flits=2)
+    assert sum(net.stats.link_load.values()) == 6  # 2 flits x 3 links
+    assert net.stats.link_load[(0, 1)] == 2
+
+
+def test_contention_adds_queueing_delay():
+    mesh = Mesh(4, 1, NocConfig(model_contention=True))
+    net = Network(mesh)
+    base = net.send(0, 3, flits=5, now=0).latency
+    # a second packet at the same instant must queue behind the first
+    second = net.send(0, 3, flits=5, now=0).latency
+    assert second > base
+
+
+def test_no_contention_by_default(net):
+    a = net.send(0, 3, flits=5, now=0).latency
+    b = net.send(0, 3, flits=5, now=0).latency
+    assert a == b
+
+
+def test_reset_stats(net):
+    net.send(0, 1, flits=1)
+    net.reset_stats()
+    assert net.stats.messages == 0
+    assert net.stats.flit_link_traversals == 0
+
+
+def test_stats_merge():
+    a = Network(Mesh(2, 2))
+    b = Network(Mesh(2, 2))
+    a.send(0, 1, flits=1, msg_type="x")
+    b.send(0, 3, flits=5, msg_type="x")
+    a.stats.merge(b.stats)
+    assert a.stats.messages == 2
+    assert a.stats.by_type["x"] == 2
+    snap = a.stats.snapshot()
+    assert snap["messages"] == 2

@@ -1,0 +1,64 @@
+"""Validation of the leakage model against Table VI."""
+
+import pytest
+
+from repro.power.cacti import LeakageModel, leakage_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return leakage_table()
+
+
+def test_directory_row_is_calibrated_exactly(table):
+    d = table["directory"]
+    assert d.total_mw == pytest.approx(239.0, abs=0.5)
+    assert d.tag_mw == pytest.approx(37.0, abs=0.1)
+
+
+def test_dico_row_predicted(table):
+    """Table VI: DiCo 241 mW total (+1%), 39 mW tags (+5%)."""
+    d = table["dico"]
+    assert d.total_mw == pytest.approx(241, abs=2)
+    assert d.tag_mw == pytest.approx(39, abs=1.5)
+
+
+def test_providers_row_predicted(table):
+    """Table VI: DiCo-Providers 222 mW total (-7%), 20 mW tags (-45%)."""
+    d = table["dico-providers"]
+    assert d.total_mw == pytest.approx(222, abs=2)
+    assert d.tag_mw == pytest.approx(20, abs=1.5)
+
+
+def test_arin_row_predicted(table):
+    """Table VI: DiCo-Arin 219 mW total (-8%), 17 mW tags (-54%)."""
+    d = table["dico-arin"]
+    assert d.total_mw == pytest.approx(219, abs=2)
+    assert d.tag_mw == pytest.approx(17, abs=2)
+
+
+def test_relative_reductions_match_abstract(table):
+    """45-54% tag leakage reduction for the area protocols."""
+    base = table["directory"]
+    prov = table["dico-providers"].vs(base)
+    arin = table["dico-arin"].vs(base)
+    assert prov["tag_pct"] == pytest.approx(-45, abs=4)
+    assert arin["tag_pct"] == pytest.approx(-54, abs=4)
+    assert prov["total_pct"] == pytest.approx(-7, abs=1.5)
+    assert arin["total_pct"] == pytest.approx(-8, abs=1.5)
+
+
+def test_structure_leakage_monotone_in_bits():
+    m = LeakageModel()
+    assert m.structure_leakage(0, is_tag=True) == 0.0
+    small = m.structure_leakage(1 << 10, is_tag=True)
+    big = m.structure_leakage(1 << 20, is_tag=True)
+    assert 0 < small < big
+
+
+def test_tag_arrays_leak_more_per_bit_than_data():
+    m = LeakageModel()
+    bits = 1 << 20
+    assert m.structure_leakage(bits, is_tag=True) > m.structure_leakage(
+        bits, is_tag=False
+    )

@@ -1,0 +1,91 @@
+"""Unit tests for the dynamic energy model."""
+
+import pytest
+
+from repro.power.dynamic import (
+    FLIT_ENERGY,
+    ROUTE_ENERGY,
+    DynamicEnergyModel,
+    EnergyBreakdown,
+)
+from repro.stats.counters import RunStats
+
+
+def test_network_constants_follow_barrow_williams():
+    """Sec. V-A: routing a message = reading an L1 block = 4 flits."""
+    assert ROUTE_ENERGY == 1.0
+    assert FLIT_ENERGY == pytest.approx(ROUTE_ENERGY / 4)
+
+
+def test_l1_data_read_is_the_unit():
+    m = DynamicEnergyModel("directory")
+    assert m.data_access_energy("l1") == pytest.approx(1.0)
+
+
+def test_l2_reads_cost_more_than_l1():
+    """Sec. V-C: 'L2 block reads are more power consuming than L1'."""
+    m = DynamicEnergyModel("directory")
+    assert m.data_access_energy("l2") > 2.0  # sqrt(8) for the 8x bank
+
+
+def test_dico_l1_tags_cost_more_than_directory():
+    """Fig. 8a: the full-map in the L1 entries makes DiCo tag accesses
+    more expensive."""
+    directory = DynamicEnergyModel("directory")
+    dico = DynamicEnergyModel("dico")
+    providers = DynamicEnergyModel("dico-providers")
+    arin = DynamicEnergyModel("dico-arin")
+    assert dico.tag_access_energy("l1") > directory.tag_access_energy("l1")
+    # the area protocols shrink the L1 directory payload
+    assert providers.tag_access_energy("l1") < dico.tag_access_energy("l1")
+    assert arin.tag_access_energy("l1") < providers.tag_access_energy("l1")
+
+
+def test_l2_tag_energy_ordering():
+    """Smaller L2 directory payloads -> cheaper L2 tag accesses."""
+    e = {
+        p: DynamicEnergyModel(p).tag_access_energy("l2")
+        for p in ("directory", "dico", "dico-providers", "dico-arin")
+    }
+    assert e["dico-arin"] < e["dico-providers"] < e["directory"]
+    assert e["directory"] == pytest.approx(e["dico"])  # both full-map
+
+
+def test_evaluate_accumulates_events():
+    m = DynamicEnergyModel("directory")
+    stats = RunStats(protocol="directory", workload="x")
+    stats.structure("l1").tag_reads = 10
+    stats.structure("l1").data_reads = 4
+    stats.structure("l2").data_writes = 2
+    stats.network.flit_link_traversals = 100
+    stats.network.routing_events = 8
+    out = m.evaluate(stats)
+    assert out.cache_events["l1_tag"] == pytest.approx(
+        10 * m.tag_access_energy("l1")
+    )
+    assert out.cache_events["l1_data"] == pytest.approx(4 * 1.0)
+    assert out.cache_events["l2_data"] == pytest.approx(
+        2 * m.data_access_energy("l2")
+    )
+    assert out.link_energy == pytest.approx(25.0)
+    assert out.routing_energy == pytest.approx(8.0)
+    assert out.total == pytest.approx(out.cache_energy + out.network_energy)
+
+
+def test_normalized_breakdown():
+    b = EnergyBreakdown(protocol="p", workload="w")
+    b.cache_events = {"l1_data": 10.0}
+    b.link_energy = 5.0
+    b.routing_energy = 5.0
+    n = b.normalized(reference=10.0)
+    assert n == {"cache": 1.0, "links": 0.5, "routing": 0.5, "total": 2.0}
+
+
+def test_dircache_energy_only_for_directory():
+    assert DynamicEnergyModel("directory").tag_access_energy("dir") > 0
+    assert DynamicEnergyModel("dico").tag_access_energy("dir") == 0.0
+
+
+def test_coherence_cache_energy_only_for_dico_family():
+    assert DynamicEnergyModel("dico").tag_access_energy("l1c") > 0
+    assert DynamicEnergyModel("directory").tag_access_energy("l1c") == 0.0

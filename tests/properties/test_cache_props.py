@@ -1,0 +1,91 @@
+"""Property-based tests: the cache array against a reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssocCache
+
+BLOCKS = st.integers(min_value=0, max_value=255)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), BLOCKS, st.integers()),
+        st.tuples(st.just("lookup"), BLOCKS, st.none()),
+        st.tuples(st.just("invalidate"), BLOCKS, st.none()),
+    ),
+    max_size=200,
+)
+
+
+@given(ops=ops, n_sets=st.sampled_from([1, 2, 4]), n_ways=st.sampled_from([1, 2, 4]))
+@settings(max_examples=100, deadline=None)
+def test_cache_agrees_with_reference_dict(ops, n_sets, n_ways):
+    """Whatever the cache holds must match a per-set bounded dict model:
+    same keys present, same values, sets never overfull."""
+    cache: SetAssocCache[int] = SetAssocCache(n_sets, n_ways)
+    model = {}  # block -> value for blocks we *know* should be present
+
+    for op, block, value in ops:
+        if op == "insert":
+            victim = cache.insert(block, value)
+            model[block] = value
+            if victim is not None:
+                vb, _ = victim
+                assert vb != block
+                assert cache.set_of(vb) == cache.set_of(block)
+                model.pop(vb, None)
+        elif op == "lookup":
+            got = cache.lookup(block)
+            if block in model:
+                assert got == model[block]
+            else:
+                assert got is None
+        else:
+            got = cache.invalidate(block)
+            if block in model:
+                assert got == model[block]
+                del model[block]
+            else:
+                assert got is None
+
+    # final state agrees exactly
+    assert dict(iter(cache)) == model
+    # no set exceeds its associativity
+    for s in range(n_sets):
+        assert len(cache.blocks_in_set(s)) <= n_ways
+
+
+@given(
+    blocks=st.lists(BLOCKS, min_size=1, max_size=100),
+    n_ways=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_most_recent_insertions_survive(blocks, n_ways):
+    """The last n_ways distinct blocks of one set are always present."""
+    cache: SetAssocCache[int] = SetAssocCache(1, n_ways)
+    for b in blocks:
+        cache.insert(b, b)
+    recent = []
+    for b in reversed(blocks):
+        if b not in recent:
+            recent.append(b)
+        if len(recent) == n_ways:
+            break
+    for b in recent:
+        assert b in cache
+
+
+@given(low_bits=st.integers(0, 63), n=st.integers(5, 64))
+@settings(max_examples=50, deadline=None)
+def test_index_shift_spreads_bank_aligned_blocks(low_bits, n):
+    """Blocks homed at one bank share their low 6 bits.  Without the
+    shift they collapse into one set; with it they spread out."""
+    plain = SetAssocCache(64, 4)
+    shifted = SetAssocCache(64, 4, index_shift=6)
+    blocks = [(i << 6) | low_bits for i in range(n)]
+    for b in blocks:
+        plain.insert(b, b)
+        shifted.insert(b, b)
+    # the shifted cache keeps every block (unique sets)
+    assert all(b in shifted for b in blocks)
+    # the plain cache collapsed them into one 4-way set
+    assert sum(b in plain for b in blocks) == min(n, 4)

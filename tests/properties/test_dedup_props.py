@@ -1,0 +1,69 @@
+"""Property-based tests on the deduplication page table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.dedup import DedupPageTable
+
+
+@given(
+    n_vms=st.integers(2, 6),
+    n_private=st.integers(0, 10),
+    n_dedup=st.integers(0, 10),
+    writes=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 19)), max_size=60
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_translation_is_always_consistent(n_vms, n_private, n_dedup, writes):
+    """After any CoW sequence: every mapping resolves, frames are never
+    shared between different *contents*, and the saved-page count is
+    exactly (sharers-1) summed over the dedup frames."""
+    t = DedupPageTable()
+    for vm in range(n_vms):
+        for vp in range(n_private):
+            t.map_private(vm, vp)
+    for j in range(n_dedup):
+        t.map_deduplicated({vm: n_private + j for vm in range(n_vms)})
+
+    total_pages = n_private + n_dedup
+    for vm, vp in writes:
+        if total_pages == 0:
+            break
+        vm = vm % n_vms
+        vp = vp % total_pages
+        t.translate_write(vm, vp)
+
+    # every page still translates, deterministically
+    frames = {}
+    for vm in range(n_vms):
+        for vp in range(n_private + n_dedup):
+            p1 = t.translate(vm, vp)
+            p2 = t.translate(vm, vp)
+            assert p1 == p2
+            frames.setdefault(p1, set()).add((vm, vp))
+
+    # a frame shared by several mappings must be a dedup frame with the
+    # exact user set the table reports
+    expected_saved = 0
+    for ppage, users in frames.items():
+        if len(users) > 1:
+            assert t.is_deduplicated_ppage(ppage)
+            assert {vm for vm, _ in users} == t.dedup_vms(ppage)
+            expected_saved += len(users) - 1
+    assert t.pages_saved == expected_saved
+    # private pages are never flagged dedup
+    for ppage, users in frames.items():
+        if len(users) == 1:
+            assert not t.is_deduplicated_ppage(ppage)
+
+
+@given(writes=st.lists(st.integers(0, 3), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_repeated_cow_allocates_at_most_once_per_vm(writes):
+    t = DedupPageTable()
+    t.map_deduplicated({vm: 0 for vm in range(4)})
+    for vm in writes:
+        t.translate_write(vm, 0)
+    # each VM triggers at most one CoW for the page
+    vms = {e.vm for e in t.cow_events}
+    assert len(t.cow_events) == len(vms)

@@ -1,0 +1,72 @@
+"""Property-based tests on mesh routing and broadcast trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.topology import Mesh
+
+dims = st.tuples(st.integers(1, 8), st.integers(1, 8))
+
+
+@given(dims=dims, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_route_length_equals_manhattan_distance(dims, data):
+    w, h = dims
+    mesh = Mesh(w, h)
+    src = data.draw(st.integers(0, mesh.n_tiles - 1))
+    dst = data.draw(st.integers(0, mesh.n_tiles - 1))
+    route = mesh.route(src, dst)
+    assert len(route) == mesh.hops(src, dst)
+    # the route is a connected chain of neighbour links
+    cur = src
+    for a, b in route:
+        assert a == cur
+        assert b in set(mesh.neighbors(a))
+        cur = b
+    if route:
+        assert cur == dst
+
+
+@given(dims=dims, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_hops_is_a_metric(dims, data):
+    w, h = dims
+    mesh = Mesh(w, h)
+    t = st.integers(0, mesh.n_tiles - 1)
+    a, b, c = data.draw(t), data.draw(t), data.draw(t)
+    assert mesh.hops(a, a) == 0
+    assert mesh.hops(a, b) == mesh.hops(b, a)
+    assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+
+@given(dims=dims, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_broadcast_tree_is_a_spanning_tree(dims, data):
+    w, h = dims
+    mesh = Mesh(w, h)
+    src = data.draw(st.integers(0, mesh.n_tiles - 1))
+    links, depth = mesh.broadcast_tree(src)
+    assert len(links) == mesh.n_tiles - 1
+    reached = {src}
+    children = set()
+    for a, b in links:
+        assert a in reached  # parents appear before children
+        assert b not in children  # each tile has one parent
+        children.add(b)
+        reached.add(b)
+    assert reached == set(range(mesh.n_tiles))
+    assert depth == max(mesh.hops(src, t) for t in range(mesh.n_tiles))
+
+
+@given(dims=dims, flits=st.integers(1, 8), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_latency_monotone_in_distance_and_flits(dims, flits, data):
+    w, h = dims
+    mesh = Mesh(w, h)
+    src = data.draw(st.integers(0, mesh.n_tiles - 1))
+    dst = data.draw(st.integers(0, mesh.n_tiles - 1))
+    lat = mesh.unicast_latency(src, dst, flits)
+    if src == dst:
+        assert lat == 0
+    else:
+        assert lat == mesh.hops(src, dst) * mesh.hop_cycles + flits - 1
+        assert mesh.unicast_latency(src, dst, flits + 1) == lat + 1

@@ -1,0 +1,88 @@
+"""Property-based coherence testing.
+
+Random interleavings of reads and writes from random tiles to a small
+pool of blocks, run against every protocol.  After every access the
+global invariants must hold: single writer, value propagation (every
+readable copy carries the latest committed version), and the reads
+observed by cores are never stale — all enforced by the
+:class:`~repro.core.checker.CoherenceChecker` wired into the protocol.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.chip import PROTOCOLS, make_protocol
+from repro.sim.config import small_test_chip
+
+from ..conftest import tiny_chip
+
+#: (tile, block_index, is_write) triples
+op_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 15),
+        st.integers(0, 11),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_ops(protocol_name: str, ops) -> None:
+    cfg = tiny_chip()
+    proto = make_protocol(protocol_name, cfg, seed=0)
+    # blocks spread over several homes including self-homed cases
+    blocks = [h + n * cfg.n_tiles for h in (0, 5, 10) for n in range(4)]
+    now = 0
+    for tile, block_idx, is_write in ops:
+        block = blocks[block_idx]
+        result = proto.access(tile, block << 6, is_write, now)
+        if result.needs_retry:
+            now = result.retry_at
+            result = proto.access(tile, block << 6, is_write, now)
+        now += max(1, result.latency if not result.needs_retry else 1)
+        proto.check_block(block)
+    for block in blocks:
+        proto.check_block(block)
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+@given(ops=op_strategy)
+@settings(max_examples=40, deadline=None)
+def test_random_traces_preserve_coherence(protocol, ops):
+    run_ops(protocol, ops)
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 15), st.booleans()),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_single_block_contention(protocol, ops):
+    """All tiles hammer one block: the hardest serialization case."""
+    cfg = tiny_chip()
+    proto = make_protocol(protocol, cfg, seed=0)
+    block = 5  # homed at tile 5
+    now = 0
+    for tile, is_write in ops:
+        r = proto.access(tile, block << 6, is_write, now)
+        while r.needs_retry:
+            now = r.retry_at
+            r = proto.access(tile, block << 6, is_write, now)
+        now += max(1, r.latency)
+        proto.check_block(block)
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_chip_runs_with_random_seeds(protocol, seed):
+    from repro.sim.chip import Chip
+
+    chip = Chip(protocol, "radix", config=small_test_chip(), seed=seed)
+    chip.run_cycles(3_000)
+    chip.verify_coherence()

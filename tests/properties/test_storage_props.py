@@ -1,0 +1,69 @@
+"""Property-based tests on the storage model (Tables V/VII invariants)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.storage import PROTOCOL_NAMES, storage_breakdown
+from repro.sim.config import ChipConfig
+
+
+def chips():
+    """Random valid chip geometries."""
+    return st.builds(
+        lambda logw, logh, loga: ChipConfig(
+            mesh_width=1 << logw,
+            mesh_height=1 << logh,
+            n_areas=min(1 << loga, (1 << logw) * (1 << logh)),
+        ),
+        logw=st.integers(1, 5),
+        logh=st.integers(1, 5),
+        loga=st.integers(0, 6),
+    )
+
+
+@given(cfg=chips())
+@settings(max_examples=80, deadline=None)
+def test_area_protocols_never_exceed_dico(cfg):
+    """The whole point of the proposal: both area protocols need at
+    most DiCo's coherence storage, for any geometry."""
+    dico = storage_breakdown("dico", cfg).coherence_kb
+    for proto in ("dico-providers", "dico-arin"):
+        assert storage_breakdown(proto, cfg).coherence_kb <= dico + 1e-9
+
+
+@given(cfg=chips())
+@settings(max_examples=80, deadline=None)
+def test_dico_slightly_exceeds_directory(cfg):
+    """Sec. V-B: original DiCo needs *more* coherence storage than the
+    flat directory (it duplicates the full map into the L1s)."""
+    directory = storage_breakdown("directory", cfg).coherence_kb
+    dico = storage_breakdown("dico", cfg).coherence_kb
+    assert dico >= directory
+
+
+@given(cfg=chips())
+@settings(max_examples=80, deadline=None)
+def test_breakdowns_are_internally_consistent(cfg):
+    for proto in PROTOCOL_NAMES:
+        b = storage_breakdown(proto, cfg)
+        assert b.protocol == proto
+        assert b.coherence_kb >= 0
+        assert b.data_kb > 0
+        assert abs(b.overhead - b.coherence_kb / b.data_kb) < 1e-12
+        for s in (*b.data, *b.coherence):
+            assert s.entry_bits >= 0 and s.entries > 0
+            assert s.total_bits == s.entry_bits * s.entries
+
+
+@given(logn=st.integers(3, 6))
+@settings(max_examples=10, deadline=None)
+def test_directory_overhead_grows_linearly_with_cores(logn):
+    """Full-map entries are ntc bits: doubling the cores roughly
+    doubles the directory overhead percentage."""
+    w = 1 << (logn // 2 + logn % 2)
+    h = (1 << logn) // w
+    small = ChipConfig(mesh_width=w, mesh_height=h, n_areas=2)
+    big_w = w * 2
+    big = ChipConfig(mesh_width=big_w, mesh_height=h, n_areas=2)
+    o_small = storage_breakdown("directory", small).overhead
+    o_big = storage_breakdown("directory", big).overhead
+    assert 1.5 < o_big / o_small < 2.5

@@ -1,0 +1,146 @@
+"""Behaviours every protocol must share, run against all four."""
+
+import pytest
+
+from repro.core.states import L1State
+from repro.sim.chip import PROTOCOLS, make_protocol
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+
+@pytest.fixture(params=sorted(PROTOCOLS))
+def proto(request):
+    return make_protocol(request.param, tiny_chip(), seed=0)
+
+
+HOME = 5
+
+
+def settle(proto, tile, addr, is_write, now):
+    r = proto.access(tile, addr, is_write, now)
+    while r.needs_retry:
+        now = r.retry_at
+        r = proto.access(tile, addr, is_write, now)
+    return r, now + max(1, r.latency)
+
+
+def test_read_then_hit(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    r, t = settle(proto, 1, addr, False, 0)
+    assert not r.l1_hit
+    r2, _ = settle(proto, 1, addr, False, t)
+    assert r2.l1_hit
+    assert r2.latency == proto.config.l1.access_latency
+
+
+def test_write_read_same_tile(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 2, addr, True, 0)
+    r, _ = settle(proto, 2, addr, False, t)
+    assert r.l1_hit
+    assert proto.checker.current_version(block) == 1
+
+
+def test_write_propagates_to_other_tile(proto):
+    """The fundamental test: a reader always sees the latest write."""
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    t = 0
+    for i, writer in enumerate((1, 7, 12)):
+        _, t = settle(proto, writer, addr, True, t)
+        reader = (writer + 3) % proto.config.n_tiles
+        r, t = settle(proto, reader, addr, False, t)
+        # check_read inside access() would have raised on staleness
+        proto.check_block(block)
+    assert proto.checker.current_version(block) == 3
+
+
+def test_ping_pong_writes(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    t = 0
+    for i in range(10):
+        writer = (3, 13)[i % 2]
+        _, t = settle(proto, writer, addr, True, t)
+        proto.check_block(block)
+    assert proto.checker.current_version(block) == 10
+
+
+def test_read_sharing_scales_to_all_tiles(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    t = 0
+    for tile in range(proto.config.n_tiles):
+        _, t = settle(proto, tile, addr, False, t)
+    copies = proto.live_copies(block)
+    assert len(copies) >= proto.config.n_tiles  # every L1 holds it
+    proto.check_block(block)
+    # one write tears all of it down
+    _, t = settle(proto, 0, addr, True, t)
+    copies = [c for c in proto.live_copies(block) if c[0].startswith("L1")]
+    assert len(copies) == 1
+    proto.check_block(block)
+
+
+def test_write_after_read_everywhere_version(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    t = 0
+    for tile in (0, 2, 8, 10):  # one tile per area on the 4x4 chip
+        _, t = settle(proto, tile, addr, False, t)
+    _, t = settle(proto, 15, addr, True, t)
+    for tile in (0, 2, 8, 10):
+        r, t = settle(proto, tile, addr, False, t)
+    proto.check_block(block)
+    assert proto.checker.current_version(block) == 1
+
+
+def test_self_homed_access(proto):
+    """Accesses from the home tile itself (zero-hop messages)."""
+    addr = addr_homed_at(proto.config, HOME)
+    r, t = settle(proto, HOME, addr, False, 0)
+    assert r.latency > 0  # still pays memory latency
+    r2, _ = settle(proto, HOME, addr, True, t)
+    proto.check_block(block_homed_at(proto.config, HOME))
+
+
+def test_many_blocks_interleaved(proto):
+    cfg = proto.config
+    t = 0
+    blocks = [block_homed_at(cfg, h, n) for h in (0, 5, 11) for n in range(3)]
+    for i, block in enumerate(blocks * 3):
+        tile = (i * 7) % cfg.n_tiles
+        _, t = settle(proto, tile, block << 6, i % 4 == 0, t)
+    for block in blocks:
+        proto.check_block(block)
+
+
+def test_miss_latency_statistics_populated(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    settle(proto, 1, addr, False, 0)
+    st = proto.stats
+    assert st.miss_latency.count == 1
+    assert st.miss_latency.mean > 0
+    assert st.miss_links.count == 1
+
+
+def test_finalize_stats_aggregates_structures(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    settle(proto, 1, addr, False, 0)
+    stats = proto.finalize_stats(cycles=1000)
+    assert stats.cycles == 1000
+    assert stats.structure("l1").tag_reads > 0
+    assert stats.network.messages > 0
+
+
+def test_reset_stats_preserves_cache_contents(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 1, addr, False, 0)
+    proto.reset_stats()
+    assert proto.stats.operations == 0
+    assert proto.network.stats.messages == 0
+    # the block is still cached: next access is a hit
+    r, _ = settle(proto, 1, addr, False, t)
+    assert r.l1_hit

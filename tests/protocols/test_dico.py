@@ -1,0 +1,193 @@
+"""Scenario tests for the original DiCo protocol (Sec. II-B)."""
+
+import pytest
+
+from repro.core.protocols.dico import DiCoProtocol
+from repro.core.states import L1State
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+
+@pytest.fixture
+def proto() -> DiCoProtocol:
+    return DiCoProtocol(tiny_chip(), seed=0)
+
+
+HOME = 5
+
+
+def test_cold_read_makes_requestor_owner(proto):
+    block = block_homed_at(proto.config, HOME)
+    r = proto.access(1, addr_homed_at(proto.config, HOME), False, 0)
+    assert r.category == "memory"
+    assert proto.l1s[1].peek(block).state is L1State.E
+    # the home's L2C$ records the precise owner
+    assert proto.l2cs[HOME].peek_owner(block) == 1
+    # and keeps a stale-safe plain copy of the data
+    entry = proto.l2s[HOME].peek(block)
+    assert entry is not None and entry.plain_copy
+
+
+def test_second_read_forwards_to_owner(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    proto.access(1, addr_homed_at(cfg, HOME), False, 0)
+    r = proto.access(2, addr_homed_at(cfg, HOME), False, 2500)
+    assert r.category == "unpredicted_fwd"
+    owner = proto.l1s[1].peek(block)
+    assert owner.state is L1State.O  # E -> O with a sharer
+    assert owner.sharers & (1 << 2)
+    assert proto.l1s[2].peek(block).state is L1State.S
+
+
+def test_repeat_miss_resolves_in_two_hops_via_prediction(proto):
+    """The headline DiCo behaviour: L1C$ prediction avoids indirection."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)     # tile 1 owner
+    proto.access(2, addr, False, 1250)    # tile 2 sharer, learns supplier=1
+    # force tile 2 to lose its copy but keep the prediction
+    proto.drop_l1(2, block)
+    r = proto.access(2, addr, False, 2500)
+    assert r.category == "pred_owner_hit"
+    # two-hop latency: request leg + supplier access + data leg
+    expected_legs = 2 * proto.mesh.hops(2, 1)
+    assert proto.stats.miss_links.maximum <= 2 * proto.mesh.hops(2, 1) + \
+        2 * proto.mesh.hops(2, HOME) + 2 * proto.mesh.hops(HOME, 1)
+
+
+def test_write_invalidates_through_owner(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)
+    proto.access(2, addr, False, 1250)
+    proto.access(3, addr, False, 2500)
+    r = proto.access(7, addr, True, 5000)
+    assert not r.needs_retry
+    for t in (1, 2, 3):
+        assert proto.l1s[t].peek(block) is None
+    new_owner = proto.l1s[7].peek(block)
+    assert new_owner.state is L1State.M
+    assert proto.l2cs[HOME].peek_owner(block) == 7
+    proto.check_block(block)
+
+
+def test_change_owner_goes_through_home(proto):
+    cfg = proto.config
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)
+    before = dict(proto.network.stats.by_type)
+    proto.access(2, addr, True, 2500)
+    after = proto.network.stats.by_type
+    assert after["Change_Owner"] > before.get("Change_Owner", 0)
+    assert after["Change_Owner_Ack"] > before.get("Change_Owner_Ack", 0)
+
+
+def test_invalidation_hints_update_predictions(proto):
+    """Fig. 5: an invalidation carries the new owner's identity."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)
+    proto.access(2, addr, False, 1250)   # 2 is a sharer
+    proto.access(3, addr, True, 2500)   # 3 writes; 2 invalidated with hint
+    assert proto.l1cs[2].peek(block) == 3
+    # the re-read goes straight to the new owner
+    r = proto.access(2, addr, False, 5000)
+    assert r.category == "pred_owner_hit"
+
+
+def test_misprediction_falls_back_to_home(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)
+    proto.access(2, addr, False, 1250)
+    proto.drop_l1(2, block)
+    # sabotage the prediction: point it at a tile with nothing
+    proto.l1cs[2].update(block, 14)
+    r = proto.access(2, addr, False, 2500)
+    assert r.category == "pred_miss"
+    assert proto.l1s[2].peek(block).state is L1State.S  # still resolved
+
+
+def test_owner_eviction_transfers_to_sharer(proto):
+    """Table II: ownership + sharing code go to a sharer."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)
+    proto.access(2, addr, False, 1250)
+    line = proto.l1s[1].invalidate(block)
+    proto._evict_l1_line(1, block, line, 2500)
+    new_owner = proto.l1s[2].peek(block)
+    assert new_owner.state is L1State.O
+    assert proto.l2cs[HOME].peek_owner(block) == 2
+    proto.check_block(block)
+
+
+def test_owner_eviction_without_sharers_goes_home(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, True, 0)  # dirty owner
+    line = proto.l1s[1].invalidate(block)
+    proto._evict_l1_line(1, block, line, 2500)
+    entry = proto.l2s[HOME].peek(block)
+    assert entry is not None and entry.is_owner and entry.has_data
+    assert entry.dirty
+    assert proto.l2cs[HOME].peek_owner(block) is None
+    # the next reader receives the ownership from the home
+    r = proto.access(3, addr, False, 5000)
+    assert r.category == "unpredicted_home"
+    assert proto.l1s[3].peek(block).state is L1State.M  # dirty ownership
+
+
+def test_clean_owner_eviction_reuses_home_copy(proto):
+    """The home still holds the fetch-time plain copy: control PUT."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)  # E clean; home has plain copy
+    flits_before = proto.network.stats.flit_link_traversals
+    line = proto.l1s[1].invalidate(block)
+    proto._evict_l1_line(1, block, line, 2500)
+    flits = proto.network.stats.flit_link_traversals - flits_before
+    assert flits == proto.mesh.hops(1, HOME)  # one control flit
+    entry = proto.l2s[HOME].peek(block)
+    assert entry.is_owner and entry.has_data and not entry.plain_copy
+
+
+def test_forced_relinquish_on_l2c_pressure():
+    """Sec. IV-A1: evicting an L2C$ pointer forces the owner to hand
+    the ownership back to the home."""
+    from dataclasses import replace
+
+    cfg = replace(tiny_chip(), l2c_entries=16)
+    proto = DiCoProtocol(cfg, seed=0)
+    home = 5
+    # occupy many L2C$ entries of one home bank with distinct owners
+    n = cfg.l2c_entries + 8
+    victims = 0
+    for i in range(n):
+        block = block_homed_at(cfg, home, i)
+        proto.access(i % cfg.n_tiles, block << 6, False, i * 1000)
+    assert proto.l2cs[home].forced_relinquishes > 0
+    # every relinquished block is now home-owned and still coherent
+    for i in range(n):
+        proto.check_block(block_homed_at(cfg, home, i))
+
+
+def test_upgrade_by_owner_with_sharers(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(1, addr, False, 0)   # owner
+    proto.access(2, addr, False, 1250)  # sharer
+    r = proto.access(1, addr, True, 2500)  # owner upgrades: invalidate 2
+    assert not r.l1_hit
+    assert proto.l1s[2].peek(block) is None
+    assert proto.l1s[1].peek(block).state is L1State.M
+    proto.check_block(block)

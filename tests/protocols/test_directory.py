@@ -1,0 +1,160 @@
+"""Scenario tests for the flat directory protocol (Sec. II-A)."""
+
+import pytest
+
+from repro.core.protocols.directory import DirectoryProtocol
+from repro.core.states import L1State
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+
+@pytest.fixture
+def proto() -> DirectoryProtocol:
+    return DirectoryProtocol(tiny_chip(), seed=0)
+
+
+HOME = 5
+OTHER = 9  # a tile that is not the home
+
+
+def test_cold_read_grants_exclusive(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    r = proto.access(OTHER, addr, is_write=False, now=0)
+    assert not r.needs_retry
+    assert r.category == "memory"
+    line = proto.l1s[OTHER].peek(block)
+    assert line is not None and line.state is L1State.E
+    # the home keeps data + owner pointer in its entry (NCID)
+    entry = proto.l2s[HOME].peek(block)
+    assert entry is not None and entry.owner_tile == OTHER
+
+
+def test_second_reader_downgrades_owner_three_hops(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    proto.access(OTHER, addr, False, 0)
+    r = proto.access(2, addr, False, 2500)
+    assert r.category == "unpredicted_fwd"  # classic 3-hop indirection
+    assert proto.l1s[OTHER].peek(block).state is L1State.S
+    assert proto.l1s[2].peek(block).state is L1State.S
+    entry = proto.l2s[HOME].peek(block)
+    assert entry.owner_tile is None
+    assert entry.sharers & (1 << OTHER) and entry.sharers & (1 << 2)
+
+
+def test_read_hit_costs_l1_latency(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    proto.access(OTHER, addr, False, 0)
+    r = proto.access(OTHER, addr, False, 2500)
+    assert r.l1_hit
+    assert r.latency == proto.config.l1.access_latency
+
+
+def test_silent_upgrade_on_exclusive(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    proto.access(OTHER, addr, False, 0)
+    r = proto.access(OTHER, addr, True, 2500)
+    assert r.l1_hit  # E -> M without any message
+    assert proto.l1s[OTHER].peek(block).state is L1State.M
+    assert proto.checker.current_version(block) == 1
+
+
+def test_write_invalidates_all_sharers(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    for reader in (1, 2, 3):
+        proto.access(reader, addr, False, reader * 2500)
+    writer = 7
+    r = proto.access(writer, addr, True, 12000)
+    assert not r.needs_retry
+    for reader in (1, 2, 3):
+        assert proto.l1s[reader].peek(block) is None
+    assert proto.l1s[writer].peek(block).state is L1State.M
+    assert proto.stats.unicast_invalidations >= 3
+    proto.check_block(block)
+
+
+def test_write_to_owned_block_forwards(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    proto.access(1, addr, True, 0)  # tile 1 becomes M
+    r = proto.access(2, addr, True, 2500)
+    assert r.category in ("unpredicted_fwd", "unpredicted_home")
+    assert proto.l1s[1].peek(block) is None
+    assert proto.l1s[2].peek(block).state is L1State.M
+    assert proto.checker.current_version(block) == 2
+
+
+def test_upgrade_from_shared_keeps_copy(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    proto.access(1, addr, False, 0)
+    proto.access(2, addr, False, 2500)  # both S now
+    r = proto.access(1, addr, True, 5000)
+    assert not r.l1_hit  # upgrade miss
+    assert proto.l1s[1].peek(block).state is L1State.M
+    assert proto.l1s[2].peek(block) is None
+
+
+def test_busy_block_forces_retry(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    proto.access(1, addr, True, 0)  # write holds the block busy
+    r = proto.access(2, addr, False, 25)
+    assert r.needs_retry
+    assert r.retry_at > 1
+    r2 = proto.access(2, addr, False, r.retry_at)
+    assert not r2.needs_retry
+
+
+def test_dirty_eviction_writes_back_to_l2(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    proto.access(OTHER, addr_homed_at(cfg, HOME), True, 0)
+    line = proto.l1s[OTHER].peek(block)
+    proto.l1s[OTHER].invalidate(block)
+    proto._evict_l1_line(OTHER, block, line, 2500)
+    entry = proto.l2s[HOME].peek(block)
+    assert entry is not None and entry.has_data and entry.dirty
+    assert entry.version == proto.checker.current_version(block)
+    # re-read is served by the home in 2 hops
+    r = proto.access(3, addr_homed_at(cfg, HOME), False, 5000)
+    assert r.category == "unpredicted_home"
+
+
+def test_clean_exclusive_eviction_is_control_only(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    proto.access(OTHER, addr_homed_at(cfg, HOME), False, 0)  # E, clean
+    flits_before = proto.network.stats.flit_link_traversals
+    line = proto.l1s[OTHER].invalidate(block)
+    proto._evict_l1_line(OTHER, block, line, 2500)
+    flits = proto.network.stats.flit_link_traversals - flits_before
+    # one 1-flit control message only (the L2 already has the data)
+    assert flits == proto.mesh.hops(OTHER, HOME)
+    entry = proto.l2s[HOME].peek(block)
+    assert entry.has_data and entry.owner_tile is None
+
+
+def test_capacity_evictions_keep_coherence(proto):
+    """Fill one L1 set beyond capacity and check the invariants."""
+    cfg = proto.config
+    tile = 2
+    blocks = [block_homed_at(cfg, HOME, n) for n in range(8)]
+    for i, b in enumerate(blocks):
+        proto.access(tile, b << 6, i % 3 == 0, i * 1000)
+    for b in blocks:
+        proto.check_block(b)
+
+
+def test_stats_classification_totals(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    proto.access(1, addr, False, 0)
+    proto.access(2, addr, False, 2500)
+    proto.access(1, addr, False, 5000)  # hit
+    st = proto.stats
+    assert st.operations == 3
+    assert st.l1_hits == 1
+    assert st.l1_misses == 2
+    assert sum(st.miss_categories.values()) == 2

@@ -1,0 +1,252 @@
+"""Scenario tests for DiCo-Providers (Tables I and II)."""
+
+import pytest
+
+from repro.core.protocols.providers import DiCoProvidersProtocol
+from repro.core.states import L1State
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+
+@pytest.fixture
+def proto() -> DiCoProvidersProtocol:
+    # 4x4 chip, 4 areas of 2x2: areas are {0,1,4,5}, {2,3,6,7},
+    # {8,9,12,13}, {10,11,14,15}
+    return DiCoProvidersProtocol(tiny_chip(), seed=0)
+
+
+HOME = 5  # tile 5 is in area 0
+
+
+def areas_of(proto):
+    return proto.areas
+
+
+def test_local_read_at_owner_adds_sharer(proto):
+    """Table I: owner + request from local area -> bit-vector sharer."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)    # tile 0 (area 0) owner
+    proto.access(1, addr, False, 1250)   # tile 1 is in the same area
+    owner = proto.l1s[0].peek(block)
+    assert owner.state is L1State.O
+    assert owner.sharers & (1 << 1)
+    assert not owner.propos  # no provider was created
+    assert proto.l1s[1].peek(block).state is L1State.S
+
+
+def test_remote_read_creates_provider(proto):
+    """Table I: owner + remote request + no provider -> requestor
+    becomes the provider of its area."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)      # area-0 owner
+    remote = 15                           # area 3
+    proto.access(remote, addr, False, 1250)
+    owner = proto.l1s[0].peek(block)
+    area_r = proto.areas.area_of(remote)
+    assert owner.propos == {area_r: remote}
+    assert proto.l1s[remote].peek(block).state is L1State.P
+
+
+def test_provider_serves_its_area_shortened_miss(proto):
+    """Sec. V-D: misses that hit the provider stay inside the area."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)       # owner in area 0
+    proto.access(10, addr, False, 1250)     # tile 10 becomes area-3 provider
+    # another area-3 tile reads: routed to the provider
+    r = proto.access(11, addr, False, 2500)
+    assert r.category in ("unpredicted_provider", "pred_provider_hit")
+    provider = proto.l1s[10].peek(block)
+    assert provider.state is L1State.P
+    assert provider.sharers & (1 << 11)
+    assert proto.l1s[11].peek(block).state is L1State.S
+
+
+def test_predicted_provider_hit_after_reuse(proto):
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)
+    proto.access(10, addr, False, 1250)     # provider of area 3
+    proto.access(11, addr, False, 2500)    # sharer, learns provider=10
+    proto.drop_l1(11, block)
+    r = proto.access(11, addr, False, 5000)
+    assert r.category == "pred_provider_hit"
+
+
+def test_provider_forwards_remote_reads_to_home(proto):
+    """Table I: provider + remote request -> forward to home L2."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)
+    proto.access(10, addr, False, 1250)  # provider in area 3
+    # a tile in area 1 predicts the provider (wrong area)
+    proto.l1cs[2].update(block, 10)
+    r = proto.access(2, addr, False, 2500)
+    assert r.category == "pred_miss"
+    assert proto.l1s[2].peek(block) is not None  # still resolved
+    proto.check_block(block)
+
+
+def test_write_invalidates_provider_tree(proto):
+    """Fig. 4: owner invalidates its area + providers; providers
+    invalidate their areas; acks converge on the requestor."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)       # owner, area 0
+    proto.access(1, addr, False, 500)      # sharer in area 0
+    proto.access(10, addr, False, 1000)     # provider area 3
+    proto.access(11, addr, False, 1500)     # sharer in area 3
+    proto.access(2, addr, False, 2000)      # provider area 1
+    writer = 12                            # area 2
+    r = proto.access(writer, addr, True, 5000)
+    assert not r.needs_retry
+    for t in (0, 1, 10, 11, 2):
+        assert proto.l1s[t].peek(block) is None, f"tile {t} kept a copy"
+    line = proto.l1s[writer].peek(block)
+    assert line.state is L1State.M and not line.propos
+    assert proto.l2cs[HOME].peek_owner(block) == writer
+    proto.check_block(block)
+
+
+def test_writer_that_is_a_provider_cleans_its_own_area(proto):
+    """Sec. IV-A special case: a provider that writes must invalidate
+    its own area's sharers after receiving the ownership."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)    # owner area 0
+    proto.access(10, addr, False, 500)  # provider area 3
+    proto.access(11, addr, False, 1000)  # sharer of provider 10
+    r = proto.access(10, addr, True, 2500)  # the provider writes
+    assert not r.needs_retry
+    assert proto.l1s[11].peek(block) is None
+    assert proto.l1s[0].peek(block) is None
+    assert proto.l1s[10].peek(block).state is L1State.M
+    proto.check_block(block)
+
+
+class TestTableIIReplacements:
+    def test_shared_eviction_is_silent(self, proto):
+        cfg = proto.config
+        block = block_homed_at(cfg, HOME)
+        addr = addr_homed_at(cfg, HOME)
+        proto.access(0, addr, False, 0)
+        proto.access(1, addr, False, 1250)
+        msgs = proto.network.stats.messages
+        line = proto.l1s[1].invalidate(block)
+        proto._evict_l1_line(1, block, line, 2500)
+        assert proto.network.stats.messages == msgs  # no traffic
+
+    def test_provider_eviction_transfers_to_sharer(self, proto):
+        cfg = proto.config
+        block = block_homed_at(cfg, HOME)
+        addr = addr_homed_at(cfg, HOME)
+        proto.access(0, addr, False, 0)
+        proto.access(10, addr, False, 500)  # provider area 3
+        proto.access(11, addr, False, 1000)  # its sharer
+        line = proto.l1s[10].invalidate(block)
+        proto._evict_provider(10, block, line, 2500)
+        new_provider = proto.l1s[11].peek(block)
+        assert new_provider.state is L1State.P
+        owner = proto.l1s[0].peek(block)
+        assert owner.propos[proto.areas.area_of(11)] == 11
+        assert proto.network.stats.by_type["Change_Provider"] == 1
+
+    def test_provider_eviction_without_sharers_sends_no_provider(self, proto):
+        cfg = proto.config
+        block = block_homed_at(cfg, HOME)
+        addr = addr_homed_at(cfg, HOME)
+        proto.access(0, addr, False, 0)
+        proto.access(10, addr, False, 500)  # provider area 3, no sharers
+        line = proto.l1s[10].invalidate(block)
+        proto._evict_provider(10, block, line, 2500)
+        owner = proto.l1s[0].peek(block)
+        assert proto.areas.area_of(10) not in owner.propos
+        assert proto.network.stats.by_type["No_Provider"] == 1
+
+    def test_owner_eviction_with_area_sharers_transfers(self, proto):
+        cfg = proto.config
+        block = block_homed_at(cfg, HOME)
+        addr = addr_homed_at(cfg, HOME)
+        proto.access(0, addr, False, 0)
+        proto.access(1, addr, False, 500)   # sharer, same area
+        proto.access(10, addr, False, 1000)  # provider, area 3
+        line = proto.l1s[0].invalidate(block)
+        proto._evict_owner(0, block, line, 2500)
+        new_owner = proto.l1s[1].peek(block)
+        assert new_owner.state is L1State.O
+        assert new_owner.propos[proto.areas.area_of(10)] == 10
+        assert proto.l2cs[HOME].peek_owner(block) == 1
+        proto.check_block(block)
+
+    def test_owner_eviction_without_area_sharers_goes_home(self, proto):
+        cfg = proto.config
+        block = block_homed_at(cfg, HOME)
+        addr = addr_homed_at(cfg, HOME)
+        proto.access(0, addr, False, 0)
+        proto.access(10, addr, False, 500)  # provider area 3
+        line = proto.l1s[0].invalidate(block)
+        proto._evict_owner(0, block, line, 2500)
+        entry = proto.l2s[HOME].peek(block)
+        assert entry is not None and entry.is_owner
+        # the home inherited the provider pointers
+        assert entry.propos[proto.areas.area_of(10)] == 10
+        proto.check_block(block)
+
+
+def test_home_owner_forwards_to_area_provider(proto):
+    """Table I: L2 owner + provider exists -> forward to provider."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)
+    proto.access(10, addr, False, 500)  # provider of area 3
+    line = proto.l1s[0].invalidate(block)
+    proto._evict_owner(0, block, line, 1250)  # home becomes owner
+    r = proto.access(11, addr, False, 2500)  # area 3 read
+    assert r.category == "unpredicted_provider"
+    assert proto.l1s[10].peek(block).sharers & (1 << 11)
+
+
+def test_home_owner_grants_ownership_when_area_empty(proto):
+    """Table I: L2 owner + no provider -> requestor becomes owner."""
+    cfg = proto.config
+    block = block_homed_at(cfg, HOME)
+    addr = addr_homed_at(cfg, HOME)
+    proto.access(0, addr, False, 0)
+    line = proto.l1s[0].invalidate(block)
+    proto._evict_owner(0, block, line, 1250)
+    r = proto.access(12, addr, False, 2500)
+    assert r.category == "unpredicted_home"
+    owner = proto.l1s[12].peek(block)
+    assert owner.state in (L1State.E, L1State.M)
+    assert proto.l2cs[HOME].peek_owner(block) == 12
+
+
+def test_forced_relinquish_makes_former_owner_a_provider():
+    """Sec. IV-A1: after an L2C$ eviction the former owner becomes the
+    provider for its area."""
+    from dataclasses import replace
+
+    cfg = replace(tiny_chip(), l2c_entries=16)
+    proto = DiCoProvidersProtocol(cfg, seed=0)
+    home = 5
+    owners_first = 0
+    first_block = block_homed_at(cfg, home, 0)
+    proto.access(0, first_block << 6, False, 0)
+    # flood the home's L2C$ with other owner pointers
+    for i in range(1, cfg.l2c_entries + 8):
+        proto.access(i % cfg.n_tiles, block_homed_at(cfg, home, i) << 6, False, i * 1000)
+    # some blocks were relinquished; each former owner must now be a
+    # provider or have lost its line legitimately — invariants hold
+    for i in range(cfg.l2c_entries + 8):
+        proto.check_block(block_homed_at(cfg, home, i))
+    assert proto.l2cs[home].forced_relinquishes > 0

@@ -1,0 +1,182 @@
+"""Conformance of DiCo-Providers against the paper's Tables I and II.
+
+Each test constructs the exact situation of one table row on a small
+chip and asserts the implementation takes the mandated action, looked
+up from the machine-readable transcription in
+:mod:`repro.core.protocols.reference`.
+"""
+
+import pytest
+
+from repro.core.protocols.providers import DiCoProvidersProtocol
+from repro.core.protocols.reference import (
+    TABLE_I,
+    TABLE_II,
+    lookup_table_i,
+    lookup_table_ii,
+)
+from repro.core.states import L1State
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+HOME = 5
+
+
+@pytest.fixture
+def proto() -> DiCoProvidersProtocol:
+    return DiCoProvidersProtocol(tiny_chip(), seed=0)
+
+
+def settle(proto, tile, addr, is_write, now):
+    r = proto.access(tile, addr, is_write, now)
+    while r.needs_retry:
+        now = r.retry_at
+        r = proto.access(tile, addr, is_write, now)
+    return r, now + max(1, r.latency) + 100
+
+
+def test_tables_cover_both_request_kinds():
+    assert {r.request for r in TABLE_I} == {"read", "write"}
+    assert {r.receiver for r in TABLE_I} == {"L1", "L2"}
+    assert {r.state for r in TABLE_II} == {"shared", "provider", "owner"}
+
+
+def test_lookup_rejects_unknown_situations():
+    with pytest.raises(KeyError):
+        lookup_table_i("read", "L1", "exclusive")
+    with pytest.raises(KeyError):
+        lookup_table_ii("invalid", None)
+
+
+class TestTableIConformance:
+    def test_read_owner_local(self, proto):
+        row = lookup_table_i("read", "L1", "owner", from_local_area=True)
+        assert row.action == "supply_add_sharer"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)       # owner, area 0
+        settle(proto, 1, addr, False, t)              # local read
+        owner = proto.l1s[0].peek(block)
+        assert owner.sharers & (1 << 1)               # bit-vector insert
+        assert proto.l1s[1].peek(block).state is L1State.S
+
+    def test_read_owner_remote_no_provider(self, proto):
+        row = lookup_table_i(
+            "read", "L1", "owner", from_local_area=False, provider_exists=False
+        )
+        assert row.action == "supply_make_provider"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        settle(proto, 10, addr, False, t)             # remote area
+        owner = proto.l1s[0].peek(block)
+        area = proto.areas.area_of(10)
+        assert owner.propos[area] == 10               # ProPo insert
+        assert proto.l1s[10].peek(block).state is L1State.P
+
+    def test_read_owner_remote_with_provider(self, proto):
+        row = lookup_table_i(
+            "read", "L1", "owner", from_local_area=False, provider_exists=True
+        )
+        assert row.action == "forward_to_provider"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        _, t = settle(proto, 10, addr, False, t)      # provider of area 3
+        settle(proto, 11, addr, False, t)             # same remote area
+        provider = proto.l1s[10].peek(block)
+        assert provider.sharers & (1 << 11)           # served by provider
+        assert proto.l1s[11].peek(block).state is L1State.S
+
+    def test_read_provider_remote_forwards_home(self, proto):
+        row = lookup_table_i("read", "L1", "provider", from_local_area=False)
+        assert row.action == "forward_to_home"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        _, t = settle(proto, 10, addr, False, t)      # provider, area 3
+        # tile 2 (area 1) mispredicts the provider
+        proto.l1cs[2].update(block, 10)
+        r, _ = settle(proto, 2, addr, False, t)
+        assert r.category == "pred_miss"              # bounced via home
+
+    def test_read_l2_owner_no_provider_grants_ownership(self, proto):
+        row = lookup_table_i("read", "L2", "owner", provider_exists=False)
+        assert row.action == "supply_grant_ownership"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        line = proto.l1s[0].invalidate(block)
+        proto._evict_owner(0, block, line, t)         # home becomes owner
+        _, t = settle(proto, 12, addr, False, t + 500)
+        assert proto.l2cs[HOME].peek_owner(block) == 12
+
+    def test_read_l2_no_owner_fetches_memory(self, proto):
+        row = lookup_table_i("read", "L2", "other", owner_in_l1=False)
+        assert row.action == "fetch_memory_grant_exclusive"
+        addr = addr_homed_at(proto.config, HOME)
+        r, _ = settle(proto, 3, addr, False, 0)
+        assert r.category == "memory"
+        block = block_homed_at(proto.config, HOME)
+        assert proto.l1s[3].peek(block).state is L1State.E
+
+    def test_write_at_owner_invalidates_and_changes_owner(self, proto):
+        row = lookup_table_i("write", "L1", "owner")
+        assert row.action == "invalidate_supply_change_owner"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        _, t = settle(proto, 1, addr, False, t)
+        before = proto.network.stats.by_type.get("Change_Owner", 0)
+        _, t = settle(proto, 7, addr, True, t)
+        assert proto.l1s[1].peek(block) is None       # invalidation ran
+        assert proto.l1s[7].peek(block).state is L1State.M
+        assert proto.network.stats.by_type["Change_Owner"] > before
+
+    def test_write_at_l2_with_no_owner_fetches_memory(self, proto):
+        row = lookup_table_i("write", "L2", "other", owner_in_l1=False)
+        assert row.action == "fetch_memory_grant_modified"
+        addr = addr_homed_at(proto.config, HOME)
+        r, _ = settle(proto, 6, addr, True, 0)
+        assert r.category == "memory"
+        block = block_homed_at(proto.config, HOME)
+        assert proto.l1s[6].peek(block).state is L1State.M
+
+
+class TestTableIIConformance:
+    def test_shared_row(self, proto):
+        assert lookup_table_ii("shared", None).action == "silent"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        _, t = settle(proto, 1, addr, False, t)
+        msgs = proto.network.stats.messages
+        line = proto.l1s[1].invalidate(block)
+        proto._evict_l1_line(1, block, line, t)
+        assert proto.network.stats.messages == msgs
+
+    def test_provider_rows(self, proto):
+        assert (
+            lookup_table_ii("provider", True).action == "transfer_providership"
+        )
+        assert lookup_table_ii("provider", False).action == "notify_no_provider"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        _, t = settle(proto, 10, addr, False, t)      # provider
+        line = proto.l1s[10].invalidate(block)
+        proto._evict_provider(10, block, line, t)
+        assert proto.network.stats.by_type.get("No_Provider", 0) == 1
+
+    def test_owner_rows(self, proto):
+        assert lookup_table_ii("owner", True).action == "transfer_ownership"
+        assert lookup_table_ii("owner", False).action == "ownership_to_home"
+        block = block_homed_at(proto.config, HOME)
+        addr = addr_homed_at(proto.config, HOME)
+        _, t = settle(proto, 0, addr, False, 0)
+        _, t = settle(proto, 1, addr, False, t)
+        line = proto.l1s[0].invalidate(block)
+        proto._evict_owner(0, block, line, t)
+        # ownership went to the sharer, which notified the home
+        assert proto.l2cs[HOME].peek_owner(block) == 1
+        assert proto.network.stats.by_type["Change_Owner"] >= 1

@@ -1,0 +1,148 @@
+"""Tests for the Virtual Hierarchies comparator (Sec. II related work)."""
+
+import pytest
+
+from repro.core.protocols.vh import VirtualHierarchyProtocol, vh_storage_breakdown
+from repro.core.states import L1State
+from repro.core.storage import storage_breakdown
+from repro.sim.config import DEFAULT_CHIP
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+
+@pytest.fixture
+def proto() -> VirtualHierarchyProtocol:
+    return VirtualHierarchyProtocol(tiny_chip(), seed=0)
+
+
+HOME = 5  # global home tile; domain 0 on the 4x4 chip
+
+
+def settle(proto, tile, addr, is_write, now):
+    r = proto.access(tile, addr, is_write, now)
+    while r.needs_retry:
+        now = r.retry_at
+        r = proto.access(tile, addr, is_write, now)
+    return r, now + max(1, r.latency) + 100
+
+
+def test_first_read_installs_domain_copy(proto):
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    r, _ = settle(proto, 0, addr, False, 0)
+    assert r.category == "memory"
+    domain = proto.domain_of(0)
+    h1 = proto.dynamic_home(block, domain)
+    entry = proto.l2s[h1].peek(block)
+    assert entry is not None and entry.has_data
+    assert entry.sharers & (1 << 0)
+    # level-2 directory knows the domain
+    info = proto.l2dirs[HOME].peek(block)
+    assert info is not None and info.sharers & (1 << domain)
+
+
+def test_second_domain_read_reduplicates(proto):
+    """The paper's critique: a block shared by two domains gets TWO
+    domain copies at two dynamic homes."""
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 0, addr, False, 0)       # domain 0
+    settle(proto, 10, addr, False, t)             # domain 3
+    copies = 0
+    for d in range(proto.config.n_areas):
+        entry = proto.l2s[proto.dynamic_home(block, d)].peek(block)
+        if entry is not None and entry.has_data:
+            copies += 1
+    assert copies == 2  # reduplicated
+    proto.check_block(block)
+
+
+def test_intra_domain_read_stays_in_domain(proto):
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 0, addr, False, 0)
+    r, _ = settle(proto, 1, addr, False, t)       # same domain
+    assert r.category == "unpredicted_home"       # level-1 hit
+    domain = proto.domain_of(1)
+    entry = proto.l2s[proto.dynamic_home(block, domain)].peek(block)
+    assert entry.sharers & (1 << 1)
+
+
+def test_write_invalidates_all_domains(proto):
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    t = 0
+    for reader in (0, 1, 10, 12):                 # three domains
+        _, t = settle(proto, reader, addr, False, t)
+    _, t = settle(proto, 2, addr, True, t)        # domain 1 writes
+    for reader in (0, 1, 10, 12):
+        assert proto.l1s[reader].peek(block) is None
+    assert proto.l1s[2].peek(block).state is L1State.M
+    proto.check_block(block)
+    # only the writer's domain survives at level 2
+    info = proto.l2dirs[HOME].peek(block)
+    assert info.sharers == 1 << proto.domain_of(2)
+
+
+def test_owner_downgrade_on_domain_read(proto):
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 0, addr, True, 0)        # owner in domain 0
+    r, _ = settle(proto, 1, addr, False, t)       # same-domain read
+    assert proto.l1s[0].peek(block).state is L1State.S
+    assert proto.l1s[1].peek(block).state is L1State.S
+    proto.check_block(block)
+
+
+def test_cross_domain_read_pulls_through_remote_owner(proto):
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 0, addr, True, 0)        # M in domain 0
+    r, _ = settle(proto, 10, addr, False, t)      # domain 3 reads
+    assert proto.l1s[0].peek(block).state is L1State.S
+    assert proto.l1s[10].peek(block).state is L1State.S
+    proto.check_block(block)
+
+
+def test_ping_pong_writes_across_domains(proto):
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    t = 0
+    for i in range(6):
+        writer = (0, 10)[i % 2]
+        _, t = settle(proto, writer, addr, True, t)
+        proto.check_block(block)
+    assert proto.checker.current_version(block) == 6
+
+
+def test_owner_eviction_refreshes_domain_copy(proto):
+    block = block_homed_at(proto.config, HOME)
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 0, addr, True, 0)
+    line = proto.l1s[0].invalidate(block)
+    proto._evict_l1_line(0, block, line, t)
+    h1 = proto.dynamic_home(block, proto.domain_of(0))
+    entry = proto.l2s[h1].peek(block)
+    assert entry.has_data and entry.dirty
+    assert entry.version == proto.checker.current_version(block)
+
+
+class TestVhStorage:
+    def test_vh_needs_more_storage_than_flat_directory(self):
+        """Sec. II: 'VHs increase the overhead and power consumption of
+        the cache coherence protocol due to the second level'."""
+        vh = vh_storage_breakdown(DEFAULT_CHIP)
+        flat = storage_breakdown("directory", DEFAULT_CHIP)
+        assert vh.overhead > flat.overhead
+
+    def test_vh_needs_far_more_than_the_area_protocols(self):
+        vh = vh_storage_breakdown(DEFAULT_CHIP)
+        for proto in ("dico-providers", "dico-arin"):
+            assert vh.overhead > 2 * storage_breakdown(proto, DEFAULT_CHIP).overhead
+
+    def test_vh_structures(self):
+        vh = vh_storage_breakdown(DEFAULT_CHIP)
+        names = {s.name for s in vh.coherence}
+        assert names == {"l2_dir", "dir_cache"}
+        # level-1 entry: 64-bit full map (dynamic domains!) + 6-bit GenPo
+        assert vh.structure("l2_dir").entry_bits == 70

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_storage_command(capsys):
+    assert main(["storage"]) == 0
+    out = capsys.readouterr().out
+    assert "Table V" in out
+    assert "12.56" in out
+    assert "dico-arin" in out
+
+
+def test_leakage_command(capsys):
+    assert main(["leakage"]) == 0
+    out = capsys.readouterr().out
+    assert "239.0 mW" in out
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("apache", "jbb", "tomcatv", "mixed-sci"):
+        assert name in out
+
+
+def test_run_command_emits_json(capsys):
+    rc = main([
+        "run", "--protocol", "dico", "--workload", "radix",
+        "--cycles", "2000", "--warmup", "0", "--seed", "2",
+    ])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["protocol"] == "dico"
+    assert data["workload"] == "radix"
+    assert data["operations"] > 0
+    assert "miss_categories" in data
+
+
+def test_compare_command(capsys):
+    rc = main([
+        "compare", "--workload", "lu", "--cycles", "2000", "--warmup", "0",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for proto in ("directory", "dico", "dico-providers", "dico-arin"):
+        assert proto in out
+
+
+def test_alt_placement_flag(capsys):
+    rc = main([
+        "run", "--protocol", "dico-arin", "--workload", "radix",
+        "--cycles", "2000", "--warmup", "0", "--placement", "alt",
+    ])
+    assert rc == 0
+
+
+def test_bad_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--protocol", "mesi"])

@@ -1,0 +1,80 @@
+"""Unit tests for the chip configuration (Table III geometry)."""
+
+import pytest
+
+from repro.sim.chip import paper_scaled_chip
+from repro.sim.config import (
+    CacheGeometry,
+    ChipConfig,
+    DEFAULT_CHIP,
+    small_test_chip,
+)
+
+
+class TestCacheGeometry:
+    def test_paper_l1_geometry(self):
+        l1 = DEFAULT_CHIP.l1
+        assert l1.size_bytes == 128 << 10
+        assert l1.n_blocks == 2048
+        assert l1.n_sets == 512
+        assert l1.offset_bits == 6
+        assert l1.index_bits == 9
+        # Table V: L1Tag is 25 bits for 40-bit physical addresses
+        assert l1.tag_bits(40) == 25
+        assert l1.access_latency == 3  # 1 tag + 2 data
+
+    def test_paper_l2_geometry(self):
+        l2 = DEFAULT_CHIP.l2
+        assert l2.n_blocks == 16384
+        assert l2.n_sets == 2048
+        assert l2.access_latency == 5  # 2 tag + 3 data
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, assoc=3)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=3 * 64 * 2, assoc=2)
+
+
+class TestChipConfig:
+    def test_default_is_the_paper_platform(self):
+        assert DEFAULT_CHIP.n_tiles == 64
+        assert DEFAULT_CHIP.n_areas == 4
+        assert DEFAULT_CHIP.tiles_per_area == 16
+        assert DEFAULT_CHIP.phys_addr_bits == 40
+
+    def test_pointer_widths_match_section_vb(self):
+        # GenPo 6 bits (64 tiles), ProPo 4 bits (16-tile areas)
+        assert DEFAULT_CHIP.genpo_bits == 6
+        assert DEFAULT_CHIP.propo_bits == 4
+
+    def test_propo_degenerates_for_single_tile_areas(self):
+        cfg = DEFAULT_CHIP.with_areas(64)
+        assert cfg.propo_bits == 0
+
+    def test_areas_must_divide_tiles(self):
+        with pytest.raises(ValueError):
+            ChipConfig(mesh_width=8, mesh_height=8, n_areas=3)
+
+    def test_with_mesh_and_with_areas(self):
+        cfg = DEFAULT_CHIP.with_mesh(16, 8).with_areas(8)
+        assert cfg.n_tiles == 128
+        assert cfg.n_areas == 8
+        assert cfg.tiles_per_area == 16
+
+    def test_small_test_chip_is_valid_and_small(self):
+        cfg = small_test_chip()
+        assert cfg.n_tiles == 16
+        assert cfg.l1.n_blocks == 16
+        assert cfg.l2.n_blocks == 64
+
+    def test_paper_scaled_chip_keeps_ratios(self):
+        cfg = paper_scaled_chip()
+        assert cfg.n_tiles == 64
+        assert cfg.n_areas == 4
+        # L2:L1 capacity ratio preserved relative sizes
+        assert cfg.l2.size_bytes // cfg.l1.size_bytes == 4
+        assert cfg.l1.assoc == DEFAULT_CHIP.l1.assoc
+        assert cfg.l2.assoc == DEFAULT_CHIP.l2.assoc

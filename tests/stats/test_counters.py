@@ -1,0 +1,60 @@
+"""Unit tests for the statistics containers."""
+
+import pytest
+
+from repro.stats.counters import MISS_CATEGORIES, LatencyAccumulator, RunStats
+
+
+class TestLatencyAccumulator:
+    def test_empty(self):
+        acc = LatencyAccumulator()
+        assert acc.mean == 0.0
+        assert acc.count == 0
+
+    def test_accumulates(self):
+        acc = LatencyAccumulator()
+        for v in (10, 20, 30):
+            acc.add(v)
+        assert acc.count == 3
+        assert acc.mean == 20.0
+        assert acc.minimum == 10
+        assert acc.maximum == 30
+
+    def test_single_value(self):
+        acc = LatencyAccumulator()
+        acc.add(7)
+        assert acc.minimum == acc.maximum == 7
+
+
+class TestRunStats:
+    def test_miss_categories_initialized(self):
+        st = RunStats()
+        assert set(st.miss_categories) == set(MISS_CATEGORIES)
+        st.classify_miss("pred_owner_hit")
+        assert st.miss_categories["pred_owner_hit"] == 1
+        with pytest.raises(KeyError):
+            st.classify_miss("bogus")
+
+    def test_rates(self):
+        st = RunStats()
+        assert st.l1_miss_rate == 0.0
+        assert st.l2_miss_rate == 0.0
+        st.l1_hits = 90
+        st.l1_misses = 10
+        assert st.l1_miss_rate == pytest.approx(0.1)
+        st.l2_data_hits = 3
+        st.l2_misses = 1
+        assert st.l2_miss_rate == pytest.approx(0.25)
+
+    def test_structure_creates_on_demand(self):
+        st = RunStats()
+        s = st.structure("l1")
+        s.tag_reads += 5
+        assert st.structure("l1").tag_reads == 5
+
+    def test_summary_keys(self):
+        st = RunStats(protocol="p", workload="w")
+        summary = st.summary()
+        for key in ("protocol", "workload", "cycles", "operations",
+                    "l1_miss_rate", "l2_miss_rate", "flit_links"):
+            assert key in summary

@@ -1,0 +1,77 @@
+"""Unit tests for VM placement (default and Fig. 6 alternative)."""
+
+import pytest
+
+from repro.core.area import AreaMap
+from repro.workloads.placement import VMPlacement
+
+
+@pytest.fixture
+def areas() -> AreaMap:
+    return AreaMap(8, 8, 4)
+
+
+def test_area_aligned_default(areas):
+    p = VMPlacement.area_aligned(areas, 4)
+    assert p.n_vms == 4
+    for vm in range(4):
+        assert p.tiles_of(vm) == areas.tiles_of(vm)
+        assert p.areas_spanned(vm, areas) == (vm,)
+        assert p.threads_per_vm(vm) == 16
+    assert p.tiles_used == tuple(range(64))
+
+
+def test_vm_and_thread_of(areas):
+    p = VMPlacement.area_aligned(areas, 4)
+    for tile in range(64):
+        vm = p.vm_of(tile)
+        assert tile in p.tiles_of(vm)
+        assert p.tiles_of(vm)[p.thread_of(tile)] == tile
+
+
+def test_alternative_placement_straddles_areas(areas):
+    """Fig. 6 right: each VM spans two areas."""
+    p = VMPlacement.alternative(8, 8, 4)
+    for vm in range(4):
+        spanned = p.areas_spanned(vm, areas)
+        assert len(spanned) == 2
+        assert p.threads_per_vm(vm) == 16
+
+
+def test_alternative_covers_chip_once():
+    p = VMPlacement.alternative(8, 8, 4)
+    assert p.tiles_used == tuple(range(64))
+
+
+def test_fewer_vms_than_areas(areas):
+    p = VMPlacement.area_aligned(areas, 2)
+    assert p.n_vms == 2
+    assert len(p.tiles_used) == 32
+
+
+def test_too_many_vms_rejected(areas):
+    with pytest.raises(ValueError):
+        VMPlacement.area_aligned(areas, 5)
+
+
+def test_overlapping_assignment_rejected():
+    with pytest.raises(ValueError):
+        VMPlacement({0: [0, 1], 1: [1, 2]})
+
+
+def test_empty_vm_rejected():
+    with pytest.raises(ValueError):
+        VMPlacement({0: []})
+    with pytest.raises(ValueError):
+        VMPlacement({})
+
+
+def test_alternative_height_must_divide():
+    with pytest.raises(ValueError):
+        VMPlacement.alternative(8, 8, 3)
+
+
+def test_idle_tile_lookup_fails():
+    p = VMPlacement({0: [0, 1]})
+    with pytest.raises(KeyError):
+        p.vm_of(5)

@@ -1,0 +1,126 @@
+"""Unit tests for trace recording and replay."""
+
+import itertools
+
+import pytest
+
+from repro.core.area import AreaMap
+from repro.mem.address import AddressMap
+from repro.workloads.generator import ConsolidatedWorkload, MemOp
+from repro.workloads.placement import VMPlacement
+from repro.workloads.tracefile import (
+    TraceFileWorkload,
+    load_trace,
+    record_trace,
+    write_trace_file,
+)
+
+
+@pytest.fixture
+def workload():
+    areas = AreaMap(4, 4, 4)
+    placement = VMPlacement.area_aligned(areas, 4)
+    return ConsolidatedWorkload("radix", placement, AddressMap(n_tiles=16), seed=5)
+
+
+def test_round_trip_preserves_operations(workload, tmp_path):
+    path = tmp_path / "radix.trace"
+    replay = record_trace(workload, path, ops_per_tile=50)
+    # the recording equals a fresh generation with the same seed
+    fresh = ConsolidatedWorkload(
+        "radix", workload.placement, workload.addr, seed=5
+    )
+    for tile in (0, 7, 15):
+        recorded = list(itertools.islice(replay.trace(tile), 50))
+        regenerated = list(itertools.islice(fresh.trace(tile), 50))
+        assert recorded == regenerated
+
+
+def test_replay_wraps_around(workload, tmp_path):
+    path = tmp_path / "t.trace"
+    replay = record_trace(workload, path, ops_per_tile=10)
+    ops = list(itertools.islice(replay.trace(3), 25))
+    assert ops[:10] == ops[10:20]
+    assert replay.wraps[3] == 2
+
+
+def test_file_format_is_parseable_text(workload, tmp_path):
+    path = tmp_path / "t.trace"
+    record_trace(workload, path, ops_per_tile=5)
+    lines = path.read_text().splitlines()
+    assert lines[0] == "#repro-trace v1"
+    assert any(l.startswith("#tile ") for l in lines)
+    body = [l for l in lines if not l.startswith("#")]
+    assert len(body) == 5 * 16
+
+
+def test_manual_write_and_load(tmp_path):
+    path = tmp_path / "manual.trace"
+    traces = {
+        0: [MemOp(0x1000, False, 2), MemOp(0x2040, True, 1)],
+        3: [MemOp(0x80, False, 4)],
+    }
+    write_trace_file(path, traces, name="hand")
+    replay = load_trace(path)
+    assert replay.name == "hand"
+    assert replay.tiles == [0, 3]
+    assert replay.ops_recorded(0) == 2
+    first = next(replay.trace(0))
+    assert first == MemOp(0x1000, False, 2)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("not a trace\n")
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace(path)
+
+
+def test_record_before_tile_rejected(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("#repro-trace v1\n1000 R 1\n")
+    with pytest.raises(ValueError, match="before #tile"):
+        load_trace(path)
+
+
+def test_malformed_record_rejected(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("#repro-trace v1\n#tile 0\n1000 X\n")
+    with pytest.raises(ValueError, match="bad record"):
+        load_trace(path)
+
+
+def test_empty_traces_rejected():
+    with pytest.raises(ValueError):
+        TraceFileWorkload("x", {})
+    with pytest.raises(ValueError):
+        TraceFileWorkload("x", {0: []})
+
+
+def test_replay_drives_a_chip(workload, tmp_path):
+    from repro.sim.chip import Chip
+    from repro.sim.config import small_test_chip
+
+    path = tmp_path / "radix.trace"
+    replay = record_trace(workload, path, ops_per_tile=200)
+    chip = Chip("dico", replay, config=small_test_chip(), seed=0)
+    stats = chip.run_cycles(5_000)
+    assert stats.operations > 0
+    assert stats.workload == "radix"
+    chip.verify_coherence()
+
+
+def test_identical_replays_give_identical_runs(workload, tmp_path):
+    from repro.sim.chip import Chip
+    from repro.sim.config import small_test_chip
+
+    path = tmp_path / "radix.trace"
+    record_trace(workload, path, ops_per_tile=150)
+
+    def run():
+        chip = Chip("directory", load_trace(path), config=small_test_chip())
+        return chip.run_cycles(4_000)
+
+    a, b = run(), run()
+    assert a.operations == b.operations
+    assert a.network.flit_link_traversals == b.network.flit_link_traversals

@@ -4,46 +4,58 @@ Each ``bench_*`` module regenerates one table or figure of the paper.
 The trace-driven figures (7, 8a, 8b, 9a, 9b) all consume the same
 simulation sweep — every workload of Table IV run under all four
 protocols — so the sweep is computed once per pytest session and
-cached here.
+memoized here.
 
-Simulation windows are sized per workload: the commercial benchmarks
-(transaction metric) run a fixed cycle window after warmup; JBB gets a
-longer window so its huge working set actually pressures the L2 (the
-paper's "worst case for DiCo-Arin").
+All simulations route through :class:`repro.sweep.SweepRunner`, which
+serves three environment knobs:
+
+* ``REPRO_SWEEP_JOBS``  — worker processes (default ``1`` = serial
+  in-process, the bit-identical reference path);
+* ``REPRO_SWEEP_CACHE`` — on-disk result-cache directory (default:
+  unset, no cross-session caching);
+* the runner guarantees results identical to serial execution
+  regardless of either knob, so the figures never depend on how the
+  sweep was scheduled.
+
+The grid itself (protocol/workload order, per-workload measurement
+windows) lives in :mod:`repro.sweep.grids`; the names re-exported here
+keep the historical ``benchmarks.common`` import surface working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+from typing import Dict, List, Optional
 
-from repro import Chip, DEFAULT_CHIP, paper_scaled_chip
+from repro import DEFAULT_CHIP
 from repro.stats.counters import RunStats
-from repro.workloads.placement import VMPlacement
-from repro.workloads.spec import BENCHMARKS, MIXES
-
-PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
-WORKLOAD_ORDER = (
-    "apache",
-    "jbb",
-    "radix",
-    "lu",
-    "volrend",
-    "tomcatv",
-    "mixed-com",
-    "mixed-sci",
+from repro.sweep import (
+    PROTOCOL_ORDER,
+    WINDOWS,
+    WORKLOAD_ORDER,
+    RunSpec,
+    SweepRunner,
+    config_to_dict,
+    placement_spec,
+    snapshot_workload,
+    window_for,
 )
+from repro.workloads.placement import VMPlacement
 
-#: per-workload (warmup, window) cycles on the scaled chip
-WINDOWS: Dict[str, tuple] = {
-    "apache": (100_000, 100_000),
-    "jbb": (250_000, 150_000),
-    "radix": (60_000, 80_000),
-    "lu": (60_000, 80_000),
-    "volrend": (60_000, 80_000),
-    "tomcatv": (60_000, 80_000),
-    "mixed-com": (150_000, 120_000),
-    "mixed-sci": (60_000, 80_000),
-}
+__all__ = [
+    "ENERGY_CHIP",
+    "PROTOCOL_ORDER",
+    "SEED",
+    "WINDOWS",
+    "WORKLOAD_ORDER",
+    "fmt_row",
+    "full_sweep",
+    "print_table",
+    "run_one",
+    "run_specs",
+    "spec_for",
+    "sweep",
+]
 
 SEED = 1
 
@@ -51,7 +63,54 @@ SEED = 1
 #: full-size Table III structures, event counts from the scaled runs
 ENERGY_CHIP = DEFAULT_CHIP
 
+_runner: Optional[SweepRunner] = None
 _sweep_cache: Dict[str, Dict[str, RunStats]] = {}
+
+
+def _get_runner() -> SweepRunner:
+    global _runner
+    if _runner is None:
+        _runner = SweepRunner(
+            jobs=int(os.environ.get("REPRO_SWEEP_JOBS", "1")),
+            cache_dir=os.environ.get("REPRO_SWEEP_CACHE") or None,
+        )
+    return _runner
+
+
+def spec_for(
+    protocol: str,
+    workload: str,
+    seed: int = SEED,
+    placement: Optional[VMPlacement] = None,
+    protocol_kwargs: Optional[dict] = None,
+    config=None,
+) -> RunSpec:
+    """Build the RunSpec matching one measured benchmark run.
+
+    The workload content is snapshotted from the live registry so that
+    benches which patch ``BENCHMARKS`` before running still key (and
+    dispatch) the patched content, and any explicit chip config or
+    placement object is serialized into the spec.
+    """
+    warmup, window = window_for(workload)
+    n_vms = placement.n_vms if placement is not None else 4
+    return RunSpec(
+        protocol=protocol,
+        workload=workload,
+        seed=seed,
+        placement="aligned" if placement is None else placement_spec(placement),
+        cycles=window,
+        warmup=warmup,
+        n_vms=n_vms,
+        config=None if config is None else config_to_dict(config),
+        protocol_kwargs=protocol_kwargs or {},
+        workload_specs=snapshot_workload(workload, n_vms),
+    )
+
+
+def run_specs(specs: List[RunSpec]) -> List[RunStats]:
+    """Run a batch of specs through the shared runner."""
+    return [res.stats for res in _get_runner().run(specs)]
 
 
 def run_one(
@@ -63,32 +122,44 @@ def run_one(
     config=None,
 ) -> RunStats:
     """One measured run of (protocol, workload) on the scaled chip."""
-    cfg = config or paper_scaled_chip()
-    warmup, window = WINDOWS.get(workload, (60_000, 80_000))
-    chip = Chip(
+    spec = spec_for(
         protocol,
         workload,
-        config=cfg,
         seed=seed,
         placement=placement,
         protocol_kwargs=protocol_kwargs,
+        config=config,
     )
-    stats = chip.run_cycles(window, warmup=warmup)
-    chip.verify_coherence()
-    return stats
+    return run_specs([spec])[0]
 
 
 def sweep(workload: str) -> Dict[str, RunStats]:
-    """All four protocols on one workload (cached per session)."""
+    """All four protocols on one workload (memoized per session)."""
     cached = _sweep_cache.get(workload)
     if cached is None:
-        cached = {p: run_one(p, workload) for p in PROTOCOL_ORDER}
+        specs = [spec_for(p, workload) for p in PROTOCOL_ORDER]
+        stats = run_specs(specs)
+        cached = dict(zip(PROTOCOL_ORDER, stats))
         _sweep_cache[workload] = cached
     return cached
 
 
 def full_sweep() -> Dict[str, Dict[str, RunStats]]:
-    """Every Table IV workload under every protocol (cached)."""
+    """Every Table IV workload under every protocol (memoized).
+
+    Fans the *entire* remaining grid through the runner in one batch,
+    so with ``REPRO_SWEEP_JOBS > 1`` the whole figure sweep
+    parallelizes instead of one workload at a time.
+    """
+    missing = [w for w in WORKLOAD_ORDER if w not in _sweep_cache]
+    if missing:
+        specs = [
+            spec_for(p, w) for w in missing for p in PROTOCOL_ORDER
+        ]
+        stats = run_specs(specs)
+        for i, w in enumerate(missing):
+            per_w = stats[i * len(PROTOCOL_ORDER):(i + 1) * len(PROTOCOL_ORDER)]
+            _sweep_cache[w] = dict(zip(PROTOCOL_ORDER, per_w))
     return {w: sweep(w) for w in WORKLOAD_ORDER}
 
 

@@ -13,6 +13,7 @@ tag and data array energies per structure (Fig. 8a categories).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
@@ -59,10 +60,16 @@ class SetAssocCache(Generic[E]):
         policy: str = "lru",
         name: str = "cache",
         index_shift: int = 0,
+        seed: int = 0,
     ) -> None:
         """``index_shift`` drops low block bits before set selection —
         home-bank structures must shift out the bank-interleaving bits,
-        which are constant within one bank."""
+        which are constant within one bank.
+
+        ``seed`` decorrelates stochastic replacement across structures:
+        each set's policy gets a seed derived from ``(seed, name, set)``
+        via CRC32 (stable across processes, unlike ``hash()``), so two
+        sets — or two caches — never replay the same victim stream."""
         if n_sets < 1 or n_sets & (n_sets - 1):
             raise ValueError(f"n_sets={n_sets} must be a positive power of two")
         if n_ways < 1:
@@ -81,9 +88,15 @@ class SetAssocCache(Generic[E]):
         # per set: block -> way, for O(1) lookup
         self._index: List[Dict[int, int]] = [dict() for _ in range(n_sets)]
         self._policies: List[ReplacementPolicy] = [
-            make_policy(policy, n_ways) for _ in range(n_sets)
+            make_policy(policy, n_ways, seed=self._set_seed(seed, s))
+            for s in range(n_sets)
         ]
         self.stats = CacheAccessStats()
+
+    def _set_seed(self, seed: int, set_index: int) -> int:
+        return zlib.crc32(f"{self.name}/{set_index}".encode()) ^ (
+            seed & 0xFFFFFFFF
+        )
 
     # ------------------------------------------------------------------
 

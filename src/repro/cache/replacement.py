@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List
+from typing import List, Optional
 
 __all__ = ["ReplacementPolicy", "LRU", "FIFO", "TreePLRU", "RandomRepl", "make_policy"]
 
@@ -132,12 +132,24 @@ _POLICIES = {
 }
 
 
-def make_policy(name: str, n_ways: int) -> ReplacementPolicy:
-    """Factory by name (``lru``, ``fifo``, ``plru``, ``random``)."""
+def make_policy(
+    name: str, n_ways: int, seed: Optional[int] = None
+) -> ReplacementPolicy:
+    """Factory by name (``lru``, ``fifo``, ``plru``, ``random``).
+
+    ``seed`` initialises stochastic policies (currently only
+    ``random``).  Callers constructing one policy per cache set must
+    pass a distinct seed per set — otherwise every set replays the
+    identical pseudo-random victim stream and evictions are perfectly
+    correlated across sets (see :class:`~repro.cache.cache.SetAssocCache`,
+    which derives per-set seeds).  Deterministic policies ignore it.
+    """
     try:
         cls = _POLICIES[name]
     except KeyError:
         raise ValueError(
             f"unknown replacement policy {name!r}; options: {sorted(_POLICIES)}"
         ) from None
+    if cls is RandomRepl:
+        return cls(n_ways, seed=0 if seed is None else seed)
     return cls(n_ways)

@@ -4,6 +4,8 @@ Commands:
 
 * ``run``      — simulate one (protocol, workload) pair and print stats
 * ``compare``  — all four protocols on one workload (Figs. 7/9 style)
+* ``sweep``    — fan a (protocol × workload × seed) grid across worker
+  processes with an on-disk result cache
 * ``storage``  — Tables V and VII (analytic)
 * ``leakage``  — Table VI (calibrated CACTI-like model)
 * ``workloads``— list the Table IV benchmark models
@@ -14,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from . import (
     BENCHMARKS,
@@ -31,6 +34,18 @@ from .analysis import fig7_rows, fig9a_performance, fig9b_miss_breakdown
 from .workloads.placement import VMPlacement
 
 PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
+
+
+def _parse_override(text: str):
+    """``key=value`` with value parsed as JSON when possible."""
+    key, sep, raw = text.partition("=")
+    if not sep:
+        raise ValueError(f"override {text!r} is not of the form key=value")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
 
 
 def _build_chip(args, protocol: str) -> Chip:
@@ -75,6 +90,73 @@ def cmd_compare(args) -> int:
             f"{protocol:16s} {perf[protocol]:7.3f} {row['total']:7.3f} "
             f"{row['cache']:7.3f} {row['links']:7.3f} {100 * predicted:6.1f}%"
         )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .stats.io import stats_to_dict
+    from .sweep import SweepRunner, figure_grid, merge_by_point
+
+    specs = figure_grid(
+        protocols=args.protocols.split(","),
+        workloads=args.workloads.split(","),
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        placement=args.placement,
+        cycles=args.cycles,
+        warmup=args.warmup,
+        overrides=tuple(_parse_override(o) for o in args.set or ()),
+    )
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=not args.quiet,
+    )
+    start = time.perf_counter()
+    results = runner.run(specs)
+    elapsed = time.perf_counter() - start
+
+    # stdout carries one canonical JSON line per spec (progress goes to
+    # stderr), so two sweeps are comparable with a plain `diff`
+    for res in results:
+        print(
+            json.dumps(
+                {"spec": res.spec.to_dict(), "summary": res.stats.summary()},
+                sort_keys=True,
+            )
+        )
+    if len(set(tuple(int(s) for s in args.seeds.split(",")))) > 1:
+        merged = merge_by_point(
+            (res.spec, res.stats) for res in results
+        )
+        for (protocol, workload), stats in sorted(merged.items()):
+            print(
+                json.dumps(
+                    {
+                        "merged": {"protocol": protocol, "workload": workload},
+                        "summary": stats.summary(),
+                    },
+                    sort_keys=True,
+                )
+            )
+    if not args.quiet:
+        print(
+            f"sweep: {len(results)} specs, {runner.executed} simulated, "
+            f"{runner.cache_hits} cached, {elapsed:.1f}s wall "
+            f"({args.jobs} jobs)",
+            file=sys.stderr,
+        )
+    if args.output:
+        doc = [
+            {
+                "spec": res.spec.to_dict(),
+                "cached": res.cached,
+                "elapsed_s": round(res.elapsed_s, 6),
+                "stats": stats_to_dict(res.stats),
+            }
+            for res in results
+        ]
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
     return 0
 
 
@@ -148,6 +230,58 @@ def main(argv=None) -> int:
     p_cmp = sub.add_parser("compare", parents=[common],
                            help="compare all four protocols")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="fan a grid of runs across processes, with caching"
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="result cache directory (default: .repro-cache)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; neither read nor write the cache",
+    )
+    p_sweep.add_argument(
+        "--protocols", default=",".join(PROTOCOL_ORDER),
+        help="comma-separated protocol list",
+    )
+    p_sweep.add_argument(
+        "--workloads",
+        default="apache,jbb,radix,lu,volrend,tomcatv,mixed-com,mixed-sci",
+        help="comma-separated workload list",
+    )
+    p_sweep.add_argument(
+        "--seeds", default="1",
+        help="comma-separated seeds; >1 seed also prints merged points",
+    )
+    p_sweep.add_argument(
+        "--cycles", type=int, default=None,
+        help="measurement window (default: per-workload figure windows)",
+    )
+    p_sweep.add_argument(
+        "--warmup", type=int, default=None,
+        help="warmup cycles (default: per-workload figure windows)",
+    )
+    p_sweep.add_argument(
+        "--placement", default="aligned", choices=("aligned", "alt")
+    )
+    p_sweep.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="chip-config override, dotted paths allowed "
+        "(e.g. --set l1c_entries=256 --set noc.model_contention=true)",
+    )
+    p_sweep.add_argument(
+        "--output", default=None, help="write full stats JSON to this file"
+    )
+    p_sweep.add_argument(
+        "--quiet", action="store_true", help="suppress progress on stderr"
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     sub.add_parser("storage", help="Tables V and VII").set_defaults(
         func=cmd_storage

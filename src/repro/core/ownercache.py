@@ -32,7 +32,12 @@ class OwnerCache:
     """Per-home-bank table of L1 ownership pointers."""
 
     def __init__(
-        self, home_tile: int, n_entries: int, assoc: int = 8, index_shift: int = 0
+        self,
+        home_tile: int,
+        n_entries: int,
+        assoc: int = 8,
+        index_shift: int = 0,
+        seed: int = 0,
     ) -> None:
         if n_entries % assoc:
             raise ValueError("entries must divide evenly into ways")
@@ -40,8 +45,9 @@ class OwnerCache:
         self.array: SetAssocCache[_OwnerEntry] = SetAssocCache(
             n_sets=n_entries // assoc,
             n_ways=assoc,
-            name="l2c",
+            name=f"l2c[{home_tile}]",
             index_shift=index_shift,
+            seed=seed,
         )
         self.forced_relinquishes = 0
 

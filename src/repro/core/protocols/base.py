@@ -150,7 +150,9 @@ class CoherenceProtocol(ABC):
         n = config.n_tiles
         bank_bits = (n - 1).bit_length()
         self.l1s: List[SetAssocCache[L1Line]] = [
-            SetAssocCache(config.l1.n_sets, config.l1.assoc, name=f"l1[{t}]")
+            SetAssocCache(
+                config.l1.n_sets, config.l1.assoc, name=f"l1[{t}]", seed=seed
+            )
             for t in range(n)
         ]
         # home-bank structures see only blocks with the same low bits
@@ -158,15 +160,15 @@ class CoherenceProtocol(ABC):
         self.l2s: List[SetAssocCache[L2Line]] = [
             SetAssocCache(
                 config.l2.n_sets, config.l2.assoc,
-                name=f"l2[{t}]", index_shift=bank_bits,
+                name=f"l2[{t}]", index_shift=bank_bits, seed=seed,
             )
             for t in range(n)
         ]
         self.l1cs: List[PredictionCache] = [
-            PredictionCache(t, config.l1c_entries) for t in range(n)
+            PredictionCache(t, config.l1c_entries, seed=seed) for t in range(n)
         ]
         self.l2cs: List[OwnerCache] = [
-            OwnerCache(t, config.l2c_entries, index_shift=bank_bits)
+            OwnerCache(t, config.l2c_entries, index_shift=bank_bits, seed=seed)
             for t in range(n)
         ]
         #: per-block busy-until time (transaction serialization)

@@ -153,7 +153,12 @@ class Chip:
         seed: int = 0,
         checker: Optional[CoherenceChecker] = None,
         protocol_kwargs: Optional[dict] = None,
+        workload_specs: Optional[dict] = None,
     ) -> None:
+        """``workload_specs`` optionally pins the per-VM
+        :class:`~repro.workloads.spec.WorkloadSpec` objects instead of
+        resolving ``workload`` from the registry (sweep workers use it
+        to reproduce exactly what the dispatching process keyed)."""
         if isinstance(protocol, CoherenceProtocol):
             self.protocol = protocol
         else:
@@ -169,7 +174,8 @@ class Chip:
         self.placement = placement
         if isinstance(workload, str):
             self.workload = ConsolidatedWorkload(
-                workload, placement, self.protocol.addr, seed=seed
+                workload, placement, self.protocol.addr, seed=seed,
+                spec_by_vm=workload_specs,
             )
         else:
             # any object with .name / .trace(tile) / .cow_breaks works

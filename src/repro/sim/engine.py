@@ -90,18 +90,23 @@ class Simulator:
         Returns the final simulation time.  When ``until`` is given,
         events scheduled beyond it remain queued and ``now`` is advanced
         to exactly ``until``.
+
+        The event budget (``max_events``) is checked *before* each
+        event fires: exactly ``max_events`` events run, and the attempt
+        to process one more — whether or not ``until`` is given —
+        raises :class:`SimulationError`.
         """
         processed = 0
         while self._queue:
             if until is not None and self._queue[0][0] > until:
                 self._now = until
                 return self._now
-            self.step()
-            processed += 1
-            if self._max_events is not None and processed > self._max_events:
+            if self._max_events is not None and processed >= self._max_events:
                 raise SimulationError(
                     f"exceeded event budget of {self._max_events} events"
                 )
+            self.step()
+            processed += 1
         if until is not None and until > self._now:
             self._now = until
         return self._now

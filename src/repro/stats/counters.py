@@ -59,6 +59,23 @@ class LatencyAccumulator:
         self.count += 1
         self.total += value
 
+    def merge(self, other: "LatencyAccumulator") -> None:
+        """Fold ``other`` in, as if its samples had been added here.
+
+        Exact for count/total/min/max (the only state kept), so merging
+        per-seed accumulators equals accumulating the union of samples.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+        else:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        self.count += other.count
+        self.total += other.total
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -99,6 +116,57 @@ class RunStats:
     #: per structure name: aggregated access counters
     cache_access: Dict[str, CacheAccessStats] = field(default_factory=dict)
     network: NetworkStats = field(default_factory=NetworkStats)
+
+    def merge(self, other: "RunStats") -> None:
+        """Aggregate another run's statistics into this one.
+
+        Used by the sweep runner to collapse multi-seed grid points:
+        every event counter is summed, the miss-category dicts are
+        merged key-by-key, the latency accumulators merge exactly
+        (count/total/min/max), and the per-structure/network counters
+        go through their own ``merge``.  ``cycles`` sums too — after a
+        merge the ratios (miss rates, means) are sample-weighted
+        aggregates over the merged windows.
+
+        ``protocol``/``workload`` must agree (or be empty on one side):
+        merging different grid points is almost certainly a bug.
+        """
+        for attr in ("protocol", "workload"):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            if mine and theirs and mine != theirs:
+                raise ValueError(
+                    f"refusing to merge stats with different {attr}: "
+                    f"{mine!r} vs {theirs!r}"
+                )
+            if not mine:
+                setattr(self, attr, theirs)
+        for attr in (
+            "cycles",
+            "operations",
+            "reads",
+            "writes",
+            "l1_hits",
+            "l1_misses",
+            "l2_data_hits",
+            "l2_misses",
+            "memory_fetches",
+            "writebacks",
+            "upgrades",
+            "cow_breaks",
+            "broadcast_invalidations",
+            "unicast_invalidations",
+            "retries",
+        ):
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+        for category, count in other.miss_categories.items():
+            self.miss_categories[category] = (
+                self.miss_categories.get(category, 0) + count
+            )
+        self.miss_latency.merge(other.miss_latency)
+        self.miss_links.merge(other.miss_links)
+        for group, access in other.cache_access.items():
+            self.structure(group).merge(access)
+        self.network.merge(other.network)
 
     def classify_miss(self, category: str) -> None:
         if category not in self.miss_categories:

@@ -18,7 +18,9 @@ from .counters import MISS_CATEGORIES, LatencyAccumulator, RunStats
 __all__ = ["stats_to_dict", "stats_from_dict", "save_stats", "load_stats",
            "MetricDelta", "compare_stats"]
 
-_SCHEMA = 1
+#: schema 2 adds ``network.flits_by_type`` and ``network.link_load``
+#: (schema-1 documents still load; the extra maps default to empty)
+_SCHEMA = 2
 
 _SCALARS = (
     "protocol",
@@ -79,13 +81,16 @@ def stats_to_dict(stats: RunStats) -> Dict:
         "routing_events": net.routing_events,
         "broadcasts": net.broadcasts,
         "by_type": dict(net.by_type),
+        "flits_by_type": dict(net.flits_by_type),
+        # JSON keys must be strings; links are (src, dst) tile pairs
+        "link_load": {f"{s}>{d}": v for (s, d), v in net.link_load.items()},
     }
     return out
 
 
 def stats_from_dict(data: Mapping) -> RunStats:
     """Inverse of :func:`stats_to_dict`."""
-    if data.get("schema") != _SCHEMA:
+    if data.get("schema") not in (1, _SCHEMA):
         raise ValueError(f"unsupported stats schema {data.get('schema')!r}")
     stats = RunStats()
     for name in _SCALARS:
@@ -113,6 +118,11 @@ def stats_from_dict(data: Mapping) -> RunStats:
     stats.network.broadcasts = net["broadcasts"]
     for k, v in net["by_type"].items():
         stats.network.by_type[k] = v
+    for k, v in net.get("flits_by_type", {}).items():
+        stats.network.flits_by_type[k] = v
+    for k, v in net.get("link_load", {}).items():
+        src, _, dst = k.partition(">")
+        stats.network.link_load[(int(src), int(dst))] = v
     return stats
 
 

@@ -1,0 +1,55 @@
+"""Parallel experiment sweeps with content-keyed result caching.
+
+The experiment grids of this reproduction — (protocol × workload ×
+seed × placement × chip config) — are embarrassingly parallel and
+fully deterministic, so this package treats a simulation run as a pure
+function of its :class:`RunSpec`:
+
+* :class:`RunSpec` (``spec.py``) — a complete, serializable run
+  description;
+* :class:`SweepRunner` (``runner.py``) — fans specs across a
+  ``multiprocessing`` pool (serial with ``jobs=1``) with bit-identical
+  results regardless of job count;
+* :class:`ResultCache` (``cache.py``) — on-disk JSON store keyed by a
+  stable hash of the spec plus the simulator's source fingerprint;
+* ``grids.py`` — the canonical figure-reproduction grid shared by the
+  CLI (``python -m repro sweep``) and the ``benchmarks/`` suite.
+"""
+
+from .cache import ResultCache, code_fingerprint
+from .grids import (
+    PROTOCOL_ORDER,
+    WINDOWS,
+    WORKLOAD_ORDER,
+    figure_grid,
+    merge_by_point,
+    window_for,
+)
+from .runner import SweepResult, SweepRunner
+from .spec import (
+    RunSpec,
+    apply_overrides,
+    config_from_dict,
+    config_to_dict,
+    placement_spec,
+    snapshot_workload,
+)
+
+__all__ = [
+    "PROTOCOL_ORDER",
+    "ResultCache",
+    "RunSpec",
+    "SweepResult",
+    "SweepRunner",
+    "WINDOWS",
+    "WORKLOAD_ORDER",
+    "apply_overrides",
+    "code_fingerprint",
+    "config_from_dict",
+    "config_to_dict",
+    "figure_grid",
+    "merge_by_point",
+    "placement_spec",
+    "snapshot_workload",
+    "window_for",
+]

@@ -1,0 +1,128 @@
+"""Content-keyed on-disk cache of simulation results.
+
+Every grid point of a sweep is deterministic: the same
+:class:`~repro.sweep.spec.RunSpec` always produces the same
+:class:`~repro.stats.counters.RunStats`, bit for bit.  That makes
+results cacheable by content — the key is a SHA-256 over the spec's
+canonical JSON plus a fingerprint of the simulator's own source code,
+so editing *any* module under ``repro`` invalidates the whole cache
+(cheap insurance against stale results; simulations are expensive,
+hashing ~50 source files is not).
+
+Cache entries are small JSON documents written atomically (temp file +
+``os.replace``), so concurrent sweeps sharing one cache directory
+never observe torn writes; a corrupt or schema-incompatible entry is
+treated as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..stats.counters import RunStats
+from ..stats.io import stats_from_dict, stats_to_dict
+from .spec import RunSpec
+
+__all__ = ["ResultCache", "code_fingerprint"]
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package sources (memoized per process).
+
+    Hashes ``(relative path, file bytes)`` of every ``*.py`` under the
+    package root in sorted order, so renames and edits both change it.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class ResultCache:
+    """Directory of ``{spec, stats}`` JSON documents keyed by content."""
+
+    def __init__(
+        self, root: str | Path, code_version: Optional[str] = None
+    ) -> None:
+        self.root = Path(root)
+        self.code_version = (
+            code_fingerprint() if code_version is None else code_version
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, spec: RunSpec) -> str:
+        payload = spec.canonical_json() + "\n" + self.code_version
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[RunStats]:
+        """Cached stats for ``spec``, or ``None`` (corruption = miss)."""
+        path = self.path_for(spec)
+        try:
+            doc = json.loads(path.read_text())
+            stats = stats_from_dict(doc["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, spec: RunSpec, stats: RunStats, elapsed_s: float) -> None:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc: Dict[str, Any] = {
+            "spec": spec.to_dict(),
+            "code_version": self.code_version,
+            "elapsed_s": round(elapsed_s, 6),
+            "stats": stats_to_dict(stats),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(doc, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,112 @@
+"""Canonical experiment grids.
+
+The paper's trace-driven figures (7, 8a, 8b, 9a, 9b) all consume one
+sweep: every Table IV workload under all four protocols.  The grid —
+protocol order, workload order and the per-workload measurement
+windows — used to live in ``benchmarks/common.py``; it is defined here
+so the CLI, the benchmarks and ad-hoc scripts fan out the *same* runs
+and therefore share cache entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..stats.counters import RunStats
+from .spec import RunSpec
+
+__all__ = [
+    "PROTOCOL_ORDER",
+    "WORKLOAD_ORDER",
+    "WINDOWS",
+    "window_for",
+    "figure_grid",
+    "merge_by_point",
+]
+
+PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
+WORKLOAD_ORDER = (
+    "apache",
+    "jbb",
+    "radix",
+    "lu",
+    "volrend",
+    "tomcatv",
+    "mixed-com",
+    "mixed-sci",
+)
+
+#: per-workload (warmup, window) cycles on the scaled chip — the
+#: commercial benchmarks run a fixed window after warmup; JBB gets a
+#: longer window so its huge working set actually pressures the L2
+WINDOWS: Dict[str, Tuple[int, int]] = {
+    "apache": (100_000, 100_000),
+    "jbb": (250_000, 150_000),
+    "radix": (60_000, 80_000),
+    "lu": (60_000, 80_000),
+    "volrend": (60_000, 80_000),
+    "tomcatv": (60_000, 80_000),
+    "mixed-com": (150_000, 120_000),
+    "mixed-sci": (60_000, 80_000),
+}
+
+_DEFAULT_WINDOW = (60_000, 80_000)
+
+
+def window_for(workload: str) -> Tuple[int, int]:
+    """``(warmup, cycles)`` for one workload."""
+    return WINDOWS.get(workload, _DEFAULT_WINDOW)
+
+
+def figure_grid(
+    protocols: Sequence[str] = PROTOCOL_ORDER,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+    seeds: Sequence[int] = (1,),
+    placement: str = "aligned",
+    cycles: int | None = None,
+    warmup: int | None = None,
+    overrides: Tuple[Tuple[str, object], ...] = (),
+) -> List[RunSpec]:
+    """The figure-reproduction grid: workload-major, protocol, seed.
+
+    ``cycles``/``warmup`` override the per-workload windows when given
+    (e.g. for smoke sweeps in CI).
+    """
+    specs: List[RunSpec] = []
+    for workload in workloads:
+        default_warmup, default_cycles = window_for(workload)
+        for protocol in protocols:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        protocol=protocol,
+                        workload=workload,
+                        seed=seed,
+                        placement=placement,
+                        cycles=default_cycles if cycles is None else cycles,
+                        warmup=default_warmup if warmup is None else warmup,
+                        overrides=overrides,
+                    )
+                )
+    return specs
+
+
+def merge_by_point(
+    pairs: Iterable[Tuple[RunSpec, RunStats]]
+) -> Dict[Tuple[str, str], RunStats]:
+    """Collapse multi-seed results into one aggregate per grid point.
+
+    Groups by ``(protocol, workload)`` and folds seeds together with
+    :meth:`RunStats.merge` in input order, so counters sum and the
+    latency accumulators merge exactly.
+    """
+    merged: Dict[Tuple[str, str], RunStats] = {}
+    for spec, stats in pairs:
+        point = (spec.protocol, spec.workload)
+        if point in merged:
+            merged[point].merge(stats)
+        else:
+            seeded = RunStats()
+            seeded.merge(stats)
+            merged[point] = seeded
+    return merged

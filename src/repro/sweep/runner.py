@@ -1,0 +1,161 @@
+"""Fan a grid of runs across worker processes, with result caching.
+
+The grid points of an experiment sweep are embarrassingly parallel —
+each :class:`~repro.sweep.spec.RunSpec` is an independent,
+deterministic simulation — so :class:`SweepRunner` simply maps them
+over a ``multiprocessing`` pool.  Three properties are load-bearing:
+
+* **Bit-identical results.**  Statistics always travel through the
+  JSON codec of :mod:`repro.stats.io` — serial runs included — so a
+  spec's stats are byte-for-byte the same whether they came from this
+  process, a pool worker, or the on-disk cache.
+* **Deterministic ordering.**  Results come back in spec order
+  (``pool.imap``, not ``imap_unordered``), so downstream aggregation
+  never depends on worker scheduling.
+* **Content-keyed caching.**  With a cache directory configured, specs
+  already on disk are never re-simulated; a warm re-run of a whole
+  sweep executes zero simulations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..stats.counters import RunStats
+from ..stats.io import stats_from_dict, stats_to_dict
+from .cache import ResultCache
+from .spec import RunSpec
+
+__all__ = ["SweepResult", "SweepRunner"]
+
+
+@dataclass
+class SweepResult:
+    """One grid point's outcome."""
+
+    spec: RunSpec
+    stats: RunStats
+    elapsed_s: float
+    cached: bool
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: simulate one spec, return its stats document.
+
+    Module-level (picklable) and fed plain dicts, so it works under
+    both ``fork`` and ``spawn`` start methods.
+    """
+    spec = RunSpec.from_dict(payload)
+    start = time.perf_counter()
+    stats = spec.execute()
+    return stats_to_dict(stats), time.perf_counter() - start
+
+
+def _default_progress(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
+class SweepRunner:
+    """Runs :class:`RunSpec` grids; serial with ``jobs=1``, pooled above.
+
+    ``cache_dir=None`` disables the on-disk cache.  ``progress`` may be
+    ``False`` (silent), ``True`` (lines on stderr) or a callable that
+    receives each progress line.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        progress: bool | Callable[[str], None] = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if (cache_dir and use_cache) else None
+        )
+        if callable(progress):
+            self._progress: Optional[Callable[[str], None]] = progress
+        else:
+            self._progress = _default_progress if progress else None
+        #: simulations actually executed (not served from cache) since
+        #: construction — the warm-cache acceptance check reads this
+        self.executed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def _report(self, done: int, total: int, result: SweepResult) -> None:
+        if self._progress is None:
+            return
+        source = "cache" if result.cached else f"{result.elapsed_s:6.2f}s"
+        self._progress(
+            f"[{done}/{total}] {result.spec.label:<40s} {source}"
+        )
+
+    def run(self, specs: Sequence[RunSpec]) -> List[SweepResult]:
+        """Execute every spec; results are returned in spec order."""
+        specs = list(specs)
+        total = len(specs)
+        results: List[Optional[SweepResult]] = [None] * total
+        pending: List[Tuple[int, RunSpec]] = []
+        done = 0
+
+        for i, spec in enumerate(specs):
+            cached = None if self.cache is None else self.cache.get(spec)
+            if cached is not None:
+                self.cache_hits += 1
+                results[i] = SweepResult(
+                    spec=spec, stats=cached, elapsed_s=0.0, cached=True
+                )
+                done += 1
+                self._report(done, total, results[i])
+            else:
+                pending.append((i, spec))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                outcomes = (
+                    _execute_payload(spec.to_dict()) for _, spec in pending
+                )
+            else:
+                outcomes = self._pooled(
+                    [spec.to_dict() for _, spec in pending]
+                )
+            for (i, spec), (stats_doc, elapsed) in zip(pending, outcomes):
+                # the codec round-trip keeps serial results bit-identical
+                # to pooled ones (both sides of the comparison see
+                # exactly what survives JSON)
+                stats = stats_from_dict(stats_doc)
+                self.executed += 1
+                if self.cache is not None:
+                    self.cache.put(spec, stats, elapsed)
+                results[i] = SweepResult(
+                    spec=spec, stats=stats, elapsed_s=elapsed, cached=False
+                )
+                done += 1
+                self._report(done, total, results[i])
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec) -> SweepResult:
+        return self.run([spec])[0]
+
+    # ------------------------------------------------------------------
+
+    def _pooled(self, payloads: List[Dict[str, Any]]):
+        """Map payloads over a worker pool, preserving order."""
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        jobs = min(self.jobs, len(payloads))
+        with ctx.Pool(processes=jobs) as pool:
+            yield from pool.imap(_execute_payload, payloads, chunksize=1)

@@ -72,21 +72,30 @@ class ConsolidatedWorkload:
         addr_map: AddressMap,
         seed: int = 0,
         os_pages: int = 10,
+        spec_by_vm: Dict[int, WorkloadSpec] | None = None,
     ) -> None:
         """``os_pages`` models the guest-OS pages (kernel text, shared
         libraries) that are identical across *all* VMs regardless of
         the benchmark they run — the reason the paper's heterogeneous
-        mixes still save ~15% of memory through deduplication."""
+        mixes still save ~15% of memory through deduplication.
+
+        ``spec_by_vm`` overrides the registry lookup with explicit
+        per-VM specs — the sweep runner passes a snapshot so that runs
+        dispatched to worker processes use the exact spec content the
+        parent keyed the run by, even if the registry was patched."""
         self.name = workload
         self.placement = placement
         self.addr = addr_map
         self.seed = seed
         self.os_pages = os_pages
         self.table = DedupPageTable()
-        self.spec_by_vm: Dict[int, WorkloadSpec] = {
-            vm: workload_for_vm(workload, vm, placement.n_vms)
-            for vm in range(placement.n_vms)
-        }
+        if spec_by_vm is not None:
+            self.spec_by_vm: Dict[int, WorkloadSpec] = dict(spec_by_vm)
+        else:
+            self.spec_by_vm = {
+                vm: workload_for_vm(workload, vm, placement.n_vms)
+                for vm in range(placement.n_vms)
+            }
         # virtual page layout per VM: [private(t0) .. private(tN)][shared][dedup]
         self._private_base: Dict[int, int] = {}
         self._shared_base: Dict[int, int] = {}

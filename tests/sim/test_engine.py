@@ -96,3 +96,48 @@ def test_zero_delay_event_fires_at_current_time():
     sim.schedule(5, lambda: sim.schedule(0, lambda: fired.append(sim.now)))
     sim.run()
     assert fired == [5]
+
+
+class TestEventBudget:
+    """Regressions for the event-budget off-by-one (exactly
+    ``max_events`` events may fire, never ``max_events + 1``)."""
+
+    def test_exactly_max_events_fire_before_raise(self):
+        sim = Simulator(max_events=3)
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert fired == [0, 1, 2]  # budget events, not budget + 1
+
+    def test_budget_boundary_is_not_an_error(self):
+        sim = Simulator(max_events=3)
+        fired = []
+        for i in range(3):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == [0, 1, 2]
+
+    def test_budget_enforced_with_until(self):
+        """The budget applies on the ``until`` path too: the 4th event
+        inside the window must not fire when the budget is 3."""
+        sim = Simulator(max_events=3)
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            sim.run(until=100)
+        assert fired == [0, 1, 2]
+
+    def test_until_before_budget_returns_cleanly(self):
+        """Events beyond ``until`` stay queued and do not count against
+        the budget; the exact-budget run ends without raising."""
+        sim = Simulator(max_events=2)
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(2, lambda: fired.append(2))
+        sim.schedule(50, lambda: fired.append(50))
+        assert sim.run(until=10) == 10
+        assert fired == [1, 2]
+        assert sim.pending == 1

@@ -58,3 +58,76 @@ class TestRunStats:
         for key in ("protocol", "workload", "cycles", "operations",
                     "l1_miss_rate", "l2_miss_rate", "flit_links"):
             assert key in summary
+
+
+class TestLatencyAccumulatorMerge:
+    def fill(self, values):
+        acc = LatencyAccumulator()
+        for v in values:
+            acc.add(v)
+        return acc
+
+    def test_merge_equals_union_of_samples(self):
+        a = self.fill([10, 40])
+        b = self.fill([5, 25, 30])
+        a.merge(b)
+        union = self.fill([10, 40, 5, 25, 30])
+        assert (a.count, a.total, a.minimum, a.maximum) == (
+            union.count,
+            union.total,
+            union.minimum,
+            union.maximum,
+        )
+        assert a.mean == union.mean
+
+    def test_merge_empty_other_is_noop(self):
+        a = self.fill([3, 9])
+        a.merge(LatencyAccumulator())
+        assert (a.count, a.total, a.minimum, a.maximum) == (2, 12, 3, 9)
+
+    def test_merge_into_empty_copies(self):
+        a = LatencyAccumulator()
+        a.merge(self.fill([7, 2]))
+        assert (a.count, a.total, a.minimum, a.maximum) == (2, 9, 2, 7)
+        # other side untouched
+        b = self.fill([1])
+        a.merge(b)
+        assert b.count == 1
+
+
+class TestRunStatsMerge:
+    def sample(self, protocol="dico", ops=10):
+        st = RunStats(protocol=protocol, workload="radix")
+        st.cycles = 100
+        st.operations = ops
+        st.l1_hits = 4 * ops
+        st.l1_misses = ops
+        st.miss_categories["memory"] = ops
+        st.miss_latency.add(20)
+        st.structure("l1").tag_reads = 5 * ops
+        st.network.messages = 3 * ops
+        return st
+
+    def test_counters_and_substructures_sum(self):
+        a, b = self.sample(ops=10), self.sample(ops=4)
+        a.merge(b)
+        assert a.cycles == 200
+        assert a.operations == 14
+        assert a.l1_misses == 14
+        assert a.miss_categories["memory"] == 14
+        assert a.miss_latency.count == 2
+        assert a.structure("l1").tag_reads == 70
+        assert a.network.messages == 42
+        # ``b`` unmodified
+        assert b.operations == 4
+
+    def test_merge_into_fresh_stats_adopts_identity(self):
+        agg = RunStats()
+        agg.merge(self.sample())
+        assert (agg.protocol, agg.workload) == ("dico", "radix")
+        assert agg.operations == 10
+
+    def test_mismatched_identity_rejected(self):
+        a = self.sample(protocol="dico")
+        with pytest.raises(ValueError, match="protocol"):
+            a.merge(self.sample(protocol="directory"))

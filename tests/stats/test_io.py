@@ -83,3 +83,28 @@ class TestCompare:
         b.network.flit_link_traversals = 200
         deltas = compare_stats(a, b)
         assert any(d.metric == "flit_link_traversals" for d in deltas)
+
+
+def test_schema2_network_detail_survives_round_trip(real_stats):
+    """flits_by_type and link_load (added in schema 2) are part of the
+    power model's inputs — the codec must carry them losslessly."""
+    assert real_stats.network.flits_by_type
+    # link tracking is opt-in; seed some load so the codec is exercised
+    real_stats.network.link_load[(0, 1)] += 12
+    real_stats.network.link_load[(5, 4)] += 3
+    loaded = stats_from_dict(stats_to_dict(real_stats))
+    assert dict(loaded.network.flits_by_type) == dict(
+        real_stats.network.flits_by_type
+    )
+    assert dict(loaded.network.link_load) == dict(real_stats.network.link_load)
+
+
+def test_schema1_documents_still_load(real_stats):
+    data = stats_to_dict(real_stats)
+    assert data["schema"] == 2
+    data["schema"] = 1
+    del data["network"]["flits_by_type"]
+    del data["network"]["link_load"]
+    loaded = stats_from_dict(data)
+    assert loaded.operations == real_stats.operations
+    assert not loaded.network.flits_by_type

@@ -1,0 +1,78 @@
+"""Unit tests for the on-disk result cache."""
+
+import json
+
+from repro.stats.counters import RunStats
+from repro.sweep.cache import ResultCache, code_fingerprint
+from repro.sweep.spec import RunSpec
+
+
+def dummy_stats(ops: int = 10) -> RunStats:
+    stats = RunStats(protocol="dico", workload="radix")
+    stats.operations = ops
+    stats.l1_hits = 5 * ops
+    stats.l1_misses = ops
+    stats.miss_latency.add(17)
+    stats.network.messages = 3
+    return stats
+
+
+SPEC = RunSpec(protocol="dico", workload="radix", seed=1)
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(SPEC) is None
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.5)
+    got = cache.get(SPEC)
+    assert got is not None
+    assert got.operations == 10
+    assert got.miss_latency.maximum == 17
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_key_depends_on_spec_and_code_version(tmp_path):
+    cache = ResultCache(tmp_path)
+    other_spec = RunSpec(protocol="dico", workload="radix", seed=2)
+    assert cache.key_for(SPEC) != cache.key_for(other_spec)
+    older = ResultCache(tmp_path, code_version="something-older")
+    assert cache.key_for(SPEC) != older.key_for(SPEC)
+
+
+def test_code_version_invalidates_entries(tmp_path):
+    v1 = ResultCache(tmp_path, code_version="v1")
+    v1.put(SPEC, dummy_stats(), elapsed_s=0.1)
+    v2 = ResultCache(tmp_path, code_version="v2")
+    assert v2.get(SPEC) is None
+    assert v1.get(SPEC) is not None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.1)
+    cache.path_for(SPEC).write_text("{ not json")
+    assert cache.get(SPEC) is None
+
+
+def test_entry_document_carries_spec_and_fingerprint(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.25)
+    doc = json.loads(cache.path_for(SPEC).read_text())
+    assert doc["spec"]["protocol"] == "dico"
+    assert doc["code_version"] == code_fingerprint()
+    assert doc["elapsed_s"] == 0.25
+    assert doc["stats"]["operations"] == 10
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.1)
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.get(SPEC) is None
+
+
+def test_fingerprint_is_stable_within_a_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64

@@ -1,0 +1,136 @@
+"""Unit tests for the sweep runner (serial, pooled, cached paths)."""
+
+import pytest
+
+from repro.sim.config import small_test_chip
+from repro.stats.io import stats_to_dict
+from repro.sweep import RunSpec, SweepRunner, figure_grid, merge_by_point
+from repro.sweep.spec import config_to_dict
+
+TINY = config_to_dict(small_test_chip())
+
+
+def tiny_grid(protocols=("directory", "dico")):
+    return [
+        RunSpec(
+            protocol=p,
+            workload="radix",
+            seed=1,
+            cycles=1_500,
+            warmup=500,
+            config=TINY,
+        )
+        for p in protocols
+    ]
+
+
+def test_serial_runner_executes_all(tmp_path):
+    runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+    results = runner.run(tiny_grid())
+    assert [r.spec.protocol for r in results] == ["directory", "dico"]
+    assert runner.executed == 2
+    assert all(not r.cached and r.elapsed_s > 0 for r in results)
+    assert all(r.stats.operations > 0 for r in results)
+
+
+def test_warm_cache_executes_nothing(tmp_path):
+    cold = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+    first = cold.run(tiny_grid())
+    warm = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+    second = warm.run(tiny_grid())
+    assert warm.executed == 0
+    assert warm.cache_hits == len(first)
+    assert all(r.cached for r in second)
+    for a, b in zip(first, second):
+        assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
+
+
+def test_pool_matches_serial_bit_for_bit():
+    grid = tiny_grid(("directory", "dico", "dico-providers"))
+    serial = SweepRunner(jobs=1).run(grid)
+    pooled = SweepRunner(jobs=2).run(grid)
+    for a, b in zip(serial, pooled):
+        assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
+        assert a.stats.summary() == b.stats.summary()
+
+
+def test_no_cache_dir_always_simulates(tmp_path):
+    runner = SweepRunner(jobs=1, cache_dir=None)
+    runner.run(tiny_grid())
+    runner.run(tiny_grid())
+    assert runner.executed == 4
+    assert runner.cache_hits == 0
+
+
+def test_use_cache_false_disables_cache(tmp_path):
+    runner = SweepRunner(jobs=1, cache_dir=str(tmp_path), use_cache=False)
+    runner.run(tiny_grid())
+    assert runner.cache is None
+
+
+def test_progress_callback_sees_every_spec(tmp_path):
+    lines = []
+    runner = SweepRunner(
+        jobs=1, cache_dir=str(tmp_path), progress=lines.append
+    )
+    runner.run(tiny_grid())
+    assert len(lines) == 2
+    assert "[1/2]" in lines[0] and "[2/2]" in lines[1]
+    # warm pass reports cache hits
+    lines.clear()
+    SweepRunner(
+        jobs=1, cache_dir=str(tmp_path), progress=lines.append
+    ).run(tiny_grid())
+    assert all("cache" in line for line in lines)
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=0)
+
+
+def test_figure_grid_shape_and_order():
+    grid = figure_grid(
+        protocols=("directory", "dico"),
+        workloads=("radix", "apache"),
+        seeds=(1, 2),
+    )
+    assert len(grid) == 8
+    # workload-major, then protocol, then seed
+    assert [s.workload for s in grid[:4]] == ["radix"] * 4
+    assert [(s.protocol, s.seed) for s in grid[:4]] == [
+        ("directory", 1),
+        ("directory", 2),
+        ("dico", 1),
+        ("dico", 2),
+    ]
+    # per-workload windows applied
+    apache = grid[4]
+    assert (apache.warmup, apache.cycles) == (100_000, 100_000)
+
+
+def test_merge_by_point_collapses_seeds():
+    specs = [
+        RunSpec(
+            protocol="dico",
+            workload="radix",
+            seed=s,
+            cycles=1_500,
+            warmup=500,
+            config=TINY,
+        )
+        for s in (1, 2)
+    ]
+    results = SweepRunner(jobs=1).run(specs)
+    merged = merge_by_point((r.spec, r.stats) for r in results)
+    assert set(merged) == {("dico", "radix")}
+    agg = merged[("dico", "radix")]
+    assert agg.operations == sum(r.stats.operations for r in results)
+    assert agg.cycles == sum(r.stats.cycles for r in results)
+    assert agg.miss_latency.count == sum(
+        r.stats.miss_latency.count for r in results
+    )
+    # seeds actually differed (otherwise the merge test is vacuous)
+    assert results[0].stats.operations != results[1].stats.operations
+    # inputs untouched by the merge
+    assert results[0].stats.miss_latency.count < agg.miss_latency.count

@@ -1,0 +1,117 @@
+"""Unit tests for RunSpec serialization, keys and config overrides."""
+
+import json
+
+import pytest
+
+from repro.sim.config import DEFAULT_CHIP, small_test_chip
+from repro.sweep.spec import (
+    RunSpec,
+    apply_overrides,
+    config_from_dict,
+    config_to_dict,
+    placement_spec,
+    snapshot_workload,
+)
+from repro.workloads.placement import VMPlacement
+
+
+def tiny_spec(**kwargs) -> RunSpec:
+    defaults = dict(
+        protocol="dico",
+        workload="radix",
+        seed=2,
+        cycles=2_000,
+        warmup=500,
+        config=config_to_dict(small_test_chip()),
+    )
+    defaults.update(kwargs)
+    return RunSpec(**defaults)
+
+
+def test_config_round_trip():
+    for cfg in (DEFAULT_CHIP, small_test_chip()):
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+    # survives JSON text too
+    doc = json.loads(json.dumps(config_to_dict(DEFAULT_CHIP)))
+    assert config_from_dict(doc) == DEFAULT_CHIP
+
+
+def test_apply_overrides_flat_and_nested():
+    cfg = apply_overrides(
+        DEFAULT_CHIP,
+        (("l1c_entries", 256), ("noc.model_contention", True)),
+    )
+    assert cfg.l1c_entries == 256
+    assert cfg.noc.model_contention is True
+    # base untouched (frozen dataclasses)
+    assert DEFAULT_CHIP.l1c_entries == 2048
+    assert DEFAULT_CHIP.noc.model_contention is False
+
+
+def test_spec_round_trip_through_json():
+    spec = tiny_spec(
+        overrides=(("l1c_entries", 64),),
+        protocol_kwargs={"provider_on_read": False},
+        workload_specs=snapshot_workload("radix", 4),
+    )
+    doc = json.loads(json.dumps(spec.to_dict()))
+    assert RunSpec.from_dict(doc) == spec
+
+
+def test_canonical_json_is_stable_and_content_sensitive():
+    a, b = tiny_spec(), tiny_spec()
+    assert a.canonical_json() == b.canonical_json()
+    assert a.canonical_json() != tiny_spec(seed=3).canonical_json()
+    assert (
+        a.canonical_json()
+        != tiny_spec(overrides=(("l1c_entries", 64),)).canonical_json()
+    )
+
+
+def test_canonical_json_resolves_workload_content():
+    """A spec without embedded workload specs keys by resolved content,
+    so registry edits change the key."""
+    from repro.workloads import spec as spec_module
+
+    plain = tiny_spec()
+    before = plain.canonical_json()
+    original = spec_module.BENCHMARKS["radix"]
+    import dataclasses
+
+    spec_module.BENCHMARKS["radix"] = dataclasses.replace(
+        original, reuse_prob=0.123
+    )
+    try:
+        assert plain.canonical_json() != before
+    finally:
+        spec_module.BENCHMARKS["radix"] = original
+    assert plain.canonical_json() == before
+
+
+def test_placement_spec_round_trip():
+    placement = VMPlacement.alternative(4, 4, 2)
+    doc = placement_spec(placement)
+    rebuilt = VMPlacement(
+        {int(vm): tuple(tiles) for vm, tiles in doc.items()}
+    )
+    assert rebuilt.tiles_used == placement.tiles_used
+    for vm in range(2):
+        assert rebuilt.tiles_of(vm) == placement.tiles_of(vm)
+
+
+def test_build_chip_rejects_unknown_placement_name():
+    with pytest.raises(ValueError):
+        tiny_spec(placement="diagonal").build_chip()
+
+
+def test_execute_is_deterministic():
+    spec = tiny_spec()
+    assert spec.execute().summary() == spec.execute().summary()
+
+
+def test_specs_are_hashable():
+    a = tiny_spec(protocol_kwargs={"provider_on_read": True})
+    b = tiny_spec(protocol_kwargs={"provider_on_read": True})
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1

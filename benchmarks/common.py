@@ -13,8 +13,13 @@ serves three environment knobs:
   in-process, the bit-identical reference path);
 * ``REPRO_SWEEP_CACHE`` — on-disk result-cache directory (default:
   unset, no cross-session caching);
+* ``REPRO_FAST_PATH``   — ``0`` selects the one-event-per-op reference
+  issue path inside the simulator (default ``1``, the inline-draining
+  fast path).  The two are bit-identical — pinned by
+  ``tests/integration/test_determinism.py`` — so this knob exists for
+  cross-checking, not for changing results;
 * the runner guarantees results identical to serial execution
-  regardless of either knob, so the figures never depend on how the
+  regardless of any knob, so the figures never depend on how the
   sweep was scheduled.
 
 The grid itself (protocol/workload order, per-workload measurement

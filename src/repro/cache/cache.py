@@ -24,7 +24,7 @@ __all__ = ["CacheAccessStats", "SetAssocCache"]
 E = TypeVar("E")
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheAccessStats:
     """Per-structure access counters (inputs to the power model)."""
 
@@ -80,6 +80,7 @@ class SetAssocCache(Generic[E]):
         self.n_ways = n_ways
         self.name = name
         self.index_shift = index_shift
+        self._set_mask = n_sets - 1
         self._policy_name = policy
         # per set: way -> (block, entry); None when invalid
         self._ways: List[List[Optional[Tuple[int, E]]]] = [
@@ -87,11 +88,35 @@ class SetAssocCache(Generic[E]):
         ]
         # per set: block -> way, for O(1) lookup
         self._index: List[Dict[int, int]] = [dict() for _ in range(n_sets)]
-        self._policies: List[ReplacementPolicy] = [
-            make_policy(policy, n_ways, seed=self._set_seed(seed, s))
-            for s in range(n_sets)
-        ]
+        # replacement state is built lazily on the first insert into a
+        # set: a 64-tile chip holds tens of thousands of sets and short
+        # runs touch a fraction of them, so eager construction (one
+        # CRC32 + policy object per set) dominates chip build time.
+        # Laziness cannot perturb results — each set's seed depends only
+        # on (seed, name, set), never on creation order.
+        self._seed = seed
+        self._policy_slots: List[Optional[ReplacementPolicy]] = [None] * n_sets
+        # per set: stack of free way indices (None until the first
+        # insert touches the set), so fills never scan the way array.
+        # Reversed so pops hand out ways in ascending order while the
+        # set is filling, like the scan this replaces did.
+        self._free: List[Optional[List[int]]] = [None] * n_sets
         self.stats = CacheAccessStats()
+
+    @property
+    def _policies(self) -> List[ReplacementPolicy]:
+        """All per-set policies, materializing any not yet built.
+
+        Introspection/test path — the hot paths index
+        ``_policy_slots`` directly (sets they touch are guaranteed to
+        have been inserted into, hence built)."""
+        slots = self._policy_slots
+        for s in range(self.n_sets):
+            if slots[s] is None:
+                slots[s] = make_policy(
+                    self._policy_name, self.n_ways, seed=self._set_seed(self._seed, s)
+                )
+        return slots  # type: ignore[return-value]
 
     def _set_seed(self, seed: int, set_index: int) -> int:
         return zlib.crc32(f"{self.name}/{set_index}".encode()) ^ (
@@ -124,28 +149,27 @@ class SetAssocCache(Generic[E]):
 
     def lookup(self, block: int, touch: bool = True) -> Optional[E]:
         """Tag lookup; returns the entry on hit, ``None`` on miss."""
-        s = self.set_of(block)
-        self.stats.tag_reads += 1
+        # hot path: set math and attribute chains hoisted into locals,
+        # no asserts (``_index`` and ``_ways`` are maintained together)
+        s = (block >> self.index_shift) & self._set_mask
+        stats = self.stats
+        stats.tag_reads += 1
         way = self._index[s].get(block)
         if way is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if touch:
-            self._policies[s].touch(way)
-        frame = self._ways[s][way]
-        assert frame is not None
-        return frame[1]
+            self._policy_slots[s].touch(way)
+        return self._ways[s][way][1]
 
     def peek(self, block: int) -> Optional[E]:
         """Lookup without touching LRU state or counting an access."""
-        s = self.set_of(block)
+        s = (block >> self.index_shift) & self._set_mask
         way = self._index[s].get(block)
         if way is None:
             return None
-        frame = self._ways[s][way]
-        assert frame is not None
-        return frame[1]
+        return self._ways[s][way][1]
 
     def victim_for(self, block: int) -> Optional[Tuple[int, E]]:
         """What would be evicted if ``block`` were inserted now.
@@ -156,11 +180,36 @@ class SetAssocCache(Generic[E]):
         s = self.set_of(block)
         if block in self._index[s]:
             return None
-        for frame in self._ways[s]:
-            if frame is None:
-                return None
-        way = self._policies[s].victim()
+        free = self._free[s]
+        if free is None or free:
+            return None
+        way = self._policy_slots[s].victim()
         return self._ways[s][way]
+
+    def displace(self, block: int) -> Optional[Tuple[int, E]]:
+        """Combined :meth:`victim_for` + :meth:`invalidate` of the victim.
+
+        When inserting ``block`` would evict (set full, block absent),
+        removes the victim frame — same state-write accounting as
+        :meth:`invalidate` — and returns it; the follow-up
+        :meth:`insert` then reuses the freed way.  Saves the fill path
+        one call and one set computation over the two-step form.
+        """
+        s = (block >> self.index_shift) & self._set_mask
+        index = self._index[s]
+        if block in index:
+            return None
+        free = self._free[s]
+        if free is None or free:
+            return None
+        way = self._policy_slots[s].victim()
+        frame = self._ways[s][way]
+        del index[frame[0]]
+        self._ways[s][way] = None
+        free.append(way)
+        self._policy_slots[s].reset(way)
+        self.stats.tag_writes += 1
+        return frame
 
     def insert(self, block: int, entry: E) -> Optional[Tuple[int, E]]:
         """Insert (or overwrite) ``block``; returns the evicted frame.
@@ -168,41 +217,54 @@ class SetAssocCache(Generic[E]):
         The caller must have handled the victim's coherence actions
         beforehand (use :meth:`victim_for` to inspect it).
         """
-        s = self.set_of(block)
+        s = (block >> self.index_shift) & self._set_mask
         self.stats.tag_writes += 1
-        existing = self._index[s].get(block)
+        index = self._index[s]
+        ways = self._ways[s]
+        policy = self._policy_slots[s]
+        if policy is None:
+            policy = self._policy_slots[s] = make_policy(
+                self._policy_name, self.n_ways, seed=self._set_seed(self._seed, s)
+            )
+        existing = index.get(block)
         if existing is not None:
-            self._ways[s][existing] = (block, entry)
-            self._policies[s].touch(existing)
+            ways[existing] = (block, entry)
+            policy.touch(existing)
             return None
-        # free way?
-        for way, frame in enumerate(self._ways[s]):
-            if frame is None:
-                self._ways[s][way] = (block, entry)
-                self._index[s][block] = way
-                self._policies[s].touch(way)
-                return None
-        way = self._policies[s].victim()
-        victim = self._ways[s][way]
-        assert victim is not None
-        del self._index[s][victim[0]]
-        self._ways[s][way] = (block, entry)
-        self._index[s][block] = way
-        self._policies[s].touch(way)
+        free = self._free[s]
+        if free is None:
+            # first insert into this set takes way 0
+            self._free[s] = list(range(self.n_ways - 1, 0, -1))
+            ways[0] = (block, entry)
+            index[block] = 0
+            policy.touch(0)
+            return None
+        if free:
+            way = free.pop()
+            ways[way] = (block, entry)
+            index[block] = way
+            policy.touch(way)
+            return None
+        way = policy.victim()
+        victim = ways[way]
+        del index[victim[0]]
+        ways[way] = (block, entry)
+        index[block] = way
+        policy.touch(way)
         self.stats.evictions += 1
         return victim
 
     def invalidate(self, block: int) -> Optional[E]:
         """Drop ``block``; returns its entry if it was present."""
-        s = self.set_of(block)
+        s = (block >> self.index_shift) & self._set_mask
         way = self._index[s].pop(block, None)
         if way is None:
             return None
         self.stats.tag_writes += 1  # state update on invalidation
         frame = self._ways[s][way]
         self._ways[s][way] = None
-        self._policies[s].reset(way)
-        assert frame is not None
+        self._free[s].append(way)
+        self._policy_slots[s].reset(way)
         return frame[1]
 
     def blocks_in_set(self, s: int) -> List[int]:

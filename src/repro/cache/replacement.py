@@ -43,8 +43,10 @@ class LRU(ReplacementPolicy):
         self._stack: List[int] = list(range(n_ways))  # MRU first
 
     def touch(self, way: int) -> None:
-        self._stack.remove(way)
-        self._stack.insert(0, way)
+        stack = self._stack
+        if stack[0] != way:  # already MRU: nothing to move
+            stack.remove(way)
+            stack.insert(0, way)
 
     def victim(self) -> int:
         return self._stack[-1]

@@ -6,6 +6,8 @@ Commands:
 * ``compare``  — all four protocols on one workload (Figs. 7/9 style)
 * ``sweep``    — fan a (protocol × workload × seed) grid across worker
   processes with an on-disk result cache
+* ``perf``     — benchmark the simulator itself on a pinned reference
+  subset (ops/sec per cell, ``BENCH_PERF.json`` report)
 * ``storage``  — Tables V and VII (analytic)
 * ``leakage``  — Table VI (calibrated CACTI-like model)
 * ``workloads``— list the Table IV benchmark models
@@ -91,6 +93,12 @@ def cmd_compare(args) -> int:
             f"{row['cache']:7.3f} {row['links']:7.3f} {100 * predicted:6.1f}%"
         )
     return 0
+
+
+def cmd_perf(args) -> int:
+    from .perf import harness
+
+    return harness.main(args)
 
 
 def cmd_sweep(args) -> int:
@@ -282,6 +290,33 @@ def main(argv=None) -> int:
         "--quiet", action="store_true", help="suppress progress on stderr"
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_perf = sub.add_parser(
+        "perf", help="benchmark the simulator itself (ops/sec per cell)"
+    )
+    p_perf.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke windows instead of the 100k-cycle reference cells",
+    )
+    p_perf.add_argument(
+        "--repeat", type=int, default=1,
+        help="timing repeats per cell; the median wall time is reported",
+    )
+    p_perf.add_argument(
+        "--profile", type=int, default=0, metavar="N",
+        help="additionally cProfile the cell set and print the top N "
+        "entries by cumulative time",
+    )
+    p_perf.add_argument(
+        "--output", default="BENCH_PERF.json",
+        help="report path (default: BENCH_PERF.json; '' disables writing)",
+    )
+    p_perf.add_argument(
+        "--baseline", default=None,
+        help="prior BENCH_PERF.json to compare against (prints per-cell "
+        "speedups and their geomean)",
+    )
+    p_perf.set_defaults(func=cmd_perf)
 
     sub.add_parser("storage", help="Tables V and VII").set_defaults(
         func=cmd_storage

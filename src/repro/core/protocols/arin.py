@@ -66,7 +66,7 @@ class DiCoArinProtocol(DiCoProtocol):
             t = self.config.l1.access_latency
             self.l1s[holder].charge_data_read()
             data = self.msg(holder, requestor, MessageType.DATA, now)
-            self.checker.check_read(block, line.version, where=f"L1[{requestor}]")
+            self.checker.check_read(block, line.version, where=self._l1_names[requestor])
             state = L1State.P if self.provider_on_read else L1State.S
             # the supplier identity is retained even though the copy
             # itself can provide: once this copy is evicted, the L1C$
@@ -91,7 +91,7 @@ class DiCoArinProtocol(DiCoProtocol):
             if line.state in (L1State.E, L1State.M):
                 line.state = L1State.O
             data = self.msg(holder, requestor, MessageType.DATA, now)
-            self.checker.check_read(block, line.version, where=f"L1[{requestor}]")
+            self.checker.check_read(block, line.version, where=self._l1_names[requestor])
             self.fill_l1(
                 requestor,
                 block,
@@ -108,11 +108,11 @@ class DiCoArinProtocol(DiCoProtocol):
         self, owner: int, requestor: int, block: int, line: L1Line, now: int
     ) -> Tuple[int, int, str]:
         """First remote-area read: owner → provider, data → home L2."""
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         t = self.config.l1.access_latency
         self.l1s[owner].charge_data_read()
         data = self.msg(owner, requestor, MessageType.DATA, now)
-        self.checker.check_read(block, line.version, where=f"L1[{requestor}]")
+        self.checker.check_read(block, line.version, where=self._l1_names[requestor])
         # ship the data to the home unless the home already has it
         entry = self.l2s[home].peek(block)
         if entry is None or not entry.has_data:
@@ -150,8 +150,8 @@ class DiCoArinProtocol(DiCoProtocol):
     def _read_at_home(
         self, tile: int, block: int, now: int, forwarder: Optional[int]
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
-        t = self.l2_tag_latency()
+        home = (block & self._home_mask)
+        t = self._l2_tag_lat
         links = 0
         owner = self._owner_tile(block)
         if owner is not None:
@@ -176,7 +176,7 @@ class DiCoArinProtocol(DiCoProtocol):
         data = self.msg(home, tile, MessageType.DATA_OWNER, now)
         t += data.latency
         links += data.hops
-        self.checker.check_read(block, version, where=f"L1[{tile}]")
+        self.checker.check_read(block, version, where=self._l1_names[tile])
         self._fill_plain_copy(home, block, version, now)
         self.fill_l1(
             tile, block, L1Line(state=L1State.E, version=version), now, supplier=None
@@ -202,7 +202,7 @@ class DiCoArinProtocol(DiCoProtocol):
         self.l2s[home].charge_data_read()
         data = self.msg(home, tile, MessageType.DATA, now)
         t += data.latency
-        self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+        self.checker.check_read(block, entry.version, where=self._l1_names[tile])
         area_r = self.areas.area_of(tile)
         # stale-provider healing: the forwarder is evidently no longer a
         # provider, so the requestor replaces it (Sec. IV-B)
@@ -249,7 +249,7 @@ class DiCoArinProtocol(DiCoProtocol):
             data = self.msg(home, tile, MessageType.DATA_OWNER, now)
             t += data.latency
             links += data.hops
-            self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+            self.checker.check_read(block, entry.version, where=self._l1_names[tile])
             state = L1State.M if entry.dirty else L1State.E
             version, dirty = entry.version, entry.dirty
             self._demote_to_copy(home, block)
@@ -276,7 +276,7 @@ class DiCoArinProtocol(DiCoProtocol):
             data = self.msg(home, tile, MessageType.DATA, now)
             t += data.latency
             links += data.hops
-            self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+            self.checker.check_read(block, entry.version, where=self._l1_names[tile])
             entry.sharers |= 1 << tile
             entry.owner_area = self.areas.area_of(tile)
             self.fill_l1(
@@ -305,7 +305,7 @@ class DiCoArinProtocol(DiCoProtocol):
         data = self.msg(home, tile, MessageType.DATA, now)
         t += data.latency
         links += data.hops
-        self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+        self.checker.check_read(block, entry.version, where=self._l1_names[tile])
         state = L1State.P if self.provider_on_read else L1State.P
         self.fill_l1(
             tile,
@@ -322,14 +322,14 @@ class DiCoArinProtocol(DiCoProtocol):
     def _write_at_home(
         self, tile: int, block: int, now: int, had_copy: bool
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         entry = self.l2s[home].peek(block)
         if entry is not None and entry.inter_area:
             lat, links = self._broadcast_write(home, tile, block, entry, had_copy, now)
-            return self.l2_tag_latency() + lat, links, "unpredicted_home"
+            return self._l2_tag_lat + lat, links, "unpredicted_home"
         if entry is not None and entry.is_owner:
             # home-owned: precise area-local invalidation
-            t = self.l2_tag_latency()
+            t = self._l2_tag_lat
             inv_worst = self._invalidate_sharers(
                 home, tile, block, entry.sharers, now, skip=tile
             )
@@ -401,7 +401,7 @@ class DiCoArinProtocol(DiCoProtocol):
             self._evict_owner(tile, block, line, now)
 
     def _evict_owner(self, tile: int, block: int, line: L1Line, now: int) -> None:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         live = self._live_sharers(block, line.sharers, exclude=tile)
         if live:
             target = live[0]
@@ -435,7 +435,7 @@ class DiCoArinProtocol(DiCoProtocol):
     def _forced_relinquish(self, block: int, owner: int, now: int) -> None:
         """L2C$ eviction: the home becomes owner and records the area's
         sharers in its area-local bit vector (plus the area number)."""
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         self.msg(home, owner, MessageType.OWNER_RELINQUISH, now)
         line = self.l1s[owner].peek(block)
         if line is None or line.state not in (L1State.E, L1State.M, L1State.O):

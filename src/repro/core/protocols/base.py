@@ -30,7 +30,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from ...cache.cache import CacheAccessStats, SetAssocCache
 from ...mem.address import AddressMap
 from ...mem.controller import MemoryControllers
-from ...noc.network import Network
+from ...noc.network import Delivery, Network
 from ...noc.topology import Mesh
 from ...sim.config import ChipConfig
 from ...stats.counters import RunStats
@@ -52,7 +52,7 @@ def iter_bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
-@dataclass
+@dataclass(slots=True)
 class L1Line:
     """One L1 cache line's coherence metadata."""
 
@@ -67,7 +67,7 @@ class L1Line:
     propos: Dict[int, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class L2Line:
     """One home-bank entry (data and/or directory information)."""
 
@@ -92,7 +92,7 @@ class L2Line:
     plain_copy: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one core memory access."""
 
@@ -106,7 +106,7 @@ class AccessResult:
         return self.retry_at is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class Leg:
     """A network leg on a transaction's critical path."""
 
@@ -175,6 +175,40 @@ class CoherenceProtocol(ABC):
         self._busy: Dict[int, int] = {}
         #: memory's version of each block (checker bookkeeping)
         self._mem_version: Dict[int, int] = {}
+        # hot-path constants: the L1 hit latency, the per-tile checker
+        # labels, the per-type packet sizes and the (immutable by
+        # convention) L1-hit result would otherwise be recomputed on
+        # every access / message
+        self._l1_hit_latency = config.l1.access_latency
+        self._block_shift = self.addr.block_offset_bits
+        self._max_addr = self.addr.max_address
+        # n_tiles is a validated power of two (AddressMap.__post_init__),
+        # so the block-interleaved home is a mask; the latency getters
+        # below stay as the public API, the miss handlers read these
+        self._home_mask = n - 1
+        self._l2_tag_lat = config.l2.tag_latency
+        self._l2_access_lat = config.l2.access_latency
+        self._l1c_lat = 1
+        self._l1_names = [f"L1[{t}]" for t in range(n)]
+        self._flits_by_type: Dict[str, int] = {}
+        self._hit_result = AccessResult(
+            latency=self._l1_hit_latency, l1_hit=True
+        )
+        self._rebuild_l1_hot()
+
+    def _rebuild_l1_hot(self) -> None:
+        """Refresh the per-tile L1 internals hoisted for the inlined
+        lookup in :meth:`access` (stats, set mask, block index, policy
+        slots, way frames — one tuple load instead of five attribute
+        chains), plus the per-structure eviction counters the fill
+        paths bump.  Must rerun whenever the stats objects are
+        replaced (``reset_stats``)."""
+        self._l1_hot = [
+            (l1.stats, l1._set_mask, l1._index, l1._policy_slots, l1._ways)
+            for l1 in self.l1s
+        ]
+        self._l1_evictions = self.stats.structure("l1")
+        self._l2_evictions = self.stats.structure("l2")
 
     # ------------------------------------------------------------------
     # public API
@@ -185,7 +219,12 @@ class CoherenceProtocol(ABC):
         Returns either a completed access with its latency or a retry
         time when the block is busy with a conflicting transaction.
         """
-        block = self.addr.block_of(addr)
+        # inlined self.addr.block_of(addr): same range check, with the
+        # out-of-range path deferring to it for the usual ValueError
+        if 0 <= addr <= self._max_addr:
+            block = addr >> self._block_shift
+        else:
+            block = self.addr.block_of(addr)
         busy_until = self._busy.get(block, 0)
         if busy_until > now:
             self.stats.retries += 1
@@ -198,16 +237,42 @@ class CoherenceProtocol(ABC):
         else:
             st.reads += 1
 
+        # inlined l1.lookup(block): this is the hottest call site in a
+        # run, and the L1s are built above with the default
+        # index_shift=0 (set index is just a mask) and the default LRU
+        # policy (touch is the age-stack move).  Counter and policy
+        # updates mirror SetAssocCache.lookup / LRU.touch exactly.
         l1 = self.l1s[tile]
-        line = l1.lookup(block)
-        hit_latency = self.config.l1.access_latency
+        l1stats, set_mask, l1_index, l1_policies, l1_ways = self._l1_hot[tile]
+        l1stats.tag_reads += 1
+        s = block & set_mask
+        way = l1_index[s].get(block)
+        if way is None:
+            l1stats.misses += 1
+            line = None
+        else:
+            l1stats.hits += 1
+            stack = l1_policies[s]._stack
+            if stack[0] != way:
+                stack.remove(way)
+                stack.insert(0, way)
+            line = l1_ways[s][way][1]
+        hit_latency = self._l1_hit_latency
 
         if line is not None and line.state is not L1State.I:
             if not is_write:
-                l1.charge_data_read()
+                l1stats.data_reads += 1
                 st.l1_hits += 1
-                self.checker.check_read(block, line.version, where=f"L1[{tile}]")
-                return AccessResult(latency=hit_latency, l1_hit=True)
+                # inlined checker.check_read: identical bookkeeping and
+                # defaultdict touch; the mismatch path re-enters
+                # check_read so the violation carries its usual message
+                checker = self.checker
+                checker.reads_checked += 1
+                if line.version != checker._version[block]:
+                    checker.check_read(
+                        block, line.version, where=self._l1_names[tile]
+                    )
+                return self._hit_result
             if line.state in (L1State.E, L1State.M) or (
                 line.state is L1State.O
                 and line.sharers == 0
@@ -221,29 +286,42 @@ class CoherenceProtocol(ABC):
                 line.state = L1State.M
                 line.dirty = True
                 line.version = self.checker.commit_write(block)
-                return AccessResult(latency=hit_latency, l1_hit=True)
+                return self._hit_result
             # upgrade miss: we hold a copy but must gain ownership
             st.l1_misses += 1
             latency, links, category = self._handle_write_miss(
                 tile, block, now, had_copy=True
             )
-            st.miss_latency.add(latency)
-            st.miss_links.add(links)
-            if category:
-                st.classify_miss(category)
-            return AccessResult(latency=latency, category=category)
-
-        st.l1_misses += 1
-        if is_write:
+        elif is_write:
+            st.l1_misses += 1
             latency, links, category = self._handle_write_miss(
                 tile, block, now, had_copy=False
             )
         else:
+            st.l1_misses += 1
             latency, links, category = self._handle_read_miss(tile, block, now)
-        st.miss_latency.add(latency)
-        st.miss_links.add(links)
+        # inlined st.miss_latency.add / st.miss_links.add — two frames
+        # per miss otherwise; same count/total/min/max bookkeeping
+        acc = st.miss_latency
+        if acc.count == 0:
+            acc.minimum = acc.maximum = latency
+        elif latency < acc.minimum:
+            acc.minimum = latency
+        elif latency > acc.maximum:
+            acc.maximum = latency
+        acc.count += 1
+        acc.total += latency
+        acc = st.miss_links
+        if acc.count == 0:
+            acc.minimum = acc.maximum = links
+        elif links < acc.minimum:
+            acc.minimum = links
+        elif links > acc.maximum:
+            acc.maximum = links
+        acc.count += 1
+        acc.total += links
         if category:
-            st.classify_miss(category)
+            st.miss_categories[category] += 1
         return AccessResult(latency=latency, category=category)
 
     def _owner_upgrade_is_local(self, block: int, line: L1Line) -> bool:
@@ -287,20 +365,35 @@ class CoherenceProtocol(ABC):
     def home_of(self, block: int) -> int:
         return self.addr.home_tile(block)
 
-    def msg(self, src: int, dst: int, msg_type: str, now: int) -> Leg:
-        """Send one protocol message; returns its critical-path leg."""
-        flits = flits_for(
-            msg_type, self.config.noc.control_flits, self.config.noc.data_flits
-        )
-        d = self.network.send(src, dst, flits, msg_type=msg_type, now=now)
-        return Leg(latency=d.latency, hops=d.hops)
+    def _flits(self, msg_type: str) -> int:
+        """Packet size for a message type, memoized per protocol."""
+        flits = self._flits_by_type.get(msg_type)
+        if flits is None:
+            flits = self._flits_by_type[msg_type] = flits_for(
+                msg_type,
+                self.config.noc.control_flits,
+                self.config.noc.data_flits,
+            )
+        return flits
 
-    def bcast(self, src: int, msg_type: str, now: int) -> Leg:
-        flits = flits_for(
-            msg_type, self.config.noc.control_flits, self.config.noc.data_flits
+    def msg(self, src: int, dst: int, msg_type: str, now: int) -> Delivery:
+        """Send one protocol message; returns its critical-path leg.
+
+        The returned :class:`~repro.noc.network.Delivery` (often an
+        interned instance) exposes the same ``latency``/``hops`` fields
+        as :class:`Leg`, without a per-message allocation.
+        """
+        # the memo get is inline (not via _flits) — this runs a handful
+        # of times per miss and the extra frame is measurable
+        flits = self._flits_by_type.get(msg_type)
+        if flits is None:
+            flits = self._flits(msg_type)
+        return self.network.send(src, dst, flits, msg_type, now)
+
+    def bcast(self, src: int, msg_type: str, now: int) -> Delivery:
+        return self.network.broadcast(
+            src, self._flits(msg_type), msg_type=msg_type, now=now
         )
-        d = self.network.broadcast(src, flits, msg_type=msg_type, now=now)
-        return Leg(latency=d.latency, hops=d.hops)
 
     def set_busy(self, block: int, until: int) -> None:
         current = self._busy.get(block, 0)
@@ -357,12 +450,11 @@ class CoherenceProtocol(ABC):
         path (writebacks are not blocking).
         """
         l1 = self.l1s[tile]
-        victim = l1.victim_for(block)
+        victim = l1.displace(block)
         if victim is not None:
             vblock, vline = victim
-            l1.invalidate(vblock)
             self.l1cs[tile].block_evicted(vblock)
-            self.stats.structure("l1").evictions += 1
+            self._l1_evictions.evictions += 1
             self._evict_l1_line(tile, vblock, vline, now)
         l1.insert(block, line)
         l1.charge_data_write()
@@ -383,11 +475,10 @@ class CoherenceProtocol(ABC):
     def fill_l2(self, home: int, block: int, entry: L2Line, now: int) -> None:
         """Insert a home-bank entry, running eviction actions as needed."""
         l2 = self.l2s[home]
-        victim = l2.victim_for(block)
+        victim = l2.displace(block)
         if victim is not None:
             vblock, ventry = victim
-            l2.invalidate(vblock)
-            self.stats.structure("l2").evictions += 1
+            self._l2_evictions.evictions += 1
             self._evict_l2_entry(home, vblock, ventry, now)
         l2.insert(block, entry)
         if entry.has_data:
@@ -402,7 +493,7 @@ class CoherenceProtocol(ABC):
             line = l1.peek(block)
             if line is not None and line.state is not L1State.I:
                 copies.append((f"L1[{tile}]", line.state.name, line.version))
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         entry = self.l2s[home].peek(block)
         if (
             entry is not None
@@ -430,6 +521,7 @@ class CoherenceProtocol(ABC):
         self.network.reset_stats()
         for cache in (*self.l1s, *self.l2s):
             cache.stats = CacheAccessStats()
+        self._rebuild_l1_hot()
         for pred in self.l1cs:
             pred.array.stats = CacheAccessStats()
             pred.stats.lookups = pred.stats.hits = pred.stats.updates = 0

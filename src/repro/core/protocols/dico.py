@@ -57,19 +57,19 @@ class DiCoProtocol(CoherenceProtocol):
 
     def _owner_tile(self, block: int) -> Optional[int]:
         """Precise L1 owner from the home's L2C$ (None if L2/memory)."""
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         return self.l2cs[home].owner_of(block)
 
     def _set_l1_owner(self, block: int, tile: int, now: int) -> None:
         """Record ``tile`` in the L2C$, relinquishing a victim pointer."""
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         victim = self.l2cs[home].set_owner(block, tile)
         if victim is not None:
             vblock, vowner = victim
             self._forced_relinquish(vblock, vowner, now)
 
     def _clear_l1_owner(self, block: int) -> None:
-        self.l2cs[self.home_of(block)].clear(block)
+        self.l2cs[(block & self._home_mask)].clear(block)
 
     # ------------------------------------------------------------------
     # home-copy management (stale-safe L2 data under an L1 owner)
@@ -114,7 +114,7 @@ class DiCoProtocol(CoherenceProtocol):
         Returns the (re-)promoted home entry for the caller to attach
         protocol-specific sharing state.
         """
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         entry = self.l2s[home].peek(block)
         if (
             entry is not None
@@ -147,7 +147,7 @@ class DiCoProtocol(CoherenceProtocol):
     def _forced_relinquish(self, block: int, owner: int, now: int) -> None:
         """The home evicted the owner pointer: the owner must hand the
         ownership (plus data if dirty) back to the home L2."""
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         self.msg(home, owner, MessageType.OWNER_RELINQUISH, now)
         line = self.l1s[owner].peek(block)
         if line is None or line.state not in (L1State.E, L1State.M, L1State.O):
@@ -175,7 +175,7 @@ class DiCoProtocol(CoherenceProtocol):
     # read misses
 
     def _handle_read_miss(self, tile: int, block: int, now: int) -> Tuple[int, int, str]:
-        t = self.config.l1.tag_latency + self.l1c_latency()
+        t = self.config.l1.tag_latency + self._l1c_lat
         links = 0
         predicted = self.l1cs[tile].predict(block)
         category: Optional[str] = None
@@ -190,12 +190,12 @@ class DiCoProtocol(CoherenceProtocol):
                 return t + lat, links + hops, cat
             # misprediction: forward to the home
             category = "pred_miss"
-            home = self.home_of(block)
+            home = (block & self._home_mask)
             fwd = self.msg(predicted, home, MessageType.FWD_GETS, now)
             t += fwd.latency
             links += fwd.hops
         else:
-            home = self.home_of(block)
+            home = (block & self._home_mask)
             leg = self.msg(tile, home, MessageType.GETS, now)
             t += leg.latency
             links += leg.hops
@@ -216,7 +216,7 @@ class DiCoProtocol(CoherenceProtocol):
         if line.state in (L1State.E, L1State.M):
             line.state = L1State.O
         data = self.msg(holder, requestor, MessageType.DATA, now)
-        self.checker.check_read(block, line.version, where=f"L1[{requestor}]")
+        self.checker.check_read(block, line.version, where=self._l1_names[requestor])
         self.fill_l1(
             requestor,
             block,
@@ -229,8 +229,8 @@ class DiCoProtocol(CoherenceProtocol):
     def _read_at_home(
         self, tile: int, block: int, now: int, forwarder: Optional[int]
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
-        t = self.l2_tag_latency()
+        home = (block & self._home_mask)
+        t = self._l2_tag_lat
         links = 0
         owner = self._owner_tile(block)
         if owner is not None:
@@ -260,7 +260,7 @@ class DiCoProtocol(CoherenceProtocol):
             state = L1State.O if sharers else (
                 L1State.M if entry.dirty else L1State.E
             )
-            self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+            self.checker.check_read(block, entry.version, where=self._l1_names[tile])
             version, dirty = entry.version, entry.dirty
             self._demote_to_copy(home, block)
             self.fill_l1(
@@ -280,7 +280,7 @@ class DiCoProtocol(CoherenceProtocol):
         data = self.msg(home, tile, MessageType.DATA_OWNER, now)
         t += data.latency
         links += data.hops
-        self.checker.check_read(block, version, where=f"L1[{tile}]")
+        self.checker.check_read(block, version, where=self._l1_names[tile])
         self._fill_plain_copy(home, block, version, now)
         self.fill_l1(
             tile,
@@ -299,7 +299,7 @@ class DiCoProtocol(CoherenceProtocol):
     def _handle_write_miss(
         self, tile: int, block: int, now: int, had_copy: bool
     ) -> Tuple[int, int, str]:
-        t = self.config.l1.tag_latency + self.l1c_latency()
+        t = self.config.l1.tag_latency + self._l1c_lat
         links = 0
 
         own = self.l1s[tile].peek(block)
@@ -332,12 +332,12 @@ class DiCoProtocol(CoherenceProtocol):
                 self.set_busy(block, now + t)
                 return t, links, "pred_owner_hit"
             category = "pred_miss"
-            home = self.home_of(block)
+            home = (block & self._home_mask)
             fwd = self.msg(predicted, home, MessageType.FWD_GETX, now)
             t += fwd.latency
             links += fwd.hops
         else:
-            home = self.home_of(block)
+            home = (block & self._home_mask)
             leg = self.msg(tile, home, MessageType.GETX, now)
             t += leg.latency
             links += leg.hops
@@ -352,7 +352,7 @@ class DiCoProtocol(CoherenceProtocol):
         self, owner: int, tile: int, block: int, now: int, had_copy: bool
     ) -> Tuple[int, int]:
         """The owner L1 orders the write: invalidation + ownership move."""
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         line = self.l1s[owner].peek(block)
         assert line is not None
         t = self.config.l1.access_latency
@@ -383,8 +383,8 @@ class DiCoProtocol(CoherenceProtocol):
     def _write_at_home(
         self, tile: int, block: int, now: int, had_copy: bool
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
-        t = self.l2_tag_latency()
+        home = (block & self._home_mask)
+        t = self._l2_tag_lat
         links = 0
         owner = self._owner_tile(block)
         if owner is not None:
@@ -483,7 +483,7 @@ class DiCoProtocol(CoherenceProtocol):
             self._evict_owner(tile, block, line, now)
 
     def _evict_owner(self, tile: int, block: int, line: L1Line, now: int) -> None:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         live = self._live_sharers(block, line.sharers, exclude=tile)
         if live:
             target = live[0]

@@ -75,13 +75,13 @@ class DirectoryProtocol(CoherenceProtocol):
     # read misses
 
     def _handle_read_miss(self, tile: int, block: int, now: int) -> Tuple[int, int, str]:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         t = self.config.l1.tag_latency
         links = 0
         leg = self.msg(tile, home, MessageType.GETS, now)
         t += leg.latency
         links += leg.hops
-        t += self.l2_tag_latency()
+        t += self._l2_tag_lat
 
         info = self._dir_lookup(home, block)
         l2_entry = self.l2s[home].peek(block)
@@ -130,7 +130,7 @@ class DirectoryProtocol(CoherenceProtocol):
                     now,
                 )
             self._fill_shared(tile, block, version, now)
-            self.checker.check_read(block, version, where=f"L1[{tile}]")
+            self.checker.check_read(block, version, where=self._l1_names[tile])
             return t, links, "unpredicted_fwd"
 
         if has_data:
@@ -143,7 +143,7 @@ class DirectoryProtocol(CoherenceProtocol):
             links += data.hops
             l2_entry.sharers |= 1 << tile
             self._fill_shared(tile, block, l2_entry.version, now)
-            self.checker.check_read(block, l2_entry.version, where=f"L1[{tile}]")
+            self.checker.check_read(block, l2_entry.version, where=self._l1_names[tile])
             return t, links, "unpredicted_home"
 
         # no data on chip: fetch from memory at the home
@@ -184,7 +184,7 @@ class DirectoryProtocol(CoherenceProtocol):
                 now,
                 supplier=None,
             )
-        self.checker.check_read(block, version, where=f"L1[{tile}]")
+        self.checker.check_read(block, version, where=self._l1_names[tile])
         self.set_busy(block, now + t)
         return t, links, "memory"
 
@@ -199,13 +199,13 @@ class DirectoryProtocol(CoherenceProtocol):
     def _handle_write_miss(
         self, tile: int, block: int, now: int, had_copy: bool
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         t = self.config.l1.tag_latency
         links = 0
         leg = self.msg(tile, home, MessageType.GETX, now)
         t += leg.latency
         links += leg.hops
-        t += self.l2_tag_latency()
+        t += self._l2_tag_lat
 
         info = self._dir_lookup(home, block)
         l2_entry = self.l2s[home].peek(block)
@@ -317,7 +317,7 @@ class DirectoryProtocol(CoherenceProtocol):
     # replacements
 
     def _evict_l1_line(self, tile: int, block: int, line: L1Line, now: int) -> None:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         if line.state is L1State.S:
             return  # silent
         if line.state in (L1State.E, L1State.M):

@@ -102,7 +102,7 @@ class DiCoProvidersProtocol(DiCoProtocol):
         elif line.state in (L1State.E, L1State.M):
             line.state = L1State.O
         data = self.msg(supplier, requestor, MessageType.DATA, now)
-        self.checker.check_read(block, line.version, where=f"L1[{requestor}]")
+        self.checker.check_read(block, line.version, where=self._l1_names[requestor])
         new_state = L1State.P if as_provider else L1State.S
         # the supplier identity is retained even when the requestor
         # becomes a provider itself: after this copy is evicted the
@@ -122,8 +122,8 @@ class DiCoProvidersProtocol(DiCoProtocol):
     def _read_at_home(
         self, tile: int, block: int, now: int, forwarder: Optional[int]
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
-        t = self.l2_tag_latency()
+        home = (block & self._home_mask)
+        t = self._l2_tag_lat
         links = 0
         owner = self._owner_tile(block)
         if owner is not None:
@@ -165,7 +165,7 @@ class DiCoProvidersProtocol(DiCoProtocol):
             data = self.msg(home, tile, MessageType.DATA_OWNER, now)
             t += data.latency
             links += data.hops
-            self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+            self.checker.check_read(block, entry.version, where=self._l1_names[tile])
             propos = dict(entry.propos)
             propos.pop(area_r, None)
             state = L1State.O if propos else (
@@ -189,7 +189,7 @@ class DiCoProvidersProtocol(DiCoProtocol):
         data = self.msg(home, tile, MessageType.DATA_OWNER, now)
         t += data.latency
         links += data.hops
-        self.checker.check_read(block, version, where=f"L1[{tile}]")
+        self.checker.check_read(block, version, where=self._l1_names[tile])
         self._fill_plain_copy(home, block, version, now)
         self.fill_l1(
             tile, block, L1Line(state=L1State.E, version=version), now, supplier=None
@@ -204,7 +204,7 @@ class DiCoProvidersProtocol(DiCoProtocol):
     def _write_at_owner(
         self, owner: int, tile: int, block: int, now: int, had_copy: bool
     ) -> Tuple[int, int]:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         line = self.l1s[owner].peek(block)
         assert line is not None
         t = self.config.l1.access_latency
@@ -290,8 +290,8 @@ class DiCoProvidersProtocol(DiCoProtocol):
     def _write_at_home(
         self, tile: int, block: int, now: int, had_copy: bool
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
-        t = self.l2_tag_latency()
+        home = (block & self._home_mask)
+        t = self._l2_tag_lat
         links = 0
         owner = self._owner_tile(block)
         if owner is not None:
@@ -354,7 +354,7 @@ class DiCoProvidersProtocol(DiCoProtocol):
         owner = self._owner_tile(block)
         if owner is not None:
             return owner, True
-        return self.home_of(block), False
+        return (block & self._home_mask), False
 
     def _evict_provider(self, tile: int, block: int, line: L1Line, now: int) -> None:
         area = self.areas.area_of(tile)
@@ -400,7 +400,7 @@ class DiCoProvidersProtocol(DiCoProtocol):
             propos[area] = provider
 
     def _evict_owner(self, tile: int, block: int, line: L1Line, now: int) -> None:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         live = self._live_sharers(block, line.sharers, exclude=tile)
         if live:
             # ownership + sharing code stay inside the area
@@ -426,7 +426,7 @@ class DiCoProvidersProtocol(DiCoProtocol):
     # forced relinquish: former owner stays as its area's provider
 
     def _forced_relinquish(self, block: int, owner: int, now: int) -> None:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         self.msg(home, owner, MessageType.OWNER_RELINQUISH, now)
         line = self.l1s[owner].peek(block)
         if line is None or line.state not in (L1State.E, L1State.M, L1State.O):

@@ -83,10 +83,10 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
     # level-2 directory helpers
 
     def _l2dir(self, block: int) -> Optional[L2Line]:
-        return self.l2dirs[self.home_of(block)].lookup(block)
+        return self.l2dirs[(block & self._home_mask)].lookup(block)
 
     def _l2dir_set(self, block: int, domains_mask: int, owner_domain: Optional[int], now: int) -> None:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         entry = self.l2dirs[home].peek(block)
         if entry is not None:
             entry.sharers = domains_mask
@@ -103,7 +103,7 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
         )
 
     def _l2dir_drop(self, block: int) -> None:
-        self.l2dirs[self.home_of(block)].invalidate(block)
+        self.l2dirs[(block & self._home_mask)].invalidate(block)
 
     # ------------------------------------------------------------------
     # domain-copy (level-1) helpers
@@ -156,7 +156,7 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
         leg = self.msg(tile, h1, MessageType.GETS, now)
         t += leg.latency
         links += leg.hops
-        t += self.l2_tag_latency()
+        t += self._l2_tag_lat
 
         entry = self._domain_entry(block, domain)
         if entry is not None and not entry.has_data and entry.owner_tile is not None:
@@ -182,7 +182,7 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
             self.l2s[h1].charge_data_write()
             oline.state = L1State.S
             oline.dirty = False
-            self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+            self.checker.check_read(block, entry.version, where=self._l1_names[tile])
             self.fill_l1(
                 tile, block, L1Line(state=L1State.S, version=entry.version),
                 now, supplier=None,
@@ -198,7 +198,7 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
             t += data.latency
             links += data.hops
             entry.sharers |= 1 << tile
-            self.checker.check_read(block, entry.version, where=f"L1[{tile}]")
+            self.checker.check_read(block, entry.version, where=self._l1_names[tile])
             self.fill_l1(
                 tile, block, L1Line(state=L1State.S, version=entry.version),
                 now, supplier=None,
@@ -212,9 +212,9 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
     def _read_at_global(
         self, tile: int, domain: int, block: int, now: int, h1: int
     ) -> Tuple[int, int, str]:
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         leg = self.msg(h1, home, MessageType.FWD_GETS, now)
-        t = leg.latency + self.l2_tag_latency()
+        t = leg.latency + self._l2_tag_lat
         links = leg.hops
         info = self._l2dir(block)
 
@@ -266,7 +266,7 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
             info = self._l2dir(block)  # the install may have evicted it
             mask = (info.sharers if info else 0) | (1 << src_domain) | (1 << domain)
             self._l2dir_set(block, mask, None, now)
-            self.checker.check_read(block, version, where=f"L1[{tile}]")
+            self.checker.check_read(block, version, where=self._l1_names[tile])
             self.fill_l1(
                 tile, block, L1Line(state=L1State.S, version=version),
                 now, supplier=None,
@@ -283,7 +283,7 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
         entry = self._install_domain_copy(block, domain, version, False, now)
         entry.sharers = 1 << tile
         self._l2dir_set(block, 1 << domain, None, now)
-        self.checker.check_read(block, version, where=f"L1[{tile}]")
+        self.checker.check_read(block, version, where=self._l1_names[tile])
         self.fill_l1(
             tile, block, L1Line(state=L1State.S, version=version),
             now, supplier=None,
@@ -299,13 +299,13 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
     ) -> Tuple[int, int, str]:
         domain = self.domain_of(tile)
         h1 = self.dynamic_home(block, domain)
-        home = self.home_of(block)
+        home = (block & self._home_mask)
         t = self.config.l1.tag_latency
         links = 0
         leg = self.msg(tile, h1, MessageType.GETX, now)
         t += leg.latency
         links += leg.hops
-        t += self.l2_tag_latency()
+        t += self._l2_tag_lat
 
         info = self._l2dir(block)
         other_domains = 0
@@ -317,7 +317,7 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
         if other_domains:
             # escalate to level 2: invalidate every other domain
             up = self.msg(h1, home, MessageType.FWD_GETX, now)
-            t += up.latency + self.l2_tag_latency()
+            t += up.latency + self._l2_tag_lat
             links += up.hops
             for d in iter_bits(other_domains):
                 dn = self.msg(home, self.dynamic_home(block, d), MessageType.INV, now)

@@ -30,27 +30,37 @@ class AddressMap:
                 raise ValueError(f"{name}={value} must be a positive power of two")
         if self.page_bytes < self.block_bytes:
             raise ValueError("pages must be at least one block")
+        # derived constants, cached once: these sit on the per-memory-op
+        # hot path (the dataclass is frozen, so the fields can't drift)
+        set_ = object.__setattr__
+        set_(self, "_block_offset_bits", (self.block_bytes - 1).bit_length())
+        set_(self, "_page_offset_bits", (self.page_bytes - 1).bit_length())
+        set_(self, "_blocks_per_page", self.page_bytes // self.block_bytes)
+        set_(self, "_max_address", (1 << self.phys_addr_bits) - 1)
 
     @property
     def block_offset_bits(self) -> int:
-        return (self.block_bytes - 1).bit_length()
+        return self._block_offset_bits
 
     @property
     def page_offset_bits(self) -> int:
-        return (self.page_bytes - 1).bit_length()
+        return self._page_offset_bits
 
     @property
     def blocks_per_page(self) -> int:
-        return self.page_bytes // self.block_bytes
+        return self._blocks_per_page
 
     @property
     def max_address(self) -> int:
-        return (1 << self.phys_addr_bits) - 1
+        return self._max_address
 
     def block_of(self, addr: int) -> int:
         """Block number (address without the intra-block offset)."""
-        self._check(addr)
-        return addr >> self.block_offset_bits
+        if not 0 <= addr <= self._max_address:
+            raise ValueError(
+                f"address {addr:#x} outside {self.phys_addr_bits}-bit space"
+            )
+        return addr >> self._block_offset_bits
 
     def block_base(self, addr: int) -> int:
         """Address of the first byte of the block containing ``addr``."""

@@ -73,6 +73,17 @@ class MemoryControllers:
                 key=lambda c: (mesh.hops(tile, self.positions[c]), c),
             )
             self._nearest.append(best)
+        # per-tile fixed latency (DRAM + round trip to the controller);
+        # only the jitter draw remains per access
+        self._base_latency: List[int] = [
+            latency_cycles
+            + 2 * mesh.hops(t, self.positions[self._nearest[t]]) * mesh.hop_cycles
+            for t in range(mesh.n_tiles)
+        ]
+        # ``randint(0, j)`` resolves to ``_randbelow(j + 1)`` after two
+        # layers of argument validation; bind the tail call directly
+        # (the draw sequence is bit-identical)
+        self._randbelow = self._rng._randbelow
         self.accesses = 0
 
     def controller_for(self, home_tile: int) -> int:
@@ -87,7 +98,5 @@ class MemoryControllers:
         paper's small random delay.
         """
         self.accesses += 1
-        ctrl = self.controller_for(home_tile)
-        on_chip = 2 * self.mesh.hops(home_tile, ctrl) * self.mesh.hop_cycles
-        jitter = self._rng.randint(0, self.jitter_cycles) if self.jitter_cycles else 0
-        return self.latency_cycles + on_chip + jitter
+        jitter = self._randbelow(self.jitter_cycles + 1) if self.jitter_cycles else 0
+        return self._base_latency[home_tile] + jitter

@@ -38,10 +38,18 @@ class Delivery:
 
 
 class NetworkStats:
-    """Traffic counters feeding the dynamic power model."""
+    """Traffic counters feeding the dynamic power model.
+
+    ``messages`` counts packets that actually enter the NoC;
+    intra-tile requests (``src == dst``) are tallied separately in
+    ``local_messages`` and contribute nothing to ``by_type`` /
+    ``flits_by_type``, so the per-type flit totals match real NoC
+    injections.
+    """
 
     __slots__ = (
         "messages",
+        "local_messages",
         "flit_link_traversals",
         "router_traversals",
         "routing_events",
@@ -53,6 +61,8 @@ class NetworkStats:
 
     def __init__(self) -> None:
         self.messages = 0
+        #: self-sends: delivered at zero cost without entering the NoC
+        self.local_messages = 0
         self.flit_link_traversals = 0
         self.router_traversals = 0
         #: message-routing events: one per unicast packet that enters
@@ -66,6 +76,7 @@ class NetworkStats:
 
     def merge(self, other: "NetworkStats") -> None:
         self.messages += other.messages
+        self.local_messages += other.local_messages
         self.flit_link_traversals += other.flit_link_traversals
         self.router_traversals += other.router_traversals
         self.routing_events += other.routing_events
@@ -80,6 +91,7 @@ class NetworkStats:
     def snapshot(self) -> Dict[str, int]:
         return {
             "messages": self.messages,
+            "local_messages": self.local_messages,
             "flit_link_traversals": self.flit_link_traversals,
             "router_traversals": self.router_traversals,
             "routing_events": self.routing_events,
@@ -95,6 +107,18 @@ class Network:
         self.stats = NetworkStats()
         self.track_link_load = track_link_load
         self._link_free: Dict[Tuple[int, int], int] = {}
+        # without contention a packet's Delivery depends only on (hops,
+        # flits): intern the (few dozen) distinct outcomes so the hot
+        # path never constructs dataclass instances
+        self._delivery_cache: Dict[Tuple[int, int], Delivery] = {}
+        # hot-path constants: the geometry is frozen, so hop counts come
+        # straight from the mesh's flat table and the detailed path
+        # (route materialization) collapses to one precomputed flag
+        table = mesh._hops_table
+        self._hops_flat = table if table is not None else mesh._build_hops_table()
+        self._n_tiles = mesh.n_tiles
+        self._hop_cycles = mesh._hop_cycles
+        self._detailed = track_link_load or mesh.noc.model_contention
 
     @property
     def contention(self) -> bool:
@@ -119,27 +143,44 @@ class Network:
         """Deliver one unicast packet; returns latency and accounting.
 
         A self-send (``src == dst``) costs zero network cycles and no
-        traffic — intra-tile requests never enter the NoC.
+        traffic — intra-tile requests never enter the NoC.  It counts
+        in ``local_messages`` only, so ``messages``/``by_type``/
+        ``flits_by_type`` reflect actual NoC injections.
         """
-        hops = self.mesh.hops(src, dst)
+        hops = self._hops_flat[src * self._n_tiles + dst]
         st = self.stats
+        if hops == 0:
+            st.local_messages += 1
+            cache = self._delivery_cache
+            d = cache.get((0, flits))
+            if d is None:
+                d = cache[(0, flits)] = Delivery(latency=0, hops=0, flits=flits)
+            return d
         st.messages += 1
         st.by_type[msg_type] += 1
         st.flits_by_type[msg_type] += flits
-        if hops == 0:
-            return Delivery(latency=0, hops=0, flits=flits)
         st.flit_link_traversals += flits * hops
         st.router_traversals += hops
         st.routing_events += 1
-        latency = self.mesh.unicast_latency(src, dst, flits)
-        if self.track_link_load or self.contention:
-            route = self.mesh.route(src, dst)
+        if self._detailed:
+            mesh = self.mesh
+            latency = hops * self._hop_cycles + flits - 1
+            route = mesh.route(src, dst)
             if self.track_link_load:
                 for link in route:
                     st.link_load[link] += flits
-            if self.contention:
+            if mesh.noc.model_contention:
                 latency += self._contention_delay(route, flits, now)
-        return Delivery(latency=latency, hops=hops, flits=flits)
+            return Delivery(latency=latency, hops=hops, flits=flits)
+        cache = self._delivery_cache
+        d = cache.get((hops, flits))
+        if d is None:
+            d = cache[(hops, flits)] = Delivery(
+                latency=hops * self._hop_cycles + flits - 1,
+                hops=hops,
+                flits=flits,
+            )
+        return d
 
     def _contention_delay(
         self, route: Sequence[Tuple[int, int]], flits: int, now: int
@@ -148,12 +189,14 @@ class Network:
         ``flits`` cycles, walking the path link by link."""
         delay = 0
         t = now
+        hop_cycles = self.mesh.hop_cycles
+        link_free = self._link_free
         for link in route:
-            free = self._link_free.get(link, 0)
+            free = link_free.get(link, 0)
             wait = max(0, free - t)
             delay += wait
-            t += wait + self.mesh.hop_cycles
-            self._link_free[link] = t - self.mesh.hop_cycles + flits
+            t += wait + hop_cycles
+            link_free[link] = t - hop_cycles + flits
         return delay
 
     # ------------------------------------------------------------------

@@ -33,19 +33,26 @@ class Mesh:
         self.width = width
         self.height = height
         self.noc = noc or NocConfig()
+        # geometry is immutable (NocConfig is frozen), so the per-hop
+        # latency and tile count are hoisted out of the hot path once
+        self._n_tiles = width * height
+        self._hop_cycles = self.noc.hop_cycles
         self._route_cache: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
         self._bcast_cache: Dict[int, Tuple[Tuple[Link, ...], int]] = {}
+        #: flat ``src * n_tiles + dst -> Manhattan distance`` table,
+        #: built lazily on first use (analytic benches never need it)
+        self._hops_table: List[int] | None = None
 
     # ------------------------------------------------------------------
     # geometry
 
     @property
     def n_tiles(self) -> int:
-        return self.width * self.height
+        return self._n_tiles
 
     @property
     def hop_cycles(self) -> int:
-        return self.noc.hop_cycles
+        return self._hop_cycles
 
     def coords(self, tile: int) -> Tuple[int, int]:
         self._check(tile)
@@ -56,11 +63,28 @@ class Mesh:
             raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
         return y * self.width + x
 
+    def _build_hops_table(self) -> List[int]:
+        w, n = self.width, self._n_tiles
+        xs = [t % w for t in range(n)]
+        ys = [t // w for t in range(n)]
+        table = [0] * (n * n)
+        for s in range(n):
+            sx, sy = xs[s], ys[s]
+            base = s * n
+            for d in range(n):
+                table[base + d] = abs(sx - xs[d]) + abs(sy - ys[d])
+        self._hops_table = table
+        return table
+
     def hops(self, src: int, dst: int) -> int:
         """Manhattan distance between two tiles."""
-        sx, sy = self.coords(src)
-        dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        n = self._n_tiles
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"tile outside mesh of {n}")
+        table = self._hops_table
+        if table is None:
+            table = self._build_hops_table()
+        return table[src * n + dst]
 
     def neighbors(self, tile: int) -> Iterator[int]:
         x, y = self.coords(tile)
@@ -107,7 +131,7 @@ class Mesh:
         hops = self.hops(src, dst)
         if hops == 0:
             return 0
-        return hops * self.hop_cycles + (flits - 1)
+        return hops * self._hop_cycles + (flits - 1)
 
     # ------------------------------------------------------------------
     # broadcast (tree-based, as added to GARNET in the paper)
@@ -158,11 +182,18 @@ class Mesh:
         ``2/3 * sqrt(ntc)`` figure (10.6 links for two hops at 64
         tiles, i.e. 5.3 per hop... the paper quotes the two-hop round
         trip).
+
+        Closed form instead of the O(n^2) coordinate sweep: the x and y
+        components separate, and the ordered-pair distance sum along one
+        dimension of length ``k`` is ``sum_{i,j} |i - j| = k(k^2-1)/3``.
+        Each x-pair occurs for every of the ``height^2`` ordered y
+        choices and vice versa.
         """
         n = self.n_tiles
-        total = sum(
-            self.hops(a, b) for a in range(n) for b in range(n) if a != b
-        )
+        if n < 2:
+            return 0.0
+        w, h = self.width, self.height
+        total = h * h * w * (w * w - 1) // 3 + w * w * h * (h * h - 1) // 3
         return total / (n * (n - 1))
 
     def _check(self, tile: int) -> None:

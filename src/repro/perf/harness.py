@@ -1,0 +1,361 @@
+"""Simulator-throughput benchmark: the ``repro perf`` harness.
+
+The unit of measurement is one *cell* — a fully pinned
+:class:`~repro.sweep.spec.RunSpec` — timed end to end (chip build,
+warmup, measurement window) with ``verify=False`` so the coherence
+audit does not pollute the timing.  Throughput is committed memory
+operations per wall-clock second; the per-cell operation count is
+recorded alongside so that two reports are comparable only when they
+simulated the same work (a changed op count means the simulation
+changed, not just its speed).
+
+The reference subset is deliberately small and fixed: all four
+protocols on one commercial (``apache``) and one scientific
+(``radix``) workload, 100k measured cycles each.  ``--quick`` shrinks
+the window for CI smoke runs; the cell grid stays the same so the
+per-cell numbers remain comparable in shape, just noisier.
+
+Report schema (``BENCH_PERF.json``)::
+
+    {
+      "schema": 1,
+      "git_rev": "<rev or 'unknown'>",
+      "config_fingerprint": "<sha256 over the cells' canonical JSON>",
+      "quick": false,
+      "repeat": 3,
+      "total_wall_s": 12.3,
+      "cells": [
+        {"protocol": ..., "workload": ..., "cycles": ..., "warmup": ...,
+         "seed": ..., "operations": ..., "wall_s": ..., "ops_per_s": ...},
+        ...
+      ],
+      "baseline": {...}           # optional: a prior report, embedded
+    }
+
+Wall time per cell is the *median* over ``repeat`` runs (operation
+counts are asserted identical across repeats — the simulator is
+deterministic, only the clock varies).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import io
+import json
+import pstats
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sweep.spec import RunSpec
+
+__all__ = [
+    "BENCH_PERF_SCHEMA_VERSION",
+    "QUICK_CELLS",
+    "REFERENCE_CELLS",
+    "CellResult",
+    "config_fingerprint",
+    "geomean",
+    "git_rev",
+    "load_report",
+    "run_cells",
+    "write_report",
+]
+
+BENCH_PERF_SCHEMA_VERSION = 1
+
+_PROTOCOLS = ("directory", "dico", "dico-providers", "dico-arin")
+_WORKLOADS = ("apache", "radix")
+
+
+def _grid(cycles: int, warmup: int) -> Tuple[RunSpec, ...]:
+    return tuple(
+        RunSpec(
+            protocol=p,
+            workload=w,
+            seed=1,
+            cycles=cycles,
+            warmup=warmup,
+        )
+        for p in _PROTOCOLS
+        for w in _WORKLOADS
+    )
+
+
+#: the pinned reference subset — change it and historical reports stop
+#: being comparable (the config fingerprint will say so)
+REFERENCE_CELLS: Tuple[RunSpec, ...] = _grid(cycles=100_000, warmup=10_000)
+
+#: same grid, CI-smoke sized
+QUICK_CELLS: Tuple[RunSpec, ...] = _grid(cycles=10_000, warmup=2_000)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Timing outcome of one reference cell."""
+
+    spec: RunSpec
+    operations: int
+    wall_s: float
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.operations / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.spec.protocol,
+            "workload": self.spec.workload,
+            "cycles": self.spec.cycles,
+            "warmup": self.spec.warmup,
+            "seed": self.spec.seed,
+            "operations": self.operations,
+            "wall_s": round(self.wall_s, 6),
+            "ops_per_s": round(self.ops_per_s, 1),
+        }
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def config_fingerprint(cells: Sequence[RunSpec]) -> str:
+    """sha256 over the cells' canonical JSON — the grid's identity.
+
+    Two reports with different fingerprints timed different work and
+    must not be compared cell-by-cell.
+    """
+    digest = hashlib.sha256()
+    for spec in cells:
+        digest.update(spec.canonical_json().encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; the right average for per-cell speedup ratios."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def _time_cell(spec: RunSpec, repeat: int) -> CellResult:
+    """Median-of-``repeat`` wall time for one cell.
+
+    Repeats must commit identical operation counts — the simulator is
+    deterministic — so a mismatch is raised, not averaged away.
+    """
+    walls: List[float] = []
+    operations: Optional[int] = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        stats = spec.execute(verify=False)
+        wall = time.perf_counter() - start
+        walls.append(wall)
+        if operations is None:
+            operations = stats.operations
+        elif operations != stats.operations:
+            raise RuntimeError(
+                f"{spec.label}: nondeterministic op count "
+                f"({operations} vs {stats.operations})"
+            )
+    walls.sort()
+    median = walls[len(walls) // 2]
+    if len(walls) % 2 == 0:
+        median = (median + walls[len(walls) // 2 - 1]) / 2.0
+    assert operations is not None
+    return CellResult(spec=spec, operations=operations, wall_s=median)
+
+
+def run_cells(
+    cells: Sequence[RunSpec],
+    repeat: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellResult]:
+    """Time every cell; results come back in cell order."""
+    results: List[CellResult] = []
+    for i, spec in enumerate(cells):
+        result = _time_cell(spec, repeat)
+        results.append(result)
+        if progress is not None:
+            progress(
+                f"[{i + 1}/{len(cells)}] {spec.protocol}/{spec.workload:<10s}"
+                f" {result.operations:>8d} ops  {result.wall_s:7.3f}s"
+                f"  {result.ops_per_s:>10,.0f} ops/s"
+            )
+    return results
+
+
+def build_report(
+    cells: Sequence[RunSpec],
+    results: Sequence[CellResult],
+    quick: bool,
+    repeat: int,
+    baseline: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    report: Dict[str, Any] = {
+        "schema": BENCH_PERF_SCHEMA_VERSION,
+        "git_rev": git_rev(),
+        "config_fingerprint": config_fingerprint(cells),
+        "quick": quick,
+        "repeat": repeat,
+        "total_wall_s": round(sum(r.wall_s for r in results), 6),
+        "cells": [r.to_dict() for r in results],
+    }
+    if baseline is not None:
+        report["baseline"] = baseline
+    return report
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("schema") != BENCH_PERF_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported BENCH_PERF schema "
+            f"{report.get('schema')!r} (expected {BENCH_PERF_SCHEMA_VERSION})"
+        )
+    return report
+
+
+def compare_reports(
+    report: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[Tuple[str, float, float, float]]:
+    """Per-cell ``(label, baseline ops/s, current ops/s, speedup)``.
+
+    Cells are matched by (protocol, workload, cycles, warmup, seed);
+    unmatched cells are skipped.  A fingerprint mismatch degrades the
+    comparison to matched cells only — the caller should surface it.
+    """
+    def key(cell: Dict[str, Any]) -> Tuple[Any, ...]:
+        return (
+            cell["protocol"],
+            cell["workload"],
+            cell["cycles"],
+            cell["warmup"],
+            cell["seed"],
+        )
+
+    base_by_key = {key(c): c for c in baseline.get("cells", ())}
+    rows: List[Tuple[str, float, float, float]] = []
+    for cell in report["cells"]:
+        base = base_by_key.get(key(cell))
+        if base is None or not base.get("ops_per_s"):
+            continue
+        label = f"{cell['protocol']}/{cell['workload']}"
+        rows.append(
+            (
+                label,
+                float(base["ops_per_s"]),
+                float(cell["ops_per_s"]),
+                float(cell["ops_per_s"]) / float(base["ops_per_s"]),
+            )
+        )
+    return rows
+
+
+def profile_cells(cells: Sequence[RunSpec], top: int) -> str:
+    """cProfile the whole cell set; returns the top-``top`` report.
+
+    Profiling roughly halves throughput, so the profiled run is never
+    used for the timing numbers — it only attributes where the cycles
+    go (sorted by cumulative time, which surfaces the hot call trees).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for spec in cells:
+        spec.execute(verify=False)
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# CLI entry point (wired up by repro.cli)
+
+def main(args) -> int:
+    cells = QUICK_CELLS if args.quick else REFERENCE_CELLS
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    results = run_cells(cells, repeat=args.repeat, progress=progress)
+
+    baseline: Optional[Dict[str, Any]] = None
+    if args.baseline:
+        baseline = load_report(args.baseline)
+
+    report = build_report(
+        cells, results, quick=args.quick, repeat=args.repeat,
+        baseline=baseline,
+    )
+
+    print(f"git rev            {report['git_rev']}")
+    print(f"config fingerprint {report['config_fingerprint'][:16]}…")
+    print(f"total wall         {report['total_wall_s']:.3f}s "
+          f"(median of {args.repeat} per cell)")
+    print()
+    print(f"{'cell':<26s} {'ops':>9s} {'wall s':>8s} {'ops/s':>12s}")
+    for r in results:
+        print(
+            f"{r.spec.protocol + '/' + r.spec.workload:<26s}"
+            f" {r.operations:>9,d} {r.wall_s:>8.3f} {r.ops_per_s:>12,.0f}"
+        )
+
+    if baseline is not None:
+        rows = compare_reports(report, baseline)
+        if baseline.get("config_fingerprint") != report["config_fingerprint"]:
+            print(
+                "\nwarning: baseline fingerprint differs — comparing "
+                "matched cells only", file=sys.stderr,
+            )
+        if rows:
+            print()
+            print(f"{'cell':<26s} {'base ops/s':>12s} {'now ops/s':>12s}"
+                  f" {'speedup':>8s}")
+            for label, base_ops, now_ops, speedup in rows:
+                print(
+                    f"{label:<26s} {base_ops:>12,.0f} {now_ops:>12,.0f}"
+                    f" {speedup:>7.2f}×"
+                )
+            print(
+                f"{'geomean':<26s} {'':>12s} {'':>12s}"
+                f" {geomean([r[3] for r in rows]):>7.2f}×"
+            )
+        else:
+            print("\nno comparable cells in baseline", file=sys.stderr)
+
+    if args.output:
+        write_report(report, args.output)
+        print(f"\nwrote {args.output}", file=sys.stderr)
+
+    if args.profile:
+        print(f"\n--- cProfile top {args.profile} (separate profiled pass,"
+              f" excluded from timings) ---")
+        print(profile_cells(cells, args.profile))
+    return 0

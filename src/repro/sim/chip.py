@@ -19,6 +19,8 @@ non-memory instructions in between.
 
 from __future__ import annotations
 
+import os
+from heapq import heappush
 from typing import Dict, Optional, Type
 
 from ..core.checker import CoherenceChecker
@@ -93,6 +95,12 @@ def paper_scaled_chip(
     )
 
 
+#: upper bound on memory operations one issue event may drain inline
+#: before handing control back to the event loop (guards against a
+#: single event monopolising a run with a huge quiet window)
+_INLINE_OPS = 1024
+
+
 class Core:
     """An in-order core draining one memory-reference stream."""
 
@@ -101,6 +109,8 @@ class Core:
         "chip",
         "_trace",
         "_pending",
+        "_issue",
+        "_access",
         "ops_done",
         "ops_target",
         "done",
@@ -111,6 +121,11 @@ class Core:
         self.chip = chip
         self._trace = chip.workload.trace(tile)
         self._pending: Optional[MemOp] = None
+        # the issue callback is picked once: the inline-draining fast
+        # path, or the one-event-per-op reference path (REPRO_FAST_PATH=0)
+        self._issue = self._issue_fast if chip.fast_path else self._issue_slow
+        # bound once: the protocol never changes over a chip's lifetime
+        self._access = chip.protocol.access
         self.ops_done = 0
         self.ops_target: Optional[int] = None
         self.done = False
@@ -118,7 +133,8 @@ class Core:
     def start(self) -> None:
         self.chip.sim.schedule(0, self._issue)
 
-    def _issue(self) -> None:
+    def _issue_slow(self) -> None:
+        """Reference issue path: one event-queue round trip per op."""
         if self.done:
             return
         sim = self.chip.sim
@@ -138,6 +154,81 @@ class Core:
             self.chip._core_finished(sim.now)
             return
         sim.schedule(max(1, result.latency + op.think), self._issue)
+
+    def _issue_fast(self) -> None:
+        """Issue path that drains consecutive ops inline.
+
+        Semantically identical to :meth:`_issue_slow` — verified
+        bit-identical by the determinism suite.  After completing an op
+        whose next issue falls at ``t2``, the loop advances the clock to
+        ``t2`` and issues inline instead of round-tripping through the
+        heap, but **only** when no queued event fires at or before
+        ``t2`` and ``t2`` does not cross the active ``run(until=...)``
+        boundary.  Under those conditions no other callback can run (or
+        schedule anything) between the two issues, so the global
+        sequence of ``protocol.access`` calls — and with it every RNG
+        draw and statistic — is exactly the event-queue order.
+        """
+        if self.done:
+            return
+        chip = self.chip
+        sim = chip.sim
+        queue = sim._queue
+        access = self._access
+        trace = self._trace
+        tile = self.tile
+        issue = self._issue
+        deadline = chip.deadline
+        run_until = sim._run_until
+        now = sim._now
+        pending = self._pending
+        ops_done = self.ops_done
+        ops_target = self.ops_target
+        # re-scheduling goes through an inlined schedule_fast — one
+        # heappush plus the seq bump — because this path runs once per
+        # completed op and the call overhead is measurable
+        try:
+            for _ in range(_INLINE_OPS):
+                if deadline is not None and now >= deadline:
+                    return
+                if pending is None:
+                    pending = next(trace)
+                result = access(tile, pending[0], pending[1], now)
+                if result.retry_at is not None:
+                    retry_at = result.retry_at
+                    heappush(
+                        queue,
+                        (retry_at if retry_at > now else now + 1, sim._seq, issue),
+                    )
+                    sim._seq += 1
+                    return
+                think = pending[2]
+                pending = None
+                ops_done += 1
+                if ops_target is not None and ops_done >= ops_target:
+                    self.done = True
+                    chip._core_finished(now)
+                    return
+                delay = result.latency + think
+                t2 = now + (delay if delay > 1 else 1)
+                if (queue and queue[0][0] <= t2) or (
+                    run_until is not None and t2 > run_until
+                ):
+                    # another event fires first (it would also win the
+                    # (time, seq) tie at t2, having the older seq), or
+                    # the run window ends before t2: go through the heap
+                    heappush(queue, (t2, sim._seq, issue))
+                    sim._seq += 1
+                    return
+                # nothing can run before t2: advance the clock inline
+                sim._now = now = t2
+            # inline budget exhausted; continue via an event at ``now``
+            # (the queue head is strictly later, so it fires next)
+            heappush(queue, (now, sim._seq, issue))
+            sim._seq += 1
+        finally:
+            self._pending = pending
+            self.ops_done = ops_done
 
 
 class Chip:
@@ -185,6 +276,9 @@ class Chip:
         if default_placement and hasattr(self.workload, "tiles"):
             core_tiles = tuple(self.workload.tiles)
         self.sim = Simulator()
+        #: inline-draining issue loop (bit-identical to the reference
+        #: path); ``REPRO_FAST_PATH=0`` selects the reference path
+        self.fast_path = os.environ.get("REPRO_FAST_PATH", "1") != "0"
         self.cores = [Core(t, self) for t in core_tiles]
         self.deadline: Optional[int] = None
         self._cores_running = 0
@@ -193,7 +287,8 @@ class Chip:
     # ------------------------------------------------------------------
 
     def _core_finished(self, now: int) -> None:
-        self._cores_running -= 1
+        if self._cores_running > 0:
+            self._cores_running -= 1
         self._finish_time = max(self._finish_time, now)
 
     def run_cycles(self, cycles: int, warmup: int = 0) -> RunStats:
@@ -204,6 +299,9 @@ class Chip:
         from checkpoints taken after warmup).
         """
         self.deadline = warmup + cycles
+        # cores normally have no ops_target here, but a caller may pin
+        # one; initialise the running count so _core_finished stays sane
+        self._cores_running = sum(1 for c in self.cores if not c.done)
         for core in self.cores:
             core.start()
         if warmup:

@@ -38,7 +38,7 @@ class Simulator:
     [5, 10]
     """
 
-    __slots__ = ("_queue", "_seq", "_now", "_running", "_max_events")
+    __slots__ = ("_queue", "_seq", "_now", "_running", "_max_events", "_run_until")
 
     def __init__(self, max_events: Optional[int] = None) -> None:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
@@ -46,6 +46,10 @@ class Simulator:
         self._now = 0
         self._running = False
         self._max_events = max_events
+        #: the ``until`` bound of the innermost active :meth:`run` call;
+        #: the core fast path reads it to stop inline draining exactly at
+        #: the window boundary (events beyond it must stay queued)
+        self._run_until: Optional[int] = None
 
     @property
     def now(self) -> int:
@@ -73,6 +77,19 @@ class Simulator:
         heapq.heappush(self._queue, (int(time), self._seq, callback))
         self._seq += 1
 
+    def schedule_fast(self, time: int, callback: Callable[[], None]) -> None:
+        """Unchecked absolute-time scheduling for the simulation hot path.
+
+        Identical queue semantics to :meth:`schedule_at` — same
+        ``(time, seq)`` ordering — minus the validation and ``int()``
+        coercion.  Callers must guarantee ``time >= now`` and an integer
+        ``time``; the core issue loop does, because it only ever
+        schedules its own next issue at ``now + delay`` with
+        ``delay >= 1``.
+        """
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
         if not self._queue:
@@ -96,17 +113,44 @@ class Simulator:
         to process one more — whether or not ``until`` is given —
         raises :class:`SimulationError`.
         """
+        # the loop body inlines step() — one Python frame per event is
+        # measurable at millions of events — and publishes ``until`` so
+        # the core fast path can drain inline without crossing it
+        queue = self._queue
+        pop = heapq.heappop
+        max_events = self._max_events
         processed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
+        self._run_until = until
+        try:
+            if max_events is None and until is not None:
+                # the chip's steady-state shape: bounded run, unlimited
+                # budget.  Same semantics as the general loop below with
+                # the two per-event budget/None tests folded away.
+                while queue and queue[0][0] <= until:
+                    time, _, callback = pop(queue)
+                    if time < self._now:
+                        raise SimulationError("event queue went backwards in time")
+                    self._now = time
+                    callback()
+                if until > self._now:
+                    self._now = until
                 return self._now
-            if self._max_events is not None and processed >= self._max_events:
-                raise SimulationError(
-                    f"exceeded event budget of {self._max_events} events"
-                )
-            self.step()
-            processed += 1
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    return self._now
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded event budget of {max_events} events"
+                    )
+                time, _, callback = pop(queue)
+                if time < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = time
+                callback()
+                processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._run_until = None

@@ -40,7 +40,7 @@ MISS_CATEGORIES = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyAccumulator:
     """Mean/min/max accumulator without storing samples."""
 
@@ -81,7 +81,7 @@ class LatencyAccumulator:
         return self.total / self.count if self.count else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class RunStats:
     """Everything measured during one protocol run."""
 

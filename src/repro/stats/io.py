@@ -19,8 +19,10 @@ __all__ = ["stats_to_dict", "stats_from_dict", "save_stats", "load_stats",
            "MetricDelta", "compare_stats"]
 
 #: schema 2 adds ``network.flits_by_type`` and ``network.link_load``
-#: (schema-1 documents still load; the extra maps default to empty)
-_SCHEMA = 2
+#: (schema-1 documents still load; the extra maps default to empty);
+#: schema 3 adds ``network.local_messages`` — intra-tile deliveries,
+#: which no longer count in ``messages`` (older documents load with 0)
+_SCHEMA = 3
 
 _SCALARS = (
     "protocol",
@@ -76,6 +78,7 @@ def stats_to_dict(stats: RunStats) -> Dict:
     net = stats.network
     out["network"] = {
         "messages": net.messages,
+        "local_messages": net.local_messages,
         "flit_link_traversals": net.flit_link_traversals,
         "router_traversals": net.router_traversals,
         "routing_events": net.routing_events,
@@ -90,7 +93,7 @@ def stats_to_dict(stats: RunStats) -> Dict:
 
 def stats_from_dict(data: Mapping) -> RunStats:
     """Inverse of :func:`stats_to_dict`."""
-    if data.get("schema") not in (1, _SCHEMA):
+    if data.get("schema") not in (1, 2, _SCHEMA):
         raise ValueError(f"unsupported stats schema {data.get('schema')!r}")
     stats = RunStats()
     for name in _SCALARS:
@@ -112,6 +115,7 @@ def stats_from_dict(data: Mapping) -> RunStats:
             setattr(access, f, v)
     net = data["network"]
     stats.network.messages = net["messages"]
+    stats.network.local_messages = net.get("local_messages", 0)
     stats.network.flit_link_traversals = net["flit_link_traversals"]
     stats.network.router_traversals = net["router_traversals"]
     stats.network.routing_events = net["routing_events"]

@@ -42,6 +42,14 @@ class SweepResult:
     elapsed_s: float
     cached: bool
 
+    @property
+    def ops_per_s(self) -> float:
+        """Simulator throughput for this point; 0.0 when served from
+        the cache (no simulation happened, so there is no rate)."""
+        if self.cached or self.elapsed_s <= 0:
+            return 0.0
+        return self.stats.operations / self.elapsed_s
+
 
 def _execute_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     """Worker entry point: simulate one spec, return its stats document.

@@ -22,8 +22,7 @@ sharing copy-on-write exactly like the hypervisor would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Tuple
 
 import numpy as np
 
@@ -35,11 +34,18 @@ from .spec import WorkloadSpec, workload_for_vm
 __all__ = ["MemOp", "ConsolidatedWorkload"]
 
 _BATCH = 4096
+#: trace batches convert from ndarray to Python lists in chunks of this
+#: many ops, so a core that consumes only part of a batch (short runs,
+#: high think times) never pays for converting the rest
+_CHUNK = 512
 
 
-@dataclass(frozen=True)
-class MemOp:
-    """One memory operation issued by a core."""
+class MemOp(NamedTuple):
+    """One memory operation issued by a core.
+
+    A ``NamedTuple`` rather than a frozen dataclass: construction is a
+    single tuple allocation instead of three guarded ``__setattr__``
+    calls, and the trace generator builds one per access."""
 
     addr: int
     is_write: bool
@@ -53,13 +59,35 @@ def _zipf_weights(n: int, s: float) -> np.ndarray:
 
 
 class _Region:
-    """One class of pages (private / vm-shared / dedup) for one thread."""
+    """One class of pages (private / vm-shared / dedup) for one thread.
 
-    __slots__ = ("vpages", "weights")
+    Instances are read-only after construction and may be shared by
+    every thread of a VM (the VM-shared and dedup regions are
+    identical across a VM's threads)."""
+
+    __slots__ = ("vpages", "weights", "cdf", "_pairs")
 
     def __init__(self, vpages: np.ndarray, weights: np.ndarray) -> None:
         self.vpages = vpages
         self.weights = weights
+        # ``rng.choice(n, p=w)`` internally draws uniforms and inverts
+        # the cumulative distribution; precomputing the cdf once lets
+        # the trace loop replicate it exactly (same RNG consumption,
+        # same values) without re-validating/re-accumulating ``w`` on
+        # every batch
+        if len(weights):
+            cdf = weights.cumsum()
+            cdf /= cdf[-1]
+            self.cdf = cdf
+        else:
+            self.cdf = weights
+        self._pairs: List[List[int]] | None = None
+
+    def pairs(self) -> List[List[int]]:
+        """``vpages`` as plain Python lists, converted once."""
+        if self._pairs is None:
+            self._pairs = self.vpages.tolist()
+        return self._pairs
 
 
 class ConsolidatedWorkload:
@@ -100,6 +128,10 @@ class ConsolidatedWorkload:
         self._private_base: Dict[int, int] = {}
         self._shared_base: Dict[int, int] = {}
         self._dedup_base: Dict[int, int] = {}
+        # the VM-shared/dedup regions are identical for all threads of
+        # a VM — build (and convert) them once, not once per core
+        self._region_cache: Dict[Tuple[int, str], _Region] = {}
+        self._zipf_cache: Dict[Tuple[int, float], np.ndarray] = {}
         self._build_address_space()
 
     # ------------------------------------------------------------------
@@ -176,30 +208,50 @@ class ConsolidatedWorkload:
             offs = np.tile(np.arange(bpp), n_pages)
             return np.stack([pages, offs], axis=1)
 
-        priv = blocks_of(
-            self._private_base[vm] + thread * spec.private_pages, spec.private_pages
-        )
-        shared = blocks_of(self._shared_base[vm], spec.vm_shared_pages)
-        dedup = blocks_of(
-            self._dedup_base[vm], self.os_pages + spec.dedup_pages
-        )
-        regions = []
-        for blocks, permute_seed in (
-            (priv, None),  # private: ranking is irrelevant
-            (shared, vm),  # VM-shared: one hot set per VM
-            (dedup, -1),   # dedup: one hot set shared by all VMs
-        ):
+        def make_region(blocks: np.ndarray, permute_seed) -> _Region:
             n = len(blocks)
             if n == 0:
-                regions.append(_Region(blocks, np.ones(0)))
-                continue
-            w = _zipf_weights(n, spec.zipf_s)
+                return _Region(blocks, np.ones(0))
+            key = (n, spec.zipf_s)
+            w = self._zipf_cache.get(key)
+            if w is None:
+                w = self._zipf_cache[key] = _zipf_weights(n, spec.zipf_s)
             if permute_seed is not None:
                 perm = np.random.default_rng(
                     (self.seed, permute_seed & 0xFFFF)
                 ).permutation(n)
                 blocks = blocks[perm]
-            regions.append(_Region(blocks, w))
+            return _Region(blocks, w)
+
+        # private: ranking is irrelevant; the page window is per thread
+        regions = [
+            make_region(
+                blocks_of(
+                    self._private_base[vm] + thread * spec.private_pages,
+                    spec.private_pages,
+                ),
+                None,
+            )
+        ]
+        # VM-shared (one hot set per VM) and dedup (one hot set shared
+        # by all VMs): identical for every thread of the VM, so cached.
+        # The permutations come from dedicated generators seeded only by
+        # (self.seed, vm) — caching does not change any draw.
+        for kind, base, n_pages, permute_seed in (
+            ("shared", self._shared_base[vm], spec.vm_shared_pages, vm),
+            (
+                "dedup",
+                self._dedup_base[vm],
+                self.os_pages + spec.dedup_pages,
+                -1,
+            ),
+        ):
+            cached = self._region_cache.get((vm, kind))
+            if cached is None:
+                cached = self._region_cache[(vm, kind)] = make_region(
+                    blocks_of(base, n_pages), permute_seed
+                )
+            regions.append(cached)
         return regions
 
     def trace(self, tile: int) -> Iterator[MemOp]:
@@ -238,48 +290,97 @@ class ConsolidatedWorkload:
             )
         )
 
+        # inner-loop hoists: scalar indexing into ndarrays and attribute
+        # chains dominate the per-op cost, so batches convert to plain
+        # Python lists (one ``_CHUNK`` at a time, so a partly-consumed
+        # batch never converts its unused tail) and the loop touches
+        # only locals.  The ``rng.choice(n, p=w)`` draws are replicated
+        # as cdf.searchsorted(rng.random(...)) — numpy's own
+        # implementation with the cdf hoisted out of the loop — so the
+        # RNG consumption, draw order and values are untouched and
+        # traces stay bit-identical.
+        reuse_prob = spec.reuse_prob
+        reuse_window = spec.reuse_window
+        scan_frac = spec.dedup_scan_frac
+        translate = self.table.translate
+        translate_write = self.table.translate_write
+        # read translations are memoized locally; any copy-on-write
+        # event anywhere (this thread's or a sibling's — they share the
+        # (vm, vpage) namespace) flushes the memo, detected by the
+        # length of the table's event log
+        cow_events = self.table.cow_events
+        cow_seen = len(cow_events)
+        tcache: Dict[int, int] = {}
+        tcache_get = tcache.get
+        # construct ops through tuple.__new__ directly (what
+        # MemOp._make does) — skips the generated __new__'s Python frame
+        op_new = tuple.__new__
+        op_cls = MemOp
+        page_shift = self.addr.page_offset_bits - self.addr.block_offset_bits
+        block_shift = self.addr.block_offset_bits
+        region_pairs = [r.pairs() for r in regions]
+        fracs_cdf = fracs.cumsum()
+        fracs_cdf /= fracs_cdf[-1]
+
         while True:
-            region_ids = rng.choice(3, size=_BATCH, p=fracs)
-            reuse_draw = rng.random(size=_BATCH)
-            reuse_pick = rng.integers(0, max(1, spec.reuse_window), size=_BATCH)
-            wdraw = rng.random(size=_BATCH)
-            thinks = rng.integers(think_lo, think_hi + 1, size=_BATCH)
-            fresh_draws = [
-                rng.choice(len(r.vpages), size=_BATCH, p=r.weights)
+            region_ids_a = fracs_cdf.searchsorted(
+                rng.random(size=_BATCH), side="right"
+            )
+            reuse_draw_a = rng.random(size=_BATCH)
+            reuse_pick_a = rng.integers(0, max(1, reuse_window), size=_BATCH)
+            wdraw_a = rng.random(size=_BATCH)
+            thinks_a = rng.integers(think_lo, think_hi + 1, size=_BATCH)
+            fresh_a = [
+                r.cdf.searchsorted(rng.random(size=_BATCH), side="right")
                 if len(r.vpages)
                 else None
                 for r in regions
             ]
-            scan_draw = rng.random(size=_BATCH)
-            for i in range(_BATCH):
-                if window and reuse_draw[i] < spec.reuse_prob:
-                    rid, vpage, off = window[int(reuse_pick[i]) % len(window)]
-                else:
-                    rid = int(region_ids[i])
-                    if (
-                        rid == 2
-                        and scan_blocks
-                        and scan_draw[i] < spec.dedup_scan_frac
-                    ):
-                        # streaming sweep: no reuse-window insertion
-                        vpage = scan_base + scan_pos // bpp
-                        off = scan_pos % bpp
-                        scan_pos = (scan_pos + 1) % scan_blocks
+            scan_draw_a = rng.random(size=_BATCH)
+            for lo in range(0, _BATCH, _CHUNK):
+                hi = lo + _CHUNK
+                region_ids = region_ids_a[lo:hi].tolist()
+                reuse_draw = reuse_draw_a[lo:hi].tolist()
+                reuse_pick = reuse_pick_a[lo:hi].tolist()
+                wdraw = wdraw_a[lo:hi].tolist()
+                thinks = thinks_a[lo:hi].tolist()
+                fresh_draws = [
+                    a[lo:hi].tolist() if a is not None else None for a in fresh_a
+                ]
+                scan_draw = scan_draw_a[lo:hi].tolist()
+                for i in range(_CHUNK):
+                    if window and reuse_draw[i] < reuse_prob:
+                        rid, vpage, off = window[reuse_pick[i] % len(window)]
                     else:
-                        region = regions[rid]
-                        vpage, off = region.vpages[fresh_draws[rid][i]]
-                        vpage, off = int(vpage), int(off)
-                        item = (rid, vpage, off)
-                        if len(window) < spec.reuse_window:
-                            window.append(item)
+                        rid = region_ids[i]
+                        if rid == 2 and scan_blocks and scan_draw[i] < scan_frac:
+                            # streaming sweep: no reuse-window insertion
+                            vpage = scan_base + scan_pos // bpp
+                            off = scan_pos % bpp
+                            scan_pos = (scan_pos + 1) % scan_blocks
                         else:
-                            window[wpos] = item
-                            wpos = (wpos + 1) % spec.reuse_window
-                is_write = bool(wdraw[i] < wprobs[rid])
-                if is_write:
-                    ppage, _ = self.table.translate_write(vm, vpage)
-                else:
-                    ppage = self.table.translate(vm, vpage)
-                addr = self.addr.block_in_page(ppage, off)
-                addr <<= self.addr.block_offset_bits
-                yield MemOp(addr=addr, is_write=is_write, think=int(thinks[i]))
+                            vpage, off = region_pairs[rid][fresh_draws[rid][i]]
+                            item = (rid, vpage, off)
+                            if len(window) < reuse_window:
+                                window.append(item)
+                            else:
+                                window[wpos] = item
+                                wpos = (wpos + 1) % reuse_window
+                    is_write = wdraw[i] < wprobs[rid]
+                    if is_write:
+                        ppage, _ = translate_write(vm, vpage)
+                    else:
+                        if len(cow_events) != cow_seen:
+                            tcache.clear()
+                            cow_seen = len(cow_events)
+                        ppage = tcache_get(vpage)
+                        if ppage is None:
+                            ppage = tcache[vpage] = translate(vm, vpage)
+                    yield op_new(
+                        op_cls,
+                        (
+                            ((ppage << page_shift) | off) << block_shift,
+                            is_write,
+                            thinks[i],
+                        ),
+                    )

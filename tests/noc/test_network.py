@@ -26,10 +26,16 @@ def test_send_accounts_flits_and_routing(net):
 
 
 def test_self_send_is_free(net):
-    d = net.send(5, 5, flits=5)
+    d = net.send(5, 5, flits=5, msg_type="Data")
     assert d.latency == 0 and d.hops == 0
     assert net.stats.flit_link_traversals == 0
-    assert net.stats.messages == 1  # still counted as a message
+    # intra-tile requests never enter the NoC: they are tallied apart
+    # from real injections and contribute no per-type traffic
+    assert net.stats.messages == 0
+    assert net.stats.local_messages == 1
+    assert net.stats.by_type == {}
+    assert net.stats.flits_by_type == {}
+    assert net.stats.routing_events == 0
 
 
 def test_broadcast_accounting(net):
@@ -47,6 +53,24 @@ def test_multicast_latency_is_worst_leg(net):
     assert net.stats.messages == 2
 
 
+def test_multicast_with_self_destination(net):
+    # a sharer list can include the requester's own tile: that leg is a
+    # free self-send and must not dominate (or zero out) the latency
+    d = net.multicast(5, [5, 6], flits=2, msg_type="Inv")
+    assert d.latency == net.mesh.unicast_latency(5, 6, 2)
+    assert net.stats.messages == 1
+    assert net.stats.local_messages == 1
+    assert net.stats.by_type["Inv"] == 1
+
+
+def test_multicast_empty_and_all_local(net):
+    assert net.multicast(3, [], flits=1).latency == 0
+    d = net.multicast(3, [3, 3], flits=1)
+    assert d.latency == 0 and d.hops == 0
+    assert net.stats.messages == 0
+    assert net.stats.local_messages == 2
+
+
 def test_link_load_tracking():
     net = Network(Mesh(4, 4), track_link_load=True)
     net.send(0, 3, flits=2)
@@ -61,6 +85,45 @@ def test_contention_adds_queueing_delay():
     # a second packet at the same instant must queue behind the first
     second = net.send(0, 3, flits=5, now=0).latency
     assert second > base
+
+
+def test_contention_delay_exact_link_occupancy():
+    # each packet occupies every link of its path for ``flits`` cycles,
+    # so back-to-back identical packets queue by exactly ``flits`` each
+    mesh = Mesh(4, 1, NocConfig(model_contention=True))
+    net = Network(mesh)
+    hop = mesh.hop_cycles
+    free_latency = 2 * hop + 3  # 2 hops, 4 flits
+    assert net.send(0, 2, flits=4, now=0).latency == free_latency
+    assert net.send(0, 2, flits=4, now=0).latency == free_latency + 4
+    assert net.send(0, 2, flits=4, now=0).latency == free_latency + 8
+    # once the links drain, a later packet sees no queueing again
+    assert net.send(0, 2, flits=4, now=1_000).latency == free_latency
+
+
+def test_contention_delay_walks_the_path():
+    # direct check of the walk: with link (0,1) busy until cycle 9 and
+    # (1,2) free, a packet at now=0 waits 9 cycles at the first link,
+    # then arrives at (1,2) late enough to pass without further wait
+    mesh = Mesh(4, 1, NocConfig(model_contention=True))
+    net = Network(mesh)
+    hop = mesh.hop_cycles
+    net._link_free[(0, 1)] = 9
+    route = mesh.route(0, 2)
+    assert net._contention_delay(route, flits=2, now=0) == 9
+    # the walk updated the occupancy horizon of both links:
+    # head leaves (0,1) at 9+hop, tail 2 flits behind the head
+    assert net._link_free[(0, 1)] == 9 + 2
+    assert net._link_free[(1, 2)] == 9 + hop + 2
+
+
+def test_contention_disjoint_paths_do_not_interact():
+    mesh = Mesh(4, 4, NocConfig(model_contention=True))
+    net = Network(mesh)
+    a = net.send(0, 3, flits=5, now=0).latency
+    # a packet on a disjoint row shares no links and sees no delay
+    b = net.send(12, 15, flits=5, now=0).latency
+    assert a == b
 
 
 def test_no_contention_by_default(net):

@@ -1,0 +1,166 @@
+"""Unit tests for the ``repro perf`` throughput harness.
+
+The real reference cells take seconds each, so everything here runs on
+tiny cells (small test chip, short windows) — the harness logic is
+cell-agnostic.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.perf import harness
+from repro.perf.harness import (
+    QUICK_CELLS,
+    REFERENCE_CELLS,
+    CellResult,
+    compare_reports,
+    config_fingerprint,
+    geomean,
+    git_rev,
+    load_report,
+    run_cells,
+    write_report,
+)
+from repro.sim.config import small_test_chip
+from repro.sweep import RunSpec
+from repro.sweep.spec import config_to_dict
+
+TINY = config_to_dict(small_test_chip())
+
+
+def tiny_cells(n=2):
+    protocols = ("directory", "dico")[:n]
+    return tuple(
+        RunSpec(protocol=p, workload="mixed-sci", seed=7,
+                cycles=1_500, warmup=500, config=TINY)
+        for p in protocols
+    )
+
+
+def test_reference_grid_is_pinned():
+    # the reference subset is a contract: all four protocols on one
+    # commercial and one scientific workload, fixed windows and seed
+    assert len(REFERENCE_CELLS) == 8
+    assert {c.protocol for c in REFERENCE_CELLS} == {
+        "directory", "dico", "dico-providers", "dico-arin"
+    }
+    assert {c.workload for c in REFERENCE_CELLS} == {"apache", "radix"}
+    assert all(c.cycles == 100_000 and c.seed == 1 for c in REFERENCE_CELLS)
+    # quick cells keep the same grid shape, just smaller windows
+    assert [(c.protocol, c.workload) for c in QUICK_CELLS] == [
+        (c.protocol, c.workload) for c in REFERENCE_CELLS
+    ]
+
+
+def test_run_cells_times_and_counts(capsys):
+    lines = []
+    results = run_cells(tiny_cells(), repeat=1, progress=lines.append)
+    assert len(results) == 2
+    for r in results:
+        assert r.operations > 0
+        assert r.wall_s > 0
+        assert r.ops_per_s == pytest.approx(r.operations / r.wall_s)
+    assert len(lines) == 2 and "ops/s" in lines[0]
+
+
+def test_repeat_takes_median_and_checks_determinism():
+    cell = tiny_cells(1)[0]
+    r = harness._time_cell(cell, repeat=3)
+    single = harness._time_cell(cell, repeat=1)
+    assert r.operations == single.operations  # deterministic op count
+
+
+def test_config_fingerprint_tracks_grid_identity():
+    a = config_fingerprint(tiny_cells(2))
+    assert a == config_fingerprint(tiny_cells(2))
+    assert a != config_fingerprint(tiny_cells(1))
+    assert a != config_fingerprint(REFERENCE_CELLS)
+
+
+def test_report_round_trip_and_schema(tmp_path):
+    cells = tiny_cells(1)
+    results = [CellResult(spec=cells[0], operations=1000, wall_s=0.5)]
+    report = harness.build_report(cells, results, quick=True, repeat=1)
+    assert report["schema"] == harness.BENCH_PERF_SCHEMA_VERSION
+    assert report["config_fingerprint"] == config_fingerprint(cells)
+    assert report["total_wall_s"] == pytest.approx(0.5)
+    cell_doc = report["cells"][0]
+    assert cell_doc["ops_per_s"] == pytest.approx(2000.0)
+    assert cell_doc["protocol"] == "directory"
+
+    path = tmp_path / "BENCH_PERF.json"
+    write_report(report, str(path))
+    assert load_report(str(path)) == json.loads(path.read_text())
+
+    bad = dict(report, schema=99)
+    write_report(bad, str(path))
+    with pytest.raises(ValueError, match="schema"):
+        load_report(str(path))
+
+
+def test_compare_reports_matches_cells_and_computes_speedup():
+    cells = tiny_cells(2)
+    now = harness.build_report(
+        cells,
+        [CellResult(spec=c, operations=1000, wall_s=0.5) for c in cells],
+        quick=True, repeat=1,
+    )
+    base = harness.build_report(
+        cells,
+        [CellResult(spec=c, operations=1000, wall_s=1.0) for c in cells],
+        quick=True, repeat=1,
+    )
+    rows = compare_reports(now, base)
+    assert len(rows) == 2
+    for _, base_ops, now_ops, speedup in rows:
+        assert speedup == pytest.approx(2.0)
+    # a baseline with no matching cells yields no rows, not an error
+    assert compare_reports(now, {"cells": []}) == []
+
+
+def test_geomean():
+    assert geomean([]) == 0.0
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+
+
+def test_git_rev_is_nonempty_string():
+    rev = git_rev()
+    assert isinstance(rev, str) and rev
+
+
+def test_cli_perf_end_to_end(tmp_path, monkeypatch, capsys):
+    # wire-through test: `repro perf --quick` on monkeypatched tiny
+    # cells writes a loadable report and prints the table
+    monkeypatch.setattr(harness, "QUICK_CELLS", tiny_cells(2))
+    out = tmp_path / "BENCH_PERF.json"
+    assert cli.main(["perf", "--quick", "--output", str(out)]) == 0
+    report = load_report(str(out))
+    assert len(report["cells"]) == 2
+    assert report["quick"] is True
+    captured = capsys.readouterr()
+    assert "ops/s" in captured.out
+
+    # second run comparing against the first as baseline
+    out2 = tmp_path / "BENCH_PERF2.json"
+    assert cli.main([
+        "perf", "--quick", "--output", str(out2),
+        "--baseline", str(out),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "speedup" in captured.out
+    assert "geomean" in captured.out
+    report2 = load_report(str(out2))
+    assert report2["baseline"]["cells"] == report["cells"]
+
+
+def test_cli_perf_profile_flag(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(harness, "QUICK_CELLS", tiny_cells(1))
+    assert cli.main([
+        "perf", "--quick", "--output", "", "--profile", "5",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "cProfile top 5" in captured.out
+    assert "cumulative" in captured.out

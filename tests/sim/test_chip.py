@@ -98,3 +98,24 @@ def test_per_vm_operations_fairness():
     assert sum(per_vm.values()) == sum(c.ops_done for c in chip.cores)
     # homogeneous VMs progress within 2x of each other
     assert max(per_vm.values()) < 2 * max(1, min(per_vm.values()))
+
+
+def test_core_finished_guard_never_underflows():
+    chip = Chip("directory", "mixed-sci", config=small_test_chip(), seed=3)
+    chip._cores_running = 1
+    chip._core_finished(10)
+    assert chip._cores_running == 0
+    # a stray extra notification (e.g. a core finishing after the
+    # window closed) must not drive the count negative
+    chip._core_finished(11)
+    assert chip._cores_running == 0
+    assert chip._finish_time == 11
+
+
+def test_run_cycles_initialises_running_count():
+    chip = Chip("directory", "mixed-sci", config=small_test_chip(), seed=3)
+    chip.cores[0].done = True  # e.g. pinned ops_target already met
+    chip.run_cycles(200, warmup=100)
+    # only the not-done cores were counted at the start of the window
+    assert chip._cores_running <= len(chip.cores) - 1
+    assert chip._cores_running >= 0

@@ -141,3 +141,49 @@ class TestEventBudget:
         assert sim.run(until=10) == 10
         assert fired == [1, 2]
         assert sim.pending == 1
+
+
+def test_schedule_fast_matches_schedule_at_ordering():
+    # schedule_fast skips validation but must keep (time, seq) ordering:
+    # interleaving it with schedule_at preserves insertion order at ties
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5, lambda: fired.append("at-5"))
+    sim.schedule_fast(5, lambda: fired.append("fast-5"))
+    sim.schedule_fast(3, lambda: fired.append("fast-3"))
+    sim.schedule_at(5, lambda: fired.append("at-5-late"))
+    sim.run()
+    assert fired == ["fast-3", "at-5", "fast-5", "at-5-late"]
+
+
+def test_bounded_run_without_budget_matches_general_loop():
+    # run(until=...) with no event budget takes a specialized loop; it
+    # must behave exactly like the general loop of a budgeted engine
+    def exercise(sim):
+        fired = []
+        sim.schedule(2, lambda: fired.append(sim.now))
+        sim.schedule(2, lambda: sim.schedule(3, lambda: fired.append(sim.now)))
+        sim.schedule(9, lambda: fired.append(sim.now))
+        end = sim.run(until=7)
+        return fired, end, sim.now, sim.pending
+
+    assert exercise(Simulator()) == exercise(Simulator(max_events=1000))
+
+
+def test_bounded_run_advances_to_until_and_keeps_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append(sim.now))
+    assert sim.run(until=4) == 4
+    assert sim.now == 4 and fired == [] and sim.pending == 1
+    sim.run(until=12)
+    assert fired == [10] and sim.now == 12
+
+
+def test_run_until_is_published_during_run_only():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, lambda: seen.append(sim._run_until))
+    sim.run(until=6)
+    assert seen == [6]
+    assert sim._run_until is None  # reset even on normal exit

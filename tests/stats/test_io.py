@@ -101,10 +101,24 @@ def test_schema2_network_detail_survives_round_trip(real_stats):
 
 def test_schema1_documents_still_load(real_stats):
     data = stats_to_dict(real_stats)
-    assert data["schema"] == 2
+    assert data["schema"] == 3
     data["schema"] = 1
     del data["network"]["flits_by_type"]
     del data["network"]["link_load"]
+    del data["network"]["local_messages"]
     loaded = stats_from_dict(data)
     assert loaded.operations == real_stats.operations
     assert not loaded.network.flits_by_type
+    assert loaded.network.local_messages == 0
+
+
+def test_schema2_documents_still_load(real_stats):
+    """Pre-local_messages documents load with the counter defaulting
+    to zero (schema 3 split intra-tile deliveries out of messages)."""
+    data = stats_to_dict(real_stats)
+    data["schema"] = 2
+    del data["network"]["local_messages"]
+    loaded = stats_from_dict(data)
+    assert loaded.operations == real_stats.operations
+    assert loaded.network.messages == real_stats.network.messages
+    assert loaded.network.local_messages == 0

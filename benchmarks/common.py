@@ -13,6 +13,11 @@ serves three environment knobs:
   in-process, the bit-identical reference path);
 * ``REPRO_SWEEP_CACHE`` — on-disk result-cache directory (default:
   unset, no cross-session caching);
+* ``REPRO_TRACE_DIR``   — when set, every *executed* benchmark run
+  also writes a JSONL event trace + manifest there (cache hits skip
+  simulation and leave no trace).  Every run dispatches through
+  :func:`repro.api.simulate` either way, so tracing never changes
+  the statistics;
 * ``REPRO_FAST_PATH``   — ``0`` selects the one-event-per-op reference
   issue path inside the simulator (default ``1``, the inline-draining
   fast path).  The two are bit-identical — pinned by
@@ -78,6 +83,7 @@ def _get_runner() -> SweepRunner:
         _runner = SweepRunner(
             jobs=int(os.environ.get("REPRO_SWEEP_JOBS", "1")),
             cache_dir=os.environ.get("REPRO_SWEEP_CACHE") or None,
+            trace_dir=os.environ.get("REPRO_TRACE_DIR") or None,
         )
     return _runner
 

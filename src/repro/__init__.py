@@ -9,13 +9,19 @@ the paper's Tables V–VII and Figures 7–9.
 
 Quickstart::
 
-    from repro import Chip, paper_scaled_chip
+    from repro import RunSpec, simulate
 
-    chip = Chip("dico-providers", "apache", config=paper_scaled_chip())
-    stats = chip.run_cycles(200_000)
-    print(stats.summary())
+    result = simulate(RunSpec("dico-providers", "apache"))
+    print(result.stats.summary())
+
+:func:`repro.api.simulate` is the single construction path for
+measured runs — the CLI, the benchmark suite, the sweep runner and the
+perf harness all dispatch through it, and it is where observability
+(event tracing, run manifests, the coherence checker) attaches.
+:class:`Chip` remains available for direct, low-level driving.
 """
 
+from .api import RunResult, RunSpec, TraceOptions, simulate
 from .sim.chip import PROTOCOLS, Chip, make_protocol, paper_scaled_chip
 from .sim.config import ChipConfig, DEFAULT_CHIP, small_test_chip
 from .core.storage import (
@@ -42,7 +48,11 @@ __all__ = [
     "LeakageModel",
     "PROTOCOLS",
     "PROTOCOL_NAMES",
+    "RunResult",
+    "RunSpec",
     "RunStats",
+    "TraceOptions",
+    "simulate",
     "VMPlacement",
     "WorkloadSpec",
     "BENCHMARKS",

@@ -1,0 +1,266 @@
+"""Trace analysis: lifecycles, hop attribution, counter reconciliation.
+
+Works over streams of :class:`~repro.trace.TraceEvent` — either the
+in-memory ``RunResult.events`` tuple or a JSONL file read back with
+:func:`read_trace`.  Three jobs:
+
+* :func:`lifecycle` — one block's chronological coherence story (every
+  transition, fill, eviction and message attributed to it);
+* :func:`hop_attribution` — per-address traffic summaries whose totals
+  sum *exactly* to the aggregate network counters;
+* :func:`reconcile` — the cross-check: replay a trace through the same
+  accounting rules :class:`~repro.noc.network.Network` applies and
+  assert the per-event stream and the end-of-run aggregates agree.
+
+Counter semantics mirror ``Network.send`` / ``Network.broadcast``
+exactly: a unicast ``send`` contributes its flits and hops, a
+``local`` event only counts in ``local_messages``, a ``broadcast``
+charges its tree links, and ``deliver`` events are timing-only (the
+matching ``send`` already carried the traffic).  Only events after the
+last ``reset_stats`` marker count — the aggregate counters are zeroed
+there (the post-warmup measurement window).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from ..stats.counters import RunStats
+from ..trace.events import TraceEvent
+
+__all__ = [
+    "ReconciliationError",
+    "TrafficAccumulator",
+    "hop_attribution",
+    "lifecycle",
+    "measurement_window",
+    "read_trace",
+    "reconcile",
+]
+
+
+class ReconciliationError(AssertionError):
+    """The trace and the aggregate counters disagree."""
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Stream events back from a JSONL trace file."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_dict(json.loads(line))
+
+
+def _is_reset(event: TraceEvent) -> bool:
+    return (
+        event.layer == "run"
+        and event.event == "marker"
+        and event.attrs.get("name") == "reset_stats"
+    )
+
+
+def measurement_window(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """Events after the last ``reset_stats`` marker (all, if none)."""
+    out: List[TraceEvent] = []
+    for event in events:
+        if _is_reset(event):
+            out.clear()
+        else:
+            out.append(event)
+    return out
+
+
+def lifecycle(
+    events: Iterable[TraceEvent], addr: int
+) -> List[TraceEvent]:
+    """One block's chronological event stream (all layers).
+
+    Sorted by cycle (stable): ``deliver`` events are *emitted* at send
+    time but *stamped* with their delivery cycle, so the raw stream is
+    not in cycle order — the reconstruction is.
+    """
+    return sorted(
+        (e for e in events if e.addr == addr), key=lambda e: e.cycle
+    )
+
+
+class TrafficAccumulator:
+    """Streaming re-derivation of the network counters from a trace.
+
+    Usable directly as a :class:`~repro.trace.TraceSink` — pass it via
+    ``TraceOptions(sink=...)`` to reconcile reference-scale runs
+    without storing tens of millions of events.  A ``reset_stats``
+    marker zeroes the totals, so after a run the accumulator holds
+    exactly the measurement window.
+
+    ``per_addr`` (optional) additionally keeps per-address summaries
+    (:func:`hop_attribution` shape); leave it off for large runs.
+    """
+
+    def __init__(self, per_addr: bool = False) -> None:
+        self.track_per_addr = per_addr
+        self.reset()
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.local_messages = 0
+        self.flit_link_traversals = 0
+        self.router_traversals = 0
+        self.routing_events = 0
+        self.broadcasts = 0
+        self.by_type: Dict[str, int] = {}
+        self.flits_by_type: Dict[str, int] = {}
+        self.per_addr: Dict[Optional[int], Dict] = {}
+
+    def _addr_bucket(self, addr: Optional[int]) -> Dict:
+        bucket = self.per_addr.get(addr)
+        if bucket is None:
+            bucket = self.per_addr[addr] = {
+                "messages": 0,
+                "hops": 0,
+                "flits": 0,
+                "flit_links": 0,
+                "by_type": {},
+                "flits_by_type": {},
+            }
+        return bucket
+
+    def emit(self, event: TraceEvent) -> None:
+        layer = event.layer
+        if layer == "noc":
+            kind = event.event
+            attrs = event.attrs
+            if kind == "send":
+                msg_type = attrs["msg_type"]
+                flits = attrs["flits"]
+                hops = attrs["hops"]
+                self.messages += 1
+                self.by_type[msg_type] = self.by_type.get(msg_type, 0) + 1
+                self.flits_by_type[msg_type] = (
+                    self.flits_by_type.get(msg_type, 0) + flits
+                )
+                self.flit_link_traversals += flits * hops
+                self.router_traversals += hops
+                self.routing_events += 1
+                if self.track_per_addr:
+                    bucket = self._addr_bucket(event.addr)
+                    bucket["messages"] += 1
+                    bucket["hops"] += hops
+                    bucket["flits"] += flits
+                    bucket["flit_links"] += flits * hops
+                    bucket["by_type"][msg_type] = (
+                        bucket["by_type"].get(msg_type, 0) + 1
+                    )
+                    bucket["flits_by_type"][msg_type] = (
+                        bucket["flits_by_type"].get(msg_type, 0) + flits
+                    )
+            elif kind == "local":
+                self.local_messages += 1
+            elif kind == "broadcast":
+                msg_type = attrs["msg_type"]
+                flits = attrs["flits"]
+                links = attrs["links"]
+                charged = flits * max(1, links)
+                self.messages += 1
+                self.broadcasts += 1
+                self.by_type[msg_type] = self.by_type.get(msg_type, 0) + 1
+                self.flits_by_type[msg_type] = (
+                    self.flits_by_type.get(msg_type, 0) + charged
+                )
+                self.flit_link_traversals += flits * links
+                self.router_traversals += links
+                self.routing_events += links
+                if self.track_per_addr:
+                    bucket = self._addr_bucket(event.addr)
+                    bucket["messages"] += 1
+                    bucket["hops"] += links
+                    bucket["flits"] += charged
+                    bucket["flit_links"] += flits * links
+                    bucket["by_type"][msg_type] = (
+                        bucket["by_type"].get(msg_type, 0) + 1
+                    )
+                    bucket["flits_by_type"][msg_type] = (
+                        bucket["flits_by_type"].get(msg_type, 0) + charged
+                    )
+            # "deliver" is timing-only: the send carried the traffic
+        elif _is_reset(event):
+            self.reset()
+
+    def close(self) -> None:
+        pass
+
+    def feed(self, events: Iterable[TraceEvent]) -> "TrafficAccumulator":
+        for event in events:
+            self.emit(event)
+        return self
+
+    def totals(self) -> Dict[str, int]:
+        return {
+            "messages": self.messages,
+            "local_messages": self.local_messages,
+            "flit_link_traversals": self.flit_link_traversals,
+            "router_traversals": self.router_traversals,
+            "routing_events": self.routing_events,
+            "broadcasts": self.broadcasts,
+        }
+
+
+def hop_attribution(
+    events: Iterable[TraceEvent],
+) -> Dict[Optional[int], Dict]:
+    """Per-address traffic summaries for the measurement window.
+
+    Each NoC event charges its block (``None`` for unattributed
+    traffic), so summing any field across all addresses reproduces the
+    corresponding aggregate counter exactly — the invariant
+    :func:`reconcile` enforces.
+    """
+    acc = TrafficAccumulator(per_addr=True)
+    for event in events:
+        acc.emit(event)
+    return acc.per_addr
+
+
+def reconcile(
+    events: Union[Iterable[TraceEvent], TrafficAccumulator],
+    stats: RunStats,
+) -> Dict[str, int]:
+    """Assert the trace reproduces the aggregate network counters.
+
+    ``events`` may be an event stream (replayed here) or a
+    :class:`TrafficAccumulator` that was attached as the run's sink.
+    Returns the verified totals; raises :class:`ReconciliationError`
+    with every disagreeing counter otherwise.
+    """
+    if isinstance(events, TrafficAccumulator):
+        acc = events
+    else:
+        acc = TrafficAccumulator().feed(events)
+    net = stats.network
+    problems: List[str] = []
+    for name, traced in acc.totals().items():
+        aggregate = getattr(net, name)
+        if traced != aggregate:
+            problems.append(f"{name}: trace={traced} aggregate={aggregate}")
+    for label, traced_map, agg_map in (
+        ("by_type", acc.by_type, dict(net.by_type)),
+        ("flits_by_type", acc.flits_by_type, dict(net.flits_by_type)),
+    ):
+        agg_map = {k: v for k, v in agg_map.items() if v}
+        traced_map = {k: v for k, v in traced_map.items() if v}
+        if traced_map != agg_map:
+            problems.append(
+                f"{label}: trace={traced_map!r} aggregate={agg_map!r}"
+            )
+    if problems:
+        raise ReconciliationError(
+            "trace does not reconcile with aggregate counters:\n  "
+            + "\n  ".join(problems)
+        )
+    totals = acc.totals()
+    totals["by_type_total"] = sum(acc.by_type.values())
+    totals["flits_total"] = sum(acc.flits_by_type.values())
+    return totals

@@ -102,6 +102,9 @@ class SetAssocCache(Generic[E]):
         # set is filling, like the scan this replaces did.
         self._free: List[Optional[List[int]]] = [None] * n_sets
         self.stats = CacheAccessStats()
+        #: observability hook (:class:`repro.trace.Tracer`); only the
+        #: state-changing paths (insert/displace/invalidate) consult it
+        self._trace = None
 
     @property
     def _policies(self) -> List[ReplacementPolicy]:
@@ -209,6 +212,8 @@ class SetAssocCache(Generic[E]):
         free.append(way)
         self._policy_slots[s].reset(way)
         self.stats.tag_writes += 1
+        if self._trace is not None:
+            self._trace.cache_event(self.name, "evict", frame[0])
         return frame
 
     def insert(self, block: int, entry: E) -> Optional[Tuple[int, E]]:
@@ -230,6 +235,8 @@ class SetAssocCache(Generic[E]):
         if existing is not None:
             ways[existing] = (block, entry)
             policy.touch(existing)
+            if self._trace is not None:
+                self._trace.cache_event(self.name, "fill", block)
             return None
         free = self._free[s]
         if free is None:
@@ -238,12 +245,16 @@ class SetAssocCache(Generic[E]):
             ways[0] = (block, entry)
             index[block] = 0
             policy.touch(0)
+            if self._trace is not None:
+                self._trace.cache_event(self.name, "fill", block)
             return None
         if free:
             way = free.pop()
             ways[way] = (block, entry)
             index[block] = way
             policy.touch(way)
+            if self._trace is not None:
+                self._trace.cache_event(self.name, "fill", block)
             return None
         way = policy.victim()
         victim = ways[way]
@@ -252,6 +263,9 @@ class SetAssocCache(Generic[E]):
         index[block] = way
         policy.touch(way)
         self.stats.evictions += 1
+        if self._trace is not None:
+            self._trace.cache_event(self.name, "evict", victim[0])
+            self._trace.cache_event(self.name, "fill", block)
         return victim
 
     def invalidate(self, block: int) -> Optional[E]:
@@ -265,6 +279,8 @@ class SetAssocCache(Generic[E]):
         self._ways[s][way] = None
         self._free[s].append(way)
         self._policy_slots[s].reset(way)
+        if self._trace is not None:
+            self._trace.cache_event(self.name, "invalidate", block)
         return frame[1]
 
     def blocks_in_set(self, s: int) -> List[int]:

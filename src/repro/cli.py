@@ -3,9 +3,12 @@
 Commands:
 
 * ``run``      — simulate one (protocol, workload) pair and print stats
+* ``trace``    — traced run: JSONL event stream + run manifest, with
+  ``--filter addr=..,tile=..,events=..`` server-side filtering
 * ``compare``  — all four protocols on one workload (Figs. 7/9 style)
 * ``sweep``    — fan a (protocol × workload × seed) grid across worker
-  processes with an on-disk result cache
+  processes with an on-disk result cache (``--trace-dir`` adds a
+  trace + manifest per executed spec)
 * ``perf``     — benchmark the simulator itself on a pinned reference
   subset (ops/sec per cell, ``BENCH_PERF.json`` report)
 * ``storage``  — Tables V and VII (analytic)
@@ -22,27 +25,36 @@ import time
 
 from . import (
     BENCHMARKS,
-    Chip,
     DEFAULT_CHIP,
     MIXES,
     PROTOCOLS,
     leakage_table,
     overhead_table,
-    paper_scaled_chip,
     spec_names,
     storage_breakdown,
 )
 from .analysis import fig7_rows, fig9a_performance, fig9b_miss_breakdown
-from .workloads.placement import VMPlacement
+from .api import RunSpec, TraceOptions, simulate
+from .sweep.spec import valid_override_keys
 
 PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
 
 
 def _parse_override(text: str):
-    """``key=value`` with value parsed as JSON when possible."""
+    """``key=value`` with value parsed as JSON when possible.
+
+    Unknown keys are rejected here, at the CLI boundary, with the full
+    list of valid dotted paths — not deep inside a pool worker.
+    """
     key, sep, raw = text.partition("=")
     if not sep:
         raise ValueError(f"override {text!r} is not of the form key=value")
+    valid = valid_override_keys()
+    if key not in valid:
+        raise ValueError(
+            f"unknown config override key {key!r}; valid keys: "
+            + ", ".join(valid)
+        )
     try:
         value = json.loads(raw)
     except json.JSONDecodeError:
@@ -50,23 +62,22 @@ def _parse_override(text: str):
     return key, value
 
 
-def _build_chip(args, protocol: str) -> Chip:
-    config = paper_scaled_chip()
-    placement = None
-    if args.placement == "alt":
-        placement = VMPlacement.alternative(
-            config.mesh_width, config.mesh_height, 4
-        )
-    return Chip(protocol, args.workload, config=config, seed=args.seed,
-                placement=placement)
+def _spec_for(args, protocol: str) -> RunSpec:
+    """The one construction path: CLI args -> RunSpec -> api.simulate."""
+    return RunSpec(
+        protocol=protocol,
+        workload=args.workload,
+        seed=args.seed,
+        placement=args.placement,
+        cycles=args.cycles,
+        warmup=args.warmup,
+    )
 
 
 def cmd_run(args) -> int:
-    chip = _build_chip(args, args.protocol)
-    stats = chip.run_cycles(args.cycles, warmup=args.warmup)
-    chip.verify_coherence()
-    out = stats.summary()
-    out["miss_categories"] = stats.miss_categories
+    result = simulate(_spec_for(args, args.protocol), checker=args.checker)
+    out = result.stats.summary()
+    out["miss_categories"] = result.stats.miss_categories
     print(json.dumps(out, indent=2))
     return 0
 
@@ -74,9 +85,9 @@ def cmd_run(args) -> int:
 def cmd_compare(args) -> int:
     results = {}
     for protocol in PROTOCOL_ORDER:
-        chip = _build_chip(args, protocol)
-        results[protocol] = chip.run_cycles(args.cycles, warmup=args.warmup)
-        chip.verify_coherence()
+        results[protocol] = simulate(
+            _spec_for(args, protocol), checker=True
+        ).stats
     perf = fig9a_performance(results)
     power = fig7_rows(results, DEFAULT_CHIP)
     misses = fig9b_miss_breakdown(results)
@@ -101,10 +112,87 @@ def cmd_perf(args) -> int:
     return harness.main(args)
 
 
+_FILTER_KEYS = {
+    "addr": "addrs",
+    "addrs": "addrs",
+    "tile": "tiles",
+    "tiles": "tiles",
+    "event": "events",
+    "events": "events",
+    "layer": "layers",
+    "layers": "layers",
+}
+
+
+def _parse_trace_filters(filters):
+    """``addr=0x2f+0x30,tile=5,events=send+deliver`` -> TraceOptions kwargs.
+
+    Comma separates dimensions, ``+`` separates values within one;
+    addresses and tiles accept any ``int(x, 0)`` literal (hex included).
+    """
+    out = {"addrs": None, "tiles": None, "events": None, "layers": None}
+    for spec in filters or ():
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            field = _FILTER_KEYS.get(key.strip())
+            if not sep or field is None:
+                raise ValueError(
+                    f"bad trace filter {part!r} (expected "
+                    f"{'|'.join(sorted(set(_FILTER_KEYS)))}=v1+v2,...)"
+                )
+            values = [v for v in raw.split("+") if v]
+            if field in ("addrs", "tiles"):
+                values = [int(v, 0) for v in values]
+            existing = out[field] or []
+            out[field] = existing + values
+    return out
+
+
+def cmd_trace(args) -> int:
+    try:
+        filters = _parse_trace_filters(args.filter)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec = RunSpec(
+        protocol=args.protocol,
+        workload=args.workload,
+        seed=args.seed,
+        placement=args.placement,
+        cycles=args.cycles,
+        warmup=args.warmup,
+    )
+    result = simulate(
+        spec,
+        trace=TraceOptions(path=args.output, **filters),
+        checker=args.checker,
+    )
+    with open(args.output) as fh:
+        n_events = sum(1 for line in fh if line.strip())
+    summary = {
+        "spec": spec.to_dict(),
+        "events": n_events,
+        "trace": str(result.trace_path),
+        "manifest": str(result.manifest_path),
+        "operations": result.stats.operations,
+        "wall_s": round(result.wall_time_s, 3),
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from .stats.io import stats_to_dict
     from .sweep import SweepRunner, figure_grid, merge_by_point
 
+    try:
+        overrides = tuple(_parse_override(o) for o in args.set or ())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     specs = figure_grid(
         protocols=args.protocols.split(","),
         workloads=args.workloads.split(","),
@@ -112,12 +200,13 @@ def cmd_sweep(args) -> int:
         placement=args.placement,
         cycles=args.cycles,
         warmup=args.warmup,
-        overrides=tuple(_parse_override(o) for o in args.set or ()),
+        overrides=overrides,
     )
     runner = SweepRunner(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         progress=not args.quiet,
+        trace_dir=args.trace_dir,
     )
     start = time.perf_counter()
     results = runner.run(specs)
@@ -233,7 +322,39 @@ def main(argv=None) -> int:
     p_run = sub.add_parser("run", parents=[common], help="one protocol run")
     p_run.add_argument("--protocol", default="dico-providers",
                        choices=sorted(PROTOCOLS))
+    p_run.add_argument(
+        "--checker", action=argparse.BooleanOptionalAction, default=True,
+        help="run the post-run coherence invariant sweep (default: on)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="traced run: JSONL event stream + run manifest"
+    )
+    p_trace.add_argument("protocol", choices=sorted(PROTOCOLS))
+    p_trace.add_argument("workload", choices=spec_names())
+    p_trace.add_argument("--cycles", type=int, default=20_000)
+    p_trace.add_argument("--warmup", type=int, default=5_000)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument(
+        "--placement", default="aligned", choices=("aligned", "alt")
+    )
+    p_trace.add_argument(
+        "--output", default="trace.jsonl",
+        help="JSONL trace path; the manifest lands next to it "
+        "(default: trace.jsonl)",
+    )
+    p_trace.add_argument(
+        "--filter", action="append", metavar="DIM=V1+V2,...",
+        help="keep only matching events, e.g. "
+        "--filter addr=0x2f,tile=5+12,events=send+transition "
+        "(dims: addr, tile, events, layer; repeatable)",
+    )
+    p_trace.add_argument(
+        "--checker", action=argparse.BooleanOptionalAction, default=False,
+        help="also run the post-run coherence invariant sweep",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cmp = sub.add_parser("compare", parents=[common],
                            help="compare all four protocols")
@@ -287,6 +408,11 @@ def main(argv=None) -> int:
         "--output", default=None, help="write full stats JSON to this file"
     )
     p_sweep.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a JSONL trace + manifest per executed spec into DIR "
+        "(cache hits skip simulation and leave no trace)",
+    )
+    p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress progress on stderr"
     )
     p_sweep.set_defaults(func=cmd_sweep)
@@ -315,6 +441,11 @@ def main(argv=None) -> int:
         "--baseline", default=None,
         help="prior BENCH_PERF.json to compare against (prints per-cell "
         "speedups and their geomean)",
+    )
+    p_perf.add_argument(
+        "--trace", action="store_true",
+        help="attach a counting trace sink — measures instrumentation "
+        "overhead against a tracing-off run",
     )
     p_perf.set_defaults(func=cmd_perf)
 

@@ -89,6 +89,9 @@ class DiCoArinProtocol(DiCoProtocol):
             self.l1s[holder].charge_data_read()
             line.sharers |= 1 << requestor
             if line.state in (L1State.E, L1State.M):
+                self.trace_transition(
+                    holder, block, line.state.name, "O", "read_share"
+                )
                 line.state = L1State.O
             data = self.msg(holder, requestor, MessageType.DATA, now)
             self.checker.check_read(block, line.version, where=self._l1_names[requestor])
@@ -128,6 +131,9 @@ class DiCoArinProtocol(DiCoProtocol):
             is_owner=False,
             inter_area=True,
             propos=propos,
+        )
+        self.trace_transition(
+            owner, block, line.state.name, "P", "ownership_dissolve"
         )
         line.state = L1State.P
         line.dirty = False
@@ -408,6 +414,9 @@ class DiCoArinProtocol(DiCoProtocol):
             self.msg(tile, target, MessageType.CHANGE_OWNER, now)
             tline = self.l1s[target].peek(block)
             assert tline is not None
+            self.trace_transition(
+                target, block, tline.state.name, "O", "ownership_transfer"
+            )
             tline.state = L1State.O
             tline.dirty = line.dirty
             tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
@@ -443,6 +452,9 @@ class DiCoArinProtocol(DiCoProtocol):
         entry = self._put_ownership_home(owner, block, line, now)
         entry.sharers = line.sharers | (1 << owner)
         entry.owner_area = self.areas.area_of(owner)
+        self.trace_transition(
+            owner, block, line.state.name, "S", "forced_relinquish"
+        )
         line.state = L1State.S
         line.dirty = False
         line.sharers = 0

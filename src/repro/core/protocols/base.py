@@ -194,6 +194,9 @@ class CoherenceProtocol(ABC):
         self._hit_result = AccessResult(
             latency=self._l1_hit_latency, l1_hit=True
         )
+        #: observability hook (:class:`repro.trace.Tracer`); ``None``
+        #: keeps every instrumented path at one ``is not None`` test
+        self._trace = None
         self._rebuild_l1_hot()
 
     def _rebuild_l1_hot(self) -> None:
@@ -283,22 +286,32 @@ class CoherenceProtocol(ABC):
                 l1.charge_data_write()
                 st.l1_hits += 1
                 st.upgrades += 1
+                if self._trace is not None:
+                    self._trace.transition(
+                        tile, block, line.state.name, "M", "silent_upgrade"
+                    )
                 line.state = L1State.M
                 line.dirty = True
                 line.version = self.checker.commit_write(block)
                 return self._hit_result
             # upgrade miss: we hold a copy but must gain ownership
             st.l1_misses += 1
+            if self._trace is not None:
+                self._trace.ctx = (tile, block)
             latency, links, category = self._handle_write_miss(
                 tile, block, now, had_copy=True
             )
         elif is_write:
             st.l1_misses += 1
+            if self._trace is not None:
+                self._trace.ctx = (tile, block)
             latency, links, category = self._handle_write_miss(
                 tile, block, now, had_copy=False
             )
         else:
             st.l1_misses += 1
+            if self._trace is not None:
+                self._trace.ctx = (tile, block)
             latency, links, category = self._handle_read_miss(tile, block, now)
         # inlined st.miss_latency.add / st.miss_links.add — two frames
         # per miss otherwise; same count/total/min/max bookkeeping
@@ -323,6 +336,19 @@ class CoherenceProtocol(ABC):
         if category:
             st.miss_categories[category] += 1
         return AccessResult(latency=latency, category=category)
+
+    def trace_transition(
+        self, tile: int, block: int, frm: str, to: str, cause: str
+    ) -> None:
+        """Emit a protocol-layer state transition when tracing is on.
+
+        Concrete protocols call this at every in-place L1 state
+        mutation (the fill/invalidate/eviction transitions are emitted
+        by the shared helpers).
+        """
+        tr = self._trace
+        if tr is not None:
+            tr.transition(tile, block, frm, to, cause)
 
     def _owner_upgrade_is_local(self, block: int, line: L1Line) -> bool:
         """May an owner with empty sharing code upgrade silently?
@@ -455,16 +481,31 @@ class CoherenceProtocol(ABC):
             vblock, vline = victim
             self.l1cs[tile].block_evicted(vblock)
             self._l1_evictions.evictions += 1
-            self._evict_l1_line(tile, vblock, vline, now)
+            tr = self._trace
+            if tr is None:
+                self._evict_l1_line(tile, vblock, vline, now)
+            else:
+                # the eviction's messages belong to the victim block
+                tr.transition(tile, vblock, vline.state.name, "I", "l1_eviction")
+                saved = tr.ctx
+                tr.ctx = (tile, vblock)
+                self._evict_l1_line(tile, vblock, vline, now)
+                tr.ctx = saved
         l1.insert(block, line)
         l1.charge_data_write()
         self.l1cs[tile].block_cached(block, supplier)
+        if self._trace is not None:
+            self._trace.transition(tile, block, "I", line.state.name, "fill")
 
     def drop_l1(self, tile: int, block: int) -> Optional[L1Line]:
         """Invalidate an L1 copy (external invalidation, no actions)."""
         line = self.l1s[tile].invalidate(block)
         if line is not None:
             self.l1cs[tile].block_evicted(block)
+            if self._trace is not None:
+                self._trace.transition(
+                    tile, block, line.state.name, "I", "invalidated"
+                )
         return line
 
     def l1_line(self, tile: int, block: int) -> Optional[L1Line]:
@@ -479,7 +520,15 @@ class CoherenceProtocol(ABC):
         if victim is not None:
             vblock, ventry = victim
             self._l2_evictions.evictions += 1
-            self._evict_l2_entry(home, vblock, ventry, now)
+            tr = self._trace
+            if tr is None:
+                self._evict_l2_entry(home, vblock, ventry, now)
+            else:
+                # the home eviction's invalidations belong to the victim
+                saved = tr.ctx
+                tr.ctx = (home, vblock)
+                self._evict_l2_entry(home, vblock, ventry, now)
+                tr.ctx = saved
         l2.insert(block, entry)
         if entry.has_data:
             l2.charge_data_write()
@@ -527,6 +576,11 @@ class CoherenceProtocol(ABC):
             pred.stats.lookups = pred.stats.hits = pred.stats.updates = 0
         for oc in self.l2cs:
             oc.array.stats = CacheAccessStats()
+            oc.forced_relinquishes = 0
+        if self._trace is not None:
+            # reconciliation only counts events after this marker — the
+            # aggregate counters were just zeroed
+            self._trace.marker("reset_stats")
 
     def finalize_stats(self, cycles: int) -> RunStats:
         """Aggregate per-structure counters into the run statistics."""
@@ -542,4 +596,17 @@ class CoherenceProtocol(ABC):
             for cache in caches:
                 agg.merge(cache.stats)
         st.network.merge(self.network.stats)
+        lookups = hits = updates = 0
+        for pred in self.l1cs:
+            lookups += pred.stats.lookups
+            hits += pred.stats.hits
+            updates += pred.stats.updates
+        st.prediction = {
+            "l1c_lookups": lookups,
+            "l1c_hits": hits,
+            "l1c_updates": updates,
+            "l2c_forced_relinquishes": sum(
+                oc.forced_relinquishes for oc in self.l2cs
+            ),
+        }
         return st

@@ -166,6 +166,9 @@ class DiCoProtocol(CoherenceProtocol):
         now: int,
     ) -> None:
         """Home becomes owner; the former owner keeps a demoted copy."""
+        self.trace_transition(
+            former_owner, block, line.state.name, "S", "forced_relinquish"
+        )
         line.state = L1State.S
         line.dirty = False
         line.sharers = 0
@@ -214,6 +217,9 @@ class DiCoProtocol(CoherenceProtocol):
         self.l1s[holder].charge_data_read()
         line.sharers |= 1 << requestor
         if line.state in (L1State.E, L1State.M):
+            self.trace_transition(
+                holder, block, line.state.name, "O", "read_share"
+            )
             line.state = L1State.O
         data = self.msg(holder, requestor, MessageType.DATA, now)
         self.checker.check_read(block, line.version, where=self._l1_names[requestor])
@@ -457,6 +463,9 @@ class DiCoProtocol(CoherenceProtocol):
         version = self.checker.commit_write(block)
         existing = self.l1s[tile].peek(block)
         if existing is not None:
+            self.trace_transition(
+                tile, block, existing.state.name, "M", "write_commit"
+            )
             existing.state = L1State.M
             existing.dirty = True
             existing.version = version
@@ -492,6 +501,9 @@ class DiCoProtocol(CoherenceProtocol):
             self.msg(tile, target, MessageType.CHANGE_OWNER, now)
             tline = self.l1s[target].peek(block)
             assert tline is not None
+            self.trace_transition(
+                target, block, tline.state.name, "O", "ownership_transfer"
+            )
             tline.state = L1State.O
             tline.dirty = line.dirty
             tline.sharers = (line.sharers | (1 << tile)) & ~(1 << target) & ~(

@@ -104,6 +104,9 @@ class DirectoryProtocol(CoherenceProtocol):
             links += data.hops
             version = oline.version
             dirty = oline.dirty
+            self.trace_transition(
+                owner, block, oline.state.name, "S", "owner_downgrade"
+            )
             oline.state = L1State.S
             oline.dirty = False
             # home gains the data and tracks both sharers
@@ -298,6 +301,9 @@ class DirectoryProtocol(CoherenceProtocol):
             )
         existing = self.l1s[tile].peek(block)
         if existing is not None:
+            self.trace_transition(
+                tile, block, existing.state.name, "M", "write_commit"
+            )
             existing.state = L1State.M
             existing.dirty = True
             existing.version = new_version

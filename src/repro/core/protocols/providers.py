@@ -98,8 +98,14 @@ class DiCoProvidersProtocol(DiCoProtocol):
         if not as_provider:
             line.sharers |= 1 << requestor
             if line.state in (L1State.E, L1State.M):
+                self.trace_transition(
+                    supplier, block, line.state.name, "O", "read_share"
+                )
                 line.state = L1State.O
         elif line.state in (L1State.E, L1State.M):
+            self.trace_transition(
+                supplier, block, line.state.name, "O", "read_share"
+            )
             line.state = L1State.O
         data = self.msg(supplier, requestor, MessageType.DATA, now)
         self.checker.check_read(block, line.version, where=self._l1_names[requestor])
@@ -366,6 +372,9 @@ class DiCoProvidersProtocol(DiCoProtocol):
             self.msg(tile, target, MessageType.PROVIDERSHIP, now)
             tline = self.l1s[target].peek(block)
             assert tline is not None
+            self.trace_transition(
+                target, block, tline.state.name, "P", "providership_transfer"
+            )
             tline.state = L1State.P
             tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
             self.msg(target, owner_loc, MessageType.CHANGE_PROVIDER, now)
@@ -408,6 +417,9 @@ class DiCoProvidersProtocol(DiCoProtocol):
             self.msg(tile, target, MessageType.CHANGE_OWNER, now)
             tline = self.l1s[target].peek(block)
             assert tline is not None
+            self.trace_transition(
+                target, block, tline.state.name, "O", "ownership_transfer"
+            )
             tline.state = L1State.O
             tline.dirty = line.dirty
             tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
@@ -436,6 +448,9 @@ class DiCoProvidersProtocol(DiCoProtocol):
         entry = self._put_ownership_home(owner, block, line, now)
         entry.propos = propos
         # the former owner becomes the provider for its area (Sec. IV-A1)
+        self.trace_transition(
+            owner, block, line.state.name, "P", "forced_relinquish"
+        )
         line.state = L1State.P
         line.dirty = False
         line.propos = {}

@@ -180,6 +180,9 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
             entry.owner_tile = None
             entry.plain_copy = False
             self.l2s[h1].charge_data_write()
+            self.trace_transition(
+                owner, block, oline.state.name, "S", "owner_downgrade"
+            )
             oline.state = L1State.S
             oline.dirty = False
             self.checker.check_read(block, entry.version, where=self._l1_names[tile])
@@ -251,6 +254,9 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
                 src_entry.sharers |= 1 << owner
                 src_entry.owner_tile = None
                 src_entry.plain_copy = False
+                self.trace_transition(
+                    owner, block, oline.state.name, "S", "owner_downgrade"
+                )
                 oline.state = L1State.S
                 oline.dirty = False
             self.l2s[src_h1].charge_data_read()
@@ -394,6 +400,9 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
 
         existing = self.l1s[tile].peek(block)
         if existing is not None:
+            self.trace_transition(
+                tile, block, existing.state.name, "M", "write_commit"
+            )
             existing.state = L1State.M
             existing.dirty = True
             existing.version = new_version

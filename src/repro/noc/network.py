@@ -119,6 +119,9 @@ class Network:
         self._n_tiles = mesh.n_tiles
         self._hop_cycles = mesh._hop_cycles
         self._detailed = track_link_load or mesh.noc.model_contention
+        #: observability hook (:class:`repro.trace.Tracer`); ``None``
+        #: keeps send/broadcast at one ``is not None`` test each
+        self._trace = None
 
     @property
     def contention(self) -> bool:
@@ -151,6 +154,8 @@ class Network:
         st = self.stats
         if hops == 0:
             st.local_messages += 1
+            if self._trace is not None:
+                self._trace.noc_local(src, msg_type, flits)
             cache = self._delivery_cache
             d = cache.get((0, flits))
             if d is None:
@@ -171,15 +176,18 @@ class Network:
                     st.link_load[link] += flits
             if mesh.noc.model_contention:
                 latency += self._contention_delay(route, flits, now)
-            return Delivery(latency=latency, hops=hops, flits=flits)
-        cache = self._delivery_cache
-        d = cache.get((hops, flits))
-        if d is None:
-            d = cache[(hops, flits)] = Delivery(
-                latency=hops * self._hop_cycles + flits - 1,
-                hops=hops,
-                flits=flits,
-            )
+            d = Delivery(latency=latency, hops=hops, flits=flits)
+        else:
+            cache = self._delivery_cache
+            d = cache.get((hops, flits))
+            if d is None:
+                d = cache[(hops, flits)] = Delivery(
+                    latency=hops * self._hop_cycles + flits - 1,
+                    hops=hops,
+                    flits=flits,
+                )
+        if self._trace is not None:
+            self._trace.noc_send(src, dst, msg_type, flits, hops, d.latency)
         return d
 
     def _contention_delay(
@@ -227,6 +235,10 @@ class Network:
             for link in links:
                 st.link_load[link] += flits
         latency = self.mesh.broadcast_latency(src, flits)
+        if self._trace is not None:
+            self._trace.noc_broadcast(
+                src, msg_type, flits, len(links), depth, latency
+            )
         return Delivery(latency=latency, hops=depth, flits=flits)
 
     def multicast(

@@ -156,17 +156,27 @@ def geomean(values: Sequence[float]) -> float:
     return product ** (1.0 / len(values))
 
 
-def _time_cell(spec: RunSpec, repeat: int) -> CellResult:
+def _time_cell(spec: RunSpec, repeat: int, trace: bool = False) -> CellResult:
     """Median-of-``repeat`` wall time for one cell.
 
     Repeats must commit identical operation counts — the simulator is
     deterministic — so a mismatch is raised, not averaged away.
+
+    ``trace=True`` attaches a counting sink (events generated and
+    consumed, never stored), which isolates the cost of the
+    instrumentation itself — the number ``--trace`` reports.
     """
     walls: List[float] = []
     operations: Optional[int] = None
     for _ in range(repeat):
+        options = None
+        if trace:
+            from ..api import TraceOptions
+            from ..trace import CountingSink
+
+            options = TraceOptions(sink=CountingSink())
         start = time.perf_counter()
-        stats = spec.execute(verify=False)
+        stats = spec.execute(verify=False, trace=options)
         wall = time.perf_counter() - start
         walls.append(wall)
         if operations is None:
@@ -188,11 +198,12 @@ def run_cells(
     cells: Sequence[RunSpec],
     repeat: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> List[CellResult]:
     """Time every cell; results come back in cell order."""
     results: List[CellResult] = []
     for i, spec in enumerate(cells):
-        result = _time_cell(spec, repeat)
+        result = _time_cell(spec, repeat, trace=trace)
         results.append(result)
         if progress is not None:
             progress(
@@ -209,6 +220,7 @@ def build_report(
     quick: bool,
     repeat: int,
     baseline: Optional[Dict[str, Any]] = None,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "schema": BENCH_PERF_SCHEMA_VERSION,
@@ -216,6 +228,7 @@ def build_report(
         "config_fingerprint": config_fingerprint(cells),
         "quick": quick,
         "repeat": repeat,
+        "trace_enabled": trace,
         "total_wall_s": round(sum(r.wall_s for r in results), 6),
         "cells": [r.to_dict() for r in results],
     }
@@ -304,7 +317,10 @@ def main(args) -> int:
     def progress(line: str) -> None:
         print(line, file=sys.stderr, flush=True)
 
-    results = run_cells(cells, repeat=args.repeat, progress=progress)
+    trace = bool(getattr(args, "trace", False))
+    results = run_cells(
+        cells, repeat=args.repeat, progress=progress, trace=trace
+    )
 
     baseline: Optional[Dict[str, Any]] = None
     if args.baseline:
@@ -312,9 +328,11 @@ def main(args) -> int:
 
     report = build_report(
         cells, results, quick=args.quick, repeat=args.repeat,
-        baseline=baseline,
+        baseline=baseline, trace=trace,
     )
 
+    if trace:
+        print("tracing            enabled (counting sink)")
     print(f"git rev            {report['git_rev']}")
     print(f"config fingerprint {report['config_fingerprint'][:16]}…")
     print(f"total wall         {report['total_wall_s']:.3f}s "

@@ -116,6 +116,10 @@ class RunStats:
     #: per structure name: aggregated access counters
     cache_access: Dict[str, CacheAccessStats] = field(default_factory=dict)
     network: NetworkStats = field(default_factory=NetworkStats)
+    #: prediction-machinery totals (schema 4): ``l1c_lookups`` /
+    #: ``l1c_hits`` / ``l1c_updates`` and ``l2c_forced_relinquishes``,
+    #: aggregated across tiles by ``finalize_stats``
+    prediction: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "RunStats") -> None:
         """Aggregate another run's statistics into this one.
@@ -167,6 +171,8 @@ class RunStats:
         for group, access in other.cache_access.items():
             self.structure(group).merge(access)
         self.network.merge(other.network)
+        for key, count in other.prediction.items():
+            self.prediction[key] = self.prediction.get(key, 0) + count
 
     def classify_miss(self, category: str) -> None:
         if category not in self.miss_categories:

@@ -15,14 +15,20 @@ from typing import Dict, Iterable, List, Mapping
 
 from .counters import MISS_CATEGORIES, LatencyAccumulator, RunStats
 
-__all__ = ["stats_to_dict", "stats_from_dict", "save_stats", "load_stats",
-           "MetricDelta", "compare_stats"]
+__all__ = ["STATS_SCHEMA", "stats_to_dict", "stats_from_dict", "save_stats",
+           "load_stats", "MetricDelta", "compare_stats"]
 
 #: schema 2 adds ``network.flits_by_type`` and ``network.link_load``
 #: (schema-1 documents still load; the extra maps default to empty);
 #: schema 3 adds ``network.local_messages`` — intra-tile deliveries,
-#: which no longer count in ``messages`` (older documents load with 0)
-_SCHEMA = 3
+#: which no longer count in ``messages`` (older documents load with 0).
+#: schema 4 (the observability release) adds the ``prediction`` section
+#: — L1C$ lookup/hit/update totals and L2C$ forced relinquishes,
+#: aggregated by ``finalize_stats``.  Migration: schema 1-3 documents
+#: still load, with an empty ``prediction`` dict; writers always emit
+#: schema 4, so round-tripping an old document upgrades it in place.
+STATS_SCHEMA = 4
+_SCHEMA = STATS_SCHEMA
 
 _SCALARS = (
     "protocol",
@@ -75,6 +81,7 @@ def stats_to_dict(stats: RunStats) -> Dict:
         group: {f: getattr(access, f) for f in _CACHE_FIELDS}
         for group, access in stats.cache_access.items()
     }
+    out["prediction"] = dict(stats.prediction)
     net = stats.network
     out["network"] = {
         "messages": net.messages,
@@ -93,7 +100,7 @@ def stats_to_dict(stats: RunStats) -> Dict:
 
 def stats_from_dict(data: Mapping) -> RunStats:
     """Inverse of :func:`stats_to_dict`."""
-    if data.get("schema") not in (1, 2, _SCHEMA):
+    if data.get("schema") not in (1, 2, 3, _SCHEMA):
         raise ValueError(f"unsupported stats schema {data.get('schema')!r}")
     stats = RunStats()
     for name in _SCALARS:
@@ -113,6 +120,7 @@ def stats_from_dict(data: Mapping) -> RunStats:
         access = stats.structure(group)
         for f, v in fields.items():
             setattr(access, f, v)
+    stats.prediction = dict(data.get("prediction", {}))
     net = data["network"]
     stats.network.messages = net["messages"]
     stats.network.local_messages = net.get("local_messages", 0)

@@ -55,11 +55,27 @@ def _execute_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     """Worker entry point: simulate one spec, return its stats document.
 
     Module-level (picklable) and fed plain dicts, so it works under
-    both ``fork`` and ``spawn`` start methods.
+    both ``fork`` and ``spawn`` start methods.  An optional
+    ``__trace_dir__`` key (stripped before spec decoding — it is not
+    part of the spec's identity) makes the worker write a JSONL trace
+    plus manifest there, named by the spec's content fingerprint.
     """
+    payload = dict(payload)
+    trace_dir = payload.pop("__trace_dir__", None)
     spec = RunSpec.from_dict(payload)
+    trace = None
+    if trace_dir is not None:
+        from pathlib import Path
+
+        from ..api import TraceOptions, spec_fingerprint
+
+        out_dir = Path(trace_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        trace = TraceOptions(
+            path=out_dir / f"{spec_fingerprint(spec)[:16]}.jsonl"
+        )
     start = time.perf_counter()
-    stats = spec.execute()
+    stats = spec.execute(trace=trace)
     return stats_to_dict(stats), time.perf_counter() - start
 
 
@@ -81,10 +97,16 @@ class SweepRunner:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         progress: bool | Callable[[str], None] = False,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: when set, every *executed* spec also writes a JSONL trace +
+        #: manifest here (named by content fingerprint).  Cache hits
+        #: skip simulation entirely, so they leave no trace file — use
+        #: ``use_cache=False`` to trace a fully warm grid.
+        self.trace_dir = trace_dir
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if (cache_dir and use_cache) else None
         )
@@ -128,13 +150,20 @@ class SweepRunner:
                 pending.append((i, spec))
 
         if pending:
+
+            def _payload(spec: RunSpec) -> Dict[str, Any]:
+                doc = spec.to_dict()
+                if self.trace_dir is not None:
+                    doc["__trace_dir__"] = str(self.trace_dir)
+                return doc
+
             if self.jobs == 1 or len(pending) == 1:
                 outcomes = (
-                    _execute_payload(spec.to_dict()) for _, spec in pending
+                    _execute_payload(_payload(spec)) for _, spec in pending
                 )
             else:
                 outcomes = self._pooled(
-                    [spec.to_dict() for _, spec in pending]
+                    [_payload(spec) for _, spec in pending]
                 )
             for (i, spec), (stats_doc, elapsed) in zip(pending, outcomes):
                 # the codec round-trip keeps serial results bit-identical

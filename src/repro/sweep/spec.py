@@ -48,6 +48,7 @@ __all__ = [
     "config_to_dict",
     "placement_spec",
     "snapshot_workload",
+    "valid_override_keys",
 ]
 
 
@@ -77,10 +78,49 @@ def config_from_dict(doc: Mapping[str, Any]) -> ChipConfig:
     )
 
 
+# nested ChipConfig sections and their dataclass types; kept explicit
+# because the annotations are strings under ``from __future__ import
+# annotations`` and can't be resolved by inspection alone
+_NESTED = {
+    "l1": CacheGeometry,
+    "l2": CacheGeometry,
+    "noc": NocConfig,
+    "memory": MemoryConfig,
+}
+
+
+def valid_override_keys() -> Tuple[str, ...]:
+    """Every dotted path :func:`apply_overrides` accepts, sorted."""
+    keys = []
+    for f in dataclasses.fields(ChipConfig):
+        if f.name in _NESTED:
+            keys.extend(
+                f"{f.name}.{sub.name}"
+                for sub in dataclasses.fields(_NESTED[f.name])
+            )
+        else:
+            keys.append(f.name)
+    return tuple(sorted(keys))
+
+
 def apply_overrides(
     config: ChipConfig, overrides: Tuple[Tuple[str, Any], ...]
 ) -> ChipConfig:
-    """Apply dotted-path field overrides to a (frozen) chip config."""
+    """Apply dotted-path field overrides to a (frozen) chip config.
+
+    Unknown paths raise :class:`ValueError` naming the valid keys, so a
+    typo in a sweep grid fails loudly instead of silently exploring the
+    wrong axis (``dataclasses.replace`` would raise a bare TypeError
+    deep in a worker otherwise).
+    """
+    if overrides:
+        valid = valid_override_keys()
+        for path, _ in overrides:
+            if path not in valid:
+                raise ValueError(
+                    f"unknown config override key {path!r}; valid keys: "
+                    + ", ".join(valid)
+                )
     for path, value in overrides:
         head, _, rest = path.partition(".")
         if rest:
@@ -287,10 +327,14 @@ class RunSpec:
             workload_specs=specs,
         )
 
-    def execute(self, verify: bool = True) -> RunStats:
-        """Run the simulation this spec describes and return its stats."""
-        chip = self.build_chip()
-        stats = chip.run_cycles(self.cycles, warmup=self.warmup)
-        if verify:
-            chip.verify_coherence()
-        return stats
+    def execute(self, verify: bool = True, trace: Any = None) -> RunStats:
+        """Run the simulation this spec describes and return its stats.
+
+        Thin wrapper over :func:`repro.api.simulate` (the single
+        construction path); ``trace`` takes a
+        :class:`~repro.api.TraceOptions`.  Use ``simulate`` directly
+        when you need the manifest or captured events.
+        """
+        from ..api import simulate  # circular: api imports RunSpec
+
+        return simulate(self, trace=trace, checker=verify).stats

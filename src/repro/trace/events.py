@@ -1,0 +1,73 @@
+"""The trace event record.
+
+One :class:`TraceEvent` describes one observable action at one of the
+three instrumented layers:
+
+* ``protocol`` — an L1 coherence state transition:
+  ``(cycle, tile, addr, "transition", state_from, state_to, cause)``;
+  plus ``run``-layer markers (e.g. the post-warmup statistics reset).
+* ``noc`` — a message lifecycle step: ``send`` / ``deliver`` for
+  unicasts (with hop count and flit class), ``local`` for intra-tile
+  self-sends that never enter the NoC, ``broadcast`` for tree
+  broadcasts (with the number of tree links).
+* ``cache`` — a structure-level ``fill`` / ``evict`` / ``invalidate``
+  on one set-associative array (the structure name, e.g. ``l1[12]``,
+  travels in ``attrs``).
+
+``addr`` is the *block number* (the physical address shifted right by
+the block-offset bits) — the same unit every protocol structure is
+keyed by.  Events are plain immutable tuples so sinks can store
+millions of them cheaply; the JSONL form flattens ``attrs`` into the
+record with the five fixed fields first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, NamedTuple, Optional
+
+__all__ = ["TraceEvent", "FIXED_FIELDS"]
+
+#: the fixed record fields, in serialization order
+FIXED_FIELDS = ("cycle", "layer", "event", "tile", "addr")
+
+
+class TraceEvent(NamedTuple):
+    """One structured trace record."""
+
+    cycle: int
+    #: ``protocol`` | ``noc`` | ``cache`` | ``run``
+    layer: str
+    #: event name within the layer (``transition``, ``send``, ``fill``, …)
+    event: str
+    #: tile the event is attributed to (``None`` for structure events
+    #: whose tile is encoded in the structure name)
+    tile: Optional[int]
+    #: block number, or ``None`` for events with no address context
+    addr: Optional[int]
+    #: free-form detail (states, cause, hops, flits, msg_type, …)
+    attrs: Mapping[str, Any]
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready form: fixed fields first, then ``attrs``."""
+        out = {
+            "cycle": self.cycle,
+            "layer": self.layer,
+            "event": self.event,
+            "tile": self.tile,
+            "addr": self.addr,
+        }
+        out.update(self.attrs)
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        attrs = {k: v for k, v in doc.items() if k not in FIXED_FIELDS}
+        return cls(
+            cycle=doc["cycle"],
+            layer=doc["layer"],
+            event=doc["event"],
+            tile=doc.get("tile"),
+            addr=doc.get("addr"),
+            attrs=attrs,
+        )

@@ -1,0 +1,203 @@
+"""Labelled counter/histogram registry.
+
+A thin, dependency-free metrics model: a :class:`MetricsRegistry`
+holds :class:`Counter` and :class:`Histogram` instruments keyed by
+``(name, labels)``.  :meth:`MetricsRegistry.from_run_stats`
+re-expresses a :class:`~repro.stats.counters.RunStats` through the
+registry, so every aggregate the simulator produces is addressable by
+name + labels instead of attribute poking — e.g.::
+
+    reg = MetricsRegistry.from_run_stats(stats)
+    reg.counter("miss_categories", category="pred_owner_hit").value
+    reg.counter("network_flits_by_type", msg_type="Data").value
+    reg.histogram("miss_latency").mean
+
+``snapshot()`` flattens the registry into a plain JSON-ready dict for
+persistence next to a manifest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..stats.counters import RunStats
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically growing integer."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}{dict(self.labels)}={self.value})"
+
+
+class Histogram:
+    """Count/total/min/max summary (no per-sample storage)."""
+
+    __slots__ = ("name", "labels", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0
+        self.minimum = 0
+        self.maximum = 0
+
+    def observe(self, value: int) -> None:
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+        self.count += 1
+        self.total += value
+
+    def load(self, count: int, total: int, minimum: int, maximum: int) -> None:
+        """Adopt a pre-aggregated summary (e.g. a LatencyAccumulator)."""
+        self.count = count
+        self.total = total
+        self.minimum = minimum
+        self.maximum = maximum
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Histogram({self.name}{dict(self.labels)} "
+            f"n={self.count} mean={self.mean:.2f})"
+        )
+
+
+class MetricsRegistry:
+    """Instruments keyed by ``(name, sorted labels)``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = Counter(name, key[1])
+            self._counters[key] = inst
+        return inst
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = Histogram(name, key[1])
+            self._histograms[key] = inst
+        return inst
+
+    def counters(self) -> Tuple[Counter, ...]:
+        return tuple(self._counters.values())
+
+    def histograms(self) -> Tuple[Histogram, ...]:
+        return tuple(self._histograms.values())
+
+    def snapshot(self) -> Dict:
+        """Flat JSON-ready view: ``name{k=v,...}`` -> value/summary."""
+
+        def fmt(name: str, labels: LabelKey) -> str:
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        out: Dict = {"counters": {}, "histograms": {}}
+        for (name, labels), c in sorted(self._counters.items()):
+            out["counters"][fmt(name, labels)] = c.value
+        for (name, labels), h in sorted(self._histograms.items()):
+            out["histograms"][fmt(name, labels)] = {
+                "count": h.count,
+                "total": h.total,
+                "minimum": h.minimum,
+                "maximum": h.maximum,
+            }
+        return out
+
+    @classmethod
+    def from_run_stats(cls, stats: "RunStats") -> "MetricsRegistry":
+        """Re-express a :class:`RunStats` as labelled instruments."""
+        reg = cls()
+        for name in (
+            "cycles",
+            "operations",
+            "reads",
+            "writes",
+            "l1_hits",
+            "l1_misses",
+            "l2_data_hits",
+            "l2_misses",
+            "memory_fetches",
+            "writebacks",
+            "upgrades",
+            "cow_breaks",
+            "broadcast_invalidations",
+            "unicast_invalidations",
+            "retries",
+        ):
+            reg.counter(name).inc(getattr(stats, name))
+        for category, count in stats.miss_categories.items():
+            reg.counter("miss_categories", category=category).inc(count)
+        for acc_name in ("miss_latency", "miss_links"):
+            acc = getattr(stats, acc_name)
+            reg.histogram(acc_name).load(
+                acc.count, acc.total, acc.minimum, acc.maximum
+            )
+        for structure, access in stats.cache_access.items():
+            for fld in (
+                "tag_reads",
+                "tag_writes",
+                "data_reads",
+                "data_writes",
+                "hits",
+                "misses",
+                "evictions",
+            ):
+                reg.counter(
+                    f"cache_{fld}", structure=structure
+                ).inc(getattr(access, fld))
+        net = stats.network
+        for name in (
+            "messages",
+            "local_messages",
+            "flit_link_traversals",
+            "router_traversals",
+            "routing_events",
+            "broadcasts",
+        ):
+            reg.counter(f"network_{name}").inc(getattr(net, name))
+        for msg_type, count in net.by_type.items():
+            reg.counter("network_by_type", msg_type=msg_type).inc(count)
+        for msg_type, flits in net.flits_by_type.items():
+            reg.counter("network_flits_by_type", msg_type=msg_type).inc(flits)
+        for key, count in stats.prediction.items():
+            reg.counter("prediction", counter=key).inc(count)
+        return reg

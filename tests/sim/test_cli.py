@@ -62,3 +62,61 @@ def test_alt_placement_flag(capsys):
 def test_bad_protocol_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--protocol", "mesi"])
+
+
+def test_sweep_rejects_unknown_override_key(capsys):
+    rc = main([
+        "sweep", "--protocols", "dico", "--workloads", "radix",
+        "--cycles", "1000", "--warmup", "0", "--no-cache", "--quiet",
+        "--set", "l1c_entres=64",
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown config override key" in err
+    assert "l1c_entries" in err  # the valid keys are listed
+
+
+def test_run_checker_flag(capsys):
+    rc = main([
+        "run", "--protocol", "directory", "--workload", "radix",
+        "--cycles", "1000", "--warmup", "0", "--no-checker",
+    ])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["operations"] > 0
+
+
+def test_trace_command_writes_trace_and_manifest(tmp_path, capsys):
+    out = tmp_path / "t.jsonl"
+    rc = main([
+        "trace", "dico-providers", "radix",
+        "--cycles", "2000", "--warmup", "500", "--output", str(out),
+    ])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["events"] > 0
+    assert out.exists()
+    manifest = json.loads((tmp_path / "t.jsonl.manifest.json").read_text())
+    assert manifest["protocol"] == "dico-providers"
+    assert "tracer" in manifest["instruments"]
+
+
+def test_trace_command_filters(tmp_path, capsys):
+    out = tmp_path / "f.jsonl"
+    rc = main([
+        "trace", "dico", "radix", "--cycles", "2000", "--warmup", "500",
+        "--output", str(out), "--filter", "events=transition,tile=0+1",
+    ])
+    assert rc == 0
+    events = [json.loads(x) for x in out.read_text().splitlines()]
+    assert events, "filtered trace should still catch tile-0/1 transitions"
+    assert all(e["event"] == "transition" for e in events)
+    assert all(e["tile"] in (0, 1) for e in events)
+
+
+def test_trace_command_rejects_bad_filter(tmp_path, capsys):
+    rc = main([
+        "trace", "dico", "radix", "--output", str(tmp_path / "x.jsonl"),
+        "--filter", "bogus=1",
+    ])
+    assert rc == 2
+    assert "bad trace filter" in capsys.readouterr().err

@@ -101,8 +101,9 @@ def test_schema2_network_detail_survives_round_trip(real_stats):
 
 def test_schema1_documents_still_load(real_stats):
     data = stats_to_dict(real_stats)
-    assert data["schema"] == 3
+    assert data["schema"] == 4
     data["schema"] = 1
+    del data["prediction"]
     del data["network"]["flits_by_type"]
     del data["network"]["link_load"]
     del data["network"]["local_messages"]
@@ -122,3 +123,21 @@ def test_schema2_documents_still_load(real_stats):
     assert loaded.operations == real_stats.operations
     assert loaded.network.messages == real_stats.network.messages
     assert loaded.network.local_messages == 0
+
+
+def test_schema3_documents_still_load(real_stats):
+    """Pre-prediction documents (schema 3) load with an empty
+    ``prediction`` dict — the section schema 4 added."""
+    data = stats_to_dict(real_stats)
+    data["schema"] = 3
+    del data["prediction"]
+    loaded = stats_from_dict(data)
+    assert loaded.operations == real_stats.operations
+    assert loaded.prediction == {}
+
+
+def test_schema4_prediction_round_trip(real_stats):
+    assert real_stats.prediction["l1c_lookups"] >= 0
+    loaded = stats_from_dict(stats_to_dict(real_stats))
+    assert loaded.prediction == real_stats.prediction
+    assert "l2c_forced_relinquishes" in loaded.prediction

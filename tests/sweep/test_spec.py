@@ -115,3 +115,30 @@ def test_specs_are_hashable():
     b = tiny_spec(protocol_kwargs={"provider_on_read": True})
     assert hash(a) == hash(b)
     assert len({a, b}) == 1
+
+
+def test_unknown_override_key_rejected():
+    from repro.sweep.spec import valid_override_keys
+
+    with pytest.raises(ValueError, match="l1c_entries"):
+        apply_overrides(DEFAULT_CHIP, (("l1c_entres", 256),))
+    with pytest.raises(ValueError, match="noc.model_contention"):
+        apply_overrides(DEFAULT_CHIP, (("noc.contention", True),))
+    # the error names every valid dotted path
+    keys = valid_override_keys()
+    assert "l1.size_bytes" in keys
+    assert "memory.latency_cycles" in keys
+    assert "mesh_width" in keys
+    assert keys == tuple(sorted(keys))
+    # every advertised key really is replaceable
+    cfg = apply_overrides(
+        DEFAULT_CHIP,
+        tuple((k, getattr_path(DEFAULT_CHIP, k)) for k in keys),
+    )
+    assert cfg == DEFAULT_CHIP
+
+
+def getattr_path(obj, dotted):
+    for part in dotted.split("."):
+        obj = getattr(obj, part)
+    return obj

@@ -1,0 +1,55 @@
+"""MetricsRegistry: labelled counters/histograms and RunStats mapping."""
+
+import pytest
+
+from repro.api import RunSpec, simulate
+from repro.sweep.spec import config_to_dict
+from repro.trace import MetricsRegistry
+from tests.conftest import tiny_chip
+
+
+def test_counter_and_histogram_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("requests", protocol="dico")
+    c.inc()
+    c.inc(4)
+    assert reg.counter("requests", protocol="dico") is c  # same label set
+    assert reg.counter("requests", protocol="arin") is not c
+    assert c.value == 5
+
+    h = reg.histogram("latency")
+    for v in (3, 9, 6):
+        h.observe(v)
+    assert (h.count, h.total, h.minimum, h.maximum) == (3, 18, 3, 9)
+    assert h.mean == pytest.approx(6.0)
+
+
+def test_snapshot_formats_labels_deterministically():
+    reg = MetricsRegistry()
+    reg.counter("hits", b="2", a="1").inc(7)
+    snap = reg.snapshot()
+    assert snap["counters"]["hits{a=1,b=2}"] == 7
+
+
+def test_from_run_stats_reexpresses_aggregates():
+    spec = RunSpec(
+        protocol="dico-providers", workload="apache", seed=2,
+        cycles=3_000, warmup=1_000, config=config_to_dict(tiny_chip()),
+    )
+    stats = simulate(spec).stats
+    reg = MetricsRegistry.from_run_stats(stats)
+    snap = reg.snapshot()
+    counters = snap["counters"]
+    assert counters["operations"] == stats.operations
+    assert counters["l1_misses"] == stats.l1_misses
+    assert counters["network_messages"] == stats.network.messages
+    for msg_type, count in stats.network.by_type.items():
+        assert counters[f"network_by_type{{msg_type={msg_type}}}"] == count
+    for cat, count in stats.miss_categories.items():
+        assert counters[f"miss_categories{{category={cat}}}"] == count
+    # prediction section (stats schema 4) flows through as labelled counters
+    for key, count in stats.prediction.items():
+        assert counters[f"prediction{{counter={key}}}"] == count
+    hist = snap["histograms"]["miss_latency"]
+    assert hist["count"] == stats.miss_latency.count
+    assert hist["total"] == stats.miss_latency.total

@@ -23,6 +23,17 @@ serves three environment knobs:
   fast path).  The two are bit-identical — pinned by
   ``tests/integration/test_determinism.py`` — so this knob exists for
   cross-checking, not for changing results;
+* ``REPRO_SWEEP_TIMEOUT`` / ``REPRO_SWEEP_RETRIES`` — resilience
+  policy for the benchmark sweep: per-point wall-clock timeout in
+  seconds and retry count with seeded exponential backoff (defaults:
+  no timeout, no retries — the bit-identical in-process path);
+* ``REPRO_FAULT_PLAN``   — path to (or inline) fault-plan JSON for
+  chaos testing the sweep machinery (see ``repro.faults``); never set
+  for real figure runs;
+* ``REPRO_WATCHDOG`` / ``REPRO_WATCHDOG_WINDOW`` — the engine's
+  livelock watchdog (default on, sampling every 200k events; ``0``
+  disables).  It only counts and raises, so fault-free statistics are
+  bit-identical with it on or off;
 * the runner guarantees results identical to serial execution
   regardless of any knob, so the figures never depend on how the
   sweep was scheduled.
@@ -80,10 +91,18 @@ _sweep_cache: Dict[str, Dict[str, RunStats]] = {}
 def _get_runner() -> SweepRunner:
     global _runner
     if _runner is None:
+        from repro.faults import FaultPolicy
+
+        timeout = os.environ.get("REPRO_SWEEP_TIMEOUT")
+        retries = int(os.environ.get("REPRO_SWEEP_RETRIES", "0"))
         _runner = SweepRunner(
             jobs=int(os.environ.get("REPRO_SWEEP_JOBS", "1")),
             cache_dir=os.environ.get("REPRO_SWEEP_CACHE") or None,
             trace_dir=os.environ.get("REPRO_TRACE_DIR") or None,
+            policy=FaultPolicy(
+                timeout_s=float(timeout) if timeout else None,
+                max_retries=retries,
+            ),
         )
     return _runner
 

@@ -34,13 +34,13 @@ the determinism suite pins the statistics bit-identical to a plain
 
 from __future__ import annotations
 
-import hashlib
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Collection, Optional, Tuple, Union
 
 from .sim.chip import Chip
+from .sim.engine import LivelockError
 from .stats.counters import RunStats
 from .stats.io import STATS_SCHEMA
 from .sweep.spec import RunSpec
@@ -135,7 +135,7 @@ class RunResult:
 
 def spec_fingerprint(spec: RunSpec) -> str:
     """sha256 over the spec's canonical JSON — its content identity."""
-    return hashlib.sha256(spec.canonical_json().encode()).hexdigest()
+    return spec.fingerprint()
 
 
 def attach_tracer(chip: Chip, tracer: Tracer) -> None:
@@ -180,6 +180,11 @@ def simulate(
     again before returning); ``checker=True`` audits the coherence
     invariants over every cached block after the measurement window;
     ``manifest_path`` forces a manifest even without tracing.
+
+    A run aborted by the engine's progress watchdog re-raises its
+    :class:`~repro.sim.engine.LivelockError` — after writing any
+    requested manifest with the ``watchdog`` verdict recorded, so the
+    stalled-tiles/blocks diagnostic survives the crash.
     """
     chip = spec.build_chip()
     tracer: Optional[Tracer] = None
@@ -190,15 +195,26 @@ def simulate(
         tracer = Tracer(sink, lambda: sim._now)
         attach_tracer(chip, tracer)
     start = time.perf_counter()
+    stats: Optional[RunStats] = None
+    livelock: Optional[LivelockError] = None
     try:
-        stats = chip.run_cycles(spec.cycles, warmup=spec.warmup)
-        if checker:
-            chip.verify_coherence()
+        try:
+            stats = chip.run_cycles(spec.cycles, warmup=spec.warmup)
+            if checker:
+                chip.verify_coherence()
+        except LivelockError as exc:
+            livelock = exc
     finally:
         if tracer is not None:
             detach_tracer(chip)
             tracer.close()
     wall = time.perf_counter() - start
+    if chip.sim.watchdog is None:
+        watchdog_verdict = "off"
+    elif livelock is None:
+        watchdog_verdict = "ok"
+    else:
+        watchdog_verdict = f"livelock: {livelock}"
 
     trace_path: Optional[Path] = None
     if trace is not None and trace.path is not None:
@@ -212,6 +228,8 @@ def simulate(
             instruments.append("tracer")
         if checker:
             instruments.append("checker")
+        if chip.sim.watchdog is not None:
+            instruments.append("watchdog")
         manifest = RunManifest(
             protocol=spec.protocol,
             workload=spec.workload,
@@ -225,6 +243,7 @@ def simulate(
             created_unix=time.time(),
             fast_path=chip.fast_path,
             instruments=instruments,
+            watchdog=watchdog_verdict,
             trace_path=None if trace_path is None else str(trace_path),
             spec=spec.to_dict(),
         )
@@ -234,6 +253,11 @@ def simulate(
             written_manifest = manifest.write(
                 trace_path.with_name(trace_path.name + ".manifest.json")
             )
+
+    if livelock is not None:
+        # the diagnostic is on the record (manifest written above, when
+        # requested); the caller still sees the failure
+        raise livelock
 
     events: Optional[Tuple[TraceEvent, ...]] = None
     if sink is not None and trace_path is None and (

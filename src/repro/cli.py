@@ -184,9 +184,77 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def _emit_sweep_results(args, runner, results, specs, elapsed) -> None:
+    """Write the sweep's stdout lines, summary and output/failure files."""
+    from .faults import failure_summary
     from .stats.io import stats_to_dict
-    from .sweep import SweepRunner, figure_grid, merge_by_point
+    from .sweep import merge_by_point
+
+    # stdout carries one canonical JSON line per spec (progress goes to
+    # stderr), so two sweeps are comparable with a plain `diff`
+    for res in results:
+        if res.ok:
+            line = {"spec": res.spec.to_dict(), "summary": res.stats.summary()}
+        else:
+            line = {"spec": res.spec.to_dict(), "failure": res.failure.to_dict()}
+        print(json.dumps(line, sort_keys=True))
+    if len(set(tuple(int(s) for s in args.seeds.split(",")))) > 1:
+        merged = merge_by_point(
+            (res.spec, res.stats) for res in results if res.ok
+        )
+        for (protocol, workload), stats in sorted(merged.items()):
+            print(
+                json.dumps(
+                    {
+                        "merged": {"protocol": protocol, "workload": workload},
+                        "summary": stats.summary(),
+                    },
+                    sort_keys=True,
+                )
+            )
+    summary = failure_summary(results)
+    if not args.quiet:
+        print(
+            f"sweep: {len(specs)} specs, {runner.executed} simulated, "
+            f"{runner.cache_hits} cached, {summary['failed']} failed, "
+            f"{elapsed:.1f}s wall ({runner.jobs} jobs)",
+            file=sys.stderr,
+        )
+        for entry in summary["failures"]:
+            failure = entry["failure"]
+            print(
+                f"sweep: FAILED {entry['label']}: {failure['kind']} "
+                f"{failure['exc_type']} {failure['message']}".rstrip(),
+                file=sys.stderr,
+            )
+    if args.failures:
+        with open(args.failures, "w") as fh:
+            json.dump(summary, fh, indent=1, sort_keys=True)
+    if args.output:
+        doc = [
+            {
+                "spec": res.spec.to_dict(),
+                "cached": res.cached,
+                "attempts": res.attempts,
+                "elapsed_s": round(res.elapsed_s, 6),
+                "stats": None if res.stats is None else stats_to_dict(res.stats),
+                "failure": None if res.ok else res.failure.to_dict(),
+            }
+            for res in results
+        ]
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+
+
+def cmd_sweep(args) -> int:
+    from .faults import FaultPlan, FaultPolicy
+    from .sweep import (
+        SweepExecutionError,
+        SweepInterrupted,
+        SweepJournal,
+        SweepRunner,
+        figure_grid,
+    )
 
     try:
         overrides = tuple(_parse_override(o) for o in args.set or ())
@@ -202,59 +270,75 @@ def cmd_sweep(args) -> int:
         warmup=args.warmup,
         overrides=overrides,
     )
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        progress=not args.quiet,
-        trace_dir=args.trace_dir,
-    )
-    start = time.perf_counter()
-    results = runner.run(specs)
-    elapsed = time.perf_counter() - start
-
-    # stdout carries one canonical JSON line per spec (progress goes to
-    # stderr), so two sweeps are comparable with a plain `diff`
-    for res in results:
-        print(
-            json.dumps(
-                {"spec": res.spec.to_dict(), "summary": res.stats.summary()},
-                sort_keys=True,
-            )
+    try:
+        policy = FaultPolicy(
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            on_failure=args.on_failure,
         )
-    if len(set(tuple(int(s) for s in args.seeds.split(",")))) > 1:
-        merged = merge_by_point(
-            (res.spec, res.stats) for res in results
-        )
-        for (protocol, workload), stats in sorted(merged.items()):
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: bad fault plan {args.fault_plan!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.resume:
+        if cache_dir is None:
+            print("error: --resume needs the result cache (drop --no-cache)",
+                  file=sys.stderr)
+            return 2
+        journal = SweepJournal.for_grid(cache_dir, specs)
+        if not journal.exists():
             print(
-                json.dumps(
-                    {
-                        "merged": {"protocol": protocol, "workload": workload},
-                        "summary": stats.summary(),
-                    },
-                    sort_keys=True,
-                )
+                f"error: nothing to resume — no journal for this grid "
+                f"under {cache_dir}/journals/",
+                file=sys.stderr,
             )
-    if not args.quiet:
+            return 2
+        standing = journal.summarize(specs)
         print(
-            f"sweep: {len(results)} specs, {runner.executed} simulated, "
-            f"{runner.cache_hits} cached, {elapsed:.1f}s wall "
-            f"({args.jobs} jobs)",
+            f"resume: {len(standing['ok'])} ok, "
+            f"{len(standing['failed'])} failed, "
+            f"{len(standing['missing'])} missing of {len(specs)} specs; "
+            "re-executing the failed/missing remainder",
             file=sys.stderr,
         )
-    if args.output:
-        doc = [
-            {
-                "spec": res.spec.to_dict(),
-                "cached": res.cached,
-                "elapsed_s": round(res.elapsed_s, 6),
-                "stats": stats_to_dict(res.stats),
-            }
-            for res in results
-        ]
-        with open(args.output, "w") as fh:
-            json.dump(doc, fh, indent=1, sort_keys=True)
-    return 0
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        progress=not args.quiet,
+        trace_dir=args.trace_dir,
+        policy=policy,
+        fault_plan=fault_plan,
+    )
+    start = time.perf_counter()
+    try:
+        results = runner.run(specs)
+    except SweepInterrupted as exc:
+        # partial results and the journal are already on disk; flush
+        # what completed so the interrupted sweep is still usable
+        elapsed = time.perf_counter() - start
+        print(
+            f"sweep: interrupted after {len(exc.results)}/{len(specs)} "
+            "points; writing partial results (resume with --resume)",
+            file=sys.stderr,
+        )
+        _emit_sweep_results(args, runner, exc.results, specs, elapsed)
+        return 130
+    except SweepExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    _emit_sweep_results(args, runner, results, specs, elapsed)
+    # partial completion is visible in the exit code so CI chaos jobs
+    # can assert on it without parsing stderr
+    return 3 if any(not res.ok for res in results) else 0
 
 
 def cmd_storage(args) -> int:
@@ -414,6 +498,36 @@ def main(argv=None) -> int:
     )
     p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress progress on stderr"
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="kill any single point that runs longer than this "
+        "(runs points in isolated worker processes)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-execute a failed point up to N times with seeded "
+        "exponential backoff (default: 0)",
+    )
+    p_sweep.add_argument(
+        "--on-failure", choices=("raise", "skip"), default="raise",
+        help="'raise' aborts the sweep on the first exhausted point; "
+        "'skip' records a failure and keeps going (default: raise)",
+    )
+    p_sweep.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="inject faults from this JSON plan (testing/chaos runs; "
+        "see docs/SIMULATOR.md)",
+    )
+    p_sweep.add_argument(
+        "--failures", default=None, metavar="PATH",
+        help="write a JSON failure summary to this file",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume a previous sweep of this exact grid: completed "
+        "points come from the cache/journal, only failed or missing "
+        "points re-execute (requires the journal from the earlier run)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 

@@ -1,0 +1,34 @@
+"""Deterministic fault injection and failure policy for sweep fleets.
+
+Two halves:
+
+* :mod:`repro.faults.plan` — *what goes wrong*: a seeded
+  :class:`FaultPlan` that injects worker crashes, hangs, corrupt
+  results and corrupt cache entries, keyed by spec fingerprint so
+  chaos runs are exactly reproducible (``REPRO_FAULT_PLAN`` wires a
+  plan into any sweep);
+* :mod:`repro.faults.policy` — *what we do about it*: the sweep
+  runner's :class:`FaultPolicy` (per-spec timeout, seeded-backoff
+  retries, raise-or-skip) and the :class:`FailureRecord` carried by
+  failed grid points.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    plan_from_env,
+)
+from .policy import FailureRecord, FaultPolicy, failure_summary
+
+__all__ = [
+    "FAULT_KINDS",
+    "FailureRecord",
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultRule",
+    "InjectedFault",
+    "failure_summary",
+    "plan_from_env",
+]

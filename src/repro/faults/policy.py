@@ -1,0 +1,198 @@
+"""Failure handling policy for sweep execution, and its records.
+
+:class:`FaultPolicy` tells the sweep runner what to do when a grid
+point does not come back clean: how long one attempt may run
+(``timeout_s``), how many times to retry (``max_retries``) with seeded
+exponential backoff, and whether an exhausted point aborts the sweep
+(``on_failure="raise"``, the default — today's behavior) or is
+recorded and skipped (``on_failure="skip"``, producing partial results
+plus per-point :class:`FailureRecord` entries).
+
+Backoff is deterministic: the delay before retry *n* of a spec is
+``backoff_base_s * 2**(n-1)`` scaled by a jitter factor in
+``[0.5, 1.0)`` drawn from ``Random(sha256(seed:fingerprint:n))`` — the
+same spec retries on the same schedule in every run, which keeps chaos
+runs reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["FailureRecord", "FaultPolicy", "failure_summary"]
+
+#: how a failed attempt ended
+FAILURE_KINDS = ("exception", "timeout", "crash", "interrupted")
+
+_TRACEBACK_TAIL_LINES = 15
+
+
+@dataclass
+class FailureRecord:
+    """Structured description of why one grid point failed."""
+
+    kind: str  # one of FAILURE_KINDS
+    exc_type: str = ""
+    message: str = ""
+    #: last few lines of the worker traceback (empty for crash/timeout)
+    traceback_tail: str = ""
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    #: content fingerprint of the failed spec
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; options: {FAILURE_KINDS}"
+            )
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        *,
+        attempts: int = 1,
+        elapsed_s: float = 0.0,
+        fingerprint: str = "",
+        kind: str = "exception",
+    ) -> "FailureRecord":
+        tail = traceback.format_exception(type(exc), exc, exc.__traceback__)
+        tail = "".join(tail).strip().splitlines()[-_TRACEBACK_TAIL_LINES:]
+        return cls(
+            kind=kind,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback_tail="\n".join(tail),
+            attempts=attempts,
+            elapsed_s=round(elapsed_s, 6),
+            fingerprint=fingerprint,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "traceback_tail": self.traceback_tail,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FailureRecord":
+        return cls(
+            kind=doc["kind"],
+            exc_type=doc.get("exc_type", ""),
+            message=doc.get("message", ""),
+            traceback_tail=doc.get("traceback_tail", ""),
+            attempts=int(doc.get("attempts", 1)),
+            elapsed_s=float(doc.get("elapsed_s", 0.0)),
+            fingerprint=doc.get("fingerprint", ""),
+        )
+
+    def describe(self) -> str:
+        what = self.exc_type or self.kind
+        return (
+            f"{self.kind}: {what}"
+            + (f": {self.message}" if self.message else "")
+            + f" (after {self.attempts} attempt(s), {self.elapsed_s:.2f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the sweep runner treats failing grid points."""
+
+    #: wall-clock budget for one attempt of one spec; ``None`` = no
+    #: limit.  Enforced only for process-isolated execution (a hung
+    #: in-process simulation cannot be preempted from within).
+    timeout_s: Optional[float] = None
+    #: additional attempts after the first failure
+    max_retries: int = 0
+    #: base of the exponential backoff between attempts
+    backoff_base_s: float = 0.05
+    #: hard cap on a single backoff delay
+    backoff_max_s: float = 5.0
+    #: seed for the deterministic backoff jitter
+    backoff_seed: int = 0
+    #: ``"raise"`` — an exhausted point aborts the sweep (default);
+    #: ``"skip"`` — it is recorded as a failed :class:`SweepResult`
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_failure not in ("raise", "skip"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'skip', got {self.on_failure!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+    @property
+    def is_default(self) -> bool:
+        """True when the policy adds nothing over historical behavior."""
+        return (
+            self.timeout_s is None
+            and self.max_retries == 0
+            and self.on_failure == "raise"
+        )
+
+    def backoff_delay(self, fingerprint: str, retry: int) -> float:
+        """Seconds to wait before retry ``retry`` (1-based) of a spec."""
+        if retry < 1:
+            raise ValueError(f"retry must be >= 1, got {retry}")
+        if self.backoff_base_s <= 0:
+            return 0.0
+        digest = hashlib.sha256(
+            f"{self.backoff_seed}:{fingerprint}:{retry}".encode()
+        ).digest()
+        jitter = 0.5 + random.Random(
+            int.from_bytes(digest[:8], "big")
+        ).random() / 2.0
+        return min(
+            self.backoff_max_s, self.backoff_base_s * (2 ** (retry - 1)) * jitter
+        )
+
+    def backoff_schedule(self, fingerprint: str) -> List[float]:
+        """Every backoff delay this policy would apply to one spec."""
+        return [
+            self.backoff_delay(fingerprint, n)
+            for n in range(1, self.max_retries + 1)
+        ]
+
+
+def failure_summary(results: Any) -> Dict[str, Any]:
+    """Aggregate failure report over a sweep's results.
+
+    Accepts any iterable of objects with ``.spec``, ``.failure`` and
+    ``.cached`` attributes (:class:`~repro.sweep.runner.SweepResult`).
+    """
+    total = ok = cached = 0
+    failures: List[Dict[str, Any]] = []
+    for res in results:
+        total += 1
+        if getattr(res, "failure", None) is None:
+            ok += 1
+            cached += 1 if getattr(res, "cached", False) else 0
+        else:
+            failures.append(
+                {
+                    "spec": res.spec.to_dict(),
+                    "label": res.spec.label,
+                    "failure": res.failure.to_dict(),
+                }
+            )
+    return {
+        "total": total,
+        "ok": ok,
+        "cached": cached,
+        "failed": len(failures),
+        "failures": failures,
+    }

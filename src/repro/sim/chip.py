@@ -34,9 +34,16 @@ from ..stats.counters import RunStats
 from ..workloads.generator import ConsolidatedWorkload, MemOp
 from ..workloads.placement import VMPlacement
 from .config import ChipConfig, DEFAULT_CHIP
-from .engine import Simulator
+from .engine import LivelockError, ProgressWatchdog, Simulator
 
-__all__ = ["PROTOCOLS", "make_protocol", "Core", "Chip", "paper_scaled_chip"]
+__all__ = [
+    "PROTOCOLS",
+    "make_protocol",
+    "Core",
+    "Chip",
+    "LivelockError",
+    "paper_scaled_chip",
+]
 
 PROTOCOLS: Dict[str, Type[CoherenceProtocol]] = {
     "directory": DirectoryProtocol,
@@ -275,7 +282,7 @@ class Chip:
         core_tiles = placement.tiles_used
         if default_placement and hasattr(self.workload, "tiles"):
             core_tiles = tuple(self.workload.tiles)
-        self.sim = Simulator()
+        self.sim = Simulator(watchdog=self._build_watchdog())
         #: inline-draining issue loop (bit-identical to the reference
         #: path); ``REPRO_FAST_PATH=0`` selects the reference path
         self.fast_path = os.environ.get("REPRO_FAST_PATH", "1") != "0"
@@ -285,6 +292,41 @@ class Chip:
         self._finish_time = 0
 
     # ------------------------------------------------------------------
+
+    def _build_watchdog(self) -> Optional[ProgressWatchdog]:
+        """The default livelock watchdog (see ``docs/SIMULATOR.md``).
+
+        On unless ``REPRO_WATCHDOG=0``; ``REPRO_WATCHDOG_WINDOW`` tunes
+        the event window.  A healthy run retires operations constantly,
+        so the watchdog only ever fires on a genuinely wedged
+        simulation — and purely *observes* otherwise (statistics stay
+        bit-identical, pinned by the determinism suite).
+        """
+        if os.environ.get("REPRO_WATCHDOG", "1") == "0":
+            return None
+        window = int(os.environ.get("REPRO_WATCHDOG_WINDOW", "200000"))
+        return ProgressWatchdog(
+            window_events=window,
+            progress_fn=self._ops_retired,
+            diagnose_fn=self._livelock_diagnostic,
+        )
+
+    def _ops_retired(self) -> int:
+        return sum(core.ops_done for core in self.cores)
+
+    def _livelock_diagnostic(self) -> dict:
+        """Who is stuck: tiles with a pending op, blocks still busy."""
+        tiles = [
+            core.tile
+            for core in self.cores
+            if not core.done and core._pending is not None
+        ]
+        now = self.sim.now
+        busy = getattr(self.protocol, "_busy", {})
+        blocks = sorted(
+            block for block, busy_until in busy.items() if busy_until > now
+        )
+        return {"tiles": tiles[:16], "blocks": blocks[:16]}
 
     def _core_finished(self, now: int) -> None:
         if self._cores_running > 0:

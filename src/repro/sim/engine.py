@@ -17,13 +17,92 @@ callbacks (retries, unlock events).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = [
+    "LivelockError",
+    "ProgressWatchdog",
+    "SimulationError",
+    "Simulator",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
+
+
+class LivelockError(SimulationError):
+    """The event loop is spinning without retiring any operation.
+
+    Raised by the :class:`ProgressWatchdog` instead of letting a
+    livelocked run (cores re-issuing into a block that never frees,
+    a protocol bug cycling messages) silently burn its entire event
+    budget.  ``stalled`` carries the diagnostic collected at trip
+    time — typically ``{"tiles": [...], "blocks": [...]}`` naming the
+    cores stuck on a pending op and the blocks still marked busy.
+    """
+
+    def __init__(self, message: str, stalled: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.stalled: Dict[str, Any] = stalled or {}
+
+
+class ProgressWatchdog:
+    """Detects no-forward-progress across a window of engine events.
+
+    Every ``window_events`` processed events the watchdog samples
+    ``progress_fn()`` (a monotonically non-decreasing count of retired
+    operations, supplied by the chip).  Two consecutive samples with
+    no movement mean the queue is churning — retries, re-issues —
+    while no core completes anything: a livelock.  ``diagnose_fn``
+    (optional) is then asked for a ``{"tiles": ..., "blocks": ...}``
+    style diagnostic to embed in the :class:`LivelockError`.
+
+    The watchdog never perturbs results: it only counts events and
+    raises.  Fault-free statistics with a watchdog attached are
+    bit-identical to a bare run.
+    """
+
+    __slots__ = ("window_events", "_progress_fn", "_diagnose_fn", "_last")
+
+    def __init__(
+        self,
+        window_events: int = 200_000,
+        progress_fn: Optional[Callable[[], int]] = None,
+        diagnose_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        if window_events < 1:
+            raise ValueError(
+                f"window_events must be >= 1, got {window_events}"
+            )
+        self.window_events = window_events
+        self._progress_fn = progress_fn
+        self._diagnose_fn = diagnose_fn
+        self._last: Optional[int] = None
+
+    def reset(self) -> None:
+        """Forget the last sample (a new run starts fresh)."""
+        self._last = None
+
+    def check(self, now: int) -> None:
+        """Sample progress; raise :class:`LivelockError` when stuck."""
+        if self._progress_fn is None:
+            return
+        current = self._progress_fn()
+        last, self._last = self._last, current
+        if last is None or current > last:
+            return
+        stalled = self._diagnose_fn() if self._diagnose_fn is not None else {}
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(stalled.items())
+        )
+        raise LivelockError(
+            f"no operation retired across {self.window_events} events "
+            f"(cycle {now}, {current} ops total"
+            + (f"; stalled {detail}" if detail else "")
+            + ")",
+            stalled=stalled,
+        )
 
 
 class Simulator:
@@ -38,9 +117,16 @@ class Simulator:
     [5, 10]
     """
 
-    __slots__ = ("_queue", "_seq", "_now", "_running", "_max_events", "_run_until")
+    __slots__ = (
+        "_queue", "_seq", "_now", "_running", "_max_events", "_run_until",
+        "_watchdog",
+    )
 
-    def __init__(self, max_events: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        watchdog: Optional[ProgressWatchdog] = None,
+    ) -> None:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self._now = 0
@@ -50,6 +136,18 @@ class Simulator:
         #: the core fast path reads it to stop inline draining exactly at
         #: the window boundary (events beyond it must stay queued)
         self._run_until: Optional[int] = None
+        #: optional livelock detector; ``run`` dispatches to a separate
+        #: counting loop when set so the bare loops stay untouched
+        self._watchdog = watchdog
+
+    @property
+    def watchdog(self) -> Optional[ProgressWatchdog]:
+        """The attached :class:`ProgressWatchdog`, if any."""
+        return self._watchdog
+
+    @watchdog.setter
+    def watchdog(self, watchdog: Optional[ProgressWatchdog]) -> None:
+        self._watchdog = watchdog
 
     @property
     def now(self) -> int:
@@ -113,6 +211,8 @@ class Simulator:
         to process one more — whether or not ``until`` is given —
         raises :class:`SimulationError`.
         """
+        if self._watchdog is not None:
+            return self._run_watched(until)
         # the loop body inlines step() — one Python frame per event is
         # measurable at millions of events — and publishes ``until`` so
         # the core fast path can drain inline without crossing it
@@ -149,6 +249,64 @@ class Simulator:
                 self._now = time
                 callback()
                 processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._run_until = None
+
+    def _run_watched(self, until: Optional[int]) -> int:
+        """:meth:`run` with a per-event progress-watchdog counter.
+
+        Identical event semantics to the bare loops — same pops, same
+        budget check, same ``until`` handling — plus one counter
+        increment per event and a watchdog sample every
+        ``window_events`` events.  Kept separate so the watchdog-off
+        hot loops pay nothing.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        max_events = self._max_events
+        watchdog = self._watchdog
+        window = watchdog.window_events
+        since_check = 0
+        processed = 0
+        watchdog.reset()
+        self._run_until = until
+        try:
+            if max_events is None and until is not None:
+                # the chip's steady-state shape (see run())
+                while queue and queue[0][0] <= until:
+                    time, _, callback = pop(queue)
+                    if time < self._now:
+                        raise SimulationError("event queue went backwards in time")
+                    self._now = time
+                    callback()
+                    since_check += 1
+                    if since_check >= window:
+                        watchdog.check(self._now)
+                        since_check = 0
+                if until > self._now:
+                    self._now = until
+                return self._now
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    return self._now
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded event budget of {max_events} events"
+                    )
+                time, _, callback = pop(queue)
+                if time < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = time
+                callback()
+                processed += 1
+                since_check += 1
+                if since_check >= window:
+                    watchdog.check(self._now)
+                    since_check = 0
             if until is not None and until > self._now:
                 self._now = until
             return self._now

@@ -13,9 +13,15 @@ function of its :class:`RunSpec`:
 * :class:`ResultCache` (``cache.py``) — on-disk JSON store keyed by a
   stable hash of the spec plus the simulator's source fingerprint;
 * ``grids.py`` — the canonical figure-reproduction grid shared by the
-  CLI (``python -m repro sweep``) and the ``benchmarks/`` suite.
+  CLI (``python -m repro sweep``) and the ``benchmarks/`` suite;
+* ``journal.py`` — per-grid checkpoint log enabling
+  ``python -m repro sweep --resume`` after crashes or Ctrl-C.
+
+Resilience (timeouts, retries, deterministic fault injection) comes
+from :mod:`repro.faults`; the relevant names are re-exported here.
 """
 
+from ..faults import FailureRecord, FaultPlan, FaultPolicy, failure_summary
 from .cache import ResultCache, code_fingerprint
 from .grids import (
     PROTOCOL_ORDER,
@@ -25,7 +31,13 @@ from .grids import (
     merge_by_point,
     window_for,
 )
-from .runner import SweepResult, SweepRunner
+from .journal import SweepJournal, grid_fingerprint
+from .runner import (
+    SweepExecutionError,
+    SweepInterrupted,
+    SweepResult,
+    SweepRunner,
+)
 from .spec import (
     RunSpec,
     apply_overrides,
@@ -36,9 +48,15 @@ from .spec import (
 )
 
 __all__ = [
+    "FailureRecord",
+    "FaultPlan",
+    "FaultPolicy",
     "PROTOCOL_ORDER",
     "ResultCache",
     "RunSpec",
+    "SweepExecutionError",
+    "SweepInterrupted",
+    "SweepJournal",
     "SweepResult",
     "SweepRunner",
     "WINDOWS",
@@ -47,7 +65,9 @@ __all__ = [
     "code_fingerprint",
     "config_from_dict",
     "config_to_dict",
+    "failure_summary",
     "figure_grid",
+    "grid_fingerprint",
     "merge_by_point",
     "placement_spec",
     "snapshot_workload",

@@ -11,14 +11,20 @@ hashing ~50 source files is not).
 
 Cache entries are small JSON documents written atomically (temp file +
 ``os.replace``), so concurrent sweeps sharing one cache directory
-never observe torn writes; a corrupt or schema-incompatible entry is
-treated as a miss and overwritten.
+never observe torn writes.  Every entry embeds a sha256 checksum over
+its stats document; a read validates it, and an entry that fails to
+parse or verify is *quarantined* — renamed to ``<name>.corrupt`` with
+a logged warning, never silently deleted — and reported as a miss, so
+a flipped bit on disk costs one re-simulation and leaves the evidence
+behind.  Only codec and OS errors are treated this way;
+``KeyboardInterrupt``/``SystemExit`` always propagate.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -28,9 +34,17 @@ from ..stats.counters import RunStats
 from ..stats.io import stats_from_dict, stats_to_dict
 from .spec import RunSpec
 
-__all__ = ["ResultCache", "code_fingerprint"]
+__all__ = ["ResultCache", "code_fingerprint", "stats_checksum"]
+
+_log = logging.getLogger("repro.sweep.cache")
 
 _FINGERPRINT: Optional[str] = None
+
+
+def stats_checksum(stats_doc: Dict[str, Any]) -> str:
+    """sha256 over the canonical JSON of one stats document."""
+    payload = json.dumps(stats_doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def code_fingerprint() -> str:
@@ -78,25 +92,63 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def get(self, spec: RunSpec) -> Optional[RunStats]:
-        """Cached stats for ``spec``, or ``None`` (corruption = miss)."""
+        """Cached stats for ``spec``, or ``None``.
+
+        A missing entry is a plain miss.  An entry that exists but is
+        unreadable — malformed JSON, missing keys, a checksum mismatch
+        — is quarantined (renamed to ``<name>.corrupt``) with a warning
+        and reported as a miss.  Only specific codec/OS errors are
+        caught; interrupts and exits propagate untouched.
+        """
         path = self.path_for(spec)
         try:
-            doc = json.loads(path.read_text())
-            stats = stats_from_dict(doc["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
+            raw = path.read_text()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            _log.warning("cache entry %s unreadable (%s); treating as miss",
+                         path, exc)
+            self.misses += 1
+            return None
+        try:
+            doc = json.loads(raw)
+            recorded = doc["checksum"]
+            stats_doc = doc["stats"]
+            if stats_checksum(stats_doc) != recorded:
+                raise ValueError(
+                    f"checksum mismatch (recorded {recorded[:12]}…)"
+                )
+            stats = stats_from_dict(stats_doc)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return stats
 
+    def _quarantine(self, path: Path, reason: BaseException) -> None:
+        """Move a corrupt entry aside (keep the evidence, free the key)."""
+        target = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced with another reader
+            target = path
+        _log.warning(
+            "quarantined corrupt cache entry %s -> %s (%s: %s)",
+            path.name, target.name, type(reason).__name__, reason,
+        )
+
     def put(self, spec: RunSpec, stats: RunStats, elapsed_s: float) -> None:
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
+        stats_doc = stats_to_dict(stats)
         doc: Dict[str, Any] = {
             "spec": spec.to_dict(),
             "code_version": self.code_version,
             "elapsed_s": round(elapsed_s, 6),
-            "stats": stats_to_dict(stats),
+            "stats": stats_doc,
+            "checksum": stats_checksum(stats_doc),
         }
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
@@ -105,12 +157,15 @@ class ResultCache:
             with os.fdopen(fd, "w") as fh:
                 fh.write(json.dumps(doc, sort_keys=True))
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        finally:
+            # plain cleanup, not an exception handler: nothing is ever
+            # caught or swallowed here (a successful os.replace already
+            # consumed the temp file)
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,142 @@
+"""Checkpoint journal: which grid points of a sweep already finished.
+
+The journal is the sweep's crash-safe progress log.  One JSONL file
+per *grid* (keyed by a fingerprint over the sorted spec fingerprints)
+lives under ``<cache_dir>/journals/``; the runner appends one record
+per completed or failed point as it happens, so a sweep killed halfway
+— Ctrl-C, OOM, a pulled plug — leaves an accurate account of what ran.
+
+``python -m repro sweep --resume`` reads it back: completed points are
+served from the result cache (their stats live there), and only the
+failed/missing remainder is re-executed.
+
+Appends are atomic in the only sense that matters here: each record is
+a single short ``write()`` of one newline-terminated line to a file
+opened in append mode, so concurrent writers (two sweeps sharing a
+cache dir) interleave whole lines, never fragments.  Records for the
+same fingerprint supersede each other — last one wins — which is how a
+retried-and-recovered point overwrites its earlier failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from .spec import RunSpec
+
+__all__ = ["SweepJournal", "grid_fingerprint"]
+
+
+def grid_fingerprint(specs: Sequence[RunSpec]) -> str:
+    """Order-independent identity of a whole grid of specs."""
+    digest = hashlib.sha256()
+    for fp in sorted(spec.fingerprint() for spec in specs):
+        digest.update(fp.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class SweepJournal:
+    """Append-only per-grid completion log (one JSON object per line)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_grid(
+        cls, cache_dir: Union[str, Path], specs: Sequence[RunSpec]
+    ) -> "SweepJournal":
+        grid = grid_fingerprint(specs)
+        return cls(Path(cache_dir) / "journals" / f"{grid[:32]}.jsonl")
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        fingerprint: str,
+        status: str,
+        *,
+        attempts: int = 1,
+        elapsed_s: float = 0.0,
+        detail: str = "",
+    ) -> None:
+        """Append one completion record (``status`` is ``ok``/``failed``)."""
+        if status not in ("ok", "failed"):
+            raise ValueError(f"status must be 'ok' or 'failed', got {status!r}")
+        line = (
+            json.dumps(
+                {
+                    "fingerprint": fingerprint,
+                    "status": status,
+                    "attempts": attempts,
+                    "elapsed_s": round(elapsed_s, 6),
+                    "detail": detail,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # one write() of one line in O_APPEND mode: concurrent sweeps
+        # interleave whole records, never fragments
+        with open(self.path, "a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def touch(self) -> None:
+        """Ensure the journal file exists (so ``--resume`` works even
+        after a sweep interrupted before its first point completed)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a"):
+            pass
+
+    # ------------------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Latest record per fingerprint (empty when no journal yet).
+
+        A torn final line (the writer died mid-append despite the
+        single-write discipline, e.g. on a full disk) is ignored.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        if not self.path.is_file():
+            return out
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                    fp = doc["fingerprint"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue
+                out[fp] = doc
+        return out
+
+    def summarize(self, specs: Iterable[RunSpec]) -> Dict[str, Any]:
+        """How a grid stands against this journal.
+
+        Returns ``{"ok": [...], "failed": [...], "missing": [...]}``
+        fingerprint lists, in grid order.
+        """
+        records = self.load()
+        ok, failed, missing = [], [], []
+        for spec in specs:
+            fp = spec.fingerprint()
+            rec: Optional[Mapping[str, Any]] = records.get(fp)
+            if rec is None:
+                missing.append(fp)
+            elif rec.get("status") == "ok":
+                ok.append(fp)
+            else:
+                failed.append(fp)
+        return {"ok": ok, "failed": failed, "missing": missing}

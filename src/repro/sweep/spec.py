@@ -264,6 +264,14 @@ class RunSpec:
             ]
         return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
+    def fingerprint(self) -> str:
+        """sha256 over :meth:`canonical_json` — the spec's content
+        identity (same value as :func:`repro.api.spec_fingerprint`).
+        The sweep journal and fault plans key by it."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
     def __hash__(self) -> int:  # dict/tuple fields need manual freezing
         return hash(
             (

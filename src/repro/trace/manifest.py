@@ -21,7 +21,11 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "git_rev"]
 
 #: bump when the manifest document shape changes
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
+
+#: loadable document versions (2 added the ``watchdog`` verdict; a
+#: version-1 document simply has no verdict recorded)
+_LOADABLE_SCHEMAS = (1, 2)
 
 
 def git_rev(repo_dir: Optional[Union[str, Path]] = None) -> str:
@@ -58,6 +62,9 @@ class RunManifest:
     fast_path: bool
     #: attached instruments, e.g. ``["tracer", "checker"]``
     instruments: List[str] = field(default_factory=list)
+    #: progress-watchdog verdict: ``"ok"``, ``"off"``, or
+    #: ``"livelock: <diagnostic>"`` when the run was aborted stuck
+    watchdog: Optional[str] = None
     trace_path: Optional[str] = None
     #: the full ``RunSpec`` document (``RunSpec.to_dict()``)
     spec: Dict[str, Any] = field(default_factory=dict)
@@ -68,10 +75,10 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "RunManifest":
-        if doc.get("schema") != MANIFEST_SCHEMA_VERSION:
+        if doc.get("schema") not in _LOADABLE_SCHEMAS:
             raise ValueError(
                 f"unsupported manifest schema {doc.get('schema')!r} "
-                f"(expected {MANIFEST_SCHEMA_VERSION})"
+                f"(expected one of {_LOADABLE_SCHEMAS})"
             )
         return cls(
             protocol=doc["protocol"],
@@ -86,6 +93,7 @@ class RunManifest:
             created_unix=doc["created_unix"],
             fast_path=doc["fast_path"],
             instruments=list(doc.get("instruments", [])),
+            watchdog=doc.get("watchdog"),
             trace_path=doc.get("trace_path"),
             spec=dict(doc.get("spec", {})),
             schema=doc["schema"],

@@ -120,3 +120,80 @@ def test_trace_command_rejects_bad_filter(tmp_path, capsys):
     ])
     assert rc == 2
     assert "bad trace filter" in capsys.readouterr().err
+
+
+def _sweep_args(tmp_path, *extra):
+    return [
+        "sweep", "--protocols", "dico", "--workloads", "radix,lu",
+        "--seeds", "1", "--cycles", "1500", "--warmup", "500",
+        "--cache-dir", str(tmp_path / "cache"), "--quiet", *extra,
+    ]
+
+
+def test_sweep_chaos_skip_exits_3_and_writes_failures(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text(
+        '{"seed": 1, "rules": [{"kind": "crash", "rate": 1.0}]}'
+    )
+    failures = tmp_path / "failures.json"
+    rc = main(_sweep_args(
+        tmp_path, "--fault-plan", str(plan), "--on-failure", "skip",
+        "--failures", str(failures),
+    ))
+    assert rc == 3
+    lines = [json.loads(x) for x in capsys.readouterr().out.splitlines()]
+    assert all("failure" in line for line in lines)
+    assert all(line["failure"]["kind"] == "crash" for line in lines)
+    summary = json.loads(failures.read_text())
+    assert summary["failed"] == 2 and summary["ok"] == 0
+
+
+def test_sweep_resume_completes_after_chaos(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text(
+        '{"seed": 1, "rules": [{"kind": "crash", "rate": 1.0}]}'
+    )
+    rc = main(_sweep_args(
+        tmp_path, "--fault-plan", str(plan), "--on-failure", "skip",
+    ))
+    assert rc == 3
+    capsys.readouterr()
+    # resume without the plan: everything recovers
+    rc = main(_sweep_args(tmp_path, "--resume"))
+    assert rc == 0
+    out, err = capsys.readouterr()
+    lines = [json.loads(x) for x in out.splitlines()]
+    assert all("summary" in line for line in lines)
+    assert "resume:" in err and "2 failed" in err
+    # matches a fault-free run bit for bit
+    rc = main(_sweep_args(tmp_path))
+    assert rc == 0
+    assert [json.loads(x) for x in capsys.readouterr().out.splitlines()] \
+        == lines
+
+
+def test_sweep_resume_without_journal_exits_2(tmp_path, capsys):
+    rc = main(_sweep_args(tmp_path, "--resume"))
+    assert rc == 2
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_fault_plan(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"rules": [{"kind": "meteor"}]}')
+    rc = main(_sweep_args(tmp_path, "--fault-plan", str(plan)))
+    assert rc == 2
+    assert "bad fault plan" in capsys.readouterr().err
+
+
+def test_sweep_retry_flags_recover(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text(
+        '{"seed": 1, "rules": [{"kind": "crash", "rate": 1.0}]}'
+    )
+    rc = main(_sweep_args(
+        tmp_path, "--fault-plan", str(plan), "--retries", "1",
+    ))
+    assert rc == 0
+    lines = [json.loads(x) for x in capsys.readouterr().out.splitlines()]
+    assert all("summary" in line for line in lines)

@@ -55,6 +55,49 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     assert cache.get(SPEC) is None
 
 
+def test_corrupt_entry_quarantined_not_deleted(tmp_path, caplog):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.1)
+    path = cache.path_for(SPEC)
+    path.write_text("{ not json")
+    with caplog.at_level("WARNING", logger="repro.sweep.cache"):
+        assert cache.get(SPEC) is None
+    quarantined = path.with_name(path.name + ".corrupt")
+    assert quarantined.exists()  # evidence preserved, not deleted
+    assert quarantined.read_text() == "{ not json"
+    assert not path.exists()
+    assert any("quarantin" in rec.message for rec in caplog.records)
+    # the slot is reusable afterwards
+    cache.put(SPEC, dummy_stats(7), elapsed_s=0.1)
+    assert cache.get(SPEC).operations == 7
+
+
+def test_checksum_mismatch_quarantined(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.1)
+    path = cache.path_for(SPEC)
+    doc = json.loads(path.read_text())
+    doc["stats"]["operations"] = 999_999  # silent bit-rot
+    path.write_text(json.dumps(doc))
+    assert cache.get(SPEC) is None
+    assert path.with_name(path.name + ".corrupt").exists()
+
+
+def test_entries_carry_a_checksum(tmp_path):
+    from repro.sweep.cache import stats_checksum
+
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.1)
+    doc = json.loads(cache.path_for(SPEC).read_text())
+    assert doc["checksum"] == stats_checksum(doc["stats"])
+
+
+def test_missing_file_is_a_plain_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(SPEC) is None
+    assert list(tmp_path.glob("*.corrupt")) == []
+
+
 def test_entry_document_carries_spec_and_fingerprint(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(SPEC, dummy_stats(), elapsed_s=0.25)

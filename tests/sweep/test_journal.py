@@ -1,0 +1,108 @@
+"""Unit tests for the sweep checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.sim.config import small_test_chip
+from repro.sweep import RunSpec, SweepJournal, grid_fingerprint
+from repro.sweep.spec import config_to_dict
+
+TINY = config_to_dict(small_test_chip())
+
+
+def specs(n=3):
+    return [
+        RunSpec(
+            protocol="dico",
+            workload="radix",
+            seed=s,
+            cycles=1_000,
+            warmup=100,
+            config=TINY,
+        )
+        for s in range(1, n + 1)
+    ]
+
+
+def test_grid_fingerprint_is_order_independent():
+    grid = specs()
+    assert grid_fingerprint(grid) == grid_fingerprint(list(reversed(grid)))
+    assert grid_fingerprint(grid) != grid_fingerprint(grid[:2])
+
+
+def test_record_and_load_last_wins(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.record("a" * 64, "failed", attempts=1, detail="boom")
+    journal.record("b" * 64, "ok", attempts=1, elapsed_s=0.5)
+    journal.record("a" * 64, "ok", attempts=2)  # retry recovered
+    records = journal.load()
+    assert records["a" * 64]["status"] == "ok"
+    assert records["a" * 64]["attempts"] == 2
+    assert records["b" * 64]["elapsed_s"] == 0.5
+    # three physical lines: append-only, superseded not rewritten
+    assert len(journal.path.read_text().splitlines()) == 3
+
+
+def test_invalid_status_rejected(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    with pytest.raises(ValueError, match="status"):
+        journal.record("a" * 64, "meh")
+
+
+def test_torn_final_line_is_ignored(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.record("a" * 64, "ok")
+    with open(journal.path, "a") as fh:
+        fh.write('{"fingerprint": "bbbb", "stat')  # torn write
+    records = journal.load()
+    assert list(records) == ["a" * 64]
+
+
+def test_summarize_partitions_the_grid(tmp_path):
+    grid = specs()
+    journal = SweepJournal.for_grid(tmp_path, grid)
+    fps = [s.fingerprint() for s in grid]
+    journal.record(fps[0], "ok")
+    journal.record(fps[2], "failed", detail="crash")
+    standing = journal.summarize(grid)
+    assert standing["ok"] == [fps[0]]
+    assert standing["failed"] == [fps[2]]
+    assert standing["missing"] == [fps[1]]
+
+
+def test_for_grid_path_is_stable_per_grid(tmp_path):
+    grid = specs()
+    a = SweepJournal.for_grid(tmp_path, grid)
+    b = SweepJournal.for_grid(tmp_path, list(reversed(grid)))
+    assert a.path == b.path
+    other = SweepJournal.for_grid(tmp_path, grid[:2])
+    assert other.path != a.path
+    assert a.path.parent == tmp_path / "journals"
+
+
+def test_touch_creates_empty_journal(tmp_path):
+    journal = SweepJournal(tmp_path / "journals" / "j.jsonl")
+    assert not journal.exists()
+    journal.touch()
+    assert journal.exists()
+    assert journal.load() == {}
+    # touching again never truncates
+    journal.record("a" * 64, "ok")
+    journal.touch()
+    assert len(journal.load()) == 1
+
+
+def test_records_are_single_json_lines(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.record("a" * 64, "ok", attempts=1, elapsed_s=1.25, detail="")
+    line = journal.path.read_text()
+    assert line.endswith("\n") and line.count("\n") == 1
+    doc = json.loads(line)
+    assert doc == {
+        "fingerprint": "a" * 64,
+        "status": "ok",
+        "attempts": 1,
+        "elapsed_s": 1.25,
+        "detail": "",
+    }

@@ -89,6 +89,65 @@ def test_jobs_must_be_positive():
         SweepRunner(jobs=0)
 
 
+def test_jobs_clamped_to_cpu_count(caplog):
+    import os
+
+    cpus = os.cpu_count() or 1
+    with caplog.at_level("INFO", logger="repro.sweep"):
+        runner = SweepRunner(jobs=cpus + 100)
+    assert runner.jobs == cpus
+    assert any("clamping jobs" in rec.message for rec in caplog.records)
+    # at-or-below the core count passes through untouched
+    assert SweepRunner(jobs=1).jobs == 1
+
+
+def test_empty_grid_is_a_no_op(tmp_path):
+    lines = []
+    runner = SweepRunner(
+        jobs=1, cache_dir=str(tmp_path), progress=lines.append
+    )
+    assert runner.run([]) == []
+    assert runner.executed == 0 and runner.failed == 0
+    assert lines == []
+
+
+def test_keyboard_interrupt_carries_partial_results(tmp_path, monkeypatch):
+    from repro.sweep import SweepInterrupted, SweepJournal
+    from repro.sweep import runner as runner_mod
+
+    grid = tiny_grid(("directory", "dico", "dico-providers"))
+    real_execute = runner_mod._execute_payload
+    calls = {"n": 0}
+
+    def interrupt_second(payload):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise KeyboardInterrupt
+        return real_execute(payload)
+
+    monkeypatch.setattr(runner_mod, "_execute_payload", interrupt_second)
+    runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+    with pytest.raises(SweepInterrupted) as exc_info:
+        runner.run(grid)
+    partial = exc_info.value.results
+    assert len(partial) == 1
+    assert partial[0].spec.protocol == "directory" and partial[0].ok
+    # the journal already has the completed point, so --resume works
+    journal = SweepJournal.for_grid(tmp_path, grid)
+    standing = journal.summarize(grid)
+    assert len(standing["ok"]) == 1 and len(standing["missing"]) == 2
+
+
+def test_pooled_path_leaves_no_live_children():
+    import multiprocessing
+
+    grid = tiny_grid(("directory", "dico", "dico-providers"))
+    SweepRunner(jobs=2).run(grid)
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
 def test_figure_grid_shape_and_order():
     grid = figure_grid(
         protocols=("directory", "dico"),

@@ -95,7 +95,9 @@ def test_manifest_without_tracing(tmp_path):
     result = simulate(tiny_spec(), manifest_path=path)
     assert result.events is None
     assert result.manifest is not None
-    assert result.manifest.instruments == []
+    # the livelock watchdog is on by default; nothing else attached
+    assert result.manifest.instruments == ["watchdog"]
+    assert result.manifest.watchdog == "ok"
     assert RunManifest.load(path) == result.manifest
 
 

@@ -49,3 +49,20 @@ def test_unknown_schema_rejected():
     doc["schema"] = MANIFEST_SCHEMA_VERSION + 1
     with pytest.raises(ValueError, match="schema"):
         RunManifest.from_dict(doc)
+
+
+def test_watchdog_verdict_round_trips():
+    m = sample_manifest(watchdog="ok", instruments=["watchdog"])
+    doc = m.to_dict()
+    assert doc["watchdog"] == "ok"
+    assert RunManifest.from_dict(doc).watchdog == "ok"
+
+
+def test_schema_1_documents_still_load():
+    # pre-watchdog manifests have schema=1 and no watchdog key
+    doc = sample_manifest().to_dict()
+    doc["schema"] = 1
+    del doc["watchdog"]
+    m = RunManifest.from_dict(doc)
+    assert m.schema == 1
+    assert m.watchdog is None

@@ -64,6 +64,8 @@ __all__ = [
     "attach_tracer",
     "detach_tracer",
     "spec_fingerprint",
+    "verify",
+    "replay_bundle",
 ]
 
 
@@ -275,3 +277,49 @@ def simulate(
         events=events,
         checked=checker,
     )
+
+
+# ---------------------------------------------------------------------------
+# protocol verification (the ``python -m repro verify`` facade)
+
+def verify(
+    protocols=None,
+    *,
+    rounds: int = 4,
+    budget_seconds: Optional[float] = None,
+    seed: int = 0,
+    n_ops: int = 400,
+    mutation: Optional[str] = None,
+    bundle_dir: Union[str, Path] = "verify-bundles",
+    report_path: Optional[Union[str, Path]] = None,
+    **kwargs,
+):
+    """Differentially fuzz the coherence protocols.
+
+    Thin facade over :func:`repro.verify.runner.run_verification`; see
+    there for the full parameter list.  With ``report_path`` set the
+    machine-readable verdict document is written there as well as
+    returned.
+    """
+    from .verify.runner import run_verification
+
+    report = run_verification(
+        protocols,
+        rounds=rounds,
+        budget_seconds=budget_seconds,
+        seed=seed,
+        n_ops=n_ops,
+        mutation=mutation,
+        bundle_dir=bundle_dir,
+        **kwargs,
+    )
+    if report_path is not None:
+        report.save(report_path)
+    return report
+
+
+def replay_bundle(path: Union[str, Path]):
+    """Re-execute a verification repro bundle deterministically."""
+    from .verify.bundle import replay_bundle as _replay
+
+    return _replay(path)

@@ -11,6 +11,9 @@ Commands:
   trace + manifest per executed spec)
 * ``perf``     — benchmark the simulator itself on a pinned reference
   subset (ops/sec per cell, ``BENCH_PERF.json`` report)
+* ``verify``   — differentially fuzz the coherence protocols under the
+  invariant checker; failures shrink to minimal repro bundles that
+  ``--replay`` re-executes deterministically
 * ``storage``  — Tables V and VII (analytic)
 * ``leakage``  — Table VI (calibrated CACTI-like model)
 * ``workloads``— list the Table IV benchmark models
@@ -35,6 +38,7 @@ from . import (
 )
 from .analysis import fig7_rows, fig9a_performance, fig9b_miss_breakdown
 from .api import RunSpec, TraceOptions, simulate
+from .sim.config import ConfigError
 from .sweep.spec import valid_override_keys
 
 PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
@@ -341,6 +345,55 @@ def cmd_sweep(args) -> int:
     return 3 if any(not res.ok for res in results) else 0
 
 
+def cmd_verify(args) -> int:
+    from .api import replay_bundle, verify
+
+    if args.replay:
+        result = replay_bundle(args.replay)
+        print(json.dumps(result.to_dict(), indent=2))
+        if result.matched:
+            return 0
+        print(
+            "error: bundle did not reproduce its recorded violation",
+            file=sys.stderr,
+        )
+        return 1
+
+    protocols = None
+    if args.protocols:
+        protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+        unknown = [p for p in protocols if p not in PROTOCOLS]
+        if unknown:
+            print(
+                f"error: unknown protocol(s): {', '.join(unknown)}; "
+                f"options: {', '.join(PROTOCOLS)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.mutate:
+        from .verify.mutations import MUTATIONS
+
+        if args.mutate not in MUTATIONS:
+            print(
+                f"error: unknown mutation {args.mutate!r}; options: "
+                + ", ".join(sorted(MUTATIONS)),
+                file=sys.stderr,
+            )
+            return 2
+    report = verify(
+        protocols,
+        rounds=args.rounds,
+        budget_seconds=args.budget_seconds,
+        seed=args.seed,
+        n_ops=args.ops,
+        mutation=args.mutate,
+        bundle_dir=args.bundle_dir,
+        report_path=args.output or None,
+    )
+    print(json.dumps(report.to_dict(), indent=2))
+    return 0 if report.passed else 1
+
+
 def cmd_storage(args) -> int:
     print("Table V (64 tiles, 4 areas):")
     for protocol in PROTOCOL_ORDER:
@@ -563,6 +616,49 @@ def main(argv=None) -> int:
     )
     p_perf.set_defaults(func=cmd_perf)
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="differentially fuzz the coherence protocols; any failure "
+        "is shrunk and captured as a replayable repro bundle",
+    )
+    p_verify.add_argument(
+        "--protocols", default=None,
+        help="comma-separated subset to fuzz (default: all five)",
+    )
+    p_verify.add_argument(
+        "--rounds", type=int, default=6,
+        help="fuzz rounds; each runs one adversarial sequence through "
+        "every protocol, rotating through the scenario catalogue",
+    )
+    p_verify.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="wall-clock budget; no new round starts once exhausted",
+    )
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument(
+        "--ops", type=int, default=400,
+        help="operations per generated sequence",
+    )
+    p_verify.add_argument(
+        "--bundle-dir", default="verify-bundles",
+        help="directory for failing repro bundles",
+    )
+    p_verify.add_argument(
+        "--output", default="", metavar="PATH",
+        help="also write the machine-readable verdict report here",
+    )
+    p_verify.add_argument(
+        "--mutate", default=None, metavar="NAME",
+        help="inject a named protocol bug (see repro.verify.mutations); "
+        "the run is then expected to fail — proves the harness bites",
+    )
+    p_verify.add_argument(
+        "--replay", default=None, metavar="BUNDLE",
+        help="re-execute a captured repro bundle instead of fuzzing "
+        "(exit 0 iff the recorded violation reproduces)",
+    )
+    p_verify.set_defaults(func=cmd_verify)
+
     sub.add_parser("storage", help="Tables V and VII").set_defaults(
         func=cmd_storage
     )
@@ -572,7 +668,12 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        # exc's message leads with the offending key ("cycles: ...")
+        print(f"error: invalid configuration — {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

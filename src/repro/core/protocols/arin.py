@@ -480,3 +480,95 @@ class DiCoArinProtocol(DiCoProtocol):
             )
             return
         super()._evict_l2_entry(home, block, entry, now)
+
+    # ------------------------------------------------------------------
+    # verification
+
+    def _directory_audit(self, block: int, now: Optional[int] = None) -> None:
+        """Arin consistency, per regime.  Inter-area blocks keep data at
+        the home, have no owner anywhere, and their ProPos — which may
+        be stale by design (provider evictions are silent) — stay
+        inside their areas and never name an owner-state line.
+        Intra-area blocks obey the DiCo invariants plus area
+        containment: every copy lives in the owning area."""
+        home = (block & self._home_mask)
+        entry = self.l2s[home].peek(block)
+        if entry is not None and entry.inter_area:
+            self._audit_inter_area(home, block, entry, now)
+            return
+        super()._directory_audit(block, now)
+        holders = self._l1_copies(block)
+        owners = [
+            (t, l)
+            for t, l in holders
+            if l.state in (L1State.E, L1State.M, L1State.O)
+        ]
+        if owners:
+            area = self.areas.area_of(owners[0][0])
+        elif (
+            entry is not None
+            and entry.is_owner
+            and not entry.plain_copy
+            and entry.owner_area is not None
+        ):
+            area = entry.owner_area
+        else:
+            area = None
+        for t, l in holders:
+            if l.state is L1State.P:
+                self._audit_fail(
+                    block,
+                    f"L1[{t}] holds a provider copy outside the "
+                    "inter-area regime",
+                    now,
+                )
+            if area is not None and self.areas.area_of(t) != area:
+                self._audit_fail(
+                    block,
+                    f"L1[{t}] (area {self.areas.area_of(t)}) holds "
+                    f"{l.state.name} outside the owning area {area} "
+                    "in the intra-area regime",
+                    now,
+                )
+
+    def _audit_inter_area(
+        self, home: int, block: int, entry: L2Line, now: Optional[int]
+    ) -> None:
+        if not entry.has_data:
+            self._audit_fail(
+                block, "inter-area entry without data at the home", now
+            )
+        pointer = self.l2cs[home].peek_owner(block)
+        if pointer is not None:
+            self._audit_fail(
+                block,
+                f"L2C$ owner pointer (L1[{pointer}]) set for an "
+                "inter-area block",
+                now,
+            )
+        for t, l in self._l1_copies(block):
+            if l.state in (L1State.E, L1State.M, L1State.O):
+                self._audit_fail(
+                    block,
+                    f"L1[{t}] holds {l.state.name} in the inter-area "
+                    "regime (home must be the ordering point)",
+                    now,
+                )
+        for area, provider in entry.propos.items():
+            if self.areas.area_of(provider) != area:
+                self._audit_fail(
+                    block,
+                    f"inter-area ProPo for area {area} points at "
+                    f"L1[{provider}] in area {self.areas.area_of(provider)}",
+                    now,
+                )
+            pline = self.l1s[provider].peek(block)
+            if pline is not None and pline.state in (
+                L1State.E, L1State.M, L1State.O
+            ):
+                self._audit_fail(
+                    block,
+                    f"inter-area ProPo for area {area} points at an "
+                    f"owner-state line at L1[{provider}]",
+                    now,
+                )

@@ -145,6 +145,9 @@ class CoherenceProtocol(ABC):
             seed=seed,
         )
         self.checker = checker if checker is not None else CoherenceChecker()
+        # violations raised through this checker name the protocol and
+        # capture the offending block's copy set (live_copies only peeks)
+        self.checker.bind(self.name, self.live_copies)
         self.stats = RunStats(protocol=self.name)
 
         n = config.n_tiles
@@ -273,7 +276,8 @@ class CoherenceProtocol(ABC):
                 checker.reads_checked += 1
                 if line.version != checker._version[block]:
                     checker.check_read(
-                        block, line.version, where=self._l1_names[tile]
+                        block, line.version, where=self._l1_names[tile],
+                        now=now, tile=tile,
                     )
                 return self._hit_result
             if line.state in (L1State.E, L1State.M) or (
@@ -559,6 +563,41 @@ class CoherenceProtocol(ABC):
     def check_block(self, block: int) -> None:
         """Assert the coherence invariants for one block."""
         self.checker.check_copy_set(block, self.live_copies(block))
+
+    def audit_block(self, block: int, now: Optional[int] = None) -> None:
+        """Full per-block audit: copy-set invariants plus the
+        protocol-specific directory-consistency check."""
+        self.checker.check_copy_set(block, self.live_copies(block), now=now)
+        self._directory_audit(block, now)
+
+    def _directory_audit(self, block: int, now: Optional[int] = None) -> None:
+        """Assert that this protocol's sharing metadata is consistent
+        with the actual copies of ``block`` on the chip.
+
+        Subclasses override with their structure-specific invariants
+        (directory coverage, owner-pointer precision, provider
+        liveness, ...).  Implementations must only *peek* at caches —
+        an audit must never perturb LRU state or statistics.
+        """
+
+    def _l1_copies(self, block: int) -> List[Tuple[int, L1Line]]:
+        """``(tile, line)`` for every live L1 copy of ``block`` (peek only)."""
+        out: List[Tuple[int, L1Line]] = []
+        for tile, l1 in enumerate(self.l1s):
+            line = l1.peek(block)
+            if line is not None and line.state is not L1State.I:
+                out.append((tile, line))
+        return out
+
+    def _audit_fail(
+        self, block: int, message: str, now: Optional[int] = None
+    ) -> None:
+        """Raise a directory-consistency violation with full context."""
+        self.checker.fail(
+            f"{self.name}: directory inconsistency on block {block:#x}: {message}",
+            block=block,
+            cycle=now,
+        )
 
     def reset_stats(self) -> None:
         """Discard all counters (cache contents survive).

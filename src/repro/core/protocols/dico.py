@@ -534,3 +534,81 @@ class DiCoProtocol(CoherenceProtocol):
         else:
             self._mem_version.setdefault(block, entry.version)
         self.set_busy(block, now + worst)
+
+    # ------------------------------------------------------------------
+    # verification
+
+    def _directory_audit(self, block: int, now: Optional[int] = None) -> None:
+        """DiCo consistency: the home's L2C$ pointer is precise (names
+        the one L1 owner, or nothing), ownership lives in exactly one
+        place, and the ordering point's sharing code covers every live
+        copy (stale *extra* bits are fine — S evictions are silent)."""
+        home = (block & self._home_mask)
+        pointer = self.l2cs[home].peek_owner(block)
+        entry = self.l2s[home].peek(block)
+        home_owned = entry is not None and entry.is_owner and not entry.plain_copy
+        holders = self._l1_copies(block)
+        owners = [
+            (t, l)
+            for t, l in holders
+            if l.state in (L1State.E, L1State.M, L1State.O)
+        ]
+        if pointer is not None:
+            if home_owned:
+                self._audit_fail(
+                    block,
+                    f"the home entry and the L2C$ pointer (L1[{pointer}]) "
+                    "both claim ownership",
+                    now,
+                )
+            pline = self.l1s[pointer].peek(block)
+            if pline is None or pline.state not in (
+                L1State.E, L1State.M, L1State.O
+            ):
+                self._audit_fail(
+                    block,
+                    f"L2C$ points at L1[{pointer}] which holds "
+                    f"{pline.state.name if pline else 'no copy'}",
+                    now,
+                )
+        for t, l in owners:
+            if pointer != t:
+                self._audit_fail(
+                    block,
+                    f"L1[{t}] owns in {l.state.name} but the home L2C$ "
+                    + (f"points at L1[{pointer}]" if pointer is not None
+                       else "records no owner"),
+                    now,
+                )
+        if owners:
+            t0, oline = owners[0]
+            covered: Optional[int] = oline.sharers | (1 << t0)
+        elif home_owned:
+            covered = entry.sharers
+        else:
+            covered = None
+        covered = self._audit_extend_cover(block, covered, now)
+        if covered is None:
+            if holders:
+                self._audit_fail(
+                    block,
+                    f"live copies at {[t for t, _ in holders]} but no "
+                    "ownership recorded anywhere",
+                    now,
+                )
+            return
+        for t, l in holders:
+            if not covered & (1 << t):
+                self._audit_fail(
+                    block,
+                    f"L1[{t}] holds {l.state.name} outside the sharing "
+                    f"tree (covered mask {covered:#x})",
+                    now,
+                )
+
+    def _audit_extend_cover(
+        self, block: int, covered: Optional[int], now: Optional[int] = None
+    ) -> Optional[int]:
+        """Hook for subclasses with extra supplier structures (ProPos)
+        to validate them and widen the covered-tiles mask."""
+        return covered

@@ -425,3 +425,47 @@ class DirectoryProtocol(CoherenceProtocol):
         for cache in self.dircaches:
             agg.merge(cache.stats)
         return stats
+
+    # ------------------------------------------------------------------
+    # verification
+
+    def _directory_audit(self, block: int, now: Optional[int] = None) -> None:
+        """Full-map consistency: the home's sharing code must cover
+        every live L1 copy (stale *extra* bits are fine — S evictions
+        are silent) and an owner pointer must name a live E/M line."""
+        home = (block & self._home_mask)
+        info = self.l2s[home].peek(block)
+        via = "L2"
+        if info is None:
+            info = self.dircaches[home].peek(block)
+            via = "dircache"
+        holders = self._l1_copies(block)
+        if info is None:
+            if holders:
+                self._audit_fail(
+                    block,
+                    "no directory information at home "
+                    f"{home} but live L1 copies at "
+                    f"{[t for t, _ in holders]}",
+                    now,
+                )
+            return
+        covered = info.sharers
+        if info.owner_tile is not None:
+            covered |= 1 << info.owner_tile
+            oline = self.l1s[info.owner_tile].peek(block)
+            if oline is None or oline.state not in (L1State.E, L1State.M):
+                self._audit_fail(
+                    block,
+                    f"{via} names L1[{info.owner_tile}] exclusive owner but it "
+                    f"holds {oline.state.name if oline else 'no copy'}",
+                    now,
+                )
+        for tile, line in holders:
+            if not covered & (1 << tile):
+                self._audit_fail(
+                    block,
+                    f"L1[{tile}] holds {line.state.name} outside the {via} "
+                    f"sharing code {covered:#x}",
+                    now,
+                )

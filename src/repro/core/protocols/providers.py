@@ -469,3 +469,49 @@ class DiCoProvidersProtocol(DiCoProtocol):
         else:
             self._mem_version.setdefault(block, entry.version)
         self.set_busy(block, now + worst)
+
+    # ------------------------------------------------------------------
+    # verification
+
+    def _audit_propos(self, block: int) -> Dict[int, int]:
+        """The ProPo map of the current ordering point (peek only)."""
+        home = (block & self._home_mask)
+        pointer = self.l2cs[home].peek_owner(block)
+        if pointer is not None:
+            oline = self.l1s[pointer].peek(block)
+            if oline is not None:
+                return oline.propos
+            return {}
+        entry = self.l2s[home].peek(block)
+        if entry is not None and entry.is_owner and not entry.plain_copy:
+            return entry.propos
+        return {}
+
+    def _audit_extend_cover(
+        self, block: int, covered: Optional[int], now: Optional[int] = None
+    ) -> Optional[int]:
+        """Validate the provider tree: every ProPo names a live L1 in
+        state P inside its own area; each provider's area-local sharing
+        code widens the covered mask (an uncovered live copy — e.g. an
+        orphaned provider no ProPo references — then fails the base
+        coverage check)."""
+        for area, provider in self._audit_propos(block).items():
+            pline = self.l1s[provider].peek(block)
+            if pline is None or pline.state is not L1State.P:
+                self._audit_fail(
+                    block,
+                    f"ProPo for area {area} points at L1[{provider}] which "
+                    f"holds {pline.state.name if pline else 'no copy'}",
+                    now,
+                )
+            if self.areas.area_of(provider) != area:
+                self._audit_fail(
+                    block,
+                    f"ProPo for area {area} points at L1[{provider}] in "
+                    f"area {self.areas.area_of(provider)}",
+                    now,
+                )
+            if covered is None:
+                covered = 0
+            covered |= (1 << provider) | pline.sharers
+        return covered

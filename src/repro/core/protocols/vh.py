@@ -511,6 +511,95 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
         for cache in self.l2dirs:
             cache.stats = CacheAccessStats()
 
+    # ------------------------------------------------------------------
+    # verification
+
+    def _directory_audit(self, block: int, now: Optional[int] = None) -> None:
+        """Two-level consistency.  Level 1: each domain entry covers
+        every live L1 copy of its domain, and an exclusive owner
+        pointer names a live E/M line (with the entry's data invalid).
+        Level 2: every domain holding an entry has its bit set at the
+        global home.  Stale level-2 bits and stale level-1 sharer bits
+        are fine (they heal lazily); *missing* ones are not."""
+        info = self.l2dirs[(block & self._home_mask)].peek(block)
+        live_domains = 0
+        for d in range(self.config.n_areas):
+            h1 = self.dynamic_home(block, d)
+            entry = self.l2s[h1].peek(block)
+            if entry is None:
+                continue
+            live_domains |= 1 << d
+            if entry.owner_area != d:
+                self._audit_fail(
+                    block,
+                    f"domain entry at L2[{h1}] tagged for domain "
+                    f"{entry.owner_area} instead of {d}",
+                    now,
+                )
+            if entry.owner_tile is not None:
+                if entry.has_data:
+                    self._audit_fail(
+                        block,
+                        f"domain {d} entry serves data while "
+                        f"L1[{entry.owner_tile}] owns exclusively",
+                        now,
+                    )
+                oline = self.l1s[entry.owner_tile].peek(block)
+                if oline is None or oline.state not in (
+                    L1State.E, L1State.M
+                ):
+                    self._audit_fail(
+                        block,
+                        f"domain {d} level-1 directory points at "
+                        f"L1[{entry.owner_tile}] which holds "
+                        f"{oline.state.name if oline else 'no copy'}",
+                        now,
+                    )
+        for tile, line in self._l1_copies(block):
+            d = self.domain_of(tile)
+            entry = self.l2s[self.dynamic_home(block, d)].peek(block)
+            if entry is None:
+                self._audit_fail(
+                    block,
+                    f"L1[{tile}] holds {line.state.name} but domain {d} "
+                    "has no level-1 entry",
+                    now,
+                )
+            if line.state in (L1State.E, L1State.M):
+                if entry.owner_tile != tile:
+                    self._audit_fail(
+                        block,
+                        f"L1[{tile}] holds {line.state.name} but domain "
+                        f"{d}'s entry records owner "
+                        f"{entry.owner_tile}",
+                        now,
+                    )
+            elif not (
+                entry.sharers & (1 << tile) or entry.owner_tile == tile
+            ):
+                self._audit_fail(
+                    block,
+                    f"L1[{tile}] holds {line.state.name} outside domain "
+                    f"{d}'s sharer mask {entry.sharers:#x}",
+                    now,
+                )
+        if live_domains:
+            if info is None:
+                self._audit_fail(
+                    block,
+                    "domains hold level-1 entries but the global home "
+                    "has no level-2 entry",
+                    now,
+                )
+            missing = live_domains & ~info.sharers
+            if missing:
+                self._audit_fail(
+                    block,
+                    f"level-2 directory misses domain bits {missing:#x} "
+                    f"(tracks {info.sharers:#x}, live {live_domains:#x})",
+                    now,
+                )
+
 
 def vh_storage_breakdown(config: ChipConfig) -> StorageBreakdown:
     """Per-tile coherence storage of the two-level VH directory.

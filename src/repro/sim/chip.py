@@ -387,8 +387,11 @@ class Chip:
 
     # ------------------------------------------------------------------
 
-    def verify_coherence(self, blocks: Optional[list] = None) -> None:
-        """Run the invariant checker over cached blocks (test hook)."""
+    def verify_coherence(self, blocks: Optional[list] = None, now: Optional[int] = None) -> None:
+        """Run the invariant checker over cached blocks (test hook).
+
+        Covers both the generic copy-set invariants and the protocol's
+        own directory-consistency audit (:meth:`audit_block`)."""
         if blocks is None:
             seen = set()
             for l1 in self.protocol.l1s:
@@ -399,4 +402,4 @@ class Chip:
                     seen.add(block)
             blocks = sorted(seen)
         for block in blocks:
-            self.protocol.check_block(block)
+            self.protocol.audit_block(block, now=now)

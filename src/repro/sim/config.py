@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 __all__ = [
     "CacheGeometry",
+    "ConfigError",
     "NocConfig",
     "MemoryConfig",
     "ChipConfig",
@@ -32,6 +33,21 @@ __all__ = [
 
 def _is_pow2(x: int) -> bool:
     return x > 0 and (x & (x - 1)) == 0
+
+
+class ConfigError(ValueError):
+    """An invalid configuration value.
+
+    Structured so callers (the CLI, sweep grids) can name the offending
+    field: ``key`` is the dataclass field (dotted for nested sections,
+    e.g. ``"l1.size_bytes"``) and ``str(exc)`` always starts with it.
+    Subclasses :class:`ValueError`, so existing ``except ValueError``
+    handling keeps working.
+    """
+
+    def __init__(self, key: str, message: str) -> None:
+        super().__init__(f"{key}: {message}")
+        self.key = key
 
 
 @dataclass(frozen=True)
@@ -49,13 +65,36 @@ class CacheGeometry:
     data_latency: int = 2
 
     def __post_init__(self) -> None:
+        if not _is_pow2(self.block_bytes):
+            raise ConfigError(
+                "block_bytes", f"cache line size {self.block_bytes} must be a power of two"
+            )
+        if self.assoc < 1:
+            raise ConfigError("assoc", f"associativity must be >= 1, got {self.assoc}")
+        if self.size_bytes < self.assoc * self.block_bytes:
+            raise ConfigError(
+                "size_bytes",
+                f"cache size {self.size_bytes} smaller than one set "
+                f"({self.assoc} ways x {self.block_bytes} B lines)",
+            )
         if self.size_bytes % (self.assoc * self.block_bytes):
-            raise ValueError(
+            raise ConfigError(
+                "size_bytes",
                 f"cache size {self.size_bytes} not divisible by "
-                f"assoc*block ({self.assoc}*{self.block_bytes})"
+                f"assoc*block ({self.assoc}*{self.block_bytes})",
             )
         if not _is_pow2(self.n_sets):
-            raise ValueError(f"number of sets {self.n_sets} must be a power of two")
+            raise ConfigError(
+                "size_bytes",
+                f"cache size {self.size_bytes} yields {self.n_sets} sets "
+                f"({self.assoc} ways x {self.block_bytes} B lines); "
+                "the number of sets must be a power of two",
+            )
+        if self.tag_latency < 0 or self.data_latency < 0:
+            raise ConfigError(
+                "tag_latency" if self.tag_latency < 0 else "data_latency",
+                "cache access latencies must be >= 0",
+            )
 
     @property
     def n_blocks(self) -> int:
@@ -100,6 +139,18 @@ class NocConfig:
     #: analysis); off by default to keep the hot path lean
     track_link_load: bool = False
 
+    def __post_init__(self) -> None:
+        for key in ("link_cycles", "switch_cycles", "router_cycles"):
+            if getattr(self, key) < 0:
+                raise ConfigError(key, "NoC stage latencies must be >= 0")
+        if self.flit_bytes < 1:
+            raise ConfigError("flit_bytes", f"flit size must be >= 1 byte, got {self.flit_bytes}")
+        if self.control_flits < 1 or self.data_flits < 1:
+            raise ConfigError(
+                "control_flits" if self.control_flits < 1 else "data_flits",
+                "packets must be at least one flit long",
+            )
+
     @property
     def hop_cycles(self) -> int:
         """Latency of advancing one hop in the absence of contention."""
@@ -117,6 +168,26 @@ class MemoryConfig:
     n_controllers: int = 8
     page_bytes: int = 4096
     total_bytes: int = 4 << 30
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0 or self.jitter_cycles < 0:
+            raise ConfigError(
+                "latency_cycles" if self.latency_cycles < 0 else "jitter_cycles",
+                "memory latencies must be >= 0",
+            )
+        if self.n_controllers < 1:
+            raise ConfigError(
+                "n_controllers", f"need at least one memory controller, got {self.n_controllers}"
+            )
+        if not _is_pow2(self.page_bytes):
+            raise ConfigError(
+                "page_bytes", f"page size {self.page_bytes} must be a power of two"
+            )
+        if self.total_bytes < self.page_bytes:
+            raise ConfigError(
+                "total_bytes",
+                f"memory size {self.total_bytes} smaller than one page ({self.page_bytes})",
+            )
 
 
 @dataclass(frozen=True)
@@ -152,14 +223,42 @@ class ChipConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
 
     def __post_init__(self) -> None:
+        if self.mesh_width < 1 or self.mesh_height < 1:
+            raise ConfigError(
+                "mesh_width" if self.mesh_width < 1 else "mesh_height",
+                "mesh dimensions must be >= 1",
+            )
+        if self.n_areas < 1:
+            raise ConfigError("n_areas", f"need at least one area, got {self.n_areas}")
         if self.n_tiles % self.n_areas:
-            raise ValueError(
-                f"{self.n_areas} areas do not evenly divide {self.n_tiles} tiles"
+            raise ConfigError(
+                "n_areas",
+                f"{self.n_areas} areas do not evenly divide {self.n_tiles} tiles",
             )
         if not _is_pow2(self.n_tiles):
-            raise ValueError("number of tiles must be a power of two")
+            raise ConfigError(
+                "mesh_width", f"number of tiles ({self.n_tiles}) must be a power of two"
+            )
         if not _is_pow2(self.n_areas):
-            raise ValueError("number of areas must be a power of two")
+            raise ConfigError(
+                "n_areas", f"number of areas ({self.n_areas}) must be a power of two"
+            )
+        if self.l1.block_bytes != self.l2.block_bytes:
+            raise ConfigError(
+                "l2.block_bytes",
+                f"L1 and L2 line sizes differ ({self.l1.block_bytes} vs "
+                f"{self.l2.block_bytes}); coherence tracks a single block size",
+            )
+        for key in ("l1c_entries", "l2c_entries", "dir_cache_entries"):
+            if getattr(self, key) < 1:
+                raise ConfigError(key, "coherence structures need at least one entry")
+        for name, geo in (("l1", self.l1), ("l2", self.l2)):
+            if geo.tag_bits(self.phys_addr_bits) <= 0:
+                raise ConfigError(
+                    "phys_addr_bits",
+                    f"{self.phys_addr_bits} address bits leave no tag bits for the "
+                    f"{name} cache ({geo.index_bits} index + {geo.offset_bits} offset)",
+                )
 
     @property
     def n_tiles(self) -> int:

@@ -23,6 +23,7 @@ __all__ = [
     "LivelockError",
     "ProgressWatchdog",
     "SimulationError",
+    "StuckError",
     "Simulator",
 ]
 
@@ -45,6 +46,24 @@ class LivelockError(SimulationError):
     def __init__(self, message: str, stalled: Optional[Dict[str, Any]] = None):
         super().__init__(message)
         self.stalled: Dict[str, Any] = stalled or {}
+
+
+class StuckError(SimulationError):
+    """A single operation can make no forward progress.
+
+    The per-op complement of :class:`LivelockError`: the watchdog spots
+    a whole chip spinning inside the event loop, while this is raised
+    by drivers that issue accesses directly (the verification harness)
+    when one access either exceeds its retry bound or is handed a
+    ``retry_at`` that never advances — a deadlocked or dropped
+    transaction rather than a livelocked chip.  ``detail`` carries the
+    diagnostic, typically ``{"tile": ..., "block": ..., "now": ...,
+    "retries": ...}``.
+    """
+
+    def __init__(self, message: str, detail: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.detail: Dict[str, Any] = detail or {}
 
 
 class ProgressWatchdog:

@@ -30,10 +30,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from ..sim.chip import Chip, paper_scaled_chip
+from ..sim.chip import PROTOCOLS, Chip, paper_scaled_chip
 from ..sim.config import (
     CacheGeometry,
     ChipConfig,
+    ConfigError,
     MemoryConfig,
     NocConfig,
 )
@@ -194,6 +195,35 @@ class RunSpec:
     protocol_kwargs: Mapping[str, Any] = field(default_factory=dict)
     #: pinned per-VM workload content, or ``None`` to resolve by name
     workload_specs: Optional[Tuple[Tuple[int, Mapping[str, Any]], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                "protocol",
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {', '.join(PROTOCOLS)}",
+            )
+        if self.cycles < 1:
+            raise ConfigError(
+                "cycles", f"measurement window must be >= 1 cycle, got {self.cycles}"
+            )
+        if self.warmup < 0:
+            raise ConfigError("warmup", f"warmup must be >= 0, got {self.warmup}")
+        if self.n_vms < 1:
+            raise ConfigError("n_vms", f"need at least one VM, got {self.n_vms}")
+        if isinstance(self.placement, str):
+            if self.placement not in ("aligned", "alt"):
+                raise ConfigError(
+                    "placement",
+                    f"unknown placement {self.placement!r}; expected "
+                    "'aligned', 'alt', or an explicit vm->tiles mapping",
+                )
+        elif not isinstance(self.placement, Mapping):
+            raise ConfigError(
+                "placement",
+                f"expected a name or vm->tiles mapping, got "
+                f"{type(self.placement).__name__}",
+            )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,49 @@
+"""Protocol verification subsystem.
+
+Stresses the five coherence protocols far harder than the paper's
+workload mix ever does, and turns any disagreement into a small,
+replayable artifact:
+
+* :mod:`~repro.verify.fuzzer` — seeded adversarial op-sequence
+  generators (false sharing, ping-pong, eviction storms, dedup races,
+  racing upgrades);
+* :mod:`~repro.verify.differential` — runs one trace through every
+  protocol under the coherence checker, audits directory state after
+  each operation, and compares the committed-version streams against a
+  strict-serial oracle and against each other;
+* :mod:`~repro.verify.shrinker` — delta-debugging (``ddmin``) reduction
+  of a failing sequence to a 1-minimal op list;
+* :mod:`~repro.verify.bundle` — self-contained JSON repro bundles that
+  ``python -m repro verify --replay`` re-executes deterministically;
+* :mod:`~repro.verify.mutations` — deliberately broken protocol
+  variants used to prove the harness actually catches bugs;
+* :mod:`~repro.verify.runner` — the fuzz-loop orchestrator behind
+  ``python -m repro verify``.
+"""
+
+from .bundle import BUNDLE_SCHEMA, ReplayResult, load_bundle, replay_bundle, write_bundle
+from .differential import TraceResult, Violation, run_differential, run_trace
+from .fuzzer import Op, SCENARIOS, generate_ops
+from .mutations import MUTATIONS, make_mutated_factory
+from .runner import VerifyReport, run_verification
+from .shrinker import ddmin
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "MUTATIONS",
+    "Op",
+    "ReplayResult",
+    "SCENARIOS",
+    "TraceResult",
+    "VerifyReport",
+    "Violation",
+    "ddmin",
+    "generate_ops",
+    "load_bundle",
+    "make_mutated_factory",
+    "replay_bundle",
+    "run_differential",
+    "run_trace",
+    "run_verification",
+    "write_bundle",
+]

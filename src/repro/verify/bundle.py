@@ -1,0 +1,144 @@
+"""Self-contained repro bundles for verification failures.
+
+A bundle is one JSON file carrying everything a deterministic replay
+needs: the schema tag, the chip-config document, the protocol, the
+seed, the (shrunk) op list, the violation that was observed, the
+mutation in effect (if the failure came from a deliberately broken
+variant), and the git revision that produced it.  ``python -m repro
+verify --replay bundle.json`` re-executes the trace and checks that
+the same failure recurs at the same op.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..sweep.spec import config_from_dict, config_to_dict
+from ..sim.config import ChipConfig
+from ..trace.manifest import git_rev
+from .differential import Violation, run_trace
+from .fuzzer import Op
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "ReplayResult",
+    "load_bundle",
+    "replay_bundle",
+    "write_bundle",
+]
+
+BUNDLE_SCHEMA = "repro-verify-bundle/v1"
+
+
+def write_bundle(
+    directory: Union[str, Path],
+    *,
+    protocol: str,
+    ops: List[Op],
+    violation: Violation,
+    config: ChipConfig,
+    seed: int,
+    scenario: Optional[str] = None,
+    mutation: Optional[str] = None,
+) -> Path:
+    """Write a repro bundle; returns the created file's path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    doc: Dict[str, Any] = {
+        "schema": BUNDLE_SCHEMA,
+        "git_rev": git_rev(),
+        "created_unix": int(time.time()),
+        "protocol": protocol,
+        "seed": seed,
+        "scenario": scenario,
+        "mutation": mutation,
+        "config": config_to_dict(config),
+        "ops": [op.to_list() for op in ops],
+        "violation": violation.to_dict(),
+    }
+    name = f"bundle-{protocol}-{violation.kind}-seed{seed}-{len(ops)}ops.json"
+    path = directory / name
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and schema-check a bundle document."""
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema")
+    if schema != BUNDLE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a verify bundle (schema {schema!r}, "
+            f"expected {BUNDLE_SCHEMA!r})"
+        )
+    for key in ("protocol", "seed", "config", "ops", "violation"):
+        if key not in doc:
+            raise ValueError(f"{path}: bundle is missing {key!r}")
+    return doc
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-executing a bundle."""
+
+    matched: bool
+    expected: Violation
+    observed: Optional[Violation]
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "matched": self.matched,
+            "expected": self.expected.to_dict(),
+            "observed": self.observed.to_dict() if self.observed else None,
+            "message": self.message,
+        }
+
+
+def replay_bundle(path: Union[str, Path]) -> ReplayResult:
+    """Re-run a bundle's trace and compare against its recorded failure.
+
+    The replay is deterministic, so a healthy bundle reproduces the same
+    violation kind at the same op index.  A bundle that no longer fails
+    means the bug was fixed (or the protocol changed) since capture.
+    """
+    doc = load_bundle(path)
+    ops = [Op.from_list(o) for o in doc["ops"]]
+    config = config_from_dict(doc["config"])
+    expected = Violation.from_dict(doc["violation"])
+    factory = None
+    if doc.get("mutation"):
+        from .mutations import make_mutated_factory
+
+        factory = make_mutated_factory(doc["mutation"])
+    result = run_trace(
+        doc["protocol"], ops, config, seed=doc["seed"], factory=factory
+    )
+    observed = result.violation
+    if observed is None:
+        return ReplayResult(
+            False,
+            expected,
+            None,
+            f"trace no longer fails ({len(ops)} ops ran clean) — the "
+            "recorded bug appears fixed",
+        )
+    if observed.same_failure(expected) and observed.op_index == expected.op_index:
+        return ReplayResult(
+            True,
+            expected,
+            observed,
+            f"reproduced: {observed.kind} violation on {observed.protocol} "
+            f"at op {observed.op_index}",
+        )
+    return ReplayResult(
+        False,
+        expected,
+        observed,
+        f"failure changed: expected {expected.kind}@op{expected.op_index}, "
+        f"observed {observed.kind}@op{observed.op_index}",
+    )

@@ -1,0 +1,152 @@
+"""Adversarial workload generation for protocol fuzzing.
+
+The paper's synthetic workloads are *statistically* realistic; the
+fuzzer is the opposite — short, seeded op sequences built to hit the
+transitions the steady-state mix rarely exercises: ownership ping-pong
+between two tiles, eviction storms through one L1 set, every tile
+racing to upgrade the same block, dedup'd read-mostly pages broken by
+an occasional write.  Sequences are tiny (hundreds of ops) so a
+failure shrinks to something a human can replay by hand.
+
+Everything is driven by one :class:`random.Random` seeded from the
+caller, so ``generate_ops(seed=s)`` is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["Op", "SCENARIOS", "generate_ops"]
+
+#: block-number pool; small enough that hot blocks collide constantly,
+#: large enough (vs the tiny test chip's 16-entry L1s) to force
+#: evictions along the way
+DEFAULT_POOL = 64
+
+#: stride that maps distinct blocks onto the same L1 set of the tiny
+#: test chip (8 sets); eviction-storm traffic uses it to overflow one
+#: set's associativity
+SET_STRIDE = 8
+
+
+@dataclass(frozen=True)
+class Op:
+    """One memory operation of a fuzz trace."""
+
+    tile: int
+    block: int
+    is_write: bool
+
+    def to_list(self) -> List[int]:
+        return [self.tile, self.block, int(self.is_write)]
+
+    @classmethod
+    def from_list(cls, doc: Sequence[int]) -> "Op":
+        tile, block, w = doc
+        return cls(tile=int(tile), block=int(block), is_write=bool(w))
+
+
+Generator = Callable[[random.Random, int, int], List[Op]]
+
+
+def _false_sharing(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """All tiles read/write a handful of hot blocks concurrently."""
+    hot = rng.sample(range(DEFAULT_POOL), 4)
+    return [
+        Op(rng.randrange(n_tiles), rng.choice(hot), rng.random() < 0.5)
+        for _ in range(n_ops)
+    ]
+
+
+def _ping_pong(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """Two distant tiles alternately write one block (ownership churn)."""
+    a, b = 0, n_tiles - 1
+    block = rng.randrange(DEFAULT_POOL)
+    ops = []
+    for i in range(n_ops):
+        if rng.random() < 0.15:  # background noise from a third tile
+            ops.append(Op(rng.randrange(n_tiles), block, False))
+        else:
+            ops.append(Op(a if i % 2 == 0 else b, block, True))
+    return ops
+
+
+def _eviction_storm(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """Overflow one L1 set so dirty owners get evicted mid-sharing."""
+    base = rng.randrange(SET_STRIDE)
+    conflict = [base + k * SET_STRIDE for k in range(DEFAULT_POOL // SET_STRIDE)]
+    tiles = rng.sample(range(n_tiles), min(4, n_tiles))
+    return [
+        Op(rng.choice(tiles), rng.choice(conflict), rng.random() < 0.6)
+        for _ in range(n_ops)
+    ]
+
+
+def _dedup_race(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """Read-mostly shared blocks with rare writes (CoW-break pattern)."""
+    pages = rng.sample(range(DEFAULT_POOL), 8)
+    ops = []
+    for _ in range(n_ops):
+        block = rng.choice(pages)
+        # every tile reads; one write slices through the sharer set
+        ops.append(Op(rng.randrange(n_tiles), block, rng.random() < 0.05))
+    return ops
+
+
+def _racing_upgrades(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """Bursts of read-then-write by many tiles on the same block."""
+    ops: List[Op] = []
+    while len(ops) < n_ops:
+        block = rng.randrange(DEFAULT_POOL)
+        racers = rng.sample(range(n_tiles), min(6, n_tiles))
+        for t in racers:  # everyone takes a shared copy...
+            ops.append(Op(t, block, False))
+        rng.shuffle(racers)
+        for t in racers:  # ...then everyone upgrades
+            ops.append(Op(t, block, True))
+    return ops[:n_ops]
+
+
+def _mixed_random(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """Uniform background traffic; catches whatever the targeted
+    scenarios miss."""
+    return [
+        Op(rng.randrange(n_tiles), rng.randrange(DEFAULT_POOL), rng.random() < 0.4)
+        for _ in range(n_ops)
+    ]
+
+
+SCENARIOS: Dict[str, Generator] = {
+    "false-sharing": _false_sharing,
+    "ping-pong": _ping_pong,
+    "eviction-storm": _eviction_storm,
+    "dedup-race": _dedup_race,
+    "racing-upgrades": _racing_upgrades,
+    "mixed-random": _mixed_random,
+}
+
+
+def generate_ops(
+    seed: int,
+    n_ops: int,
+    n_tiles: int,
+    scenario: str | None = None,
+) -> Tuple[str, List[Op]]:
+    """Produce a seeded adversarial op sequence.
+
+    With ``scenario=None`` the seed also picks the scenario, so a round
+    counter alone sweeps the whole catalogue.  Returns the scenario
+    name with the ops so reports and bundles can say what was fuzzed.
+    """
+    rng = random.Random(seed)
+    if scenario is None:
+        scenario = sorted(SCENARIOS)[rng.randrange(len(SCENARIOS))]
+    try:
+        gen = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown fuzz scenario {scenario!r}; options: {sorted(SCENARIOS)}"
+        ) from None
+    return scenario, gen(rng, n_tiles, n_ops)

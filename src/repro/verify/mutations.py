@@ -1,0 +1,213 @@
+"""Deliberately broken protocol variants (mutation testing).
+
+Each mutation flips exactly one transition of one protocol — the kind
+of off-by-one a refactor introduces — and exists to prove the
+verification harness catches real bugs, not just to decorate CI.  Each
+docstring says which detection layer is expected to fire:
+
+* ``directory-stale-eviction`` — checker value-propagation (stale
+  version reaches the home on writeback);
+* ``dico-lost-commit`` — **only** the commit-count oracle (the
+  checker stays self-consistent, the program order does not);
+* ``providers-stale-propo`` — the Providers directory audit (a ProPo
+  pointer keeps naming an evicted provider);
+* ``arin-skip-broadcast`` — checker SWMR/value-propagation (one stale
+  copy survives the write broadcast);
+* ``vh-stale-l2dir`` — the VH directory audit (the level-2 directory
+  loses a live domain's bit).
+
+The factories build subclasses lazily so importing this module never
+pays protocol-import cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["MUTATIONS", "Mutation", "make_mutated_factory"]
+
+
+def _directory_stale_eviction() -> type:
+    from ..core.protocols.directory import DirectoryProtocol
+
+    class StaleEvictionDirectory(DirectoryProtocol):
+        """Writebacks of dirty lines carry a stale (decremented)
+        version — as if the eviction raced an in-flight commit."""
+
+        def _evict_l1_line(self, tile, block, line, now):
+            if line.dirty and line.version > 0:
+                line.version -= 1
+            super()._evict_l1_line(tile, block, line, now)
+
+    return StaleEvictionDirectory
+
+
+def _dico_lost_commit() -> type:
+    from ..core.protocols.base import L1Line
+    from ..core.protocols.dico import DiCoProtocol
+    from ..core.states import L1State
+
+    class LostCommitDiCo(DiCoProtocol):
+        """Every third write commit is dropped from the global order:
+        the writer's line takes the *current* version instead of a new
+        one.  All copies stay mutually consistent, so only the
+        commit-count oracle can see the missing write."""
+
+        _mut_commits = 0
+
+        def _commit_write(self, tile, block, now):
+            self._mut_commits += 1
+            if self._mut_commits % 3 != 0:
+                super()._commit_write(tile, block, now)
+                return
+            version = self.checker.current_version(block)  # no bump
+            existing = self.l1s[tile].peek(block)
+            if existing is not None:
+                existing.state = L1State.M
+                existing.dirty = True
+                existing.version = version
+                existing.sharers = 0
+                existing.propos = {}
+                self.l1s[tile].charge_data_write()
+                self.l1cs[tile].block_cached(block, None)
+            else:
+                self.fill_l1(
+                    tile,
+                    block,
+                    L1Line(state=L1State.M, version=version, dirty=True),
+                    now,
+                    supplier=None,
+                )
+
+    return LostCommitDiCo
+
+
+def _providers_stale_propo() -> type:
+    from ..core.protocols.providers import DiCoProvidersProtocol
+
+    class StaleProPoProviders(DiCoProvidersProtocol):
+        """ProPo pointers are never cleared, so an evicted provider
+        stays referenced by the owner's sharing code."""
+
+        def _update_propo(self, block, owner_loc, owner_is_l1, area, provider):
+            if provider is None:
+                return  # drop the clearing action
+            super()._update_propo(block, owner_loc, owner_is_l1, area, provider)
+
+    return StaleProPoProviders
+
+
+def _arin_skip_broadcast() -> type:
+    from ..core.protocols.arin import DiCoArinProtocol
+
+    class SkipBroadcastArin(DiCoArinProtocol):
+        """The write broadcast misses one live copy, leaving a stale
+        reader behind the new version."""
+
+        _mut_armed = False
+
+        def _broadcast_write(self, home, tile, block, entry, had_copy, now):
+            self._mut_armed = True
+            try:
+                return super()._broadcast_write(
+                    home, tile, block, entry, had_copy, now
+                )
+            finally:
+                self._mut_armed = False
+
+        def drop_l1(self, tile, block):
+            if self._mut_armed and self.l1s[tile].peek(block) is not None:
+                self._mut_armed = False  # skip exactly one invalidation
+                return None
+            return super().drop_l1(tile, block)
+
+    return SkipBroadcastArin
+
+
+def _vh_stale_l2dir() -> type:
+    from ..core.protocols.vh import VirtualHierarchyProtocol
+
+    class StaleL2DirVH(VirtualHierarchyProtocol):
+        """Level-2 directory updates lose the lowest domain bit when
+        more than one domain holds the block."""
+
+        def _l2dir_set(self, block, domains_mask, owner_domain, now):
+            if domains_mask & (domains_mask - 1):
+                domains_mask &= domains_mask - 1
+            super()._l2dir_set(block, domains_mask, owner_domain, now)
+
+    return StaleL2DirVH
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded protocol bug."""
+
+    name: str
+    protocol: str  #: the protocol this mutation applies to
+    expected_detector: str  #: which layer should catch it (documentation)
+    build: Callable[[], type]
+
+
+MUTATIONS: Dict[str, Mutation] = {
+    m.name: m
+    for m in (
+        Mutation(
+            "directory-stale-eviction",
+            "directory",
+            "checker value-propagation",
+            _directory_stale_eviction,
+        ),
+        Mutation(
+            "dico-lost-commit",
+            "dico",
+            "commit-count oracle",
+            _dico_lost_commit,
+        ),
+        Mutation(
+            "providers-stale-propo",
+            "dico-providers",
+            "directory audit",
+            _providers_stale_propo,
+        ),
+        Mutation(
+            "arin-skip-broadcast",
+            "dico-arin",
+            "checker SWMR / value-propagation",
+            _arin_skip_broadcast,
+        ),
+        Mutation(
+            "vh-stale-l2dir",
+            "vh",
+            "directory audit",
+            _vh_stale_l2dir,
+        ),
+    )
+}
+
+
+def make_mutated_factory(name: str) -> Callable[..., Any]:
+    """A ``make_protocol``-compatible factory for one mutation.
+
+    The factory builds the mutated class when the protocol name matches
+    the mutation's target and falls through to the stock protocol
+    otherwise, so it can be handed to the differential runner for the
+    whole protocol list.
+    """
+    try:
+        mutation = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; options: {sorted(MUTATIONS)}"
+        ) from None
+
+    def factory(protocol: str, config, seed: int = 0, checker=None, **kwargs):
+        from ..sim.chip import make_protocol
+
+        if protocol != mutation.protocol:
+            return make_protocol(protocol, config, seed=seed, checker=checker, **kwargs)
+        cls = mutation.build()
+        return cls(config, seed=seed, checker=checker, **kwargs)
+
+    return factory

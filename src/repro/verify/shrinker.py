@@ -1,0 +1,84 @@
+"""Delta-debugging reduction of failing op sequences.
+
+Classic ``ddmin`` (Zeller & Hildebrandt, *Simplifying and Isolating
+Failure-Inducing Input*, TSE 2002): repeatedly try removing chunks —
+then complements of chunks — at doubling granularity, keeping any
+subsequence that still reproduces the failure.  Terminates 1-minimal:
+removing any single remaining op makes the failure disappear.
+
+The predicate re-runs the differential harness on the violating
+protocol only, so shrinking a 400-op trace typically costs a few dozen
+sub-second replays.  Both a test-count budget and a wall-clock deadline
+bound the worst case; hitting either returns the best reduction so
+far (still a valid failing sequence, just maybe not minimal).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["ddmin"]
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    failing: Callable[[List[T]], bool],
+    max_tests: int = 400,
+    deadline: Optional[float] = None,
+) -> List[T]:
+    """Reduce ``items`` to a minimal list for which ``failing`` holds.
+
+    ``failing(subset)`` must return ``True`` when the subset still
+    reproduces the original failure.  ``failing(items)`` is assumed
+    ``True`` (the caller observed the failure on the full sequence).
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp.
+    """
+    items = list(items)
+    tests = 0
+
+    def out_of_budget() -> bool:
+        return tests >= max_tests or (
+            deadline is not None and time.monotonic() >= deadline
+        )
+
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        # pass 1: try each chunk alone (fast when the failure is local)
+        for start in range(0, len(items), chunk):
+            if out_of_budget():
+                return items
+            subset = items[start : start + chunk]
+            if len(subset) == len(items):
+                continue
+            tests += 1
+            if failing(subset):
+                items = subset
+                n = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # pass 2: try removing each chunk (complement)
+        for start in range(0, len(items), chunk):
+            if out_of_budget():
+                return items
+            subset = items[:start] + items[start + chunk :]
+            if not subset:
+                continue
+            tests += 1
+            if failing(subset):
+                items = subset
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if n >= len(items):
+            break  # granularity 1 and nothing removable: 1-minimal
+        n = min(len(items), n * 2)
+    return items

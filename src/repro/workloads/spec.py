@@ -74,6 +74,19 @@ class WorkloadSpec:
         for f in (self.write_private, self.write_vm_shared, self.write_dedup):
             if not 0.0 <= f <= 1.0:
                 raise ValueError(f"{self.name}: write fraction {f} out of range")
+        for attr in ("private_pages", "vm_shared_pages", "dedup_pages"):
+            if getattr(self, attr) < 0:
+                raise ValueError(
+                    f"{self.name}: {attr} must be >= 0, got {getattr(self, attr)}"
+                )
+        if self.private_pages + self.vm_shared_pages + self.dedup_pages == 0:
+            raise ValueError(
+                f"{self.name}: workload has a zero-length address space "
+                "(no private, vm-shared or dedup pages)"
+            )
+        lo, hi = self.think
+        if lo < 0 or hi < lo:
+            raise ValueError(f"{self.name}: invalid think range {self.think}")
 
     def logical_pages(self, threads_per_vm: int) -> int:
         """Pages in one VM's logical address space."""

@@ -72,3 +72,91 @@ def test_providers_and_sharers_coexist():
 
 def test_empty_copy_set_is_fine():
     CoherenceChecker().check_copy_set(1, [])
+
+
+# ---------------------------------------------------------------------------
+# violation diagnostics
+
+def test_violation_carries_structured_context():
+    c = CoherenceChecker()
+    c.bind("dico", lambda block: [("L1[3]", "M", 0)])
+    c.commit_write(7)
+    with pytest.raises(CoherenceViolation) as exc:
+        c.check_read(7, 0, "L1[3]", now=123, tile=3)
+    v = exc.value
+    assert v.protocol == "dico"
+    assert v.cycle == 123
+    assert v.tile == 3
+    assert v.block == 7
+    assert v.snapshot == [("L1[3]", "M", 0)]
+    msg = str(v)
+    assert "protocol=dico" in msg and "cycle=123" in msg
+    assert "L1[3]:M@v0" in msg
+    doc = v.to_dict()
+    assert doc["protocol"] == "dico" and doc["cycle"] == 123
+
+
+def test_snapshot_failure_never_masks_the_violation():
+    c = CoherenceChecker()
+
+    def broken(block):
+        raise RuntimeError("snapshot exploded")
+
+    c.bind("vh", broken)
+    c.commit_write(1)
+    with pytest.raises(CoherenceViolation) as exc:
+        c.check_read(1, 0, now=5)
+    assert exc.value.snapshot is None
+
+
+def test_commit_sink_records_blocks():
+    c = CoherenceChecker()
+    sink = []
+    c.record_commits(sink)
+    c.commit_write(4)
+    c.commit_write(9)
+    c.commit_write(4)
+    assert sink == [4, 9, 4]
+    c.record_commits(None)
+    c.commit_write(4)
+    assert sink == [4, 9, 4]
+
+
+# ---------------------------------------------------------------------------
+# protocol edge cases (driven through the real protocols)
+
+from repro.sim.chip import PROTOCOLS, make_protocol  # noqa: E402
+from repro.sim.config import small_test_chip  # noqa: E402
+from repro.verify.differential import run_trace  # noqa: E402
+from repro.verify.fuzzer import SET_STRIDE, Op  # noqa: E402
+
+TINY = small_test_chip(4, 4, 4, l1_kb=1, l2_kb=4)
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_dirty_owner_eviction_preserves_version(protocol):
+    """Evicting a dirty owner must push the current version home: a
+    later reader (and the per-block audit) sees no staleness."""
+    victim = 0
+    # fill the victim's L1 set past associativity with dirty lines
+    conflict = [victim + k * SET_STRIDE for k in range(6)]
+    ops = [Op(0, b, True) for b in conflict]
+    # now make every other tile read the (long-evicted) first block
+    ops += [Op(t, victim, False) for t in range(1, TINY.n_tiles)]
+    result = run_trace(protocol, ops, TINY)
+    assert result.violation is None, result.violation
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_dedup_readonly_page_broken_by_write(protocol):
+    """Dedup'd read-only sharing then a write (the CoW-break shape):
+    the write must invalidate/update every one of the many sharers."""
+    block = 3
+    ops = [Op(t, block, False) for t in range(TINY.n_tiles)]   # wide sharing
+    ops += [Op(5, block, True)]                                 # the break
+    ops += [Op(t, block, False) for t in range(TINY.n_tiles)]   # re-read
+    ops += [Op(9, block, True)]                                 # and again
+    ops += [Op(t, block, False) for t in range(TINY.n_tiles)]
+    result = run_trace(protocol, ops, TINY)
+    assert result.violation is None, result.violation
+    assert result.versions[-1] == 2

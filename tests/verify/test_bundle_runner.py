@@ -1,0 +1,156 @@
+"""Repro bundles, the verification runner and the ``verify`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.verify.bundle import (
+    BUNDLE_SCHEMA,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from repro.verify.differential import Violation, default_config
+from repro.verify.fuzzer import Op
+from repro.verify.runner import run_verification
+
+CONFIG = default_config()
+
+
+def _dummy_violation():
+    return Violation("coherence", "directory", 2, "made up", {"block": 5})
+
+
+def test_bundle_round_trip(tmp_path):
+    ops = [Op(0, 1, True), Op(1, 1, False), Op(2, 1, True)]
+    path = write_bundle(
+        tmp_path,
+        protocol="directory",
+        ops=ops,
+        violation=_dummy_violation(),
+        config=CONFIG,
+        seed=9,
+        scenario="ping-pong",
+    )
+    doc = load_bundle(path)
+    assert doc["schema"] == BUNDLE_SCHEMA
+    assert [Op.from_list(o) for o in doc["ops"]] == ops
+    assert doc["violation"]["op_index"] == 2
+    assert doc["scenario"] == "ping-pong"
+
+
+def test_load_rejects_non_bundles(tmp_path):
+    p = tmp_path / "x.json"
+    p.write_text(json.dumps({"schema": "something-else"}))
+    with pytest.raises(ValueError, match="not a verify bundle"):
+        load_bundle(p)
+
+
+def test_clean_verification_passes(tmp_path):
+    report = run_verification(
+        rounds=2, seed=5, n_ops=150, bundle_dir=tmp_path
+    )
+    assert report.verdict == "pass"
+    assert report.rounds_run == 2
+    assert report.violations == []
+    assert report.bundles == []
+    assert report.ops_executed == 2 * 5 * 150
+
+
+def test_mutated_verification_fails_shrinks_and_replays(tmp_path):
+    """The acceptance path: inject a bug, catch it, shrink the trace
+    to a handful of ops, and replay the bundle to the same violation."""
+    report = run_verification(
+        rounds=8,
+        seed=1,
+        mutation="arin-skip-broadcast",
+        bundle_dir=tmp_path,
+    )
+    assert report.verdict == "fail"
+    assert report.violations
+    v = report.violations[0]
+    assert v["protocol"] == "dico-arin"
+    assert v["shrunk_ops"] <= 20
+    assert report.bundles
+    replay = replay_bundle(report.bundles[0])
+    assert replay.matched, replay.message
+
+
+def test_budget_bounds_rounds(tmp_path):
+    report = run_verification(
+        rounds=10_000, seed=3, n_ops=100, budget_seconds=1.0,
+        bundle_dir=tmp_path,
+    )
+    assert report.rounds_run < 10_000
+    assert report.verdict == "pass"
+
+
+def test_report_is_machine_readable(tmp_path):
+    report = run_verification(rounds=1, seed=0, n_ops=100, bundle_dir=tmp_path)
+    out = report.save(tmp_path / "report.json")
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro-verify-report/v1"
+    assert doc["verdict"] == "pass"
+    assert doc["scenarios_run"]
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+
+def test_cli_verify_clean_exits_zero(tmp_path, capsys):
+    rc = main([
+        "verify", "--rounds", "1", "--ops", "100", "--seed", "4",
+        "--bundle-dir", str(tmp_path),
+        "--output", str(tmp_path / "report.json"),
+    ])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verdict"] == "pass"
+    assert (tmp_path / "report.json").exists()
+
+
+def test_cli_verify_mutation_exits_one(tmp_path, capsys):
+    rc = main([
+        "verify", "--rounds", "8", "--seed", "1",
+        "--mutate", "vh-stale-l2dir",
+        "--protocols", "vh",
+        "--bundle-dir", str(tmp_path),
+    ])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verdict"] == "fail"
+
+
+def test_cli_verify_replay_round_trip(tmp_path, capsys):
+    rc = main([
+        "verify", "--rounds", "8", "--seed", "1",
+        "--mutate", "directory-stale-eviction",
+        "--protocols", "directory",
+        "--bundle-dir", str(tmp_path),
+    ])
+    assert rc == 1
+    bundles = list(tmp_path.glob("bundle-*.json"))
+    assert bundles
+    capsys.readouterr()
+    rc = main(["verify", "--replay", str(bundles[0])])
+    assert rc == 0
+
+
+def test_cli_verify_bad_protocol_exits_two(capsys):
+    assert main(["verify", "--protocols", "nope"]) == 2
+    assert "unknown protocol" in capsys.readouterr().err
+
+
+def test_cli_verify_bad_mutation_exits_two(capsys):
+    assert main(["verify", "--mutate", "nope"]) == 2
+    assert "unknown mutation" in capsys.readouterr().err
+
+
+def test_cli_invalid_config_exits_two(capsys):
+    rc = main([
+        "run", "--protocol", "dico", "--workload", "apache",
+        "--cycles", "0",
+    ])
+    assert rc == 2
+    assert "cycles" in capsys.readouterr().err

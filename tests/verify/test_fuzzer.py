@@ -1,0 +1,54 @@
+"""The adversarial generators: seeded, bounded, and varied."""
+
+import pytest
+
+from repro.verify.fuzzer import DEFAULT_POOL, Op, SCENARIOS, generate_ops
+
+N_TILES = 16
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_same_seed_same_ops(scenario):
+    _, a = generate_ops(42, 200, N_TILES, scenario)
+    _, b = generate_ops(42, 200, N_TILES, scenario)
+    assert a == b
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_different_seeds_differ(scenario):
+    _, a = generate_ops(1, 200, N_TILES, scenario)
+    _, b = generate_ops(2, 200, N_TILES, scenario)
+    assert a != b
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_ops_stay_in_bounds(scenario):
+    _, ops = generate_ops(7, 300, N_TILES, scenario)
+    assert len(ops) == 300
+    for op in ops:
+        assert 0 <= op.tile < N_TILES
+        assert 0 <= op.block < DEFAULT_POOL
+        assert isinstance(op.is_write, bool)
+
+
+def test_seed_picks_scenario_when_unspecified():
+    names = {generate_ops(s, 10, N_TILES)[0] for s in range(40)}
+    assert len(names) > 1  # the sweep actually rotates
+    assert names <= set(SCENARIOS)
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown fuzz scenario"):
+        generate_ops(0, 10, N_TILES, "nope")
+
+
+def test_op_round_trips_through_lists():
+    op = Op(tile=3, block=0x2a, is_write=True)
+    assert Op.from_list(op.to_list()) == op
+
+
+def test_ping_pong_concentrates_on_one_block():
+    _, ops = generate_ops(5, 200, N_TILES, "ping-pong")
+    blocks = {op.block for op in ops}
+    assert len(blocks) == 1
+    assert sum(op.is_write for op in ops) > 100

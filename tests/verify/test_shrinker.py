@@ -1,0 +1,52 @@
+"""ddmin on synthetic predicates with known minima."""
+
+from repro.verify.shrinker import ddmin
+
+
+def test_single_culprit_shrinks_to_one():
+    items = list(range(100))
+    result = ddmin(items, lambda s: 37 in s)
+    assert result == [37]
+
+
+def test_pair_of_culprits_keeps_both():
+    items = list(range(80))
+    result = ddmin(items, lambda s: 5 in s and 63 in s)
+    assert sorted(result) == [5, 63]
+
+
+def test_order_dependent_failure_preserved():
+    # fails only when 10 appears before 20 — ddmin must not reorder
+    items = list(range(30))
+
+    def failing(s):
+        if 10 not in s or 20 not in s:
+            return False
+        return s.index(10) < s.index(20)
+
+    result = ddmin(items, failing)
+    assert result == [10, 20]
+
+
+def test_result_is_one_minimal():
+    items = list(range(50))
+
+    def failing(s):
+        return sum(s) >= 49 and 49 in s
+
+    result = ddmin(items, failing)
+    for i in range(len(result)):
+        sub = result[:i] + result[i + 1 :]
+        assert not failing(sub), f"removing {result[i]} still fails: not minimal"
+
+
+def test_budget_returns_valid_failing_subset():
+    items = list(range(200))
+    result = ddmin(items, lambda s: 150 in s, max_tests=3)
+    assert 150 in result  # possibly not minimal, but still failing
+
+
+def test_everything_needed_returns_everything():
+    items = [1, 2, 3, 4]
+    result = ddmin(items, lambda s: len(s) == 4)
+    assert result == items

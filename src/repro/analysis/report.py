@@ -16,7 +16,7 @@ way the paper normalizes:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..power.dynamic import DynamicEnergyModel, EnergyBreakdown
 from ..sim.config import ChipConfig, DEFAULT_CHIP
@@ -115,8 +115,14 @@ def fig9b_miss_breakdown(
     return rows
 
 
-def average_miss_links(stats_by_protocol: Mapping[str, RunStats]) -> Dict[str, float]:
-    """Average links traversed per L1 miss (the Sec. V-D discussion)."""
+def average_miss_links(
+    stats_by_protocol: Mapping[str, RunStats],
+) -> Dict[str, Optional[float]]:
+    """Average links traversed per L1 miss (the Sec. V-D discussion).
+
+    A protocol whose run recorded no misses maps to ``None`` rather
+    than a fake 0-link average.
+    """
     return {
         name: stats.miss_links.mean for name, stats in stats_by_protocol.items()
     }

@@ -39,6 +39,7 @@ from . import (
 from .analysis import fig7_rows, fig9a_performance, fig9b_miss_breakdown
 from .api import RunSpec, TraceOptions, simulate
 from .sim.config import ConfigError
+from .simx import ENGINES
 from .sweep.spec import valid_override_keys
 
 PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
@@ -79,7 +80,11 @@ def _spec_for(args, protocol: str) -> RunSpec:
 
 
 def cmd_run(args) -> int:
-    result = simulate(_spec_for(args, args.protocol), checker=args.checker)
+    result = simulate(
+        _spec_for(args, args.protocol),
+        checker=args.checker,
+        engine=args.engine,
+    )
     out = result.stats.summary()
     out["miss_categories"] = result.stats.miss_categories
     print(json.dumps(out, indent=2))
@@ -389,6 +394,7 @@ def cmd_verify(args) -> int:
         mutation=args.mutate,
         bundle_dir=args.bundle_dir,
         report_path=args.output or None,
+        engine=args.engine,
     )
     print(json.dumps(report.to_dict(), indent=2))
     return 0 if report.passed else 1
@@ -462,6 +468,12 @@ def main(argv=None) -> int:
     p_run.add_argument(
         "--checker", action=argparse.BooleanOptionalAction, default=True,
         help="run the post-run coherence invariant sweep (default: on)",
+    )
+    p_run.add_argument(
+        "--engine", default=None, choices=ENGINES,
+        help="simulation engine (default: $REPRO_ENGINE, else object); "
+        "the engines are pinned bit-identical, so this only changes "
+        "wall time",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -614,6 +626,13 @@ def main(argv=None) -> int:
         help="attach a counting trace sink — measures instrumentation "
         "overhead against a tracing-off run",
     )
+    p_perf.add_argument(
+        "--engine", default=None, choices=ENGINES + ("both",),
+        help="simulation engine to time (default: $REPRO_ENGINE, else "
+        "object); 'both' times object then array, asserts them "
+        "bit-identical per cell, and embeds the object run as the "
+        "report's baseline",
+    )
     p_perf.set_defaults(func=cmd_perf)
 
     p_verify = sub.add_parser(
@@ -656,6 +675,12 @@ def main(argv=None) -> int:
         "--replay", default=None, metavar="BUNDLE",
         help="re-execute a captured repro bundle instead of fuzzing "
         "(exit 0 iff the recorded violation reproduces)",
+    )
+    p_verify.add_argument(
+        "--engine", default=None, choices=ENGINES + ("both",),
+        help="simulation engine for the fuzz traces (default: "
+        "$REPRO_ENGINE, else object); 'both' replays every protocol on "
+        "both engines per round and fails on any engine divergence",
     )
     p_verify.set_defaults(func=cmd_verify)
 

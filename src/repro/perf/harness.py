@@ -34,7 +34,13 @@ Report schema (``BENCH_PERF.json``)::
 
 Wall time per cell is the *median* over ``repeat`` runs (operation
 counts are asserted identical across repeats — the simulator is
-deterministic, only the clock varies).
+deterministic, only the clock varies).  Each cell also records the
+sha256 of its full statistics document, so two reports double as a
+bit-identity witness: equal digests mean the runs computed the same
+result, whatever their speed.  ``--engine both`` exploits this to time
+the object and array engines back-to-back, assert them bit-identical
+per cell, and emit the array report with the object report embedded as
+its baseline.
 """
 
 from __future__ import annotations
@@ -47,9 +53,10 @@ import pstats
 import subprocess
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..simx import resolve_engine
 from ..sweep.spec import RunSpec
 
 __all__ = [
@@ -57,9 +64,12 @@ __all__ = [
     "QUICK_CELLS",
     "REFERENCE_CELLS",
     "CellResult",
+    "Comparison",
+    "compare_reports",
     "config_fingerprint",
     "geomean",
     "git_rev",
+    "git_rev_in_repo",
     "load_report",
     "run_cells",
     "write_report",
@@ -100,6 +110,9 @@ class CellResult:
     spec: RunSpec
     operations: int
     wall_s: float
+    #: sha256 over the run's canonical statistics JSON — the cell's
+    #: result identity (equal digests = bit-identical runs)
+    stats_sha256: str = ""
 
     @property
     def ops_per_s(self) -> float:
@@ -115,6 +128,7 @@ class CellResult:
             "operations": self.operations,
             "wall_s": round(self.wall_s, 6),
             "ops_per_s": round(self.ops_per_s, 1),
+            "stats_sha256": self.stats_sha256,
         }
 
 
@@ -133,6 +147,39 @@ def git_rev() -> str:
     return rev if out.returncode == 0 and rev else "unknown"
 
 
+def git_rev_in_repo(rev: str) -> Optional[bool]:
+    """Whether ``rev`` names a commit in this repository.
+
+    ``None`` when the question cannot be answered (no git, no
+    checkout, or the recorded rev is the ``"unknown"`` placeholder) —
+    callers should treat that as "cannot vouch", not as a failure.
+    A ``False`` answer means the baseline was produced on a tree this
+    repository has never seen, so its numbers describe different code.
+    """
+    if not rev or rev == "unknown":
+        return None
+    try:
+        out = subprocess.run(
+            ["git", "cat-file", "-e", f"{rev}^{{commit}}"],
+            capture_output=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode == 0:
+        return True
+    # distinguish "not a commit here" from "not a git checkout at all"
+    try:
+        inside = subprocess.run(
+            ["git", "rev-parse", "--is-inside-work-tree"],
+            capture_output=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return False if inside.returncode == 0 else None
+
+
 def config_fingerprint(cells: Sequence[RunSpec]) -> str:
     """sha256 over the cells' canonical JSON — the grid's identity.
 
@@ -147,16 +194,34 @@ def config_fingerprint(cells: Sequence[RunSpec]) -> str:
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean; the right average for per-cell speedup ratios."""
+    """Geometric mean; the right average for per-cell speedup ratios.
+
+    An empty input has no geometric mean — it raises instead of
+    returning a fabricated 0.0 that would read as "infinitely slow" in
+    a report.  Callers with possibly-empty inputs must guard.
+    """
     if not values:
-        return 0.0
+        raise ValueError("geomean of an empty sequence is undefined")
     product = 1.0
     for v in values:
         product *= v
     return product ** (1.0 / len(values))
 
 
-def _time_cell(spec: RunSpec, repeat: int, trace: bool = False) -> CellResult:
+def stats_digest(stats) -> str:
+    """sha256 over the canonical JSON of a run's full statistics."""
+    from ..stats.io import stats_to_dict
+
+    doc = json.dumps(stats_to_dict(stats), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def _time_cell(
+    spec: RunSpec,
+    repeat: int,
+    trace: bool = False,
+    engine: Optional[str] = None,
+) -> CellResult:
     """Median-of-``repeat`` wall time for one cell.
 
     Repeats must commit identical operation counts — the simulator is
@@ -165,9 +230,14 @@ def _time_cell(spec: RunSpec, repeat: int, trace: bool = False) -> CellResult:
     ``trace=True`` attaches a counting sink (events generated and
     consumed, never stored), which isolates the cost of the
     instrumentation itself — the number ``--trace`` reports.
+
+    ``engine`` selects the simulation engine per run (``None`` defers
+    to ``REPRO_ENGINE``); the first repeat's statistics are hashed into
+    the result so cross-engine runs can be asserted bit-identical.
     """
     walls: List[float] = []
     operations: Optional[int] = None
+    digest = ""
     for _ in range(repeat):
         options = None
         if trace:
@@ -176,11 +246,12 @@ def _time_cell(spec: RunSpec, repeat: int, trace: bool = False) -> CellResult:
 
             options = TraceOptions(sink=CountingSink())
         start = time.perf_counter()
-        stats = spec.execute(verify=False, trace=options)
+        stats = spec.execute(verify=False, trace=options, engine=engine)
         wall = time.perf_counter() - start
         walls.append(wall)
         if operations is None:
             operations = stats.operations
+            digest = stats_digest(stats)
         elif operations != stats.operations:
             raise RuntimeError(
                 f"{spec.label}: nondeterministic op count "
@@ -191,7 +262,9 @@ def _time_cell(spec: RunSpec, repeat: int, trace: bool = False) -> CellResult:
     if len(walls) % 2 == 0:
         median = (median + walls[len(walls) // 2 - 1]) / 2.0
     assert operations is not None
-    return CellResult(spec=spec, operations=operations, wall_s=median)
+    return CellResult(
+        spec=spec, operations=operations, wall_s=median, stats_sha256=digest
+    )
 
 
 def run_cells(
@@ -199,15 +272,18 @@ def run_cells(
     repeat: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    engine: Optional[str] = None,
 ) -> List[CellResult]:
     """Time every cell; results come back in cell order."""
     results: List[CellResult] = []
     for i, spec in enumerate(cells):
-        result = _time_cell(spec, repeat, trace=trace)
+        result = _time_cell(spec, repeat, trace=trace, engine=engine)
         results.append(result)
         if progress is not None:
+            tag = f"[{engine}] " if engine else ""
             progress(
-                f"[{i + 1}/{len(cells)}] {spec.protocol}/{spec.workload:<10s}"
+                f"{tag}[{i + 1}/{len(cells)}] "
+                f"{spec.protocol}/{spec.workload:<10s}"
                 f" {result.operations:>8d} ops  {result.wall_s:7.3f}s"
                 f"  {result.ops_per_s:>10,.0f} ops/s"
             )
@@ -221,11 +297,13 @@ def build_report(
     repeat: int,
     baseline: Optional[Dict[str, Any]] = None,
     trace: bool = False,
+    engine: str = "object",
 ) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "schema": BENCH_PERF_SCHEMA_VERSION,
         "git_rev": git_rev(),
         "config_fingerprint": config_fingerprint(cells),
+        "engine": engine,
         "quick": quick,
         "repeat": repeat,
         "trace_enabled": trace,
@@ -254,40 +332,80 @@ def load_report(path: str) -> Dict[str, Any]:
     return report
 
 
+def _cell_key(cell: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (
+        cell["protocol"],
+        cell["workload"],
+        cell["cycles"],
+        cell["warmup"],
+        cell["seed"],
+    )
+
+
+def _cell_label(cell: Dict[str, Any]) -> str:
+    return f"{cell['protocol']}/{cell['workload']}"
+
+
+@dataclass
+class Comparison:
+    """Outcome of matching one report against a baseline.
+
+    ``rows`` holds ``(label, baseline ops/s, current ops/s, speedup)``
+    for every matched cell.  Cells present on only one side are not
+    silently dropped — they are listed in ``unmatched_report`` /
+    ``unmatched_baseline`` so a regression cannot hide behind a renamed
+    or removed cell.
+    """
+
+    rows: List[Tuple[str, float, float, float]] = field(default_factory=list)
+    #: labels of current-report cells with no baseline counterpart
+    unmatched_report: List[str] = field(default_factory=list)
+    #: labels of baseline cells missing from the current report
+    unmatched_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def geomean_speedup(self) -> Optional[float]:
+        """Geomean over the matched cells; ``None`` when none matched."""
+        if not self.rows:
+            return None
+        return geomean([r[3] for r in self.rows])
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell on both sides found its counterpart."""
+        return not self.unmatched_report and not self.unmatched_baseline
+
+
 def compare_reports(
     report: Dict[str, Any], baseline: Dict[str, Any]
-) -> List[Tuple[str, float, float, float]]:
-    """Per-cell ``(label, baseline ops/s, current ops/s, speedup)``.
+) -> Comparison:
+    """Match cells by (protocol, workload, cycles, warmup, seed).
 
-    Cells are matched by (protocol, workload, cycles, warmup, seed);
-    unmatched cells are skipped.  A fingerprint mismatch degrades the
-    comparison to matched cells only — the caller should surface it.
+    A baseline cell without a usable throughput (``ops_per_s`` of 0 or
+    absent) cannot anchor a speedup; the current cell it would have
+    matched is listed as unmatched.  A fingerprint mismatch degrades the comparison to
+    matched cells only — the caller should surface it alongside the
+    unmatched lists.
     """
-    def key(cell: Dict[str, Any]) -> Tuple[Any, ...]:
-        return (
-            cell["protocol"],
-            cell["workload"],
-            cell["cycles"],
-            cell["warmup"],
-            cell["seed"],
-        )
-
-    base_by_key = {key(c): c for c in baseline.get("cells", ())}
-    rows: List[Tuple[str, float, float, float]] = []
+    base_by_key = {_cell_key(c): c for c in baseline.get("cells", ())}
+    comparison = Comparison()
     for cell in report["cells"]:
-        base = base_by_key.get(key(cell))
+        base = base_by_key.pop(_cell_key(cell), None)
         if base is None or not base.get("ops_per_s"):
+            comparison.unmatched_report.append(_cell_label(cell))
             continue
-        label = f"{cell['protocol']}/{cell['workload']}"
-        rows.append(
+        comparison.rows.append(
             (
-                label,
+                _cell_label(cell),
                 float(base["ops_per_s"]),
                 float(cell["ops_per_s"]),
                 float(cell["ops_per_s"]) / float(base["ops_per_s"]),
             )
         )
-    return rows
+    comparison.unmatched_baseline = [
+        _cell_label(c) for c in base_by_key.values()
+    ]
+    return comparison
 
 
 def profile_cells(cells: Sequence[RunSpec], top: int) -> str:
@@ -311,30 +429,117 @@ def profile_cells(cells: Sequence[RunSpec], top: int) -> str:
 # ---------------------------------------------------------------------------
 # CLI entry point (wired up by repro.cli)
 
+def assert_identical_cells(
+    results_a: Sequence[CellResult], results_b: Sequence[CellResult]
+) -> None:
+    """Raise unless both engines computed bit-identical statistics."""
+    for a, b in zip(results_a, results_b):
+        if a.stats_sha256 != b.stats_sha256:
+            raise RuntimeError(
+                f"{a.spec.label}: engines disagree — stats sha256 "
+                f"{a.stats_sha256[:16]}… vs {b.stats_sha256[:16]}… "
+                "(the engines are pinned bit-identical; this is a bug)"
+            )
+
+
+def _print_comparison(report: Dict[str, Any], baseline: Dict[str, Any]) -> None:
+    comparison = compare_reports(report, baseline)
+    if baseline.get("config_fingerprint") != report["config_fingerprint"]:
+        print(
+            "\nwarning: baseline fingerprint differs — comparing "
+            "matched cells only", file=sys.stderr,
+        )
+    base_rev = baseline.get("git_rev", "")
+    if git_rev_in_repo(base_rev) is False:
+        print(
+            f"\nwarning: baseline git_rev {base_rev!r} is not a commit in "
+            "this repository — the baseline was measured on different "
+            "code; regenerate it here before trusting the speedups",
+            file=sys.stderr,
+        )
+    if comparison.rows or not comparison.complete:
+        print()
+        print(f"{'cell':<26s} {'base ops/s':>12s} {'now ops/s':>12s}"
+              f" {'speedup':>8s}")
+        for label, base_ops, now_ops, speedup in comparison.rows:
+            print(
+                f"{label:<26s} {base_ops:>12,.0f} {now_ops:>12,.0f}"
+                f" {speedup:>7.2f}×"
+            )
+        for label in comparison.unmatched_report:
+            print(f"{label:<26s} {'— not in baseline —':>34s}")
+        for label in comparison.unmatched_baseline:
+            print(f"{label:<26s} {'— baseline only, not timed now —':>34s}")
+        gm = comparison.geomean_speedup
+        if gm is not None:
+            print(
+                f"{'geomean':<26s} {'':>12s} {'':>12s} {gm:>7.2f}×"
+            )
+    else:
+        print("\nno comparable cells in baseline", file=sys.stderr)
+
+
 def main(args) -> int:
     cells = QUICK_CELLS if args.quick else REFERENCE_CELLS
+    engine = getattr(args, "engine", None)
+    if engine != "both":
+        # no flag: defer to REPRO_ENGINE, like every other entry point
+        try:
+            engine = resolve_engine(engine)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     def progress(line: str) -> None:
         print(line, file=sys.stderr, flush=True)
 
     trace = bool(getattr(args, "trace", False))
-    results = run_cells(
-        cells, repeat=args.repeat, progress=progress, trace=trace
-    )
 
     baseline: Optional[Dict[str, Any]] = None
     if args.baseline:
         baseline = load_report(args.baseline)
 
-    report = build_report(
-        cells, results, quick=args.quick, repeat=args.repeat,
-        baseline=baseline, trace=trace,
-    )
+    if engine == "both":
+        # object first (it becomes the embedded baseline), then the
+        # array engine, asserted bit-identical cell by cell
+        if baseline is not None:
+            print(
+                "warning: --engine both measures its own object-engine "
+                "baseline; ignoring --baseline", file=sys.stderr,
+            )
+        object_results = run_cells(
+            cells, repeat=args.repeat, progress=progress, trace=trace,
+            engine="object",
+        )
+        results = run_cells(
+            cells, repeat=args.repeat, progress=progress, trace=trace,
+            engine="array",
+        )
+        assert_identical_cells(object_results, results)
+        baseline = build_report(
+            cells, object_results, quick=args.quick, repeat=args.repeat,
+            trace=trace, engine="object",
+        )
+        report = build_report(
+            cells, results, quick=args.quick, repeat=args.repeat,
+            baseline=baseline, trace=trace, engine="array",
+        )
+    else:
+        results = run_cells(
+            cells, repeat=args.repeat, progress=progress, trace=trace,
+            engine=engine,
+        )
+        report = build_report(
+            cells, results, quick=args.quick, repeat=args.repeat,
+            baseline=baseline, trace=trace, engine=engine,
+        )
 
     if trace:
         print("tracing            enabled (counting sink)")
     print(f"git rev            {report['git_rev']}")
     print(f"config fingerprint {report['config_fingerprint'][:16]}…")
+    print(f"engine             {report['engine']}"
+          + (" (bit-identical to object baseline)" if engine == "both" else ""))
     print(f"total wall         {report['total_wall_s']:.3f}s "
           f"(median of {args.repeat} per cell)")
     print()
@@ -346,27 +551,7 @@ def main(args) -> int:
         )
 
     if baseline is not None:
-        rows = compare_reports(report, baseline)
-        if baseline.get("config_fingerprint") != report["config_fingerprint"]:
-            print(
-                "\nwarning: baseline fingerprint differs — comparing "
-                "matched cells only", file=sys.stderr,
-            )
-        if rows:
-            print()
-            print(f"{'cell':<26s} {'base ops/s':>12s} {'now ops/s':>12s}"
-                  f" {'speedup':>8s}")
-            for label, base_ops, now_ops, speedup in rows:
-                print(
-                    f"{label:<26s} {base_ops:>12,.0f} {now_ops:>12,.0f}"
-                    f" {speedup:>7.2f}×"
-                )
-            print(
-                f"{'geomean':<26s} {'':>12s} {'':>12s}"
-                f" {geomean([r[3] for r in rows]):>7.2f}×"
-            )
-        else:
-            print("\nno comparable cells in baseline", file=sys.stderr)
+        _print_comparison(report, baseline)
 
     if args.output:
         write_report(report, args.output)

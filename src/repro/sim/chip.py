@@ -241,6 +241,11 @@ class Core:
 class Chip:
     """One protocol + one workload, ready to run."""
 
+    #: engine label ("object" here; the array engine's chip overrides).
+    #: Both engines are pinned bit-identical, so the label is
+    #: provenance, not a result dimension.
+    engine = "object"
+
     def __init__(
         self,
         protocol: str | CoherenceProtocol,

@@ -1,0 +1,320 @@
+"""Instance-patched fast protocol helpers for the array engine.
+
+The miss handlers of the five protocols run unmodified under the array
+engine, but the shared helpers they call on every transaction leg —
+``msg``, ``mem_fetch``, ``mem_writeback``, ``set_busy`` — are replaced
+by closures bound on the *protocol instance*.  An instance attribute
+shadows the class method, so every ``self.msg(...)`` inside unported
+handler code dispatches to the fast version while other protocol
+instances (in particular the object-engine baseline) are untouched.
+
+Each closure mirrors its original's accounting statement for statement
+(same counters, same defaultdict touches, same interned ``Delivery``
+instances, same RNG draws), and re-reads the live stats objects per
+call so ``reset_stats`` — which replaces them at the warmup boundary —
+needs no re-install hook.  Bit-identity with the originals is pinned by
+the engine-identity determinism tests.
+
+Only installed when no tracer is attached and the network runs the
+non-detailed (no link load, no contention) path; the array engine falls
+back to the object issue path otherwise.
+"""
+
+from __future__ import annotations
+
+from ..cache.replacement import LRU
+from ..core.messages import MessageType
+from ..core.protocols.base import CoherenceProtocol
+from ..noc.network import Delivery
+from .tables import ProtocolTables
+
+__all__ = [
+    "install_fast_helpers",
+    "remove_fast_helpers",
+    "install_fast_cache_methods",
+    "remove_fast_cache_methods",
+    "protocol_caches",
+]
+
+_PATCHED = ("msg", "mem_fetch", "mem_writeback", "set_busy")
+
+_CACHE_PATCHED = ("lookup", "peek", "insert", "invalidate", "displace", "victim_for")
+
+
+def install_fast_helpers(
+    proto: CoherenceProtocol, tables: ProtocolTables
+) -> None:
+    """Bind the fast helper closures onto ``proto`` (idempotent).
+
+    Caller must guarantee ``proto._trace is None`` and
+    ``not proto.network._detailed``.
+    """
+    net = proto.network
+    hops_flat = tables.hops_flat
+    n_tiles = tables.n_tiles
+    hop_cycles = tables.hop_cycles
+    delivery_cache = net._delivery_cache
+    delivery_get = delivery_cache.get
+    flits_of = tables.flits
+    mem_fetch_t = MessageType.MEM_FETCH
+    mem_data_t = MessageType.MEM_DATA
+    writeback_t = MessageType.WRITEBACK
+
+    def msg(src: int, dst: int, msg_type: str, now: int) -> Delivery:
+        # mirrors CoherenceProtocol.msg + Network.send (non-detailed,
+        # untraced): the stats object is re-read per call because
+        # reset_stats replaces it
+        flits = flits_of[msg_type]
+        hops = hops_flat[src * n_tiles + dst]
+        st = net.stats
+        if hops == 0:
+            st.local_messages += 1
+            d = delivery_get((0, flits))
+            if d is None:
+                d = delivery_cache[(0, flits)] = Delivery(
+                    latency=0, hops=0, flits=flits
+                )
+            return d
+        st.messages += 1
+        st.by_type[msg_type] += 1
+        st.flits_by_type[msg_type] += flits
+        st.flit_link_traversals += flits * hops
+        st.router_traversals += hops
+        st.routing_events += 1
+        d = delivery_get((hops, flits))
+        if d is None:
+            d = delivery_cache[(hops, flits)] = Delivery(
+                latency=hops * hop_cycles + flits - 1,
+                hops=hops,
+                flits=flits,
+            )
+        return d
+
+    memctl = proto.memctl
+    positions = memctl.positions
+    nearest = memctl._nearest
+    base_latency = memctl._base_latency
+    randbelow = memctl._randbelow
+    jitter_cycles = memctl.jitter_cycles
+    jitter_bound = jitter_cycles + 1
+
+    def mem_fetch(home: int, block: int) -> int:
+        # mirrors CoherenceProtocol.mem_fetch +
+        # MemoryControllers.access_latency (same RNG draw sequence)
+        st = proto.stats
+        st.memory_fetches += 1
+        st.l2_misses += 1
+        ctrl = positions[nearest[home]]
+        msg(home, ctrl, mem_fetch_t, 0)
+        msg(ctrl, home, mem_data_t, 0)
+        memctl.accesses += 1
+        jitter = randbelow(jitter_bound) if jitter_cycles else 0
+        return base_latency[home] + jitter
+
+    mem_version = proto._mem_version
+
+    def mem_writeback(home: int, block: int, version: int) -> None:
+        # mirrors CoherenceProtocol.mem_writeback
+        proto.stats.writebacks += 1
+        msg(home, positions[nearest[home]], writeback_t, 0)
+        mem_version[block] = version
+
+    busy = proto._busy
+    busy_get = busy.get
+
+    def set_busy(block: int, until: int) -> None:
+        # mirrors CoherenceProtocol.set_busy
+        if until > busy_get(block, 0):
+            busy[block] = until
+
+    proto.msg = msg  # type: ignore[method-assign]
+    proto.mem_fetch = mem_fetch  # type: ignore[method-assign]
+    proto.mem_writeback = mem_writeback  # type: ignore[method-assign]
+    proto.set_busy = set_busy  # type: ignore[method-assign]
+
+
+def remove_fast_helpers(proto: CoherenceProtocol) -> None:
+    """Restore the class-level helpers (undo :func:`install_fast_helpers`)."""
+    for name in _PATCHED:
+        proto.__dict__.pop(name, None)
+
+
+def protocol_caches(proto: CoherenceProtocol):
+    """Every :class:`SetAssocCache` a protocol owns (all five layouts).
+
+    Data caches, the coherence-cache arrays behind the prediction and
+    owner caches, and the protocol-specific directory-cache banks
+    (``dircaches`` on Directory, ``l2dirs`` on VH).
+    """
+    yield from proto.l1s
+    yield from proto.l2s
+    for pc in getattr(proto, "l1cs", ()):
+        yield pc.array
+    for oc in getattr(proto, "l2cs", ()):
+        yield oc.array
+    yield from getattr(proto, "dircaches", ())
+    yield from getattr(proto, "l2dirs", ())
+
+
+def install_fast_cache_methods(cache) -> None:
+    """Bind flattened closures for the hot cache methods onto ``cache``.
+
+    Statement-for-statement mirrors of the :class:`SetAssocCache`
+    methods with the attribute chains in cells and the LRU policy calls
+    (``touch``/``victim``/``reset``) inlined as age-stack operations —
+    which is why only LRU caches are patched; any other policy keeps
+    the class methods.  The stats object is re-read per call
+    (``reset_stats`` replaces it), and the tracer hook is re-checked on
+    the state-changing paths, so a patched cache stays correct even if
+    a tracer is attached later (the engine additionally refuses to arm
+    in that case).
+    """
+    if cache._policy_name != "lru":
+        return
+    index_shift = cache.index_shift
+    set_mask = cache._set_mask
+    index_l = cache._index
+    ways_l = cache._ways
+    slots = cache._policy_slots
+    free_l = cache._free
+    n_ways = cache.n_ways
+    name = cache.name
+    make_lru = LRU
+
+    def lookup(block, touch=True):
+        s = (block >> index_shift) & set_mask
+        stats = cache.stats
+        stats.tag_reads += 1
+        way = index_l[s].get(block)
+        if way is None:
+            stats.misses += 1
+            return None
+        stats.hits += 1
+        if touch:
+            stack = slots[s]._stack
+            if stack[0] != way:
+                stack.remove(way)
+                stack.insert(0, way)
+        return ways_l[s][way][1]
+
+    def peek(block):
+        s = (block >> index_shift) & set_mask
+        way = index_l[s].get(block)
+        if way is None:
+            return None
+        return ways_l[s][way][1]
+
+    def victim_for(block):
+        s = (block >> index_shift) & set_mask
+        if block in index_l[s]:
+            return None
+        free = free_l[s]
+        if free is None or free:
+            return None
+        return ways_l[s][slots[s]._stack[-1]]
+
+    def insert(block, entry):
+        s = (block >> index_shift) & set_mask
+        cache.stats.tag_writes += 1
+        index = index_l[s]
+        ways = ways_l[s]
+        policy = slots[s]
+        if policy is None:
+            # lazy build, like the class method (LRU ignores the
+            # per-set seed, so the CRC derivation is skipped)
+            policy = slots[s] = make_lru(n_ways)
+        stack = policy._stack
+        existing = index.get(block)
+        if existing is not None:
+            ways[existing] = (block, entry)
+            if stack[0] != existing:
+                stack.remove(existing)
+                stack.insert(0, existing)
+            if cache._trace is not None:
+                cache._trace.cache_event(name, "fill", block)
+            return None
+        free = free_l[s]
+        if free is None:
+            # first insert into this set takes way 0
+            free_l[s] = list(range(n_ways - 1, 0, -1))
+            ways[0] = (block, entry)
+            index[block] = 0
+            if stack[0] != 0:
+                stack.remove(0)
+                stack.insert(0, 0)
+            if cache._trace is not None:
+                cache._trace.cache_event(name, "fill", block)
+            return None
+        if free:
+            way = free.pop()
+            ways[way] = (block, entry)
+            index[block] = way
+            if stack[0] != way:
+                stack.remove(way)
+                stack.insert(0, way)
+            if cache._trace is not None:
+                cache._trace.cache_event(name, "fill", block)
+            return None
+        way = stack[-1]  # LRU victim
+        victim = ways[way]
+        del index[victim[0]]
+        ways[way] = (block, entry)
+        index[block] = way
+        if stack[0] != way:
+            stack.remove(way)
+            stack.insert(0, way)
+        cache.stats.evictions += 1
+        if cache._trace is not None:
+            cache._trace.cache_event(name, "evict", victim[0])
+            cache._trace.cache_event(name, "fill", block)
+        return victim
+
+    def invalidate(block):
+        s = (block >> index_shift) & set_mask
+        way = index_l[s].pop(block, None)
+        if way is None:
+            return None
+        cache.stats.tag_writes += 1
+        ways = ways_l[s]
+        frame = ways[way]
+        ways[way] = None
+        free_l[s].append(way)
+        # LRU.reset: demote the invalidated way to LRU position
+        stack = slots[s]._stack
+        stack.remove(way)
+        stack.append(way)
+        if cache._trace is not None:
+            cache._trace.cache_event(name, "invalidate", block)
+        return frame[1]
+
+    def displace(block):
+        s = (block >> index_shift) & set_mask
+        index = index_l[s]
+        if block in index:
+            return None
+        free = free_l[s]
+        if free is None or free:
+            return None
+        stack = slots[s]._stack
+        way = stack[-1]  # LRU victim; reset(way) on the stack tail is
+        frame = ways_l[s][way]  # a no-op, so the stack is untouched
+        del index[frame[0]]
+        ways_l[s][way] = None
+        free.append(way)
+        cache.stats.tag_writes += 1
+        if cache._trace is not None:
+            cache._trace.cache_event(name, "evict", frame[0])
+        return frame
+
+    cache.lookup = lookup
+    cache.peek = peek
+    cache.victim_for = victim_for
+    cache.insert = insert
+    cache.invalidate = invalidate
+    cache.displace = displace
+
+
+def remove_fast_cache_methods(cache) -> None:
+    """Undo :func:`install_fast_cache_methods`."""
+    for name in _CACHE_PATCHED:
+        cache.__dict__.pop(name, None)

@@ -1,0 +1,122 @@
+"""Integer-dispatch tables compiled from a protocol instance.
+
+The array engine's inline hit path must take exactly the decisions
+:meth:`CoherenceProtocol.access` takes, for every protocol, without
+calling it.  This module extracts those decisions *from the protocol
+classes themselves* into flat integer tables at chip-construction time:
+
+* the write-path action per L1 state (silent upgrade / owner check /
+  upgrade miss), resolved per protocol — a protocol that overrides
+  ``_owner_upgrade_is_local`` (DiCo-Arin) gets the owner check routed
+  through its method, the others resolve it in-table,
+* the per-message-type flit sizes, resolved eagerly for the whole
+  vocabulary so the fast ``msg`` helper never takes the memoization
+  miss path,
+* the hot scalar constants (hop table, home mask, block shift, hit
+  latency) already flattened by the object model, re-exposed in one
+  place for the runner closures.
+
+Nothing here duplicates protocol *logic*: a new state or a changed
+override shows up in the tables automatically because they are derived
+from the live class, and any drift is caught by the engine-identity
+determinism tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.messages import MessageType, flits_for
+from ..core.protocols.base import CoherenceProtocol
+from ..core.states import L1State
+
+__all__ = [
+    "W_SILENT",
+    "W_OWNER_CHECK",
+    "W_UPGRADE_MISS",
+    "STATE_CODE",
+    "all_message_types",
+    "ProtocolTables",
+]
+
+# write-path actions for a hit on a valid line (``access`` semantics):
+#: upgrade silently — the copy is exclusive (E/M)
+W_SILENT = 0
+#: owner with empty sharing code — silent iff ``_owner_upgrade_is_local``
+W_OWNER_CHECK = 1
+#: copy without ownership (S/P) — goes through ``_handle_write_miss``
+W_UPGRADE_MISS = 2
+
+#: stable integer code per L1 state (enum definition order)
+STATE_CODE: Dict[L1State, int] = {s: i for i, s in enumerate(L1State)}
+
+
+def all_message_types() -> List[str]:
+    """Every message-type constant defined on :class:`MessageType`."""
+    return [
+        value
+        for name, value in vars(MessageType).items()
+        if not name.startswith("_") and isinstance(value, str)
+    ]
+
+
+class ProtocolTables:
+    """Dispatch tables and hot constants for one protocol instance."""
+
+    __slots__ = (
+        "write_action",
+        "write_action_by_code",
+        "o_upgrade_unconditional",
+        "flits",
+        "hops_flat",
+        "n_tiles",
+        "hop_cycles",
+        "home_mask",
+        "block_shift",
+        "max_addr",
+        "l1_hit_latency",
+    )
+
+    def __init__(self, proto: CoherenceProtocol) -> None:
+        # --- write-path dispatch --------------------------------------
+        # I is unreachable here (an invalid line goes down the miss
+        # path before dispatch); mapped to the miss action for safety.
+        action = {
+            L1State.I: W_UPGRADE_MISS,
+            L1State.S: W_UPGRADE_MISS,
+            L1State.E: W_SILENT,
+            L1State.M: W_SILENT,
+            L1State.O: W_OWNER_CHECK,
+            L1State.P: W_UPGRADE_MISS,
+        }
+        self.write_action: Dict[L1State, int] = action
+        self.write_action_by_code: List[int] = [
+            action[s] for s in L1State
+        ]
+        # a protocol that keeps the base ``_owner_upgrade_is_local``
+        # (constant True) resolves the owner check in-table; an override
+        # (DiCo-Arin) is consulted per access
+        self.o_upgrade_unconditional = (
+            type(proto)._owner_upgrade_is_local
+            is CoherenceProtocol._owner_upgrade_is_local
+        )
+
+        # --- message sizes --------------------------------------------
+        noc = proto.config.noc
+        self.flits: Dict[str, int] = {
+            mt: flits_for(mt, noc.control_flits, noc.data_flits)
+            for mt in all_message_types()
+        }
+        # share the protocol's own memo so object-path calls that race
+        # ahead of the fast helper see the same (deterministic) values
+        proto._flits_by_type.update(self.flits)
+
+        # --- hot constants --------------------------------------------
+        net = proto.network
+        self.hops_flat = net._hops_flat
+        self.n_tiles = net._n_tiles
+        self.hop_cycles = net._hop_cycles
+        self.home_mask = proto._home_mask
+        self.block_shift = proto._block_shift
+        self.max_addr = proto._max_addr
+        self.l1_hit_latency = proto._l1_hit_latency

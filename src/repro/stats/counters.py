@@ -22,7 +22,7 @@ categories implement Fig. 9b's six-way breakdown of L1 misses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..cache.cache import CacheAccessStats
 from ..noc.network import NetworkStats
@@ -77,8 +77,17 @@ class LatencyAccumulator:
         self.total += other.total
 
     @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+    def mean(self) -> Optional[float]:
+        """Sample mean, or ``None`` when no samples were recorded.
+
+        ``None`` (serialized as JSON ``null``) keeps "no misses
+        happened" distinguishable from "misses averaged zero cycles";
+        a silent ``0.0`` here has historically masked empty runs.
+        ``minimum``/``maximum`` stay ``0`` when empty — they are part
+        of the on-disk stats schema, and ``count == 0`` already marks
+        them meaningless.
+        """
+        return self.total / self.count if self.count else None
 
 
 @dataclass(slots=True)
@@ -200,7 +209,9 @@ class RunStats:
             self.cache_access[name] = stats
         return stats
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
+        lat = self.miss_latency.mean
+        links = self.miss_links.mean
         return {
             "protocol": self.protocol,
             "workload": self.workload,
@@ -208,8 +219,10 @@ class RunStats:
             "operations": self.operations,
             "l1_miss_rate": round(self.l1_miss_rate, 4),
             "l2_miss_rate": round(self.l2_miss_rate, 4),
-            "avg_miss_latency": round(self.miss_latency.mean, 2),
-            "avg_miss_links": round(self.miss_links.mean, 2),
+            # ``None`` when the run recorded no misses at all — not 0.0,
+            # which would read as "misses completed instantly"
+            "avg_miss_latency": None if lat is None else round(lat, 2),
+            "avg_miss_links": None if links is None else round(links, 2),
             "flit_links": self.network.flit_link_traversals,
             "routings": self.network.routing_events,
             "broadcasts": self.network.broadcasts,

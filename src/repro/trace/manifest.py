@@ -60,6 +60,9 @@ class RunManifest:
     wall_time_s: float
     created_unix: float
     fast_path: bool
+    #: simulation engine the run used (``"object"`` or ``"array"``);
+    #: provenance only — the engines are pinned bit-identical
+    engine: str = "object"
     #: attached instruments, e.g. ``["tracer", "checker"]``
     instruments: List[str] = field(default_factory=list)
     #: progress-watchdog verdict: ``"ok"``, ``"off"``, or
@@ -92,6 +95,7 @@ class RunManifest:
             wall_time_s=doc["wall_time_s"],
             created_unix=doc["created_unix"],
             fast_path=doc["fast_path"],
+            engine=doc.get("engine", "object"),
             instruments=list(doc.get("instruments", [])),
             watchdog=doc.get("watchdog"),
             trace_path=doc.get("trace_path"),

@@ -18,7 +18,7 @@ persistence next to a manifest.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..stats.counters import RunStats
@@ -82,13 +82,16 @@ class Histogram:
         self.maximum = maximum
 
     @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+    def mean(self) -> Optional[float]:
+        """Sample mean, ``None`` when empty (matches
+        :class:`~repro.stats.counters.LatencyAccumulator`)."""
+        return self.total / self.count if self.count else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mean = "n/a" if self.mean is None else f"{self.mean:.2f}"
         return (
             f"Histogram({self.name}{dict(self.labels)} "
-            f"n={self.count} mean={self.mean:.2f})"
+            f"n={self.count} mean={mean})"
         )
 
 

@@ -51,6 +51,9 @@ class VerifyReport:
     ops_executed: int = 0
     elapsed_seconds: float = 0.0
     git_rev: Optional[str] = None
+    #: simulation engine the traces ran on (``"both"`` additionally
+    #: pins array==object per protocol per round)
+    engine: str = "object"
 
     @property
     def passed(self) -> bool:
@@ -72,6 +75,7 @@ class VerifyReport:
             "ops_executed": self.ops_executed,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "git_rev": self.git_rev,
+            "engine": self.engine,
         }
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -93,6 +97,7 @@ def run_verification(
     shrink: bool = True,
     max_shrink_tests: int = 400,
     fail_fast: bool = True,
+    engine: Optional[str] = None,
 ) -> VerifyReport:
     """Fuzz ``protocols`` for ``rounds`` rounds (or until the budget).
 
@@ -101,6 +106,11 @@ def run_verification(
     ``mutation`` set, the named deliberately-broken variant replaces
     its target protocol — the run is then *expected* to fail, which is
     how CI proves the harness has teeth.
+
+    ``engine`` picks the simulation engine for every trace (``None``
+    defers to ``REPRO_ENGINE``); ``"both"`` additionally replays each
+    protocol on both engines per round and fails on any
+    ``engine-divergence``.
     """
     if protocols is None:
         protocols = list(DEFAULT_PROTOCOLS)
@@ -116,6 +126,9 @@ def run_verification(
     if config is None:
         config = default_config()
 
+    from ..simx import resolve_engine
+
+    engine_label = engine if engine == "both" else resolve_engine(engine)
     started = time.monotonic()
     deadline = started + budget_seconds if budget_seconds else None
     report = VerifyReport(
@@ -127,6 +140,7 @@ def run_verification(
         seed=seed,
         mutation=mutation,
         git_rev=git_rev(),
+        engine=engine_label,
     )
     scenario_names = sorted(SCENARIOS)
     for r in range(rounds):
@@ -141,7 +155,8 @@ def run_verification(
         )
         report.scenarios_run.append(scenario)
         results, violations = run_differential(
-            ops, protocols, config, seed=round_seed, factories=factories
+            ops, protocols, config, seed=round_seed, factories=factories,
+            engine=engine_label,
         )
         report.rounds_run += 1
         report.ops_executed += sum(res.ops_executed for res in results)
@@ -152,7 +167,9 @@ def run_verification(
             doc = violation.to_dict()
             doc["round"] = r
             doc["scenario"] = scenario
-            if violation.kind != "divergence":
+            # divergence kinds have no single-protocol reproducer to
+            # shrink against; bundle the full sequence as-is
+            if violation.kind not in ("divergence", "engine-divergence"):
                 shrunk, final = _shrink_and_confirm(
                     ops,
                     violation,
@@ -162,6 +179,9 @@ def run_verification(
                     shrink=shrink,
                     max_tests=max_shrink_tests,
                     deadline=deadline,
+                    # under "both" the per-protocol violations come from
+                    # the object-engine replays; shrink on that engine
+                    engine="object" if engine_label == "both" else engine_label,
                 )
                 doc["shrunk_ops"] = len(shrunk)
                 doc["original_ops"] = len(ops)
@@ -205,6 +225,7 @@ def _shrink_and_confirm(
     shrink: bool,
     max_tests: int,
     deadline: Optional[float],
+    engine: Optional[str] = None,
 ):
     """ddmin the sequence, then re-run the minimum to capture the final
     violation record (its op index moved during shrinking)."""
@@ -213,12 +234,14 @@ def _shrink_and_confirm(
 
     def still_fails(subset) -> bool:
         res = run_trace(
-            violation.protocol, subset, config, seed=seed, factory=factory
+            violation.protocol, subset, config, seed=seed, factory=factory,
+            engine=engine,
         )
         return res.violation is not None and res.violation.same_failure(violation)
 
     shrunk = ddmin(list(ops), still_fails, max_tests=max_tests, deadline=deadline)
     final = run_trace(
-        violation.protocol, shrunk, config, seed=seed, factory=factory
+        violation.protocol, shrunk, config, seed=seed, factory=factory,
+        engine=engine,
     ).violation
     return shrunk, final

@@ -261,6 +261,70 @@ class ConsolidatedWorkload:
         probability ``spec.reuse_prob`` the next access re-touches one
         of the last ``spec.reuse_window`` distinct blocks; otherwise a
         fresh block is drawn from the Zipf-ranked region mix.
+
+        Implemented as a thin stage-b wrapper over
+        :meth:`trace_chunks`: the chunk stream resolves everything that
+        draws from the per-thread RNG (stage a), and this wrapper
+        performs the virtual-to-physical translation per consumed op
+        (stage b).  The split matters for ordering: ``translate_write``
+        mutates the shared copy-on-write table, so translations must
+        happen in global *consumption* order — which a generator
+        guarantees — while the RNG-driven stage can safely run a chunk
+        ahead.  The array engine consumes :meth:`trace_chunks` directly
+        and performs stage b inline; both paths are pinned bit-identical
+        by the determinism suite.
+        """
+        vm = self.placement.vm_of(tile)
+        translate = self.table.translate
+        translate_write = self.table.translate_write
+        # read translations are memoized locally; any copy-on-write
+        # event anywhere (this thread's or a sibling's — they share the
+        # (vm, vpage) namespace) flushes the memo, detected by the
+        # length of the table's event log
+        cow_events = self.table.cow_events
+        cow_seen = len(cow_events)
+        tcache: Dict[int, int] = {}
+        tcache_get = tcache.get
+        # construct ops through tuple.__new__ directly (what
+        # MemOp._make does) — skips the generated __new__'s Python frame
+        op_new = tuple.__new__
+        op_cls = MemOp
+        page_shift = self.addr.page_offset_bits - self.addr.block_offset_bits
+        block_shift = self.addr.block_offset_bits
+        for vpages, offs, writes, thinks in self.trace_chunks(tile):
+            for i in range(_CHUNK):
+                vpage = vpages[i]
+                is_write = writes[i]
+                if is_write:
+                    ppage, _ = translate_write(vm, vpage)
+                else:
+                    if len(cow_events) != cow_seen:
+                        tcache.clear()
+                        cow_seen = len(cow_events)
+                    ppage = tcache_get(vpage)
+                    if ppage is None:
+                        ppage = tcache[vpage] = translate(vm, vpage)
+                yield op_new(
+                    op_cls,
+                    (
+                        ((ppage << page_shift) | offs[i]) << block_shift,
+                        is_write,
+                        thinks[i],
+                    ),
+                )
+
+    def trace_chunks(
+        self, tile: int
+    ) -> Iterator[Tuple[List[int], List[int], List[bool], List[int]]]:
+        """Stage a of the reference stream: RNG-resolved op chunks.
+
+        Yields ``(vpages, offs, is_writes, thinks)`` parallel lists of
+        ``_CHUNK`` ops each — everything about an op except its
+        physical translation, which consumers perform per op (stage b)
+        so copy-on-write breaks land in consumption order.  All RNG
+        consumption (batch draws, reuse-window picks, scan sweeps)
+        happens here, in exactly the draw order the original one-op-at-
+        a-time generator used.
         """
         vm = self.placement.vm_of(tile)
         thread = self.placement.thread_of(tile)
@@ -302,22 +366,6 @@ class ConsolidatedWorkload:
         reuse_prob = spec.reuse_prob
         reuse_window = spec.reuse_window
         scan_frac = spec.dedup_scan_frac
-        translate = self.table.translate
-        translate_write = self.table.translate_write
-        # read translations are memoized locally; any copy-on-write
-        # event anywhere (this thread's or a sibling's — they share the
-        # (vm, vpage) namespace) flushes the memo, detected by the
-        # length of the table's event log
-        cow_events = self.table.cow_events
-        cow_seen = len(cow_events)
-        tcache: Dict[int, int] = {}
-        tcache_get = tcache.get
-        # construct ops through tuple.__new__ directly (what
-        # MemOp._make does) — skips the generated __new__'s Python frame
-        op_new = tuple.__new__
-        op_cls = MemOp
-        page_shift = self.addr.page_offset_bits - self.addr.block_offset_bits
-        block_shift = self.addr.block_offset_bits
         region_pairs = [r.pairs() for r in regions]
         fracs_cdf = fracs.cumsum()
         fracs_cdf /= fracs_cdf[-1]
@@ -348,6 +396,12 @@ class ConsolidatedWorkload:
                     a[lo:hi].tolist() if a is not None else None for a in fresh_a
                 ]
                 scan_draw = scan_draw_a[lo:hi].tolist()
+                out_vpages: List[int] = []
+                out_offs: List[int] = []
+                out_writes: List[bool] = []
+                vpages_append = out_vpages.append
+                offs_append = out_offs.append
+                writes_append = out_writes.append
                 for i in range(_CHUNK):
                     if window and reuse_draw[i] < reuse_prob:
                         rid, vpage, off = window[reuse_pick[i] % len(window)]
@@ -366,21 +420,7 @@ class ConsolidatedWorkload:
                             else:
                                 window[wpos] = item
                                 wpos = (wpos + 1) % reuse_window
-                    is_write = wdraw[i] < wprobs[rid]
-                    if is_write:
-                        ppage, _ = translate_write(vm, vpage)
-                    else:
-                        if len(cow_events) != cow_seen:
-                            tcache.clear()
-                            cow_seen = len(cow_events)
-                        ppage = tcache_get(vpage)
-                        if ppage is None:
-                            ppage = tcache[vpage] = translate(vm, vpage)
-                    yield op_new(
-                        op_cls,
-                        (
-                            ((ppage << page_shift) | off) << block_shift,
-                            is_write,
-                            thinks[i],
-                        ),
-                    )
+                    vpages_append(vpage)
+                    offs_append(off)
+                    writes_append(wdraw[i] < wprobs[rid])
+                yield out_vpages, out_offs, out_writes, thinks

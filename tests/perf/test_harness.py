@@ -15,10 +15,12 @@ from repro.perf.harness import (
     QUICK_CELLS,
     REFERENCE_CELLS,
     CellResult,
+    assert_identical_cells,
     compare_reports,
     config_fingerprint,
     geomean,
     git_rev,
+    git_rev_in_repo,
     load_report,
     run_cells,
     write_report,
@@ -112,16 +114,68 @@ def test_compare_reports_matches_cells_and_computes_speedup():
         [CellResult(spec=c, operations=1000, wall_s=1.0) for c in cells],
         quick=True, repeat=1,
     )
-    rows = compare_reports(now, base)
-    assert len(rows) == 2
-    for _, base_ops, now_ops, speedup in rows:
+    comparison = compare_reports(now, base)
+    assert len(comparison.rows) == 2
+    for _, base_ops, now_ops, speedup in comparison.rows:
         assert speedup == pytest.approx(2.0)
-    # a baseline with no matching cells yields no rows, not an error
-    assert compare_reports(now, {"cells": []}) == []
+    assert comparison.complete
+    assert comparison.geomean_speedup == pytest.approx(2.0)
+    # a baseline with no matching cells yields no rows, not an error —
+    # but the orphaned cells are reported, not silently dropped
+    empty = compare_reports(now, {"cells": []})
+    assert empty.rows == []
+    assert empty.geomean_speedup is None
+    assert not empty.complete
+    assert len(empty.unmatched_report) == 2
+
+
+def test_compare_reports_lists_unmatched_cells_on_both_sides():
+    cells = tiny_cells(2)
+    now = harness.build_report(
+        cells,
+        [CellResult(spec=c, operations=1000, wall_s=0.5) for c in cells],
+        quick=True, repeat=1,
+    )
+    # baseline shares only the first cell; its second cell is a
+    # different spec the current report never timed
+    other = RunSpec(protocol="vh", workload="mixed-sci", seed=7,
+                    cycles=1_500, warmup=500, config=TINY)
+    base = harness.build_report(
+        (cells[0], other),
+        [CellResult(spec=c, operations=1000, wall_s=1.0)
+         for c in (cells[0], other)],
+        quick=True, repeat=1,
+    )
+    comparison = compare_reports(now, base)
+    assert [r[0] for r in comparison.rows] == ["directory/mixed-sci"]
+    assert comparison.unmatched_report == ["dico/mixed-sci"]
+    assert comparison.unmatched_baseline == ["vh/mixed-sci"]
+    assert not comparison.complete
+
+
+def test_compare_reports_unusable_baseline_throughput_is_unmatched():
+    cells = tiny_cells(1)
+    now = harness.build_report(
+        cells,
+        [CellResult(spec=cells[0], operations=1000, wall_s=0.5)],
+        quick=True, repeat=1,
+    )
+    # wall_s 0 → ops_per_s 0.0: cannot anchor a speedup ratio
+    base = harness.build_report(
+        cells,
+        [CellResult(spec=cells[0], operations=1000, wall_s=0.0)],
+        quick=True, repeat=1,
+    )
+    comparison = compare_reports(now, base)
+    assert comparison.rows == []
+    assert comparison.unmatched_report == ["directory/mixed-sci"]
 
 
 def test_geomean():
-    assert geomean([]) == 0.0
+    # an empty sequence has no geometric mean — a fabricated 0.0 would
+    # read as "infinitely slow" in a comparison
+    with pytest.raises(ValueError, match="empty"):
+        geomean([])
     assert geomean([2.0, 8.0]) == pytest.approx(4.0)
     assert geomean([3.0]) == pytest.approx(3.0)
 
@@ -129,6 +183,35 @@ def test_geomean():
 def test_git_rev_is_nonempty_string():
     rev = git_rev()
     assert isinstance(rev, str) and rev
+
+
+def test_git_rev_in_repo():
+    # the placeholder can never be vouched for
+    assert git_rev_in_repo("unknown") is None
+    assert git_rev_in_repo("") is None
+    rev = git_rev()
+    if rev != "unknown":  # running inside the git checkout
+        assert git_rev_in_repo(rev) is True
+        # a syntactically valid rev that no commit here matches
+        assert git_rev_in_repo("f" * 40) is False
+
+
+def test_cell_results_carry_stats_digest_and_engines_agree():
+    cell = tiny_cells(1)[0]
+    obj = harness._time_cell(cell, repeat=1, engine="object")
+    arr = harness._time_cell(cell, repeat=1, engine="array")
+    assert obj.stats_sha256 and len(obj.stats_sha256) == 64
+    # the bit-identity contract: both engines hash to the same stats
+    assert obj.stats_sha256 == arr.stats_sha256
+    assert_identical_cells([obj], [arr])
+
+
+def test_assert_identical_cells_raises_on_digest_mismatch():
+    cell = tiny_cells(1)[0]
+    a = CellResult(spec=cell, operations=10, wall_s=0.1, stats_sha256="a" * 64)
+    b = CellResult(spec=cell, operations=10, wall_s=0.1, stats_sha256="b" * 64)
+    with pytest.raises(RuntimeError, match="engines disagree"):
+        assert_identical_cells([a], [b])
 
 
 def test_cli_perf_end_to_end(tmp_path, monkeypatch, capsys):
@@ -154,6 +237,37 @@ def test_cli_perf_end_to_end(tmp_path, monkeypatch, capsys):
     assert "geomean" in captured.out
     report2 = load_report(str(out2))
     assert report2["baseline"]["cells"] == report["cells"]
+
+
+def test_cli_perf_engine_both_embeds_identical_object_baseline(
+    tmp_path, monkeypatch, capsys
+):
+    monkeypatch.setattr(harness, "QUICK_CELLS", tiny_cells(2))
+    out = tmp_path / "BENCH_PERF.json"
+    assert cli.main([
+        "perf", "--quick", "--engine", "both", "--output", str(out),
+    ]) == 0
+    report = load_report(str(out))
+    assert report["engine"] == "array"
+    assert report["baseline"]["engine"] == "object"
+    # same grid, and bit-identical statistics cell by cell
+    for arr_cell, obj_cell in zip(
+        report["cells"], report["baseline"]["cells"]
+    ):
+        assert arr_cell["stats_sha256"] == obj_cell["stats_sha256"]
+        assert arr_cell["operations"] == obj_cell["operations"]
+    captured = capsys.readouterr()
+    assert "bit-identical to object baseline" in captured.out
+    assert "speedup" in captured.out
+
+
+def test_cli_perf_rejects_unknown_engine(monkeypatch, capsys):
+    monkeypatch.setattr(harness, "QUICK_CELLS", tiny_cells(1))
+    assert cli.main(["perf", "--quick", "--output", ""]) == 0
+    monkeypatch.setenv("REPRO_ENGINE", "warp-drive")
+    assert cli.main(["perf", "--quick", "--output", ""]) == 2
+    captured = capsys.readouterr()
+    assert "warp-drive" in captured.err
 
 
 def test_cli_perf_profile_flag(tmp_path, monkeypatch, capsys):

@@ -8,7 +8,9 @@ from repro.stats.counters import MISS_CATEGORIES, LatencyAccumulator, RunStats
 class TestLatencyAccumulator:
     def test_empty(self):
         acc = LatencyAccumulator()
-        assert acc.mean == 0.0
+        # no samples → mean is None, not a misleading 0.0 (and no
+        # ZeroDivisionError either)
+        assert acc.mean is None
         assert acc.count == 0
 
     def test_accumulates(self):
@@ -59,6 +61,22 @@ class TestRunStats:
                     "l1_miss_rate", "l2_miss_rate", "flit_links"):
             assert key in summary
 
+    def test_summary_zero_sample_averages_are_none(self):
+        # a run with no misses must not report avg latency/links of 0.0
+        # as if misses completed instantly
+        st = RunStats(protocol="p", workload="w")
+        summary = st.summary()
+        assert summary["avg_miss_latency"] is None
+        assert summary["avg_miss_links"] is None
+        st.miss_latency.add(12)
+        assert st.summary()["avg_miss_latency"] == 12.0
+
+    def test_merge_empty_into_empty_keeps_none_mean(self):
+        a, b = RunStats(), RunStats()
+        a.merge(b)
+        assert a.miss_latency.mean is None
+        assert a.miss_links.mean is None
+
 
 class TestLatencyAccumulatorMerge:
     def fill(self, values):
@@ -93,6 +111,12 @@ class TestLatencyAccumulatorMerge:
         b = self.fill([1])
         a.merge(b)
         assert b.count == 1
+
+    def test_merge_two_empty_stays_empty(self):
+        a = LatencyAccumulator()
+        a.merge(LatencyAccumulator())
+        assert (a.count, a.total, a.minimum, a.maximum) == (0, 0, 0, 0)
+        assert a.mean is None
 
 
 class TestRunStatsMerge:

@@ -633,6 +633,17 @@ def main(argv=None) -> int:
         "bit-identical per cell, and embeds the object run as the "
         "report's baseline",
     )
+    p_perf.add_argument(
+        "--min-geomean", type=float, default=None, metavar="RATIO",
+        help="fail (exit 1) when the measured geomean speedup vs the "
+        "baseline (--engine both or --baseline) is below RATIO — the "
+        "CI regression gate",
+    )
+    p_perf.add_argument(
+        "--comparison-output", default=None, metavar="PATH",
+        help="also write the per-cell speedup table to PATH (CI "
+        "uploads it as an artifact)",
+    )
     p_perf.set_defaults(func=cmd_perf)
 
     p_verify = sub.add_parser(

@@ -18,7 +18,7 @@ per-cell numbers remain comparable in shape, just noisier.
 Report schema (``BENCH_PERF.json``)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "git_rev": "<rev or 'unknown'>",
       "config_fingerprint": "<sha256 over the cells' canonical JSON>",
       "quick": false,
@@ -26,11 +26,21 @@ Report schema (``BENCH_PERF.json``)::
       "total_wall_s": 12.3,
       "cells": [
         {"protocol": ..., "workload": ..., "cycles": ..., "warmup": ...,
-         "seed": ..., "operations": ..., "wall_s": ..., "ops_per_s": ...},
+         "seed": ..., "operations": ..., "wall_s": ..., "ops_per_s": ...,
+         "l1_miss_rate": ...},
         ...
       ],
       "baseline": {...}           # optional: a prior report, embedded
     }
+
+Schema history — ``load_report`` upgrades older reports in memory, so
+consumers only ever see the current shape:
+
+* 1 → 2: per-cell ``l1_miss_rate`` (L1 misses over L1 references for
+  the measured window).  Upgraded v1 cells carry ``None`` — the rate
+  was not recorded, not zero.  The field attributes a speedup shift to
+  hit-path vs miss-path work: a cell whose miss rate moved is not
+  measuring the same mix of work, whatever its ops/s says.
 
 Wall time per cell is the *median* over ``repeat`` runs (operation
 counts are asserted identical across repeats — the simulator is
@@ -66,16 +76,18 @@ __all__ = [
     "CellResult",
     "Comparison",
     "compare_reports",
+    "format_comparison",
     "config_fingerprint",
     "geomean",
     "git_rev",
     "git_rev_in_repo",
     "load_report",
     "run_cells",
+    "upgrade_report",
     "write_report",
 ]
 
-BENCH_PERF_SCHEMA_VERSION = 1
+BENCH_PERF_SCHEMA_VERSION = 2
 
 _PROTOCOLS = ("directory", "dico", "dico-providers", "dico-arin")
 _WORKLOADS = ("apache", "radix")
@@ -113,6 +125,9 @@ class CellResult:
     #: sha256 over the run's canonical statistics JSON — the cell's
     #: result identity (equal digests = bit-identical runs)
     stats_sha256: str = ""
+    #: L1 misses / L1 references over the measured window (``None``
+    #: when loaded from a pre-v2 report that did not record it)
+    l1_miss_rate: Optional[float] = None
 
     @property
     def ops_per_s(self) -> float:
@@ -129,6 +144,11 @@ class CellResult:
             "wall_s": round(self.wall_s, 6),
             "ops_per_s": round(self.ops_per_s, 1),
             "stats_sha256": self.stats_sha256,
+            "l1_miss_rate": (
+                round(self.l1_miss_rate, 6)
+                if self.l1_miss_rate is not None
+                else None
+            ),
         }
 
 
@@ -238,6 +258,7 @@ def _time_cell(
     walls: List[float] = []
     operations: Optional[int] = None
     digest = ""
+    miss_rate: Optional[float] = None
     for _ in range(repeat):
         options = None
         if trace:
@@ -252,6 +273,8 @@ def _time_cell(
         if operations is None:
             operations = stats.operations
             digest = stats_digest(stats)
+            refs = stats.l1_hits + stats.l1_misses
+            miss_rate = stats.l1_misses / refs if refs else None
         elif operations != stats.operations:
             raise RuntimeError(
                 f"{spec.label}: nondeterministic op count "
@@ -263,7 +286,8 @@ def _time_cell(
         median = (median + walls[len(walls) // 2 - 1]) / 2.0
     assert operations is not None
     return CellResult(
-        spec=spec, operations=operations, wall_s=median, stats_sha256=digest
+        spec=spec, operations=operations, wall_s=median, stats_sha256=digest,
+        l1_miss_rate=miss_rate,
     )
 
 
@@ -321,15 +345,36 @@ def write_report(report: Dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+def upgrade_report(report: Dict[str, Any], origin: str = "report") -> Dict[str, Any]:
+    """Upgrade an older-schema report to the current shape, in place.
+
+    Every 1→N step is applied in sequence (an embedded baseline is
+    upgraded recursively — it is a full report).  Reports from a future
+    schema are refused: fields this code does not know about could
+    change the meaning of the ones it does.
+    """
+    schema = report.get("schema")
+    if not isinstance(schema, int) or not 1 <= schema <= BENCH_PERF_SCHEMA_VERSION:
+        raise ValueError(
+            f"{origin}: unsupported BENCH_PERF schema {schema!r} "
+            f"(this build reads 1..{BENCH_PERF_SCHEMA_VERSION})"
+        )
+    if schema < 2:
+        # v1 did not record the per-cell L1 miss rate; None marks it
+        # as unrecorded (a real rate of 0.0 is possible)
+        for cell in report.get("cells", ()):
+            cell.setdefault("l1_miss_rate", None)
+    report["schema"] = BENCH_PERF_SCHEMA_VERSION
+    baseline = report.get("baseline")
+    if isinstance(baseline, dict):
+        upgrade_report(baseline, origin=f"{origin} (embedded baseline)")
+    return report
+
+
 def load_report(path: str) -> Dict[str, Any]:
     with open(path) as fh:
         report = json.load(fh)
-    if report.get("schema") != BENCH_PERF_SCHEMA_VERSION:
-        raise ValueError(
-            f"{path}: unsupported BENCH_PERF schema "
-            f"{report.get('schema')!r} (expected {BENCH_PERF_SCHEMA_VERSION})"
-        )
-    return report
+    return upgrade_report(report, origin=path)
 
 
 def _cell_key(cell: Dict[str, Any]) -> Tuple[Any, ...]:
@@ -408,17 +453,23 @@ def compare_reports(
     return comparison
 
 
-def profile_cells(cells: Sequence[RunSpec], top: int) -> str:
+def profile_cells(
+    cells: Sequence[RunSpec], top: int, engine: Optional[str] = None
+) -> str:
     """cProfile the whole cell set; returns the top-``top`` report.
 
     Profiling roughly halves throughput, so the profiled run is never
     used for the timing numbers — it only attributes where the cycles
     go (sorted by cumulative time, which surfaces the hot call trees).
+
+    ``engine`` selects the engine to profile, exactly as in
+    :func:`run_cells` — under ``array`` the profile attributes time to
+    the compiled runners and miss handlers, not the object path.
     """
     profiler = cProfile.Profile()
     profiler.enable()
     for spec in cells:
-        spec.execute(verify=False)
+        spec.execute(verify=False, engine=engine)
     profiler.disable()
     buf = io.StringIO()
     stats = pstats.Stats(profiler, stream=buf)
@@ -442,7 +493,30 @@ def assert_identical_cells(
             )
 
 
-def _print_comparison(report: Dict[str, Any], baseline: Dict[str, Any]) -> None:
+def format_comparison(comparison: Comparison) -> str:
+    """Render the per-cell speedup table (also the CI artifact body)."""
+    lines = [
+        f"{'cell':<26s} {'base ops/s':>12s} {'now ops/s':>12s}"
+        f" {'speedup':>8s}"
+    ]
+    for label, base_ops, now_ops, speedup in comparison.rows:
+        lines.append(
+            f"{label:<26s} {base_ops:>12,.0f} {now_ops:>12,.0f}"
+            f" {speedup:>7.2f}×"
+        )
+    for label in comparison.unmatched_report:
+        lines.append(f"{label:<26s} {'— not in baseline —':>34s}")
+    for label in comparison.unmatched_baseline:
+        lines.append(f"{label:<26s} {'— baseline only, not timed now —':>34s}")
+    gm = comparison.geomean_speedup
+    if gm is not None:
+        lines.append(f"{'geomean':<26s} {'':>12s} {'':>12s} {gm:>7.2f}×")
+    return "\n".join(lines)
+
+
+def _print_comparison(
+    report: Dict[str, Any], baseline: Dict[str, Any]
+) -> Optional[Comparison]:
     comparison = compare_reports(report, baseline)
     if baseline.get("config_fingerprint") != report["config_fingerprint"]:
         print(
@@ -459,24 +533,10 @@ def _print_comparison(report: Dict[str, Any], baseline: Dict[str, Any]) -> None:
         )
     if comparison.rows or not comparison.complete:
         print()
-        print(f"{'cell':<26s} {'base ops/s':>12s} {'now ops/s':>12s}"
-              f" {'speedup':>8s}")
-        for label, base_ops, now_ops, speedup in comparison.rows:
-            print(
-                f"{label:<26s} {base_ops:>12,.0f} {now_ops:>12,.0f}"
-                f" {speedup:>7.2f}×"
-            )
-        for label in comparison.unmatched_report:
-            print(f"{label:<26s} {'— not in baseline —':>34s}")
-        for label in comparison.unmatched_baseline:
-            print(f"{label:<26s} {'— baseline only, not timed now —':>34s}")
-        gm = comparison.geomean_speedup
-        if gm is not None:
-            print(
-                f"{'geomean':<26s} {'':>12s} {'':>12s} {gm:>7.2f}×"
-            )
-    else:
-        print("\nno comparable cells in baseline", file=sys.stderr)
+        print(format_comparison(comparison))
+        return comparison
+    print("\nno comparable cells in baseline", file=sys.stderr)
+    return None
 
 
 def main(args) -> int:
@@ -543,22 +603,69 @@ def main(args) -> int:
     print(f"total wall         {report['total_wall_s']:.3f}s "
           f"(median of {args.repeat} per cell)")
     print()
-    print(f"{'cell':<26s} {'ops':>9s} {'wall s':>8s} {'ops/s':>12s}")
+    print(f"{'cell':<26s} {'ops':>9s} {'wall s':>8s} {'ops/s':>12s}"
+          f" {'L1 miss':>8s}")
     for r in results:
+        miss = (
+            f"{100 * r.l1_miss_rate:>7.2f}%"
+            if r.l1_miss_rate is not None else f"{'—':>8s}"
+        )
         print(
             f"{r.spec.protocol + '/' + r.spec.workload:<26s}"
             f" {r.operations:>9,d} {r.wall_s:>8.3f} {r.ops_per_s:>12,.0f}"
+            f" {miss}"
         )
 
+    comparison: Optional[Comparison] = None
     if baseline is not None:
-        _print_comparison(report, baseline)
+        comparison = _print_comparison(report, baseline)
+
+    comparison_output = getattr(args, "comparison_output", None)
+    if comparison_output:
+        if comparison is None:
+            print(
+                f"warning: no comparison to write to {comparison_output} "
+                "(no baseline, or no comparable cells)", file=sys.stderr,
+            )
+        else:
+            with open(comparison_output, "w") as fh:
+                fh.write(format_comparison(comparison))
+                fh.write("\n")
+            print(f"wrote {comparison_output}", file=sys.stderr)
 
     if args.output:
         write_report(report, args.output)
         print(f"\nwrote {args.output}", file=sys.stderr)
 
     if args.profile:
-        print(f"\n--- cProfile top {args.profile} (separate profiled pass,"
-              f" excluded from timings) ---")
-        print(profile_cells(cells, args.profile))
+        # profile exactly the engines that were timed, labelled; under
+        # --engine both that is one profiled pass per engine
+        profiled = ("object", "array") if engine == "both" else (engine,)
+        for profile_engine in profiled:
+            print(
+                f"\n--- cProfile top {args.profile}, engine "
+                f"{profile_engine or 'default'} (separate profiled pass, "
+                f"excluded from timings) ---"
+            )
+            print(profile_cells(cells, args.profile, engine=profile_engine))
+
+    min_geomean = getattr(args, "min_geomean", None)
+    if min_geomean is not None:
+        gm = comparison.geomean_speedup if comparison is not None else None
+        if gm is None:
+            print(
+                "error: --min-geomean needs a speedup to gate on — run "
+                "with --engine both or --baseline", file=sys.stderr,
+            )
+            return 2
+        if gm < min_geomean:
+            print(
+                f"error: geomean speedup {gm:.3f}× is below the gate "
+                f"{min_geomean:.3f}×", file=sys.stderr,
+            )
+            return 1
+        print(
+            f"geomean gate       {gm:.2f}× >= {min_geomean:.2f}× — ok",
+            file=sys.stderr,
+        )
     return 0

@@ -1,0 +1,257 @@
+"""Source-drift guard for the array engine's flattened copies.
+
+The simx layer *re-implements* object-engine logic — the issue loop
+inlines ``CoherenceProtocol.access``, the fast helpers re-state the
+``SetAssocCache`` methods, and the per-protocol handler compilers
+flatten the five protocols' entire miss-transaction trees into
+closures.  That duplication is the whole speedup, and it is safe only
+while the originals do not change: an edit to, say,
+``DiCoProtocol._write_at_owner`` that is not mirrored into
+``handlers_dico`` would silently diverge the engines the moment the
+identity suite's coverage has a gap.
+
+This module pins a fingerprint for every object-engine callable whose
+*logic* is duplicated somewhere under ``src/repro/simx/`` (callables
+the compiled code merely calls by reference cannot drift and are not
+pinned).  The fingerprint is a sha256 over the ``ast.dump`` of the
+callable's parsed source — stable across comment and whitespace edits,
+changed by any edit that could alter behaviour.  The guard test
+(``tests/integration/test_simx_drift.py``) compares the live
+fingerprints against ``drift_pins.json``; a mismatch means: re-check
+the simx mirror of that callable, then re-pin with::
+
+    PYTHONPATH=src python -m repro.simx.drift --update
+
+Re-pinning without re-checking defeats the guard — the identity matrix
+and ``repro verify --engine both`` are the behavioural backstop, but
+they sample; this guard is the tripwire that says *look*.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import inspect
+import json
+import textwrap
+from pathlib import Path
+from typing import Callable, Dict
+
+__all__ = [
+    "MIRRORED",
+    "PINS_PATH",
+    "fingerprint",
+    "current_fingerprints",
+    "load_pins",
+    "write_pins",
+    "diff_pins",
+]
+
+PINS_PATH = Path(__file__).with_name("drift_pins.json")
+
+
+def _names(owner: str, *methods: str) -> Dict[str, str]:
+    return {f"{owner}.{m}": owner for m in methods}
+
+
+#: dotted name -> why it is pinned.  Every entry's logic has a
+#: flattened copy in simx; the comment names where.
+MIRRORED: Dict[str, str] = {}
+
+# engine.py runner: access() inline, issue-loop discipline, LRU touch
+MIRRORED.update(_names(
+    "repro.core.protocols.base.CoherenceProtocol",
+    "access",
+))
+MIRRORED.update(_names("repro.sim.chip.Core", "_issue_fast"))
+MIRRORED.update(_names("repro.sim.chip.Chip", "run_cycles", "run_ops"))
+MIRRORED.update(_names(
+    "repro.sim.engine.Simulator", "run", "_run_watched", "schedule_fast",
+))
+MIRRORED.update(_names(
+    "repro.workloads.generator.ConsolidatedWorkload", "trace",
+))
+
+# helpers.py: fast cache methods + protocol glue
+MIRRORED.update(_names(
+    "repro.cache.cache.SetAssocCache",
+    "lookup", "peek", "victim_for", "insert", "invalidate", "displace",
+))
+MIRRORED.update(_names("repro.cache.replacement.LRU", "touch", "victim"))
+MIRRORED.update(_names(
+    "repro.core.checker.CoherenceChecker", "check_read", "commit_write",
+))
+MIRRORED.update(_names(
+    "repro.core.protocols.base.CoherenceProtocol",
+    "msg", "bcast", "set_busy", "mem_fetch", "mem_writeback",
+    "fill_l1", "drop_l1", "fill_l2", "home_of", "_flits",
+    "_owner_upgrade_is_local",
+))
+MIRRORED["repro.core.protocols.base.iter_bits"] = "base"
+MIRRORED.update(_names(
+    "repro.noc.network.Network", "send", "broadcast",
+))
+MIRRORED.update(_names(
+    "repro.noc.topology.Mesh", "hops", "unicast_latency", "broadcast_latency",
+))
+
+# handlers_directory.py
+MIRRORED.update(_names(
+    "repro.core.protocols.directory.DirectoryProtocol",
+    "_dir_lookup", "_dir_drop", "_dircache_insert",
+    "_handle_read_miss", "_fill_shared", "_handle_write_miss",
+    "_evict_l1_line", "_evict_l2_entry", "_invalidate_all_copies",
+))
+
+# handlers_dico.py (shared family compiler: dico / providers / arin)
+MIRRORED.update(_names(
+    "repro.core.protocols.dico.DiCoProtocol",
+    "_live_sharers", "_send_hints", "_owner_tile", "_set_l1_owner",
+    "_clear_l1_owner", "_fill_plain_copy", "_demote_to_copy",
+    "_put_ownership_home", "_forced_relinquish", "_install_home_ownership",
+    "_handle_read_miss", "_read_at_l1", "_read_at_home",
+    "_handle_write_miss", "_write_at_owner", "_write_at_home",
+    "_invalidate_sharers", "_commit_write",
+    "_evict_l1_line", "_evict_owner", "_evict_l2_entry",
+))
+MIRRORED.update(_names(
+    "repro.core.protocols.providers.DiCoProvidersProtocol",
+    "_read_at_l1", "_supply", "_read_at_home", "_write_at_owner",
+    "_invalidate_tree", "_invalidate_own_area", "_write_at_home",
+    "_evict_l1_line", "_locate_owner", "_evict_provider", "_update_propo",
+    "_evict_owner", "_forced_relinquish", "_evict_l2_entry",
+))
+MIRRORED.update(_names(
+    "repro.core.protocols.arin.DiCoArinProtocol",
+    "_read_at_l1", "_dissolve_ownership", "_read_at_home",
+    "_serve_inter_area", "_serve_home_owned", "_write_at_home",
+    "_broadcast_write", "_evict_l1_line", "_evict_owner",
+    "_forced_relinquish", "_evict_l2_entry",
+))
+MIRRORED.update(_names(
+    "repro.core.predcache.PredictionCache",
+    "predict", "peek", "update", "forget", "block_cached",
+    "block_evicted", "resident_prediction",
+))
+MIRRORED.update(_names(
+    "repro.core.ownercache.OwnerCache",
+    "owner_of", "peek_owner", "set_owner", "clear",
+))
+
+# handlers_vh.py
+MIRRORED.update(_names(
+    "repro.core.protocols.vh.VirtualHierarchyProtocol",
+    "domain_of", "dynamic_home", "_l2dir", "_l2dir_set", "_l2dir_drop",
+    "_domain_entry", "_install_domain_copy", "_drop_domain",
+    "_handle_read_miss", "_read_at_global", "_handle_write_miss",
+    "_drop_domain_sharers", "_evict_l1_line", "_evict_l2_entry",
+    "_global_invalidate",
+))
+MIRRORED.update(_names("repro.core.area.AreaMap", "area_of", "tiles_of"))
+
+
+def _resolve(dotted: str) -> Callable:
+    """``pkg.mod.Class.meth`` / ``pkg.mod.func`` -> the callable."""
+    parts = dotted.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        mod_name = ".".join(parts[:split])
+        try:
+            module = __import__(mod_name, fromlist=["_"])
+        except ImportError:
+            continue
+        obj = module
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            break
+        return obj
+    raise LookupError(f"cannot resolve {dotted!r}")
+
+
+def fingerprint(fn: Callable) -> str:
+    """sha256 over the ast-normalized source of ``fn``.
+
+    Normalizing through ``ast.parse``/``ast.dump`` makes the pin
+    insensitive to comments, blank lines and re-wrapping — only edits
+    that change the parsed structure (i.e. could change behaviour)
+    change the fingerprint.
+    """
+    source = textwrap.dedent(inspect.getsource(fn))
+    tree = ast.parse(source)
+    return hashlib.sha256(ast.dump(tree).encode()).hexdigest()
+
+
+def current_fingerprints() -> Dict[str, str]:
+    """Fingerprint every registered original, sorted by name."""
+    return {name: fingerprint(_resolve(name)) for name in sorted(MIRRORED)}
+
+
+def load_pins(path: Path = PINS_PATH) -> Dict[str, str]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_pins(path: Path = PINS_PATH) -> Dict[str, str]:
+    pins = current_fingerprints()
+    with open(path, "w") as fh:
+        json.dump(pins, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return pins
+
+
+def diff_pins(path: Path = PINS_PATH) -> Dict[str, str]:
+    """Mismatches between the live tree and the pins.
+
+    Returns ``{dotted_name: problem}`` — empty means no drift.  Names
+    present only in the pins file ("vanished") matter as much as
+    changed ones: a deleted or renamed original usually means the simx
+    mirror points at dead logic.
+    """
+    pinned = load_pins(path)
+    current = current_fingerprints()
+    problems: Dict[str, str] = {}
+    for name, digest in current.items():
+        want = pinned.get(name)
+        if want is None:
+            problems[name] = "not pinned (new mirror? run --update)"
+        elif want != digest:
+            problems[name] = "source changed since the simx mirror was written"
+    for name in pinned:
+        if name not in current:
+            problems[name] = "pinned but no longer registered/resolvable"
+    return problems
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.simx.drift",
+        description="check (or re-pin) the array engine's source-drift guard",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite drift_pins.json from the current tree "
+        "(only after re-checking the simx mirrors!)",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        pins = write_pins()
+        print(f"pinned {len(pins)} fingerprints -> {PINS_PATH}")
+        return 0
+    problems = diff_pins()
+    if not problems:
+        print(f"ok: {len(MIRRORED)} mirrored originals match their pins")
+        return 0
+    for name, problem in sorted(problems.items()):
+        print(f"DRIFT {name}: {problem}")
+    print(
+        "\nre-check the corresponding src/repro/simx/ mirror(s), then: "
+        "PYTHONPATH=src python -m repro.simx.drift --update"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

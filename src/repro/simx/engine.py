@@ -43,6 +43,7 @@ from ..core.states import L1State
 from ..sim.chip import Chip, Core, _INLINE_OPS
 from ..stats.counters import RunStats
 from ..workloads.generator import _CHUNK
+from .handlers import compile_protocol_handlers
 from .helpers import (
     install_fast_cache_methods,
     install_fast_helpers,
@@ -55,20 +56,47 @@ __all__ = ["ArrayChip", "make_runner"]
 
 def make_runner(
     chip: Chip, core: Core, tables: ProtocolTables
-) -> Tuple[Callable[[], None], Callable[[], None]]:
-    """Compile the issue runner (and its counter flush) for one core.
+) -> Tuple[
+    Callable[[], None],
+    Callable[[Optional[int]], None],
+    Callable[[], None],
+    Callable[[], None],
+]:
+    """Compile the issue runner (and its maintenance hooks) for one core.
 
-    The runner closure replaces ``core._issue``; persistent per-core
-    state (the chunked op stream, the translation memo, the batched
-    counters) lives in its cells, while ``core._pending`` /
-    ``core.ops_done`` are synced on every exit so diagnostics, the
-    watchdog and the warmup adjustment read the same fields as under
-    the object engine.  The flush closure adds the batched counters
-    into the *current* stats objects and zeroes them; the chip calls it
-    at every observation boundary.
+    Returns ``(runner, rebind, sync, flush)``.  The runner closure
+    replaces ``core._issue``; *all* per-core state — the chunked op
+    stream, the translation memo, the batched counters, and the
+    run-scoped values the first version re-read from attributes on
+    every call (``chip.deadline``, ``sim._run_until``,
+    ``core.ops_target``, the ``_l1_hot`` unpack, ``core._pending`` /
+    ``core.ops_done`` / ``core.done``) — lives in closure cells.  With
+    eight cores interleaving on the heap a runner call drains ~1 op on
+    average, so that per-call prologue/epilogue was paid per *op*;
+    hoisting it into cells is the difference between the runner and the
+    object engine's ``_issue_fast`` entry cost.
+
+    The cells are only valid between a ``rebind`` and the next
+    ``sync``:
+
+    * ``rebind(until)`` loads the run-scoped state *into* the cells and
+      must be called immediately before every ``sim.run`` (the chip's
+      run methods do; ``until`` mirrors the bound ``sim.run`` will
+      publish as ``_run_until``).  It also re-unpacks ``_l1_hot``,
+      which ``reset_stats`` rebuilds at the warmup boundary.
+    * ``sync()`` writes ``core._pending`` / ``core.ops_done`` back to
+      the core attributes so diagnostics, the watchdog progress count
+      and the warmup adjustment read the same fields as under the
+      object engine.  The chip calls it at every observation boundary
+      and before any watchdog callback.
+
+    The flush closure adds the batched counters into the *current*
+    stats objects and zeroes them; the chip calls it at every
+    observation boundary.
     """
     proto = chip.protocol
     sim = chip.sim
+    queue = sim._queue  # never reassigned over a Simulator's lifetime
     tile = core.tile
     checker = proto.checker
     version_map = checker._version
@@ -118,6 +146,16 @@ def make_runner(
     c_vpages = c_offs = c_writes = c_thinks = None
     c_pos = _CHUNK  # forces the first chunk fetch
 
+    # run-scoped cells: loaded by rebind() at every run boundary,
+    # written back by sync() at every observation boundary
+    deadline: Optional[int] = None
+    run_until: Optional[int] = None
+    ops_target: Optional[int] = None
+    done = False
+    pending = None
+    ops_done = 0
+    set_mask = l1_index = l1_policies = l1_ways = None
+
     # batched monotonic counters (closure cells; zeroed by flush).
     # RunStats scalars:
     n_ops = n_reads = n_writes = n_retries = 0
@@ -127,195 +165,200 @@ def make_runner(
     # checker tallies:
     n_reads_checked = n_commits = 0
 
+    def rebind(until: Optional[int]) -> None:
+        """Load the run-scoped state into the cells (see above)."""
+        nonlocal deadline, run_until, ops_target, done, pending, ops_done
+        nonlocal set_mask, l1_index, l1_policies, l1_ways
+        deadline = chip.deadline
+        run_until = until
+        ops_target = core.ops_target
+        done = core.done
+        pending = core._pending
+        ops_done = core.ops_done
+        _, set_mask, l1_index, l1_policies, l1_ways = proto._l1_hot[tile]
+
+    def sync() -> None:
+        """Write the live cells back to the core attributes."""
+        core._pending = pending
+        core.ops_done = ops_done
+
     def runner() -> None:
         nonlocal c_pos, c_vpages, c_offs, c_writes, c_thinks, cow_seen
+        nonlocal pending, ops_done, done
         nonlocal n_ops, n_reads, n_writes, n_retries
         nonlocal n_st_hits, n_st_misses, n_upgrades
         nonlocal n_tag_reads, n_hits, n_misses, n_data_reads, n_data_writes
         nonlocal n_reads_checked, n_commits
-        if core.done:
+        if done:
             return
-        deadline = chip.deadline
-        queue = sim._queue
-        run_until = sim._run_until
         now = sim._now
-        # the L1 lookup internals are re-read per drain: reset_stats
-        # rebuilds _l1_hot at the warmup boundary (between sim.run
-        # calls, never mid-drain)
-        _, set_mask, l1_index, l1_policies, l1_ways = proto._l1_hot[tile]
-        pending = core._pending
-        ops_done = core.ops_done
-        ops_target = core.ops_target
-        try:
-            for _ in range(_INLINE_OPS):
-                if deadline is not None and now >= deadline:
-                    return
-                if pending is None:
-                    if chunked:
-                        i = c_pos
-                        if i == _CHUNK:
-                            c_vpages, c_offs, c_writes, c_thinks = next(chunks)
-                            i = 0
-                        c_pos = i + 1
-                        vpage = c_vpages[i]
-                        is_write = c_writes[i]
-                        # stage b inline (mirrors ConsolidatedWorkload
-                        # .trace): translation in consumption order
-                        if is_write:
-                            ppage = translate_write(vm, vpage)[0]
-                        else:
-                            if len(cow_events) != cow_seen:
-                                tcache.clear()
-                                cow_seen = len(cow_events)
-                            ppage = tcache_get(vpage)
-                            if ppage is None:
-                                ppage = tcache[vpage] = translate(vm, vpage)
-                        block = (ppage << page_shift) | c_offs[i]
-                        think = c_thinks[i]
+        for _ in range(_INLINE_OPS):
+            if deadline is not None and now >= deadline:
+                return
+            if pending is None:
+                if chunked:
+                    i = c_pos
+                    if i == _CHUNK:
+                        c_vpages, c_offs, c_writes, c_thinks = next(chunks)
+                        i = 0
+                    c_pos = i + 1
+                    vpage = c_vpages[i]
+                    is_write = c_writes[i]
+                    # stage b inline (mirrors ConsolidatedWorkload
+                    # .trace): translation in consumption order
+                    if is_write:
+                        ppage = translate_write(vm, vpage)[0]
                     else:
-                        op = next(trace)
-                        addr = op[0]
-                        is_write = op[1]
-                        think = op[2]
-                        # mirrors the inlined block_of in access()
-                        if 0 <= addr <= max_addr:
-                            block = addr >> block_shift
-                        else:
-                            block = block_of(addr)
+                        if len(cow_events) != cow_seen:
+                            tcache.clear()
+                            cow_seen = len(cow_events)
+                        ppage = tcache_get(vpage)
+                        if ppage is None:
+                            ppage = tcache[vpage] = translate(vm, vpage)
+                    block = (ppage << page_shift) | c_offs[i]
+                    think = c_thinks[i]
                 else:
-                    block, is_write, think = pending
-                    pending = None
-                # --- protocol.access, inline -------------------------
-                busy_until = busy_get(block, 0)
-                if busy_until > now:
-                    n_retries += 1
-                    pending = (block, is_write, think)
-                    # busy_until > now, so the object path's
-                    # max(retry_at, now + 1) is just busy_until
-                    heappush(queue, (busy_until, sim._seq, issue))
-                    sim._seq += 1
-                    return
-                n_ops += 1
-                if is_write:
-                    n_writes += 1
+                    op = next(trace)
+                    addr = op[0]
+                    is_write = op[1]
+                    think = op[2]
+                    # mirrors the inlined block_of in access()
+                    if 0 <= addr <= max_addr:
+                        block = addr >> block_shift
+                    else:
+                        block = block_of(addr)
+            else:
+                block, is_write, think = pending
+                pending = None
+            # --- protocol.access, inline -------------------------
+            busy_until = busy_get(block, 0)
+            if busy_until > now:
+                n_retries += 1
+                pending = (block, is_write, think)
+                # busy_until > now, so the object path's
+                # max(retry_at, now + 1) is just busy_until
+                heappush(queue, (busy_until, sim._seq, issue))
+                sim._seq += 1
+                return
+            n_ops += 1
+            if is_write:
+                n_writes += 1
+            else:
+                n_reads += 1
+            n_tag_reads += 1
+            s = block & set_mask
+            way = l1_index[s].get(block)
+            if way is None:
+                n_misses += 1
+                line = None
+            else:
+                n_hits += 1
+                stack = l1_policies[s]._stack
+                if stack[0] != way:
+                    stack.remove(way)
+                    stack.insert(0, way)
+                line = l1_ways[s][way][1]
+            missed = False
+            if line is not None and line.state is not I_state:
+                if not is_write:
+                    n_data_reads += 1
+                    n_st_hits += 1
+                    n_reads_checked += 1
+                    if line.version != version_map[block]:
+                        # mismatch: re-enter check_read for the
+                        # usual violation message (it raises)
+                        checker.check_read(
+                            block, line.version, where=l1_name,
+                            now=now, tile=tile,
+                        )
+                    latency = l1_hit_latency
                 else:
-                    n_reads += 1
-                n_tag_reads += 1
-                s = block & set_mask
-                way = l1_index[s].get(block)
-                if way is None:
-                    n_misses += 1
-                    line = None
-                else:
-                    n_hits += 1
-                    stack = l1_policies[s]._stack
-                    if stack[0] != way:
-                        stack.remove(way)
-                        stack.insert(0, way)
-                    line = l1_ways[s][way][1]
-                missed = False
-                if line is not None and line.state is not I_state:
-                    if not is_write:
-                        n_data_reads += 1
+                    act = write_action[line.state]
+                    if act == SILENT or (
+                        act == OWNER_CHECK
+                        and line.sharers == 0
+                        and not line.propos
+                        and (
+                            o_unconditional
+                            or upgrade_local(block, line)
+                        )
+                    ):
+                        # silent upgrade (charge_data_write +
+                        # commit_write, inline)
+                        n_data_writes += 1
                         n_st_hits += 1
-                        n_reads_checked += 1
-                        if line.version != version_map[block]:
-                            # mismatch: re-enter check_read for the
-                            # usual violation message (it raises)
-                            checker.check_read(
-                                block, line.version, where=l1_name,
-                                now=now, tile=tile,
-                            )
+                        n_upgrades += 1
+                        line.state = M_state
+                        line.dirty = True
+                        v = version_map[block] + 1
+                        version_map[block] = v
+                        n_commits += 1
+                        commit_log = checker._commit_log
+                        if commit_log is not None:
+                            commit_log.append(block)
+                        line.version = v
                         latency = l1_hit_latency
                     else:
-                        act = write_action[line.state]
-                        if act == SILENT or (
-                            act == OWNER_CHECK
-                            and line.sharers == 0
-                            and not line.propos
-                            and (
-                                o_unconditional
-                                or upgrade_local(block, line)
-                            )
-                        ):
-                            # silent upgrade (charge_data_write +
-                            # commit_write, inline)
-                            n_data_writes += 1
-                            n_st_hits += 1
-                            n_upgrades += 1
-                            line.state = M_state
-                            line.dirty = True
-                            v = version_map[block] + 1
-                            version_map[block] = v
-                            n_commits += 1
-                            commit_log = checker._commit_log
-                            if commit_log is not None:
-                                commit_log.append(block)
-                            line.version = v
-                            latency = l1_hit_latency
-                        else:
-                            missed = True
-                            latency, links, category = handle_write_miss(
-                                tile, block, now, had_copy=True
-                            )
-                elif is_write:
-                    missed = True
-                    latency, links, category = handle_write_miss(
-                        tile, block, now, had_copy=False
-                    )
-                else:
-                    missed = True
-                    latency, links, category = handle_read_miss(
-                        tile, block, now
-                    )
-                if missed:
-                    n_st_misses += 1
-                    # inlined miss_latency/miss_links accumulators
-                    # (min/max state: not batchable, mirrored exactly)
-                    st = proto.stats
-                    acc = st.miss_latency
-                    if acc.count == 0:
-                        acc.minimum = acc.maximum = latency
-                    elif latency < acc.minimum:
-                        acc.minimum = latency
-                    elif latency > acc.maximum:
-                        acc.maximum = latency
-                    acc.count += 1
-                    acc.total += latency
-                    acc = st.miss_links
-                    if acc.count == 0:
-                        acc.minimum = acc.maximum = links
-                    elif links < acc.minimum:
-                        acc.minimum = links
-                    elif links > acc.maximum:
-                        acc.maximum = links
-                    acc.count += 1
-                    acc.total += links
-                    if category:
-                        st.miss_categories[category] += 1
-                # --- completion (mirrors _issue_fast) ----------------
-                ops_done += 1
-                if ops_target is not None and ops_done >= ops_target:
-                    core.done = True
-                    chip_core_finished(now)
-                    return
-                delay = latency + think
-                t2 = now + (delay if delay > 1 else 1)
-                if (
-                    not fast
-                    or (queue and queue[0][0] <= t2)
-                    or (run_until is not None and t2 > run_until)
-                ):
-                    heappush(queue, (t2, sim._seq, issue))
-                    sim._seq += 1
-                    return
-                sim._now = now = t2
-            # inline budget exhausted; continue via an event at ``now``
-            heappush(queue, (now, sim._seq, issue))
-            sim._seq += 1
-        finally:
-            core._pending = pending
-            core.ops_done = ops_done
+                        missed = True
+                        latency, links, category = handle_write_miss(
+                            tile, block, now, had_copy=True
+                        )
+            elif is_write:
+                missed = True
+                latency, links, category = handle_write_miss(
+                    tile, block, now, had_copy=False
+                )
+            else:
+                missed = True
+                latency, links, category = handle_read_miss(
+                    tile, block, now
+                )
+            if missed:
+                n_st_misses += 1
+                # inlined miss_latency/miss_links accumulators
+                # (min/max state: not batchable, mirrored exactly)
+                st = proto.stats
+                acc = st.miss_latency
+                if acc.count == 0:
+                    acc.minimum = acc.maximum = latency
+                elif latency < acc.minimum:
+                    acc.minimum = latency
+                elif latency > acc.maximum:
+                    acc.maximum = latency
+                acc.count += 1
+                acc.total += latency
+                acc = st.miss_links
+                if acc.count == 0:
+                    acc.minimum = acc.maximum = links
+                elif links < acc.minimum:
+                    acc.minimum = links
+                elif links > acc.maximum:
+                    acc.maximum = links
+                acc.count += 1
+                acc.total += links
+                if category:
+                    st.miss_categories[category] += 1
+            # --- completion (mirrors _issue_fast) ----------------
+            ops_done += 1
+            if ops_target is not None and ops_done >= ops_target:
+                done = True
+                core.done = True
+                chip_core_finished(now)
+                return
+            delay = latency + think
+            t2 = now + (delay if delay > 1 else 1)
+            if (
+                not fast
+                or (queue and queue[0][0] <= t2)
+                or (run_until is not None and t2 > run_until)
+            ):
+                heappush(queue, (t2, sim._seq, issue))
+                sim._seq += 1
+                return
+            sim._now = now = t2
+        # inline budget exhausted; continue via an event at ``now``
+        heappush(queue, (now, sim._seq, issue))
+        sim._seq += 1
 
     issue = runner
 
@@ -346,7 +389,7 @@ def make_runner(
         n_tag_reads = n_hits = n_misses = n_data_reads = n_data_writes = 0
         n_reads_checked = n_commits = 0
 
-    return runner, flush
+    return runner, rebind, sync, flush
 
 
 class ArrayChip(Chip):
@@ -358,6 +401,8 @@ class ArrayChip(Chip):
         super().__init__(*args, **kwargs)
         self._simx_tables: Optional[ProtocolTables] = None
         self._flushes: list = []
+        self._rebinds: list = []
+        self._syncs: list = []
         self._armed = False
 
     def _arm(self) -> None:
@@ -382,10 +427,29 @@ class ArrayChip(Chip):
         for cache in protocol_caches(proto):
             install_fast_cache_methods(cache)
         self._flushes = []
+        self._rebinds = []
+        self._syncs = []
+        # compiled per-protocol miss handlers: instance-patched before
+        # the runners are compiled, so make_runner binds them
+        handler_flush = compile_protocol_handlers(proto, tables)
+        if handler_flush is not None:
+            self._flushes.append(handler_flush)
         for core in self.cores:
-            core._issue, flush = make_runner(self, core, tables)
+            core._issue, rebind, sync, flush = make_runner(self, core, tables)
+            self._rebinds.append(rebind)
+            self._syncs.append(sync)
             self._flushes.append(flush)
         self._armed = True
+
+    def _rebind_runners(self, until: Optional[int]) -> None:
+        """Load every runner's run-scoped cells; call before ``sim.run``."""
+        for rebind in self._rebinds:
+            rebind(until)
+
+    def _sync_runners(self) -> None:
+        """Write every runner's live cells back to the core attributes."""
+        for sync in self._syncs:
+            sync()
 
     def _flush_runners(self) -> None:
         """Flush every core's batched counters into the live stats.
@@ -394,9 +458,25 @@ class ArrayChip(Chip):
         totals become observable: the warmup ``reset_stats`` boundary
         and the end of a run (including aborted runs — the ``finally``
         in the run methods — so post-mortem stats stay consistent).
+        Syncs the per-core cells first so ``core.ops_done`` /
+        ``core._pending`` are as current as the stats.
         """
+        self._sync_runners()
         for flush in self._flushes:
             flush()
+
+    # the watchdog holds bound references to these two (see
+    # Chip._build_watchdog); the overrides sync the runner cells first
+    # so progress sampling and livelock diagnostics see live values
+    # even though the runners no longer write the attributes per call
+
+    def _ops_retired(self) -> int:
+        self._sync_runners()
+        return super()._ops_retired()
+
+    def _livelock_diagnostic(self) -> dict:
+        self._sync_runners()
+        return super()._livelock_diagnostic()
 
     def run_cycles(self, cycles: int, warmup: int = 0) -> RunStats:
         self._arm()
@@ -410,10 +490,14 @@ class ArrayChip(Chip):
             core.start()
         try:
             if warmup:
+                self._rebind_runners(warmup)
                 self.sim.run(until=warmup)
                 self._flush_runners()
                 self.protocol.reset_stats()
                 ops_at_warmup = [c.ops_done for c in self.cores]
+            # rebind again: _l1_hot was rebuilt by reset_stats, and the
+            # run window bound changed
+            self._rebind_runners(warmup + cycles)
             self.sim.run(until=warmup + cycles)
         finally:
             self._flush_runners()
@@ -431,6 +515,7 @@ class ArrayChip(Chip):
         for core in self.cores:
             core.ops_target = ops_per_core
             core.start()
+        self._rebind_runners(None)
         try:
             self.sim.run()
         finally:

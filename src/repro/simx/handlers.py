@@ -1,0 +1,78 @@
+"""Registry of compiled per-protocol miss handlers.
+
+Each of the five protocols has an arm-time compiler that flattens its
+four transaction hooks (``_handle_read_miss`` / ``_handle_write_miss``
+/ ``_evict_l1_line`` / ``_evict_l2_entry``) into closures bound on the
+protocol *instance* — see the ``handlers_*`` modules.  The registry is
+keyed by exact class identity: a user-defined subclass (for example a
+verification mutation overriding one hook) keeps the object-engine
+methods, which stay the single source of truth for semantics.
+
+:func:`compile_protocol_handlers` must run after the fast helpers and
+cache methods are installed (the compilers hoist the per-cache bound
+methods) and before the issue runners are compiled (the runners bind
+``proto._handle_read_miss`` / ``proto._handle_write_miss`` at
+compile time).  It returns the counter flush to register with the
+chip's observation-boundary flush list, or ``None`` when the protocol
+has no compiled handlers (everything still runs, on the object
+handlers over the fast helpers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from ..core.protocols.arin import DiCoArinProtocol
+from ..core.protocols.base import CoherenceProtocol
+from ..core.protocols.dico import DiCoProtocol
+from ..core.protocols.directory import DirectoryProtocol
+from ..core.protocols.providers import DiCoProvidersProtocol
+from ..core.protocols.vh import VirtualHierarchyProtocol
+from .handlers_arin import compile_arin_handlers
+from .handlers_dico import compile_dico_handlers
+from .handlers_directory import compile_directory_handlers
+from .handlers_providers import compile_providers_handlers
+from .handlers_vh import compile_vh_handlers
+from .tables import ProtocolTables
+
+__all__ = [
+    "HANDLER_COMPILERS",
+    "compile_protocol_handlers",
+    "remove_compiled_handlers",
+]
+
+#: exact protocol class -> arm-time handler compiler
+HANDLER_COMPILERS: Dict[Type[CoherenceProtocol], Callable] = {
+    DirectoryProtocol: compile_directory_handlers,
+    DiCoProtocol: compile_dico_handlers,
+    DiCoProvidersProtocol: compile_providers_handlers,
+    DiCoArinProtocol: compile_arin_handlers,
+    VirtualHierarchyProtocol: compile_vh_handlers,
+}
+
+_HANDLER_ATTRS = (
+    "_handle_read_miss",
+    "_handle_write_miss",
+    "_evict_l1_line",
+    "_evict_l2_entry",
+)
+
+
+def compile_protocol_handlers(
+    proto: CoherenceProtocol, tables: ProtocolTables
+) -> Optional[Callable[[], None]]:
+    """Compile and bind the miss handlers for ``proto``, if registered.
+
+    Caller must guarantee ``proto._trace is None`` and a non-detailed
+    network (the same preconditions as the fast helpers).
+    """
+    compiler = HANDLER_COMPILERS.get(type(proto))
+    if compiler is None:
+        return None
+    return compiler(proto, tables)
+
+
+def remove_compiled_handlers(proto: CoherenceProtocol) -> None:
+    """Restore the class-level hooks (undo the instance patch)."""
+    for name in _HANDLER_ATTRS:
+        proto.__dict__.pop(name, None)

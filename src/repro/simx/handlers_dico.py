@@ -1,0 +1,2190 @@
+"""Compiled miss handlers for the DiCo family (DiCo, Providers, Arin).
+
+:func:`_compile_family` flattens the four transaction hooks plus every
+helper they run on — supplier prediction, owner-cache pointers, hint
+fan-out, tree/broadcast invalidation, ownership hand-offs — into
+closures generated at arm time, mirroring the object-engine methods in
+``repro.core.protocols.dico`` / ``providers`` / ``arin`` statement for
+statement.  The three protocols share one compile function because
+``_handle_read_miss`` / ``_handle_write_miss`` are inherited unchanged
+from :class:`DiCoProtocol`; the variant argument selects the flattened
+versions of the legs the subclasses override (``_read_at_l1``,
+``_read_at_home``, ``_write_at_owner``, ``_write_at_home`` and the
+replacement paths).
+
+Accounting follows the same batching contract as
+:mod:`repro.simx.handlers_directory`:
+
+* unicast network counters are per-message-type (count, hops-sum)
+  cells; broadcasts (Arin's three-phase invalidation) batch as plain
+  counts because a tree broadcast always covers ``n_tiles - 1`` links,
+* the per-tile L1/L2 data/tag charges and the prediction-cache
+  lookup/hit/update tallies batch into per-tile arrays,
+* the checker's ``check_read`` / ``commit_write`` are inlined with the
+  same ``defaultdict`` touches and live ``_commit_log`` re-read,
+* everything is flushed additively at observation boundaries — sound
+  because the totals are pure monotonic sums never read mid-run.
+
+Rare legs — the L2C$ pointer eviction (``_forced_relinquish``) — call
+the object method, which runs on the instance-patched fast helpers;
+mixing live and batched counter updates is sound because every counter
+is additive.  The object-engine methods remain the single source of
+truth: any edit to them must be mirrored here, which the source-drift
+fingerprints in :mod:`repro.simx.drift` enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.messages import MessageType
+from ..core.ownercache import _OwnerEntry
+from ..core.protocols.base import CoherenceProtocol, L1Line, L2Line
+from ..core.states import L1State
+from .tables import ProtocolTables
+
+__all__ = ["compile_dico_handlers"]
+
+# unicast message types batched as (count, hops-sum) cells; the cell
+# index of each type is fixed by this tuple (flit sizes resolve at
+# compile time from the tables)
+_UNICAST_TYPES = (
+    MessageType.GETS,
+    MessageType.GETX,
+    MessageType.FWD_GETS,
+    MessageType.FWD_GETX,
+    MessageType.DATA,
+    MessageType.DATA_OWNER,
+    MessageType.HINT,
+    MessageType.CHANGE_OWNER,
+    MessageType.CHANGE_OWNER_ACK,
+    MessageType.INV,
+    MessageType.INV_ACK,
+    MessageType.PUT,
+    MessageType.PUT_CLEAN,
+    MessageType.WRITEBACK,
+    MessageType.MEM_FETCH,
+    MessageType.MEM_DATA,
+    MessageType.PROVIDERSHIP,
+    MessageType.CHANGE_PROVIDER,
+    MessageType.CHANGE_PROVIDER_ACK,
+    MessageType.NO_PROVIDER,
+)
+_N_UNICAST = len(_UNICAST_TYPES)
+_I_LOC = _N_UNICAST  # self-sends share the cm list, no hops-sum
+
+# scalar cells
+_N_SC = 11
+(
+    _SC_L2HITS,
+    _SC_UNICAST,
+    _SC_MEMFETCH,
+    _SC_L2MISS,
+    _SC_WB,
+    _SC_L1EV,
+    _SC_L2EV,
+    _SC_CHECKED,
+    _SC_COMMITS,
+    _SC_MEMACC,
+    _SC_BCAST,
+) = range(_N_SC)
+
+
+def compile_dico_handlers(
+    proto: CoherenceProtocol, tables: ProtocolTables
+) -> Callable[[], None]:
+    return _compile_family(proto, tables, "dico")
+
+
+def _compile_family(
+    proto: CoherenceProtocol, tables: ProtocolTables, variant: str
+) -> Callable[[], None]:
+    """Bind compiled handler closures onto ``proto``; returns the flush.
+
+    Caller must have installed the fast helpers / cache methods first
+    (the hoisted bound methods pick up the flattened versions) and must
+    guarantee ``proto._trace is None`` — the compiled paths omit the
+    tracing branches entirely.
+    """
+    cfg = proto.config
+    L1_TAG_L1C = cfg.l1.tag_latency + proto._l1c_lat
+    L1_ACC = cfg.l1.access_latency
+    L2_TAG = proto._l2_tag_lat
+    L2_DATA = cfg.l2.data_latency
+    home_mask = proto._home_mask
+
+    hops_flat = tables.hops_flat
+    n_tiles = tables.n_tiles
+    hop_cycles = tables.hop_cycles
+    flits = tables.flits
+    tiles_range = range(n_tiles)
+
+    # per-type cell indices + latency addends (latency = hops*hop_cycles
+    # + flits - 1), resolved at compile time
+    (
+        I_GETS,
+        I_GETX,
+        I_FGETS,
+        I_FGETX,
+        I_DATA,
+        I_DOWN,
+        I_HINT,
+        I_CO,
+        I_COACK,
+        I_INV,
+        I_ACK,
+        I_PUT,
+        I_PUTC,
+        I_WB,
+        I_MF,
+        I_MD,
+        I_PROV,
+        I_CP,
+        I_CPACK,
+        I_NOPROV,
+    ) = range(_N_UNICAST)
+    I_LOC = _I_LOC
+    msg_flits = [flits[t] for t in _UNICAST_TYPES]
+    A_GETS = msg_flits[I_GETS] - 1
+    A_GETX = msg_flits[I_GETX] - 1
+    A_FGETS = msg_flits[I_FGETS] - 1
+    A_FGETX = msg_flits[I_FGETX] - 1
+    A_DATA = msg_flits[I_DATA] - 1
+    A_DOWN = msg_flits[I_DOWN] - 1
+    A_CO = msg_flits[I_CO] - 1
+    A_COACK = msg_flits[I_COACK] - 1
+    A_INV = msg_flits[I_INV] - 1
+    A_ACK = msg_flits[I_ACK] - 1
+
+    l1s = proto.l1s
+    l2s = proto.l2s
+    l1cs = proto.l1cs
+    l2cs = proto.l2cs
+    l1_lookup = [c.lookup for c in l1s]
+    l1_peek = [c.peek for c in l1s]
+    l1_insert = [c.insert for c in l1s]
+    l1_invalidate = [c.invalidate for c in l1s]
+    l1_displace = [c.displace for c in l1s]
+    l2_peek = [c.peek for c in l2s]
+    l2_lookup = [c.lookup for c in l2s]
+    l2_insert = [c.insert for c in l2s]
+    l2_displace = [c.displace for c in l2s]
+    oc_lookup = [oc.array.lookup for oc in l2cs]
+    oc_insert = [oc.array.insert for oc in l2cs]
+    oc_invalidate = [oc.array.invalidate for oc in l2cs]
+    pc_resident = [p._resident for p in l1cs]
+    pc_resident_get = [p._resident.get for p in l1cs]
+    pc_array_lookup = [p.array.lookup for p in l1cs]
+    pc_array_insert = [p.array.insert for p in l1cs]
+    pc_array_invalidate = [p.array.invalidate for p in l1cs]
+
+    checker = proto.checker
+    version_map = checker._version
+    l1_names = proto._l1_names
+    busy = proto._busy
+    busy_get = busy.get
+    mem_version_map = proto._mem_version
+    mem_version_get = mem_version_map.get
+    mem_version_setdefault = mem_version_map.setdefault
+    memctl = proto.memctl
+    positions = memctl.positions
+    nearest = memctl._nearest
+    base_latency = memctl._base_latency
+    randbelow = memctl._randbelow
+    jitter_cycles = memctl.jitter_cycles
+    jitter_bound = jitter_cycles + 1
+    # rare leg: L2C$ pointer eviction (object method of the concrete
+    # subclass, running on the instance-patched fast helpers; live
+    # counters mix soundly with the batched cells)
+    forced_relinquish = proto._forced_relinquish
+
+    S_state = L1State.S
+    E_state = L1State.E
+    M_state = L1State.M
+    O_state = L1State.O
+    P_state = L1State.P
+    EM_states = (L1State.E, L1State.M)
+    EMO_states = (L1State.E, L1State.M, L1State.O)
+
+    # --- batched counter cells (zeroed by flush) ----------------------
+    cm = [0] * (_N_UNICAST + 1)  # count per type (+ local self-sends)
+    hm = [0] * _N_UNICAST        # hops-sum per type
+    sc = [0] * _N_SC             # scalar stats
+    cb = [0, 0]                  # broadcast counts (INV/UNBLOCK)
+    bl1_r = [0] * n_tiles        # L1 data_reads per tile
+    bl1_w = [0] * n_tiles        # L1 data_writes per tile
+    bl2_r = [0] * n_tiles        # L2 data_reads per home
+    bl2_w = [0] * n_tiles        # L2 data_writes per home
+    bl2_tw = [0] * n_tiles       # L2 tag_writes per home
+    pll = [0] * n_tiles          # L1C$ lookups per tile
+    plh = [0] * n_tiles          # L1C$ hits per tile
+    plu = [0] * n_tiles          # L1C$ updates per tile
+
+    # --- inlined shared glue ------------------------------------------
+
+    def mem_fetch(home, block):
+        # mirrors CoherenceProtocol.mem_fetch +
+        # MemoryControllers.access_latency (same RNG draw sequence)
+        sc[_SC_MEMFETCH] += 1
+        sc[_SC_L2MISS] += 1
+        ctrl = positions[nearest[home]]
+        hops = hops_flat[home * n_tiles + ctrl]
+        if hops:
+            cm[I_MF] += 1
+            hm[I_MF] += hops
+        else:
+            cm[I_LOC] += 1
+        hops = hops_flat[ctrl * n_tiles + home]
+        if hops:
+            cm[I_MD] += 1
+            hm[I_MD] += hops
+        else:
+            cm[I_LOC] += 1
+        sc[_SC_MEMACC] += 1
+        jitter = randbelow(jitter_bound) if jitter_cycles else 0
+        return base_latency[home] + jitter
+
+    def mem_writeback(home, block, version):
+        # mirrors CoherenceProtocol.mem_writeback
+        sc[_SC_WB] += 1
+        ctrl = positions[nearest[home]]
+        hops = hops_flat[home * n_tiles + ctrl]
+        if hops:
+            cm[I_WB] += 1
+            hm[I_WB] += hops
+        else:
+            cm[I_LOC] += 1
+        mem_version_map[block] = version
+
+    def drop_l1(tile, block):
+        # mirrors CoherenceProtocol.drop_l1 +
+        # PredictionCache.block_evicted (tracer-off branch)
+        line = l1_invalidate[tile](block)
+        if line is not None:
+            sup = pc_resident[tile].pop(block, None)
+            if sup is not None:
+                pc_array_insert[tile](block, sup)
+        return line
+
+    def fill_l1(tile, block, line, now, supplier):
+        # mirrors CoherenceProtocol.fill_l1 +
+        # PredictionCache.block_evicted / block_cached (tracer-off)
+        victim = l1_displace[tile](block)
+        if victim is not None:
+            vblock = victim[0]
+            sup = pc_resident[tile].pop(vblock, None)
+            if sup is not None:
+                pc_array_insert[tile](vblock, sup)
+            sc[_SC_L1EV] += 1
+            evict_l1_line(tile, vblock, victim[1], now)
+        l1_insert[tile](block, line)
+        bl1_w[tile] += 1
+        pc_array_invalidate[tile](block)
+        if supplier is not None and supplier != tile:
+            pc_resident[tile][block] = supplier
+        else:
+            pc_resident[tile].pop(block, None)
+
+    def fill_l2(home, block, entry, now):
+        # mirrors CoherenceProtocol.fill_l2 (tracer-off branch)
+        victim = l2_displace[home](block)
+        if victim is not None:
+            sc[_SC_L2EV] += 1
+            evict_l2_entry(home, victim[0], victim[1], now)
+        l2_insert[home](block, entry)
+        if entry.has_data:
+            bl2_w[home] += 1
+
+    def pc_update(s, block, supplier):
+        # mirrors PredictionCache.update (incl. the self-pointer forget)
+        if supplier == s:
+            pc_resident[s].pop(block, None)
+            pc_array_invalidate[s](block)
+            return
+        plu[s] += 1
+        res = pc_resident[s]
+        if block in res:
+            res[block] = supplier
+        else:
+            pc_array_insert[s](block, supplier)
+
+    def oc_set_owner(block, tile, now):
+        # mirrors DiCoProtocol._set_l1_owner + OwnerCache.set_owner;
+        # the pointer-eviction leg is rare -> object method
+        home = block & home_mask
+        existing = oc_lookup[home](block)
+        if existing is not None:
+            existing.owner_tile = tile
+            existing.transfer_locked = False
+            return
+        victim = oc_insert[home](block, _OwnerEntry(owner_tile=tile))
+        if victim is not None:
+            l2cs[home].forced_relinquishes += 1
+            forced_relinquish(victim[0], victim[1].owner_tile, now)
+
+    def demote_to_copy(home, block):
+        # mirrors DiCoProtocol._demote_to_copy
+        entry = l2_peek[home](block)
+        if entry is None:
+            return
+        entry.is_owner = False
+        entry.inter_area = False
+        entry.owner_area = None
+        entry.sharers = 0
+        entry.propos = {}
+        entry.plain_copy = True
+
+    def fill_plain_copy(home, block, version, now):
+        # mirrors DiCoProtocol._fill_plain_copy
+        entry = l2_peek[home](block)
+        if entry is not None:
+            entry.has_data = True
+            entry.version = version
+            entry.dirty = False
+            entry.is_owner = False
+            entry.plain_copy = True
+            bl2_w[home] += 1
+        else:
+            fill_l2(
+                home,
+                block,
+                L2Line(has_data=True, version=version, plain_copy=True),
+                now,
+            )
+
+    def put_ownership_home(tile, block, line, now):
+        # mirrors DiCoProtocol._put_ownership_home
+        home = block & home_mask
+        entry = l2_peek[home](block)
+        if (
+            entry is not None
+            and entry.has_data
+            and entry.version == line.version
+        ):
+            hops = hops_flat[tile * n_tiles + home]
+            if hops:
+                cm[I_PUTC] += 1
+                hm[I_PUTC] += hops
+            else:
+                cm[I_LOC] += 1
+            entry.is_owner = True
+            entry.plain_copy = False
+            entry.dirty = entry.dirty or line.dirty
+            entry.sharers = 0
+            entry.propos = {}
+            entry.owner_area = None
+            bl2_tw[home] += 1
+        else:
+            hops = hops_flat[tile * n_tiles + home]
+            if hops:
+                cm[I_PUT] += 1
+                hm[I_PUT] += hops
+            else:
+                cm[I_LOC] += 1
+            entry = L2Line(
+                has_data=True,
+                dirty=line.dirty,
+                version=line.version,
+                is_owner=True,
+            )
+            fill_l2(home, block, entry, now)
+        oc_invalidate[home](block)
+        return entry
+
+    def live_sharers(block, mask, exclude):
+        # mirrors DiCoProtocol._live_sharers (peeks are side-effect free)
+        live = []
+        while mask:
+            low = mask & -mask
+            t = low.bit_length() - 1
+            mask ^= low
+            if t != exclude and l1_peek[t](block) is not None:
+                live.append(t)
+        return live
+
+    def send_hints(block, sharers, new_supplier, now):
+        # mirrors DiCoProtocol._send_hints
+        for s in sharers:
+            if s == new_supplier:
+                continue
+            hops = hops_flat[new_supplier * n_tiles + s]
+            if hops:
+                cm[I_HINT] += 1
+                hm[I_HINT] += hops
+            else:
+                cm[I_LOC] += 1
+            pc_update(s, block, new_supplier)
+
+    def invalidate_sharers(orderer, ack_to, block, mask, now, skip):
+        # mirrors DiCoProtocol._invalidate_sharers
+        worst = 0
+        while mask:
+            low = mask & -mask
+            sharer = low.bit_length() - 1
+            mask ^= low
+            if sharer == skip:
+                continue
+            hops = hops_flat[orderer * n_tiles + sharer]
+            if hops:
+                cm[I_INV] += 1
+                hm[I_INV] += hops
+                pair = hops * hop_cycles + A_INV
+            else:
+                cm[I_LOC] += 1
+                pair = 0
+            drop_l1(sharer, block)
+            pc_update(sharer, block, ack_to)
+            hops = hops_flat[sharer * n_tiles + ack_to]
+            if hops:
+                cm[I_ACK] += 1
+                hm[I_ACK] += hops
+                pair += hops * hop_cycles + A_ACK
+            else:
+                cm[I_LOC] += 1
+            if pair > worst:
+                worst = pair
+            sc[_SC_UNICAST] += 1
+        return worst
+
+    def commit_write(tile, block, now):
+        # mirrors DiCoProtocol._commit_write with the checker's
+        # commit_write inlined (same defaultdict touch, same live
+        # _commit_log re-read)
+        version = version_map[block] + 1
+        version_map[block] = version
+        sc[_SC_COMMITS] += 1
+        commit_log = checker._commit_log
+        if commit_log is not None:
+            commit_log.append(block)
+        existing = l1_peek[tile](block)
+        if existing is not None:
+            existing.state = M_state
+            existing.dirty = True
+            existing.version = version
+            existing.sharers = 0
+            existing.propos = {}
+            bl1_w[tile] += 1
+            pc_array_invalidate[tile](block)
+            pc_resident[tile].pop(block, None)
+        else:
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=M_state, version=version, dirty=True),
+                now,
+                None,
+            )
+
+    # --- dico baseline legs (the arin fallback reuses write_at_home) --
+
+    def dico_write_at_home(tile, block, now, had_copy):
+        # mirrors DiCoProtocol._write_at_home
+        home = block & home_mask
+        t = L2_TAG
+        links = 0
+        e = oc_lookup[home](block)
+        owner = e.owner_tile if e is not None else None
+        if owner is not None:
+            hops = hops_flat[home * n_tiles + owner]
+            if hops:
+                cm[I_FGETX] += 1
+                hm[I_FGETX] += hops
+                t += hops * hop_cycles + A_FGETX
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            lat, hops2 = write_at_owner(owner, tile, block, now, had_copy)
+            return t + lat, links + hops2, "unpredicted_fwd"
+
+        entry = l2_lookup[home](block)
+        if entry is not None and entry.is_owner:
+            inv_worst = invalidate_sharers(
+                home, tile, block, entry.sharers, now, tile
+            )
+            hops = hops_flat[home * n_tiles + tile]
+            if had_copy:
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                    data_lat = hops * hop_cycles + A_COACK
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+                data_hops = hops
+            else:
+                if entry.has_data:
+                    sc[_SC_L2HITS] += 1
+                    bl2_r[home] += 1
+                    data_lat = L2_DATA
+                else:
+                    data_lat = mem_fetch(home, block)
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    data_lat += hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                data_hops = hops
+            demote_to_copy(home, block)
+            oc_set_owner(block, tile, now)
+            t += inv_worst if inv_worst > data_lat else data_lat
+            links += data_hops
+            commit_write(tile, block, now)
+            return t, links, "unpredicted_home"
+
+        # not on chip
+        t += mem_fetch(home, block)
+        hops = hops_flat[home * n_tiles + tile]
+        if hops:
+            cm[I_DOWN] += 1
+            hm[I_DOWN] += hops
+            t += hops * hop_cycles + A_DOWN
+        else:
+            cm[I_LOC] += 1
+        links += hops
+        oc_set_owner(block, tile, now)
+        commit_write(tile, block, now)
+        return t, links, "memory"
+
+    def dico_evict_l2_entry(home, block, entry, now):
+        # mirrors DiCoProtocol._evict_l2_entry
+        if entry.plain_copy:
+            return  # redundant copy under a live L1 owner: silent drop
+        worst = 0
+        mask = entry.sharers
+        while mask:
+            low = mask & -mask
+            sharer = low.bit_length() - 1
+            mask ^= low
+            hops = hops_flat[home * n_tiles + sharer]
+            if hops:
+                cm[I_INV] += 1
+                hm[I_INV] += hops
+                pair = hops * hop_cycles + A_INV
+            else:
+                cm[I_LOC] += 1
+                pair = 0
+            drop_l1(sharer, block)
+            hops = hops_flat[sharer * n_tiles + home]
+            if hops:
+                cm[I_ACK] += 1
+                hm[I_ACK] += hops
+                pair += hops * hop_cycles + A_ACK
+            else:
+                cm[I_LOC] += 1
+            if pair > worst:
+                worst = pair
+            sc[_SC_UNICAST] += 1
+        if entry.dirty:
+            mem_writeback(home, block, entry.version)
+        else:
+            mem_version_setdefault(block, entry.version)
+        until = now + worst
+        if until > busy_get(block, 0):
+            busy[block] = until
+
+    # --- variant-specific legs ----------------------------------------
+
+    if variant != "dico":
+        area_of = proto.areas._area_of
+
+    if variant == "dico":
+
+        def read_at_l1(holder, requestor, block, now):
+            # mirrors DiCoProtocol._read_at_l1
+            line = l1_lookup[holder](block)
+            if line is None or line.state not in EMO_states:
+                return None
+            t = L1_ACC
+            bl1_r[holder] += 1
+            line.sharers |= 1 << requestor
+            if line.state in EM_states:
+                line.state = O_state
+            hops = hops_flat[holder * n_tiles + requestor]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                data_lat = hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+                data_lat = 0
+            sc[_SC_CHECKED] += 1
+            if line.version != version_map[block]:
+                checker.check_read(
+                    block, line.version, where=l1_names[requestor]
+                )
+            fill_l1(
+                requestor,
+                block,
+                L1Line(state=S_state, version=line.version),
+                now,
+                holder,
+            )
+            return t + data_lat, hops, "pred_owner_hit"
+
+        def read_at_home(tile, block, now, forwarder):
+            # mirrors DiCoProtocol._read_at_home
+            home = block & home_mask
+            t = L2_TAG
+            links = 0
+            e = oc_lookup[home](block)
+            owner = e.owner_tile if e is not None else None
+            if owner is not None:
+                hops = hops_flat[home * n_tiles + owner]
+                if hops:
+                    cm[I_FGETS] += 1
+                    hm[I_FGETS] += hops
+                    t += hops * hop_cycles + A_FGETS
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                served = read_at_l1(owner, tile, block, now)
+                assert served is not None, "L2C$ pointed at a non-owner"
+                lat, hops2, _ = served
+                return t + lat, links + hops2, "unpredicted_fwd"
+
+            entry = l2_lookup[home](block)
+            if entry is not None and entry.is_owner:
+                if not entry.has_data:
+                    t += mem_fetch(home, block)
+                    entry.version = mem_version_get(block, 0)
+                    entry.has_data = True
+                else:
+                    sc[_SC_L2HITS] += 1
+                    t += L2_DATA
+                    bl2_r[home] += 1
+                hops = hops_flat[home * n_tiles + tile]
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    t += hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                sharers = entry.sharers & ~(1 << tile)
+                state = O_state if sharers else (
+                    M_state if entry.dirty else E_state
+                )
+                sc[_SC_CHECKED] += 1
+                if entry.version != version_map[block]:
+                    checker.check_read(
+                        block, entry.version, where=l1_names[tile]
+                    )
+                version = entry.version
+                dirty = entry.dirty
+                demote_to_copy(home, block)
+                fill_l1(
+                    tile,
+                    block,
+                    L1Line(
+                        state=state,
+                        version=version,
+                        dirty=dirty,
+                        sharers=sharers,
+                    ),
+                    now,
+                    None,
+                )
+                oc_set_owner(block, tile, now)
+                send_hints(block, live_sharers(block, sharers, -1), tile, now)
+                return t, links, "unpredicted_home"
+
+            # not on chip: the home keeps a plain copy alongside the grant
+            t += mem_fetch(home, block)
+            version = mem_version_get(block, 0)
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_DOWN] += 1
+                hm[I_DOWN] += hops
+                t += hops * hop_cycles + A_DOWN
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            sc[_SC_CHECKED] += 1
+            if version != version_map[block]:
+                checker.check_read(block, version, where=l1_names[tile])
+            fill_plain_copy(home, block, version, now)
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=E_state, version=version),
+                now,
+                None,
+            )
+            oc_set_owner(block, tile, now)
+            until = now + t
+            if until > busy_get(block, 0):
+                busy[block] = until
+            return t, links, "memory"
+
+        def write_at_owner(owner, tile, block, now, had_copy):
+            # mirrors DiCoProtocol._write_at_owner
+            home = block & home_mask
+            line = l1_peek[owner](block)
+            assert line is not None
+            t = L1_ACC
+            inv_worst = invalidate_sharers(
+                owner, tile, block, line.sharers, now, tile
+            )
+            if owner == tile:
+                # upgrade at the owner itself: nothing moves
+                t += inv_worst
+                commit_write(tile, block, now)
+                return t, 0
+            hops = hops_flat[owner * n_tiles + tile]
+            if had_copy:
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                    data_lat = hops * hop_cycles + A_COACK
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+            else:
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    data_lat = hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+            data_hops = hops
+            bl1_r[owner] += 1
+            pc_update(owner, block, tile)  # Fig. 5: writer becomes supplier
+            drop_l1(owner, block)
+            hops = hops_flat[owner * n_tiles + home]
+            if hops:
+                cm[I_CO] += 1
+                hm[I_CO] += hops
+                co_lat = hops * hop_cycles + A_CO
+            else:
+                cm[I_LOC] += 1
+                co_lat = 0
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_COACK] += 1
+                hm[I_COACK] += hops
+                co_lat += hops * hop_cycles + A_COACK
+            else:
+                cm[I_LOC] += 1
+            oc_set_owner(block, tile, now)
+            m = inv_worst
+            if data_lat > m:
+                m = data_lat
+            if co_lat > m:
+                m = co_lat
+            t += m
+            commit_write(tile, block, now)
+            return t, data_hops
+
+        write_at_home = dico_write_at_home
+
+        def evict_owner(tile, block, line, now):
+            # mirrors DiCoProtocol._evict_owner
+            home = block & home_mask
+            live = live_sharers(block, line.sharers, tile)
+            if live:
+                target = live[0]
+                hops = hops_flat[tile * n_tiles + target]
+                if hops:
+                    cm[I_CO] += 1
+                    hm[I_CO] += hops
+                else:
+                    cm[I_LOC] += 1
+                tline = l1_peek[target](block)
+                assert tline is not None
+                tline.state = O_state
+                tline.dirty = line.dirty
+                tline.sharers = (
+                    (line.sharers | (1 << tile))
+                    & ~(1 << target)
+                    & ~(1 << tile)
+                )
+                hops = hops_flat[target * n_tiles + home]
+                if hops:
+                    cm[I_CO] += 1
+                    hm[I_CO] += hops
+                else:
+                    cm[I_LOC] += 1
+                hops = hops_flat[home * n_tiles + target]
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                else:
+                    cm[I_LOC] += 1
+                oc_set_owner(block, target, now)
+                send_hints(block, live[1:], target, now)
+            else:
+                put_ownership_home(tile, block, line, now)
+
+        def evict_l1_line(tile, block, line, now):
+            # mirrors DiCoProtocol._evict_l1_line
+            if line.state is S_state:
+                return  # silent eviction
+            if line.state in EMO_states:
+                evict_owner(tile, block, line, now)
+
+        evict_l2_entry = dico_evict_l2_entry
+
+    elif variant == "providers":
+
+        def supply(supplier, requestor, block, line, now, base_lat,
+                   as_provider, category):
+            # mirrors DiCoProvidersProtocol._supply
+            bl1_r[supplier] += 1
+            if not as_provider:
+                line.sharers |= 1 << requestor
+                if line.state in EM_states:
+                    line.state = O_state
+            elif line.state in EM_states:
+                line.state = O_state
+            hops = hops_flat[supplier * n_tiles + requestor]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                data_lat = hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+                data_lat = 0
+            sc[_SC_CHECKED] += 1
+            if line.version != version_map[block]:
+                checker.check_read(
+                    block, line.version, where=l1_names[requestor]
+                )
+            new_state = P_state if as_provider else S_state
+            fill_l1(
+                requestor,
+                block,
+                L1Line(state=new_state, version=line.version),
+                now,
+                supplier,
+            )
+            return base_lat + data_lat, hops, category
+
+        def read_at_l1(holder, requestor, block, now):
+            # mirrors DiCoProvidersProtocol._read_at_l1
+            line = l1_lookup[holder](block)
+            if line is None:
+                return None
+            local = area_of[holder] == area_of[requestor]
+
+            if line.state in EMO_states:
+                t = L1_ACC
+                if local:
+                    return supply(holder, requestor, block, line, now, t,
+                                  False, "pred_owner_hit")
+                area_r = area_of[requestor]
+                provider = line.propos.get(area_r)
+                if provider is not None:
+                    hops = hops_flat[holder * n_tiles + provider]
+                    if hops:
+                        cm[I_FGETS] += 1
+                        hm[I_FGETS] += hops
+                        fwd_lat = hops * hop_cycles + A_FGETS
+                    else:
+                        cm[I_LOC] += 1
+                        fwd_lat = 0
+                    fwd_hops = hops
+                    pline = l1_lookup[provider](block)
+                    assert pline is not None and pline.state is P_state, (
+                        "owner's ProPo must point at a live provider"
+                    )
+                    t += fwd_lat
+                    lat, hops2, _ = supply(
+                        provider, requestor, block, pline, now, L1_ACC,
+                        False, "unpredicted_provider",
+                    )
+                    return t + lat, fwd_hops + hops2, "unpredicted_provider"
+                # no supplier in the requestor's area: it becomes provider
+                line.propos[area_r] = requestor
+                return supply(holder, requestor, block, line, now, t,
+                              True, "pred_owner_hit")
+
+            if line.state is P_state:
+                if local:
+                    return supply(holder, requestor, block, line, now,
+                                  L1_ACC, False, "pred_provider_hit")
+                return None  # provider forwards remote reads to home
+
+            return None
+
+        def read_at_home(tile, block, now, forwarder):
+            # mirrors DiCoProvidersProtocol._read_at_home
+            home = block & home_mask
+            t = L2_TAG
+            links = 0
+            e = oc_lookup[home](block)
+            owner = e.owner_tile if e is not None else None
+            if owner is not None:
+                hops = hops_flat[home * n_tiles + owner]
+                if hops:
+                    cm[I_FGETS] += 1
+                    hm[I_FGETS] += hops
+                    t += hops * hop_cycles + A_FGETS
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                served = read_at_l1(owner, tile, block, now)
+                assert served is not None, "L2C$ pointed at a non-owner"
+                lat, hops2, cat = served
+                if cat == "unpredicted_provider":
+                    return t + lat, links + hops2, cat
+                return t + lat, links + hops2, "unpredicted_fwd"
+
+            entry = l2_lookup[home](block)
+            if entry is not None and entry.is_owner:
+                area_r = area_of[tile]
+                provider = entry.propos.get(area_r)
+                if provider is not None:
+                    hops = hops_flat[home * n_tiles + provider]
+                    if hops:
+                        cm[I_FGETS] += 1
+                        hm[I_FGETS] += hops
+                        t += hops * hop_cycles + A_FGETS
+                    else:
+                        cm[I_LOC] += 1
+                    links += hops
+                    pline = l1_lookup[provider](block)
+                    assert pline is not None and pline.state is P_state
+                    lat, hops2, _ = supply(
+                        provider, tile, block, pline, now, L1_ACC,
+                        False, "unpredicted_provider",
+                    )
+                    return t + lat, links + hops2, "unpredicted_provider"
+                # no provider in the area -> requestor becomes owner
+                if not entry.has_data:
+                    t += mem_fetch(home, block)
+                    entry.version = mem_version_get(block, 0)
+                    entry.has_data = True
+                else:
+                    sc[_SC_L2HITS] += 1
+                    t += L2_DATA
+                    bl2_r[home] += 1
+                hops = hops_flat[home * n_tiles + tile]
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    t += hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                sc[_SC_CHECKED] += 1
+                if entry.version != version_map[block]:
+                    checker.check_read(
+                        block, entry.version, where=l1_names[tile]
+                    )
+                propos = dict(entry.propos)
+                propos.pop(area_r, None)
+                state = O_state if propos else (
+                    M_state if entry.dirty else E_state
+                )
+                version = entry.version
+                dirty = entry.dirty
+                demote_to_copy(home, block)
+                fill_l1(
+                    tile,
+                    block,
+                    L1Line(
+                        state=state,
+                        version=version,
+                        dirty=dirty,
+                        propos=propos,
+                    ),
+                    now,
+                    None,
+                )
+                oc_set_owner(block, tile, now)
+                return t, links, "unpredicted_home"
+
+            # not on chip: the home keeps a plain copy alongside the grant
+            t += mem_fetch(home, block)
+            version = mem_version_get(block, 0)
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_DOWN] += 1
+                hm[I_DOWN] += hops
+                t += hops * hop_cycles + A_DOWN
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            sc[_SC_CHECKED] += 1
+            if version != version_map[block]:
+                checker.check_read(block, version, where=l1_names[tile])
+            fill_plain_copy(home, block, version, now)
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=E_state, version=version),
+                now,
+                None,
+            )
+            oc_set_owner(block, tile, now)
+            until = now + t
+            if until > busy_get(block, 0):
+                busy[block] = until
+            return t, links, "memory"
+
+        def invalidate_tree(orderer, ack_to, block, sharer_mask,
+                            propos, now, skip):
+            # mirrors DiCoProvidersProtocol._invalidate_tree
+            worst = invalidate_sharers(
+                orderer, ack_to, block, sharer_mask, now, skip
+            )
+            requestor_is_provider = False
+            for area, provider in list(propos.items()):
+                if provider == skip:
+                    # the requestor cleans its own area after it
+                    # receives the ownership (Sec. IV-A)
+                    requestor_is_provider = True
+                    continue
+                hops = hops_flat[orderer * n_tiles + provider]
+                if hops:
+                    cm[I_INV] += 1
+                    hm[I_INV] += hops
+                    inv_lat = hops * hop_cycles + A_INV
+                else:
+                    cm[I_LOC] += 1
+                    inv_lat = 0
+                pline = l1_peek[provider](block)
+                sub = 0
+                if pline is not None:
+                    sub = invalidate_sharers(
+                        provider, ack_to, block, pline.sharers, now, skip
+                    )
+                drop_l1(provider, block)
+                pc_update(provider, block, ack_to)
+                hops = hops_flat[provider * n_tiles + ack_to]
+                if hops:
+                    cm[I_ACK] += 1
+                    hm[I_ACK] += hops
+                    pack_lat = hops * hop_cycles + A_ACK
+                else:
+                    cm[I_LOC] += 1
+                    pack_lat = 0
+                if pack_lat > sub:
+                    sub = pack_lat
+                if inv_lat + sub > worst:
+                    worst = inv_lat + sub
+                sc[_SC_UNICAST] += 1
+            return worst, requestor_is_provider
+
+        def invalidate_own_area(tile, block, now):
+            # mirrors DiCoProvidersProtocol._invalidate_own_area
+            line = l1_peek[tile](block)
+            if line is None:
+                return 0
+            return invalidate_sharers(
+                tile, tile, block, line.sharers, now, tile
+            )
+
+        def write_at_owner(owner, tile, block, now, had_copy):
+            # mirrors DiCoProvidersProtocol._write_at_owner
+            home = block & home_mask
+            line = l1_peek[owner](block)
+            assert line is not None
+            t = L1_ACC
+            inv_worst, self_inval = invalidate_tree(
+                owner, tile, block, line.sharers, line.propos, now, tile
+            )
+            if owner == tile:
+                t += inv_worst
+                commit_write(tile, block, now)
+                return t, 0
+            hops = hops_flat[owner * n_tiles + tile]
+            if had_copy:
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                    data_lat = hops * hop_cycles + A_COACK
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+            else:
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    data_lat = hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+            data_hops = hops
+            bl1_r[owner] += 1
+            pc_update(owner, block, tile)
+            drop_l1(owner, block)
+            hops = hops_flat[owner * n_tiles + home]
+            if hops:
+                cm[I_CO] += 1
+                hm[I_CO] += hops
+                co_lat = hops * hop_cycles + A_CO
+            else:
+                cm[I_LOC] += 1
+                co_lat = 0
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_COACK] += 1
+                hm[I_COACK] += hops
+                co_lat += hops * hop_cycles + A_COACK
+            else:
+                cm[I_LOC] += 1
+            oc_set_owner(block, tile, now)
+            extra = 0
+            if self_inval:
+                # Sec. IV-A: the requestor cleans its own area once it
+                # holds the ownership (after the data/grant message)
+                extra = data_lat + invalidate_own_area(tile, block, now)
+            m = inv_worst
+            if data_lat > m:
+                m = data_lat
+            if co_lat > m:
+                m = co_lat
+            if extra > m:
+                m = extra
+            t += m
+            commit_write(tile, block, now)
+            return t, data_hops
+
+        def write_at_home(tile, block, now, had_copy):
+            # mirrors DiCoProvidersProtocol._write_at_home
+            home = block & home_mask
+            t = L2_TAG
+            links = 0
+            e = oc_lookup[home](block)
+            owner = e.owner_tile if e is not None else None
+            if owner is not None:
+                hops = hops_flat[home * n_tiles + owner]
+                if hops:
+                    cm[I_FGETX] += 1
+                    hm[I_FGETX] += hops
+                    t += hops * hop_cycles + A_FGETX
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                lat, hops2 = write_at_owner(owner, tile, block, now, had_copy)
+                return t + lat, links + hops2, "unpredicted_fwd"
+
+            entry = l2_lookup[home](block)
+            if entry is not None and entry.is_owner:
+                inv_worst, self_inval = invalidate_tree(
+                    home, tile, block, entry.sharers, entry.propos, now, tile
+                )
+                hops = hops_flat[home * n_tiles + tile]
+                if had_copy:
+                    if hops:
+                        cm[I_COACK] += 1
+                        hm[I_COACK] += hops
+                        data_lat = hops * hop_cycles + A_COACK
+                    else:
+                        cm[I_LOC] += 1
+                        data_lat = 0
+                    data_hops = hops
+                else:
+                    if entry.has_data:
+                        sc[_SC_L2HITS] += 1
+                        bl2_r[home] += 1
+                        data_lat = L2_DATA
+                    else:
+                        data_lat = mem_fetch(home, block)
+                    if hops:
+                        cm[I_DOWN] += 1
+                        hm[I_DOWN] += hops
+                        data_lat += hops * hop_cycles + A_DOWN
+                    else:
+                        cm[I_LOC] += 1
+                    data_hops = hops
+                extra = 0
+                if self_inval:
+                    extra = data_lat + invalidate_own_area(tile, block, now)
+                demote_to_copy(home, block)
+                oc_set_owner(block, tile, now)
+                m = inv_worst
+                if data_lat > m:
+                    m = data_lat
+                if extra > m:
+                    m = extra
+                t += m
+                links += data_hops
+                commit_write(tile, block, now)
+                return t, links, "unpredicted_home"
+
+            t += mem_fetch(home, block)
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_DOWN] += 1
+                hm[I_DOWN] += hops
+                t += hops * hop_cycles + A_DOWN
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            oc_set_owner(block, tile, now)
+            commit_write(tile, block, now)
+            return t, links, "memory"
+
+        def update_propo(block, owner_loc, owner_is_l1, area, provider):
+            # mirrors DiCoProvidersProtocol._update_propo
+            if owner_is_l1:
+                oline = l1_peek[owner_loc](block)
+                if oline is None:
+                    return
+                propos = oline.propos
+            else:
+                entry = l2_peek[owner_loc](block)
+                if entry is None:
+                    return
+                propos = entry.propos
+            if provider is None:
+                propos.pop(area, None)
+            else:
+                propos[area] = provider
+
+        def evict_provider(tile, block, line, now):
+            # mirrors DiCoProvidersProtocol._evict_provider (with
+            # _locate_owner inlined)
+            area = area_of[tile]
+            home = block & home_mask
+            e = oc_lookup[home](block)
+            if e is not None:
+                owner_loc = e.owner_tile
+                owner_is_l1 = True
+            else:
+                owner_loc = home
+                owner_is_l1 = False
+            live = live_sharers(block, line.sharers, tile)
+            if live:
+                # providership + sharing code to a sharer of the area
+                target = live[0]
+                hops = hops_flat[tile * n_tiles + target]
+                if hops:
+                    cm[I_PROV] += 1
+                    hm[I_PROV] += hops
+                else:
+                    cm[I_LOC] += 1
+                tline = l1_peek[target](block)
+                assert tline is not None
+                tline.state = P_state
+                tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
+                hops = hops_flat[target * n_tiles + owner_loc]
+                if hops:
+                    cm[I_CP] += 1
+                    hm[I_CP] += hops
+                else:
+                    cm[I_LOC] += 1
+                hops = hops_flat[owner_loc * n_tiles + target]
+                if hops:
+                    cm[I_CPACK] += 1
+                    hm[I_CPACK] += hops
+                else:
+                    cm[I_LOC] += 1
+                update_propo(block, owner_loc, owner_is_l1, area, target)
+                send_hints(block, live[1:], target, now)
+            else:
+                hops = hops_flat[tile * n_tiles + owner_loc]
+                if hops:
+                    cm[I_NOPROV] += 1
+                    hm[I_NOPROV] += hops
+                else:
+                    cm[I_LOC] += 1
+                update_propo(block, owner_loc, owner_is_l1, area, None)
+
+        def evict_owner(tile, block, line, now):
+            # mirrors DiCoProvidersProtocol._evict_owner
+            home = block & home_mask
+            live = live_sharers(block, line.sharers, tile)
+            if live:
+                target = live[0]
+                hops = hops_flat[tile * n_tiles + target]
+                if hops:
+                    cm[I_CO] += 1
+                    hm[I_CO] += hops
+                else:
+                    cm[I_LOC] += 1
+                tline = l1_peek[target](block)
+                assert tline is not None
+                tline.state = O_state
+                tline.dirty = line.dirty
+                tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
+                tline.propos = dict(line.propos)
+                hops = hops_flat[target * n_tiles + home]
+                if hops:
+                    cm[I_CO] += 1
+                    hm[I_CO] += hops
+                else:
+                    cm[I_LOC] += 1
+                hops = hops_flat[home * n_tiles + target]
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                else:
+                    cm[I_LOC] += 1
+                oc_set_owner(block, target, now)
+                send_hints(block, live[1:], target, now)
+            else:
+                entry = put_ownership_home(tile, block, line, now)
+                entry.propos = dict(line.propos)
+
+        def evict_l1_line(tile, block, line, now):
+            # mirrors DiCoProvidersProtocol._evict_l1_line
+            if line.state is S_state:
+                return  # silent eviction
+            if line.state is P_state:
+                evict_provider(tile, block, line, now)
+                return
+            if line.state in EMO_states:
+                evict_owner(tile, block, line, now)
+
+        def evict_l2_entry(home, block, entry, now):
+            # mirrors DiCoProvidersProtocol._evict_l2_entry
+            if entry.plain_copy:
+                return
+            worst, _ = invalidate_tree(
+                home, home, block, entry.sharers, entry.propos, now, None
+            )
+            if entry.dirty:
+                mem_writeback(home, block, entry.version)
+            else:
+                mem_version_setdefault(block, entry.version)
+            until = now + worst
+            if until > busy_get(block, 0):
+                busy[block] = until
+
+    elif variant == "arin":
+        provider_on_read = proto.provider_on_read
+        mesh = proto.network.mesh
+        F_INVB = flits[MessageType.INV_BCAST]
+        F_UNBB = flits[MessageType.UNBLOCK_BCAST]
+        # tree-broadcast latency per source (depth deterministic; the
+        # link count is always n_tiles - 1, so the traffic counters
+        # batch as plain counts)
+        bc_lat_invb = []
+        bc_lat_unbb = []
+        for s in tiles_range:
+            depth = mesh.broadcast_tree(s)[1]
+            bc_lat_invb.append(
+                depth * hop_cycles + F_INVB - 1 if depth else 0
+            )
+            bc_lat_unbb.append(
+                depth * hop_cycles + F_UNBB - 1 if depth else 0
+            )
+
+        def dissolve_ownership(owner, requestor, block, line, now):
+            # mirrors DiCoArinProtocol._dissolve_ownership
+            home = block & home_mask
+            t = L1_ACC
+            bl1_r[owner] += 1
+            hops = hops_flat[owner * n_tiles + requestor]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                data_lat = hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+                data_lat = 0
+            data_hops = hops
+            sc[_SC_CHECKED] += 1
+            if line.version != version_map[block]:
+                checker.check_read(
+                    block, line.version, where=l1_names[requestor]
+                )
+            # ship the data to the home unless the home already has it
+            entry = l2_peek[home](block)
+            if entry is None or not entry.has_data:
+                hops = hops_flat[owner * n_tiles + home]
+                if hops:
+                    cm[I_DATA] += 1
+                    hm[I_DATA] += hops
+                else:
+                    cm[I_LOC] += 1
+            propos = {
+                area_of[owner]: owner,
+                area_of[requestor]: requestor,
+            }
+            new_entry = L2Line(
+                has_data=True,
+                dirty=line.dirty,
+                version=line.version,
+                is_owner=False,
+                inter_area=True,
+                propos=propos,
+            )
+            line.state = P_state
+            line.dirty = False
+            line.sharers = 0
+            oc_invalidate[home](block)
+            fill_l2(home, block, new_entry, now)
+            state = P_state if provider_on_read else S_state
+            fill_l1(
+                requestor,
+                block,
+                L1Line(state=state, version=new_entry.version),
+                now,
+                owner,  # the former owner is now a provider
+            )
+            return t + data_lat, data_hops, "pred_owner_hit"
+
+        def read_at_l1(holder, requestor, block, now):
+            # mirrors DiCoArinProtocol._read_at_l1
+            line = l1_lookup[holder](block)
+            if line is None:
+                return None
+
+            if line.state is P_state:
+                # inter-area provider: serves any read
+                t = L1_ACC
+                bl1_r[holder] += 1
+                hops = hops_flat[holder * n_tiles + requestor]
+                if hops:
+                    cm[I_DATA] += 1
+                    hm[I_DATA] += hops
+                    data_lat = hops * hop_cycles + A_DATA
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+                sc[_SC_CHECKED] += 1
+                if line.version != version_map[block]:
+                    checker.check_read(
+                        block, line.version, where=l1_names[requestor]
+                    )
+                state = P_state if provider_on_read else S_state
+                fill_l1(
+                    requestor,
+                    block,
+                    L1Line(state=state, version=line.version),
+                    now,
+                    holder,
+                )
+                return t + data_lat, hops, "pred_provider_hit"
+
+            if line.state not in EMO_states:
+                return None
+
+            if area_of[holder] == area_of[requestor]:
+                # intra-area: plain DiCo owner service
+                t = L1_ACC
+                bl1_r[holder] += 1
+                line.sharers |= 1 << requestor
+                if line.state in EM_states:
+                    line.state = O_state
+                hops = hops_flat[holder * n_tiles + requestor]
+                if hops:
+                    cm[I_DATA] += 1
+                    hm[I_DATA] += hops
+                    data_lat = hops * hop_cycles + A_DATA
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+                sc[_SC_CHECKED] += 1
+                if line.version != version_map[block]:
+                    checker.check_read(
+                        block, line.version, where=l1_names[requestor]
+                    )
+                fill_l1(
+                    requestor,
+                    block,
+                    L1Line(state=S_state, version=line.version),
+                    now,
+                    holder,
+                )
+                return t + data_lat, hops, "pred_owner_hit"
+
+            # remote-area read: the ownership dissolves (Sec. III-B)
+            return dissolve_ownership(holder, requestor, block, line, now)
+
+        def serve_inter_area(home, tile, block, entry, forwarder, now):
+            # mirrors DiCoArinProtocol._serve_inter_area
+            t = 0
+            assert entry.has_data, (
+                "inter-area blocks always hold data at the home"
+            )
+            sc[_SC_L2HITS] += 1
+            t += L2_DATA
+            bl2_r[home] += 1
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+            sc[_SC_CHECKED] += 1
+            if entry.version != version_map[block]:
+                checker.check_read(
+                    block, entry.version, where=l1_names[tile]
+                )
+            area_r = area_of[tile]
+            # stale-provider healing (Sec. IV-B)
+            if forwarder is not None:
+                area_f = area_of[forwarder]
+                if entry.propos.get(area_f) == forwarder:
+                    del entry.propos[area_f]
+            known_provider = entry.propos.get(area_r)
+            if known_provider is None:
+                entry.propos[area_r] = tile
+            supplier = known_provider
+            if provider_on_read or known_provider is None:
+                state = P_state
+            else:
+                state = S_state
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=state, version=entry.version),
+                now,
+                supplier,
+            )
+            return t, hops, "unpredicted_home"
+
+        def serve_home_owned(home, tile, block, entry, now):
+            # mirrors DiCoArinProtocol._serve_home_owned
+            t = 0
+            links = 0
+            if entry.sharers == 0 and entry.owner_area is None:
+                # no copies anywhere: ownership moves to the requestor
+                if not entry.has_data:
+                    t += mem_fetch(home, block)
+                    entry.version = mem_version_get(block, 0)
+                    entry.has_data = True
+                else:
+                    sc[_SC_L2HITS] += 1
+                    t += L2_DATA
+                    bl2_r[home] += 1
+                hops = hops_flat[home * n_tiles + tile]
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    t += hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                sc[_SC_CHECKED] += 1
+                if entry.version != version_map[block]:
+                    checker.check_read(
+                        block, entry.version, where=l1_names[tile]
+                    )
+                state = M_state if entry.dirty else E_state
+                version = entry.version
+                dirty = entry.dirty
+                demote_to_copy(home, block)
+                fill_l1(
+                    tile,
+                    block,
+                    L1Line(state=state, version=version, dirty=dirty),
+                    now,
+                    None,
+                )
+                oc_set_owner(block, tile, now)
+                return t, links, "unpredicted_home"
+
+            if entry.owner_area is None or area_of[tile] == entry.owner_area:
+                # same-area read: home keeps ownership, tracks the sharer
+                if not entry.has_data:
+                    t += mem_fetch(home, block)
+                    entry.version = mem_version_get(block, 0)
+                    entry.has_data = True
+                else:
+                    sc[_SC_L2HITS] += 1
+                    t += L2_DATA
+                    bl2_r[home] += 1
+                hops = hops_flat[home * n_tiles + tile]
+                if hops:
+                    cm[I_DATA] += 1
+                    hm[I_DATA] += hops
+                    t += hops * hop_cycles + A_DATA
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                sc[_SC_CHECKED] += 1
+                if entry.version != version_map[block]:
+                    checker.check_read(
+                        block, entry.version, where=l1_names[tile]
+                    )
+                entry.sharers |= 1 << tile
+                entry.owner_area = area_of[tile]
+                fill_l1(
+                    tile,
+                    block,
+                    L1Line(state=S_state, version=entry.version),
+                    now,
+                    None,
+                )
+                return t, links, "unpredicted_home"
+
+            # remote-area read of a home-owned block: becomes inter-area
+            if not entry.has_data:
+                t += mem_fetch(home, block)
+                entry.version = mem_version_get(block, 0)
+                entry.has_data = True
+            entry.inter_area = True
+            entry.is_owner = False
+            entry.owner_area = None
+            entry.sharers = 0
+            entry.propos = {area_of[tile]: tile}
+            sc[_SC_L2HITS] += 1
+            t += L2_DATA
+            bl2_r[home] += 1
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            sc[_SC_CHECKED] += 1
+            if entry.version != version_map[block]:
+                checker.check_read(
+                    block, entry.version, where=l1_names[tile]
+                )
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=P_state, version=entry.version),
+                now,
+                None,
+            )
+            return t, links, "unpredicted_home"
+
+        def read_at_home(tile, block, now, forwarder):
+            # mirrors DiCoArinProtocol._read_at_home
+            home = block & home_mask
+            t = L2_TAG
+            links = 0
+            e = oc_lookup[home](block)
+            owner = e.owner_tile if e is not None else None
+            if owner is not None:
+                hops = hops_flat[home * n_tiles + owner]
+                if hops:
+                    cm[I_FGETS] += 1
+                    hm[I_FGETS] += hops
+                    t += hops * hop_cycles + A_FGETS
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                served = read_at_l1(owner, tile, block, now)
+                assert served is not None, "L2C$ pointed at a non-owner"
+                lat, hops2, _ = served
+                return t + lat, links + hops2, "unpredicted_fwd"
+
+            entry = l2_lookup[home](block)
+            if entry is not None and entry.inter_area:
+                return serve_inter_area(home, tile, block, entry,
+                                        forwarder, now)
+            if entry is not None and entry.is_owner:
+                return serve_home_owned(home, tile, block, entry, now)
+
+            # not on chip: the home keeps a plain copy alongside the grant
+            t += mem_fetch(home, block)
+            version = mem_version_get(block, 0)
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_DOWN] += 1
+                hm[I_DOWN] += hops
+                t += hops * hop_cycles + A_DOWN
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            sc[_SC_CHECKED] += 1
+            if version != version_map[block]:
+                checker.check_read(block, version, where=l1_names[tile])
+            fill_plain_copy(home, block, version, now)
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=E_state, version=version),
+                now,
+                None,
+            )
+            oc_set_owner(block, tile, now)
+            until = now + t
+            if until > busy_get(block, 0):
+                busy[block] = until
+            return t, links, "memory"
+
+        def write_at_owner(owner, tile, block, now, had_copy):
+            # inherited from DiCoProtocol._write_at_owner
+            home = block & home_mask
+            line = l1_peek[owner](block)
+            assert line is not None
+            t = L1_ACC
+            inv_worst = invalidate_sharers(
+                owner, tile, block, line.sharers, now, tile
+            )
+            if owner == tile:
+                t += inv_worst
+                commit_write(tile, block, now)
+                return t, 0
+            hops = hops_flat[owner * n_tiles + tile]
+            if had_copy:
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                    data_lat = hops * hop_cycles + A_COACK
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+            else:
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    data_lat = hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+            data_hops = hops
+            bl1_r[owner] += 1
+            pc_update(owner, block, tile)
+            drop_l1(owner, block)
+            hops = hops_flat[owner * n_tiles + home]
+            if hops:
+                cm[I_CO] += 1
+                hm[I_CO] += hops
+                co_lat = hops * hop_cycles + A_CO
+            else:
+                cm[I_LOC] += 1
+                co_lat = 0
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_COACK] += 1
+                hm[I_COACK] += hops
+                co_lat += hops * hop_cycles + A_COACK
+            else:
+                cm[I_LOC] += 1
+            oc_set_owner(block, tile, now)
+            m = inv_worst
+            if data_lat > m:
+                m = data_lat
+            if co_lat > m:
+                m = co_lat
+            t += m
+            commit_write(tile, block, now)
+            return t, data_hops
+
+        def broadcast_write(home, tile, block, entry, had_copy, now):
+            # mirrors DiCoArinProtocol._broadcast_write (three-phase)
+            sc[_SC_BCAST] += 1
+            # phase 1: the home broadcasts the invalidation
+            cb[0] += 1
+            phase1_lat = bc_lat_invb[home]
+            # phase 2: every L1 acknowledges to the requestor
+            ack_worst = 0
+            for t_id in tiles_range:
+                l1_lookup[t_id](block, False)  # tag probe energy
+                if t_id != tile:
+                    line = drop_l1(t_id, block)
+                    if line is not None:
+                        pc_update(t_id, block, tile)
+                hops = hops_flat[t_id * n_tiles + tile]
+                if hops:
+                    cm[I_ACK] += 1
+                    hm[I_ACK] += hops
+                    ack_lat = hops * hop_cycles + A_ACK
+                else:
+                    cm[I_LOC] += 1
+                    ack_lat = 0
+                if ack_lat > ack_worst:
+                    ack_worst = ack_lat
+            # data from the home (inter-area blocks always have it there)
+            hops = hops_flat[home * n_tiles + tile]
+            if had_copy:
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                    data_lat = hops * hop_cycles + A_COACK
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = 0
+                data_hops = hops
+            else:
+                sc[_SC_L2HITS] += 1
+                bl2_r[home] += 1
+                if hops:
+                    cm[I_DOWN] += 1
+                    hm[I_DOWN] += hops
+                    data_lat = L2_DATA + hops * hop_cycles + A_DOWN
+                else:
+                    cm[I_LOC] += 1
+                    data_lat = L2_DATA
+                data_hops = hops
+            latency = phase1_lat + ack_worst
+            if data_lat > latency:
+                latency = data_lat
+            # phase 3: the requestor broadcasts the unblock
+            cb[1] += 1
+            phase3_lat = bc_lat_unbb[tile]
+            demote_to_copy(home, block)
+            oc_set_owner(block, tile, now)
+            commit_write(tile, block, now)
+            until = now + latency + phase3_lat
+            if until > busy_get(block, 0):
+                busy[block] = until
+            return latency, data_hops
+
+        def write_at_home(tile, block, now, had_copy):
+            # mirrors DiCoArinProtocol._write_at_home
+            home = block & home_mask
+            entry = l2_peek[home](block)
+            if entry is not None and entry.inter_area:
+                lat, links2 = broadcast_write(
+                    home, tile, block, entry, had_copy, now
+                )
+                return L2_TAG + lat, links2, "unpredicted_home"
+            if entry is not None and entry.is_owner:
+                # home-owned: precise area-local invalidation
+                t = L2_TAG
+                inv_worst = invalidate_sharers(
+                    home, tile, block, entry.sharers, now, tile
+                )
+                hops = hops_flat[home * n_tiles + tile]
+                if had_copy:
+                    if hops:
+                        cm[I_COACK] += 1
+                        hm[I_COACK] += hops
+                        data_lat = hops * hop_cycles + A_COACK
+                    else:
+                        cm[I_LOC] += 1
+                        data_lat = 0
+                    data_hops = hops
+                else:
+                    if entry.has_data:
+                        sc[_SC_L2HITS] += 1
+                        bl2_r[home] += 1
+                        data_lat = L2_DATA
+                    else:
+                        data_lat = mem_fetch(home, block)
+                    if hops:
+                        cm[I_DOWN] += 1
+                        hm[I_DOWN] += hops
+                        data_lat += hops * hop_cycles + A_DOWN
+                    else:
+                        cm[I_LOC] += 1
+                    data_hops = hops
+                demote_to_copy(home, block)
+                oc_set_owner(block, tile, now)
+                t += inv_worst if inv_worst > data_lat else data_lat
+                commit_write(tile, block, now)
+                return t, data_hops, "unpredicted_home"
+            return dico_write_at_home(tile, block, now, had_copy)
+
+        def evict_owner(tile, block, line, now):
+            # mirrors DiCoArinProtocol._evict_owner
+            home = block & home_mask
+            live = live_sharers(block, line.sharers, tile)
+            if live:
+                target = live[0]
+                hops = hops_flat[tile * n_tiles + target]
+                if hops:
+                    cm[I_CO] += 1
+                    hm[I_CO] += hops
+                else:
+                    cm[I_LOC] += 1
+                tline = l1_peek[target](block)
+                assert tline is not None
+                tline.state = O_state
+                tline.dirty = line.dirty
+                tline.sharers = line.sharers & ~(1 << target) & ~(1 << tile)
+                hops = hops_flat[target * n_tiles + home]
+                if hops:
+                    cm[I_CO] += 1
+                    hm[I_CO] += hops
+                else:
+                    cm[I_LOC] += 1
+                hops = hops_flat[home * n_tiles + target]
+                if hops:
+                    cm[I_COACK] += 1
+                    hm[I_COACK] += hops
+                else:
+                    cm[I_LOC] += 1
+                oc_set_owner(block, target, now)
+                send_hints(block, live[1:], target, now)
+            else:
+                hops = hops_flat[tile * n_tiles + home]
+                if hops:
+                    cm[I_PUT] += 1
+                    hm[I_PUT] += hops
+                else:
+                    cm[I_LOC] += 1
+                oc_invalidate[home](block)
+                fill_l2(
+                    home,
+                    block,
+                    L2Line(
+                        has_data=True,
+                        dirty=line.dirty,
+                        version=line.version,
+                        is_owner=True,
+                        sharers=0,
+                        owner_area=None,
+                    ),
+                    now,
+                )
+
+        def evict_l1_line(tile, block, line, now):
+            # mirrors DiCoArinProtocol._evict_l1_line
+            if line.state is S_state or line.state is P_state:
+                return  # both silent in DiCo-Arin
+            if line.state in EMO_states:
+                evict_owner(tile, block, line, now)
+
+        def evict_l2_entry(home, block, entry, now):
+            # mirrors DiCoArinProtocol._evict_l2_entry
+            if entry.inter_area:
+                # three-phase broadcast, acks converge on the home
+                sc[_SC_BCAST] += 1
+                cb[0] += 1
+                phase1_lat = bc_lat_invb[home]
+                ack_worst = 0
+                for t_id in tiles_range:
+                    l1_lookup[t_id](block, False)
+                    drop_l1(t_id, block)
+                    hops = hops_flat[t_id * n_tiles + home]
+                    if hops:
+                        cm[I_ACK] += 1
+                        hm[I_ACK] += hops
+                        ack_lat = hops * hop_cycles + A_ACK
+                    else:
+                        cm[I_LOC] += 1
+                        ack_lat = 0
+                    if ack_lat > ack_worst:
+                        ack_worst = ack_lat
+                cb[1] += 1
+                phase3_lat = bc_lat_unbb[home]
+                if entry.dirty:
+                    mem_writeback(home, block, entry.version)
+                else:
+                    mem_version_setdefault(block, entry.version)
+                until = now + phase1_lat + ack_worst + phase3_lat
+                if until > busy_get(block, 0):
+                    busy[block] = until
+                return
+            dico_evict_l2_entry(home, block, entry, now)
+
+    else:  # pragma: no cover - compile-time misuse
+        raise ValueError(f"unknown DiCo-family variant {variant!r}")
+
+    # --- the inherited DiCoProtocol skeleton --------------------------
+
+    def handle_read_miss(tile, block, now):
+        # mirrors DiCoProtocol._handle_read_miss (with the prediction
+        # lookup inlined)
+        t = L1_TAG_L1C
+        links = 0
+        pll[tile] += 1
+        predicted = pc_resident_get[tile](block)
+        if predicted is None:
+            predicted = pc_array_lookup[tile](block)
+        category = None
+
+        if predicted is not None:
+            plh[tile] += 1
+            hops = hops_flat[tile * n_tiles + predicted]
+            if hops:
+                cm[I_GETS] += 1
+                hm[I_GETS] += hops
+                t += hops * hop_cycles + A_GETS
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            served = read_at_l1(predicted, tile, block, now)
+            if served is not None:
+                lat, hops2, cat = served
+                return t + lat, links + hops2, cat
+            # misprediction: forward to the home
+            category = "pred_miss"
+            home = block & home_mask
+            hops = hops_flat[predicted * n_tiles + home]
+            if hops:
+                cm[I_FGETS] += 1
+                hm[I_FGETS] += hops
+                t += hops * hop_cycles + A_FGETS
+            else:
+                cm[I_LOC] += 1
+            links += hops
+        else:
+            home = block & home_mask
+            hops = hops_flat[tile * n_tiles + home]
+            if hops:
+                cm[I_GETS] += 1
+                hm[I_GETS] += hops
+                t += hops * hop_cycles + A_GETS
+            else:
+                cm[I_LOC] += 1
+            links += hops
+
+        lat, hops2, cat = read_at_home(tile, block, now, predicted)
+        return t + lat, links + hops2, (category or cat)
+
+    def handle_write_miss(tile, block, now, had_copy):
+        # mirrors DiCoProtocol._handle_write_miss (with the prediction
+        # lookup inlined)
+        t = L1_TAG_L1C
+        links = 0
+
+        own = l1_peek[tile](block)
+        if own is not None and own.state in EMO_states:
+            # we are the owner: invalidate our sharers directly
+            lat, hops2 = write_at_owner(tile, tile, block, now, True)
+            t += lat
+            links += hops2
+            until = now + t
+            if until > busy_get(block, 0):
+                busy[block] = until
+            return t, links, "pred_owner_hit"
+
+        pll[tile] += 1
+        predicted = pc_resident_get[tile](block)
+        if predicted is None:
+            predicted = pc_array_lookup[tile](block)
+        category = None
+
+        if predicted is not None:
+            plh[tile] += 1
+            hops = hops_flat[tile * n_tiles + predicted]
+            if hops:
+                cm[I_GETX] += 1
+                hm[I_GETX] += hops
+                t += hops * hop_cycles + A_GETX
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            line = l1_lookup[predicted](block)
+            if line is not None and line.state in EMO_states:
+                lat, hops2 = write_at_owner(
+                    predicted, tile, block, now, had_copy
+                )
+                t += lat
+                links += hops2
+                until = now + t
+                if until > busy_get(block, 0):
+                    busy[block] = until
+                return t, links, "pred_owner_hit"
+            category = "pred_miss"
+            home = block & home_mask
+            hops = hops_flat[predicted * n_tiles + home]
+            if hops:
+                cm[I_FGETX] += 1
+                hm[I_FGETX] += hops
+                t += hops * hop_cycles + A_FGETX
+            else:
+                cm[I_LOC] += 1
+            links += hops
+        else:
+            home = block & home_mask
+            hops = hops_flat[tile * n_tiles + home]
+            if hops:
+                cm[I_GETX] += 1
+                hm[I_GETX] += hops
+                t += hops * hop_cycles + A_GETX
+            else:
+                cm[I_LOC] += 1
+            links += hops
+
+        lat, hops2, cat = write_at_home(tile, block, now, had_copy)
+        t += lat
+        links += hops2
+        until = now + t
+        if until > busy_get(block, 0):
+            busy[block] = until
+        return t, links, (category or cat)
+
+    # --- flush ---------------------------------------------------------
+
+    stats_pairs = tuple(
+        (i, _UNICAST_TYPES[i], msg_flits[i]) for i in range(_N_UNICAST)
+    )
+    T_INVB = MessageType.INV_BCAST
+    T_UNBB = MessageType.UNBLOCK_BCAST
+    F_INVB_ALL = flits[T_INVB]
+    F_UNBB_ALL = flits[T_UNBB]
+    n_links_all = n_tiles - 1
+    fb_links_all = n_links_all if n_links_all else 1
+
+    def flush():
+        """Add the batched counters into the current stats and zero them."""
+        st = proto.stats
+        st.l2_data_hits += sc[_SC_L2HITS]
+        st.unicast_invalidations += sc[_SC_UNICAST]
+        st.memory_fetches += sc[_SC_MEMFETCH]
+        st.l2_misses += sc[_SC_L2MISS]
+        st.writebacks += sc[_SC_WB]
+        st.broadcast_invalidations += sc[_SC_BCAST]
+        proto._l1_evictions.evictions += sc[_SC_L1EV]
+        proto._l2_evictions.evictions += sc[_SC_L2EV]
+        checker.reads_checked += sc[_SC_CHECKED]
+        checker.writes_committed += sc[_SC_COMMITS]
+        memctl.accesses += sc[_SC_MEMACC]
+        for j in range(_N_SC):
+            sc[j] = 0
+        net = proto.network.stats
+        net.local_messages += cm[I_LOC]
+        cm[I_LOC] = 0
+        by_type = net.by_type
+        flits_by_type = net.flits_by_type
+        msgs = flit_trav = hops_total = 0
+        for i, mt, fl in stats_pairs:
+            cnt = cm[i]
+            if cnt:
+                by_type[mt] += cnt
+                flits_by_type[mt] += cnt * fl
+                msgs += cnt
+                hsum = hm[i]
+                flit_trav += fl * hsum
+                hops_total += hsum
+                cm[i] = 0
+                hm[i] = 0
+        net.messages += msgs
+        net.flit_link_traversals += flit_trav
+        net.router_traversals += hops_total
+        net.routing_events += msgs
+        b0, b1 = cb
+        if b0 or b1:
+            nb = b0 + b1
+            net.messages += nb
+            net.broadcasts += nb
+            if b0:
+                by_type[T_INVB] += b0
+                flits_by_type[T_INVB] += b0 * F_INVB_ALL * fb_links_all
+                net.flit_link_traversals += b0 * F_INVB_ALL * n_links_all
+            if b1:
+                by_type[T_UNBB] += b1
+                flits_by_type[T_UNBB] += b1 * F_UNBB_ALL * fb_links_all
+                net.flit_link_traversals += b1 * F_UNBB_ALL * n_links_all
+            net.router_traversals += nb * n_links_all
+            net.routing_events += nb * n_links_all
+            cb[0] = cb[1] = 0
+        for i in tiles_range:
+            v = bl1_r[i]
+            if v:
+                l1s[i].stats.data_reads += v
+                bl1_r[i] = 0
+            v = bl1_w[i]
+            if v:
+                l1s[i].stats.data_writes += v
+                bl1_w[i] = 0
+            v = bl2_r[i]
+            if v:
+                l2s[i].stats.data_reads += v
+                bl2_r[i] = 0
+            v = bl2_w[i]
+            if v:
+                l2s[i].stats.data_writes += v
+                bl2_w[i] = 0
+            v = bl2_tw[i]
+            if v:
+                l2s[i].stats.tag_writes += v
+                bl2_tw[i] = 0
+            v = pll[i]
+            if v:
+                l1cs[i].stats.lookups += v
+                pll[i] = 0
+            v = plh[i]
+            if v:
+                l1cs[i].stats.hits += v
+                plh[i] = 0
+            v = plu[i]
+            if v:
+                l1cs[i].stats.updates += v
+                plu[i] = 0
+
+    proto._handle_read_miss = handle_read_miss  # type: ignore[method-assign]
+    proto._handle_write_miss = handle_write_miss  # type: ignore[method-assign]
+    proto._evict_l1_line = evict_l1_line  # type: ignore[method-assign]
+    proto._evict_l2_entry = evict_l2_entry  # type: ignore[method-assign]
+    return flush

@@ -1,0 +1,738 @@
+"""Compiled miss handlers for :class:`DirectoryProtocol`.
+
+:func:`compile_directory_handlers` flattens the four transaction hooks
+(``_handle_read_miss`` / ``_handle_write_miss`` / ``_evict_l1_line`` /
+``_evict_l2_entry``) plus the fill/drop/memory glue they run on into
+closures generated at arm time, mirroring the object-engine methods in
+``repro.core.protocols.directory`` statement for statement:
+
+* every ``msg`` call site is inlined to a flat-hop-table lookup with
+  the per-type flit size resolved at compile time; the network counters
+  (``messages`` / ``by_type`` / ``flits_by_type`` / flit and router
+  traversals / ``local_messages``) become per-message-type closure
+  cells — count and hops-sum per type — flushed additively at the same
+  observation boundaries as the runner counters (sound because the
+  totals are pure monotonic sums never read mid-run, and because the
+  per-type flit size is constant so ``flits_by_type = count * flits``
+  and ``flit_link_traversals = flits * hops_sum`` exactly),
+* ``mem_fetch`` / ``mem_writeback`` / ``set_busy`` and the checker's
+  ``check_read`` / ``commit_write`` are inlined with the same RNG draw
+  order, the same ``defaultdict`` touches and the same live
+  ``_commit_log`` re-read as the originals,
+* ``fill_l1`` / ``fill_l2`` / ``drop_l1`` are flattened with the
+  protocol's own eviction hooks reached through the compiled closures,
+* cache traffic goes through the per-cache bound methods hoisted into
+  lists (the flattened LRU closures when installed), and the per-cache
+  ``stats`` charges are re-read per call because ``reset_stats``
+  replaces the stats objects.
+
+Rare legs — the directory-cache conflict eviction
+(``_invalidate_all_copies``) — call the object method, which runs on
+the instance-patched fast helpers; mixing live and batched counter
+updates is sound because every counter is additive.
+
+The object-engine methods remain the single source of truth: any edit
+to them must be mirrored here, which the source-drift fingerprints in
+:mod:`repro.simx.drift` enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.messages import MessageType
+from ..core.protocols.base import CoherenceProtocol, L1Line, L2Line
+from ..core.states import L1State
+from .tables import ProtocolTables
+
+__all__ = ["compile_directory_handlers"]
+
+
+def compile_directory_handlers(
+    proto: CoherenceProtocol, tables: ProtocolTables
+) -> Callable[[], None]:
+    """Bind compiled handler closures onto ``proto``; returns the flush.
+
+    Caller must have installed the fast helpers / cache methods first
+    (the hoisted bound methods pick up the flattened versions) and must
+    guarantee ``proto._trace is None`` — the compiled paths omit the
+    tracing branches entirely.
+    """
+    cfg = proto.config
+    L1_TAG = cfg.l1.tag_latency
+    L1_ACC = cfg.l1.access_latency
+    L2_TAG = proto._l2_tag_lat
+    L2_DATA = cfg.l2.data_latency
+    home_mask = proto._home_mask
+
+    hops_flat = tables.hops_flat
+    n_tiles = tables.n_tiles
+    hop_cycles = tables.hop_cycles
+    flits = tables.flits
+    # per-type flit sizes and latency addends (latency = hops*hop_cycles
+    # + flits - 1), resolved at compile time
+    T_GETS = MessageType.GETS
+    T_GETX = MessageType.GETX
+    T_FWD_GETS = MessageType.FWD_GETS
+    T_FWD_GETX = MessageType.FWD_GETX
+    T_DATA = MessageType.DATA
+    T_WRITEBACK = MessageType.WRITEBACK
+    T_INV = MessageType.INV
+    T_INV_ACK = MessageType.INV_ACK
+    T_PUT = MessageType.PUT
+    T_PUT_CLEAN = MessageType.PUT_CLEAN
+    T_MEM_FETCH = MessageType.MEM_FETCH
+    T_MEM_DATA = MessageType.MEM_DATA
+    F_GETS = flits[T_GETS]
+    F_GETX = flits[T_GETX]
+    F_FWD_GETS = flits[T_FWD_GETS]
+    F_FWD_GETX = flits[T_FWD_GETX]
+    F_DATA = flits[T_DATA]
+    F_WRITEBACK = flits[T_WRITEBACK]
+    F_INV = flits[T_INV]
+    F_INV_ACK = flits[T_INV_ACK]
+    F_PUT = flits[T_PUT]
+    F_PUT_CLEAN = flits[T_PUT_CLEAN]
+    F_MEM_FETCH = flits[T_MEM_FETCH]
+    F_MEM_DATA = flits[T_MEM_DATA]
+    A_GETS = F_GETS - 1
+    A_GETX = F_GETX - 1
+    A_FWD_GETS = F_FWD_GETS - 1
+    A_FWD_GETX = F_FWD_GETX - 1
+    A_DATA = F_DATA - 1
+    A_INV = F_INV - 1
+    A_INV_ACK = F_INV_ACK - 1
+
+    l1s = proto.l1s
+    l2s = proto.l2s
+    dircaches = proto.dircaches
+    l1_lookup = [c.lookup for c in l1s]
+    l1_peek = [c.peek for c in l1s]
+    l1_insert = [c.insert for c in l1s]
+    l1_invalidate = [c.invalidate for c in l1s]
+    l1_displace = [c.displace for c in l1s]
+    l2_peek = [c.peek for c in l2s]
+    l2_lookup = [c.lookup for c in l2s]
+    l2_insert = [c.insert for c in l2s]
+    l2_invalidate = [c.invalidate for c in l2s]
+    l2_displace = [c.displace for c in l2s]
+    dc_lookup = [c.lookup for c in dircaches]
+    dc_insert = [c.insert for c in dircaches]
+    dc_invalidate = [c.invalidate for c in dircaches]
+    dc_victim_for = [c.victim_for for c in dircaches]
+    pc_evicted = [p.block_evicted for p in proto.l1cs]
+    pc_cached = [p.block_cached for p in proto.l1cs]
+
+    checker = proto.checker
+    version_map = checker._version
+    l1_names = proto._l1_names
+    busy = proto._busy
+    busy_get = busy.get
+    mem_version_map = proto._mem_version
+    memctl = proto.memctl
+    positions = memctl.positions
+    nearest = memctl._nearest
+    base_latency = memctl._base_latency
+    randbelow = memctl._randbelow
+    jitter_cycles = memctl.jitter_cycles
+    jitter_bound = jitter_cycles + 1
+    # rare leg: directory-cache conflict eviction (object method on the
+    # instance-patched fast helpers; live counters mix soundly)
+    invalidate_all_copies = proto._invalidate_all_copies
+
+    S_state = L1State.S
+    E_state = L1State.E
+    M_state = L1State.M
+    EM_states = (L1State.E, L1State.M)
+
+    # --- batched counter cells (zeroed by flush) ----------------------
+    # network: count and hops-sum per message type, plus self-sends
+    cm_gets = hm_gets = cm_getx = hm_getx = 0
+    cm_fgets = hm_fgets = cm_fgetx = hm_fgetx = 0
+    cm_data = hm_data = cm_wb = hm_wb = 0
+    cm_inv = hm_inv = cm_ack = hm_ack = 0
+    cm_put = hm_put = cm_putc = hm_putc = 0
+    cm_mf = hm_mf = cm_md = hm_md = 0
+    cm_local = 0
+    # RunStats scalars:
+    s_l2hits = s_unicast = s_memfetch = s_l2miss = s_wb = 0
+    # structure evictions and checker tallies:
+    s_l1ev = s_l2ev = s_checked = s_commits = 0
+
+    # --- inlined shared glue ------------------------------------------
+
+    def mem_fetch(home: int, block: int) -> int:
+        # mirrors CoherenceProtocol.mem_fetch +
+        # MemoryControllers.access_latency (same RNG draw sequence)
+        nonlocal s_memfetch, s_l2miss, cm_mf, hm_mf, cm_md, hm_md, cm_local
+        s_memfetch += 1
+        s_l2miss += 1
+        ctrl = positions[nearest[home]]
+        hops = hops_flat[home * n_tiles + ctrl]
+        if hops:
+            cm_mf += 1
+            hm_mf += hops
+        else:
+            cm_local += 1
+        hops = hops_flat[ctrl * n_tiles + home]
+        if hops:
+            cm_md += 1
+            hm_md += hops
+        else:
+            cm_local += 1
+        memctl.accesses += 1
+        jitter = randbelow(jitter_bound) if jitter_cycles else 0
+        return base_latency[home] + jitter
+
+    def mem_writeback(home: int, block: int, version: int) -> None:
+        # mirrors CoherenceProtocol.mem_writeback
+        nonlocal s_wb, cm_wb, hm_wb, cm_local
+        s_wb += 1
+        ctrl = positions[nearest[home]]
+        hops = hops_flat[home * n_tiles + ctrl]
+        if hops:
+            cm_wb += 1
+            hm_wb += hops
+        else:
+            cm_local += 1
+        mem_version_map[block] = version
+
+    def drop_l1(tile: int, block: int):
+        # mirrors CoherenceProtocol.drop_l1 (tracer-off branch)
+        line = l1_invalidate[tile](block)
+        if line is not None:
+            pc_evicted[tile](block)
+        return line
+
+    def fill_l1(tile: int, block: int, line: L1Line, now: int) -> None:
+        # mirrors CoherenceProtocol.fill_l1 (supplier=None at every
+        # Directory call site, tracer-off branch)
+        nonlocal s_l1ev
+        victim = l1_displace[tile](block)
+        if victim is not None:
+            vblock = victim[0]
+            pc_evicted[tile](vblock)
+            s_l1ev += 1
+            evict_l1_line(tile, vblock, victim[1], now)
+        l1_insert[tile](block, line)
+        l1s[tile].stats.data_writes += 1
+        pc_cached[tile](block, None)
+
+    def fill_l2(home: int, block: int, entry: L2Line, now: int) -> None:
+        # mirrors CoherenceProtocol.fill_l2 (tracer-off branch)
+        nonlocal s_l2ev
+        victim = l2_displace[home](block)
+        if victim is not None:
+            s_l2ev += 1
+            evict_l2_entry(home, victim[0], victim[1], now)
+        l2_insert[home](block, entry)
+        if entry.has_data:
+            l2s[home].stats.data_writes += 1
+
+    def dircache_insert(home: int, block: int, info: L2Line, now: int) -> None:
+        # mirrors DirectoryProtocol._dircache_insert
+        info.has_data = False
+        victim = dc_victim_for[home](block)
+        if victim is not None:
+            dc_invalidate[home](victim[0])
+            invalidate_all_copies(home, victim[0], victim[1], now)
+        dc_insert[home](block, info)
+
+    # --- the four hooks -----------------------------------------------
+
+    def handle_read_miss(tile: int, block: int, now: int):
+        # mirrors DirectoryProtocol._handle_read_miss
+        nonlocal cm_gets, hm_gets, cm_fgets, hm_fgets, cm_data, hm_data
+        nonlocal cm_wb, hm_wb, cm_md, hm_md, cm_local
+        nonlocal s_l2hits, s_checked
+        home = block & home_mask
+        t = L1_TAG
+        hops = hops_flat[tile * n_tiles + home]
+        if hops:
+            cm_gets += 1
+            hm_gets += hops
+            t += hops * hop_cycles + A_GETS
+        else:
+            cm_local += 1
+        links = hops
+        t += L2_TAG
+
+        info = l2_lookup[home](block)
+        if info is None:
+            info = dc_lookup[home](block)
+        l2_entry = l2_peek[home](block)
+        has_data = l2_entry is not None and l2_entry.has_data
+
+        if info is not None and info.owner_tile is not None:
+            # three-hop: forward to the exclusive L1 owner
+            owner = info.owner_tile
+            hops = hops_flat[home * n_tiles + owner]
+            if hops:
+                cm_fgets += 1
+                hm_fgets += hops
+                t += hops * hop_cycles + A_FWD_GETS
+            else:
+                cm_local += 1
+            links += hops
+            oline = l1_lookup[owner](block)
+            assert oline is not None and oline.state in EM_states
+            t += L1_ACC
+            l1s[owner].stats.data_reads += 1
+            hops = hops_flat[owner * n_tiles + tile]
+            if hops:
+                cm_data += 1
+                hm_data += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm_local += 1
+            links += hops
+            hops = hops_flat[owner * n_tiles + home]  # downgrade copy
+            if hops:
+                cm_wb += 1
+                hm_wb += hops
+            else:
+                cm_local += 1
+            version = oline.version
+            dirty = oline.dirty
+            oline.state = S_state
+            oline.dirty = False
+            # home gains the data and tracks both sharers
+            dc_invalidate[home](block)
+            existing = l2_peek[home](block)
+            if existing is not None:
+                existing.has_data = True
+                existing.dirty = dirty
+                existing.version = version
+                existing.sharers = (1 << owner) | (1 << tile)
+                existing.owner_tile = None
+                l2s[home].stats.data_writes += 1
+            else:
+                fill_l2(
+                    home,
+                    block,
+                    L2Line(
+                        has_data=True,
+                        dirty=dirty,
+                        version=version,
+                        sharers=(1 << owner) | (1 << tile),
+                        owner_tile=None,
+                    ),
+                    now,
+                )
+            fill_l1(tile, block, L1Line(state=S_state, version=version), now)
+            s_checked += 1
+            if version != version_map[block]:
+                checker.check_read(block, version, where=l1_names[tile])
+            return t, links, "unpredicted_fwd"
+
+        if has_data:
+            assert l2_entry is not None
+            s_l2hits += 1
+            t += L2_DATA
+            l2s[home].stats.data_reads += 1
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm_data += 1
+                hm_data += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm_local += 1
+            links += hops
+            l2_entry.sharers |= 1 << tile
+            fill_l1(
+                tile, block, L1Line(state=S_state, version=l2_entry.version), now
+            )
+            s_checked += 1
+            if l2_entry.version != version_map[block]:
+                checker.check_read(
+                    block, l2_entry.version, where=l1_names[tile]
+                )
+            return t, links, "unpredicted_home"
+
+        # no data on chip: fetch from memory at the home
+        t += mem_fetch(home, block)
+        version = mem_version_map.get(block, 0)
+        hops = hops_flat[home * n_tiles + tile]
+        if hops:
+            cm_data += 1
+            hm_data += hops
+            t += hops * hop_cycles + A_DATA
+        else:
+            cm_local += 1
+        links += hops
+        if info is not None and info.sharers:
+            # other S copies exist: the new copy is shared
+            info.sharers |= 1 << tile
+            dc_invalidate[home](block)
+            fill_l2(
+                home,
+                block,
+                L2Line(has_data=True, version=version, sharers=info.sharers),
+                now,
+            )
+            fill_l1(tile, block, L1Line(state=S_state, version=version), now)
+        else:
+            # sole copy: grant Exclusive (NCID entry at the home)
+            l2_invalidate[home](block)
+            dc_invalidate[home](block)
+            fill_l2(
+                home,
+                block,
+                L2Line(has_data=True, version=version, owner_tile=tile),
+                now,
+            )
+            fill_l1(tile, block, L1Line(state=E_state, version=version), now)
+        s_checked += 1
+        if version != version_map[block]:
+            checker.check_read(block, version, where=l1_names[tile])
+        until = now + t
+        if until > busy_get(block, 0):
+            busy[block] = until
+        return t, links, "memory"
+
+    def handle_write_miss(tile: int, block: int, now: int, had_copy: bool):
+        # mirrors DirectoryProtocol._handle_write_miss
+        nonlocal cm_getx, hm_getx, cm_fgetx, hm_fgetx, cm_data, hm_data
+        nonlocal cm_inv, hm_inv, cm_ack, hm_ack, cm_local
+        nonlocal s_l2hits, s_unicast, s_commits
+        home = block & home_mask
+        t = L1_TAG
+        hops = hops_flat[tile * n_tiles + home]
+        if hops:
+            cm_getx += 1
+            hm_getx += hops
+            t += hops * hop_cycles + A_GETX
+        else:
+            cm_local += 1
+        links = hops
+        t += L2_TAG
+
+        info = l2_lookup[home](block)
+        if info is None:
+            info = dc_lookup[home](block)
+        l2_entry = l2_peek[home](block)
+        category = "unpredicted_home"
+        version = None
+
+        if info is not None and info.owner_tile is not None:
+            owner = info.owner_tile
+            hops = hops_flat[home * n_tiles + owner]
+            if hops:
+                cm_fgetx += 1
+                hm_fgetx += hops
+                fwd_lat = hops * hop_cycles + A_FWD_GETX
+            else:
+                cm_local += 1
+                fwd_lat = 0
+            fwd_hops = hops
+            oline = drop_l1(owner, block)
+            assert oline is not None
+            l1s[owner].stats.data_reads += 1
+            hops = hops_flat[owner * n_tiles + tile]
+            if hops:
+                cm_data += 1
+                hm_data += hops
+                data_lat = hops * hop_cycles + A_DATA
+            else:
+                cm_local += 1
+                data_lat = 0
+            t += fwd_lat + L1_ACC + data_lat
+            links += fwd_hops + hops
+            version = oline.version
+            s_unicast += 1
+            category = "unpredicted_fwd"
+            l2_invalidate[home](block)
+            dc_invalidate[home](block)
+        elif info is not None and info.sharers:
+            # invalidate every (possibly stale) sharer; acks go to the
+            # requestor; the home supplies data in parallel
+            inv_worst = 0
+            mask = info.sharers
+            while mask:
+                low = mask & -mask
+                sharer = low.bit_length() - 1
+                mask ^= low
+                if sharer == tile:
+                    continue
+                hops = hops_flat[home * n_tiles + sharer]
+                if hops:
+                    cm_inv += 1
+                    hm_inv += hops
+                    pair = hops * hop_cycles + A_INV
+                else:
+                    cm_local += 1
+                    pair = 0
+                drop_l1(sharer, block)
+                hops = hops_flat[sharer * n_tiles + tile]
+                if hops:
+                    cm_ack += 1
+                    hm_ack += hops
+                    pair += hops * hop_cycles + A_INV_ACK
+                else:
+                    cm_local += 1
+                if pair > inv_worst:
+                    inv_worst = pair
+                s_unicast += 1
+            data_lat = 0
+            if not had_copy:
+                if l2_entry is not None and l2_entry.has_data:
+                    l2s[home].stats.data_reads += 1
+                    data_lat = L2_DATA
+                    hops = hops_flat[home * n_tiles + tile]
+                    if hops:
+                        cm_data += 1
+                        hm_data += hops
+                        data_lat += hops * hop_cycles + A_DATA
+                    else:
+                        cm_local += 1
+                    links += hops
+                    version = l2_entry.version
+                else:
+                    data_lat = mem_fetch(home, block)
+                    hops = hops_flat[home * n_tiles + tile]
+                    if hops:
+                        cm_data += 1
+                        hm_data += hops
+                        data_lat += hops * hop_cycles + A_DATA
+                    else:
+                        cm_local += 1
+                    links += hops
+                    version = mem_version_map.get(block, 0)
+            else:
+                hops = hops_flat[home * n_tiles + tile]
+                if hops:
+                    cm_ack += 1
+                    hm_ack += hops
+                    data_lat = hops * hop_cycles + A_INV_ACK
+                else:
+                    cm_local += 1
+                    data_lat = 0
+                links += hops
+                own = l1_peek[tile](block)
+                version = own.version if own else None
+            t += inv_worst if inv_worst > data_lat else data_lat
+            l2_invalidate[home](block)
+            dc_invalidate[home](block)
+        elif l2_entry is not None and l2_entry.has_data:
+            # no copies in any L1, but the home L2 holds the data
+            s_l2hits += 1
+            l2s[home].stats.data_reads += 1
+            t += L2_DATA
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm_data += 1
+                hm_data += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm_local += 1
+            links += hops
+            version = l2_entry.version
+            l2_invalidate[home](block)
+            dc_invalidate[home](block)
+        else:
+            # not on chip
+            t += mem_fetch(home, block)
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm_data += 1
+                hm_data += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm_local += 1
+            links += hops
+            version = mem_version_map.get(block, 0)
+            category = "memory"
+            l2_invalidate[home](block)
+            dc_invalidate[home](block)
+
+        # inlined checker.commit_write (same defaultdict touch, same
+        # live _commit_log re-read)
+        new_version = version_map[block] + 1
+        version_map[block] = new_version
+        s_commits += 1
+        commit_log = checker._commit_log
+        if commit_log is not None:
+            commit_log.append(block)
+        entry = l2_peek[home](block)
+        if entry is not None:
+            # NCID: the entry's tag keeps tracking the block
+            entry.has_data = False
+            entry.dirty = False
+            entry.sharers = 0
+            entry.owner_tile = tile
+            entry.version = new_version
+            l2s[home].stats.tag_writes += 1
+            dc_invalidate[home](block)
+        else:
+            dircache_insert(
+                home, block, L2Line(version=new_version, owner_tile=tile), now
+            )
+        existing = l1_peek[tile](block)
+        if existing is not None:
+            existing.state = M_state
+            existing.dirty = True
+            existing.version = new_version
+            l1s[tile].stats.data_writes += 1
+        else:
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=M_state, version=new_version, dirty=True),
+                now,
+            )
+        until = now + t
+        if until > busy_get(block, 0):
+            busy[block] = until
+        return t, links, category
+
+    def evict_l1_line(tile: int, block: int, line: L1Line, now: int) -> None:
+        # mirrors DirectoryProtocol._evict_l1_line
+        nonlocal cm_putc, hm_putc, cm_wb, hm_wb, cm_put, hm_put, cm_local
+        home = block & home_mask
+        if line.state is S_state:
+            return  # silent
+        if line.state in EM_states:
+            entry = l2_peek[home](block)
+            if not line.dirty and entry is not None and entry.has_data:
+                # clean exclusive copy: pointer-clearing control message
+                hops = hops_flat[tile * n_tiles + home]
+                if hops:
+                    cm_putc += 1
+                    hm_putc += hops
+                else:
+                    cm_local += 1
+                entry.owner_tile = None
+                entry.sharers = 0
+                entry.version = line.version
+                l2s[home].stats.tag_writes += 1
+                dc_invalidate[home](block)
+                return
+            hops = hops_flat[tile * n_tiles + home]
+            if line.dirty:
+                if hops:
+                    cm_wb += 1
+                    hm_wb += hops
+                else:
+                    cm_local += 1
+            else:
+                if hops:
+                    cm_put += 1
+                    hm_put += hops
+                else:
+                    cm_local += 1
+            dc_invalidate[home](block)
+            if entry is not None:
+                entry.has_data = True
+                entry.dirty = line.dirty
+                entry.version = line.version
+                entry.sharers = 0
+                entry.owner_tile = None
+                l2s[home].stats.data_writes += 1
+            else:
+                fill_l2(
+                    home,
+                    block,
+                    L2Line(
+                        has_data=True, dirty=line.dirty, version=line.version
+                    ),
+                    now,
+                )
+
+    def evict_l2_entry(home: int, block: int, entry: L2Line, now: int) -> None:
+        # mirrors DirectoryProtocol._evict_l2_entry (the live-sharer
+        # scan early-exits: peeks have no side effects and only the
+        # list's truthiness is consumed)
+        mask = entry.sharers
+        live = False
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            if l1_peek[low.bit_length() - 1](block) is not None:
+                live = True
+                break
+        if entry.owner_tile is not None or live:
+            dircache_insert(
+                home,
+                block,
+                L2Line(
+                    version=entry.version,
+                    sharers=entry.sharers,
+                    owner_tile=entry.owner_tile,
+                ),
+                now,
+            )
+            if entry.dirty:
+                # home loses the only dirty data copy; push it to memory
+                mem_writeback(home, block, entry.version)
+        else:
+            if entry.dirty:
+                mem_writeback(home, block, entry.version)
+            else:
+                mem_version_map.setdefault(block, entry.version)
+
+    # --- flush ---------------------------------------------------------
+
+    def flush() -> None:
+        """Add the batched counters into the current stats and zero them."""
+        nonlocal cm_gets, hm_gets, cm_getx, hm_getx
+        nonlocal cm_fgets, hm_fgets, cm_fgetx, hm_fgetx
+        nonlocal cm_data, hm_data, cm_wb, hm_wb
+        nonlocal cm_inv, hm_inv, cm_ack, hm_ack
+        nonlocal cm_put, hm_put, cm_putc, hm_putc
+        nonlocal cm_mf, hm_mf, cm_md, hm_md, cm_local
+        nonlocal s_l2hits, s_unicast, s_memfetch, s_l2miss, s_wb
+        nonlocal s_l1ev, s_l2ev, s_checked, s_commits
+        st = proto.stats
+        st.l2_data_hits += s_l2hits
+        st.unicast_invalidations += s_unicast
+        st.memory_fetches += s_memfetch
+        st.l2_misses += s_l2miss
+        st.writebacks += s_wb
+        proto._l1_evictions.evictions += s_l1ev
+        proto._l2_evictions.evictions += s_l2ev
+        checker.reads_checked += s_checked
+        checker.writes_committed += s_commits
+        net = proto.network.stats
+        net.local_messages += cm_local
+        by_type = net.by_type
+        flits_by_type = net.flits_by_type
+        msgs = flit_trav = hops_total = 0
+        for mt, fl, cnt, hsum in (
+            (T_GETS, F_GETS, cm_gets, hm_gets),
+            (T_GETX, F_GETX, cm_getx, hm_getx),
+            (T_FWD_GETS, F_FWD_GETS, cm_fgets, hm_fgets),
+            (T_FWD_GETX, F_FWD_GETX, cm_fgetx, hm_fgetx),
+            (T_DATA, F_DATA, cm_data, hm_data),
+            (T_WRITEBACK, F_WRITEBACK, cm_wb, hm_wb),
+            (T_INV, F_INV, cm_inv, hm_inv),
+            (T_INV_ACK, F_INV_ACK, cm_ack, hm_ack),
+            (T_PUT, F_PUT, cm_put, hm_put),
+            (T_PUT_CLEAN, F_PUT_CLEAN, cm_putc, hm_putc),
+            (T_MEM_FETCH, F_MEM_FETCH, cm_mf, hm_mf),
+            (T_MEM_DATA, F_MEM_DATA, cm_md, hm_md),
+        ):
+            if cnt:
+                by_type[mt] += cnt
+                flits_by_type[mt] += cnt * fl
+                msgs += cnt
+                flit_trav += fl * hsum
+                hops_total += hsum
+        net.messages += msgs
+        net.flit_link_traversals += flit_trav
+        net.router_traversals += hops_total
+        net.routing_events += msgs
+        cm_gets = hm_gets = cm_getx = hm_getx = 0
+        cm_fgets = hm_fgets = cm_fgetx = hm_fgetx = 0
+        cm_data = hm_data = cm_wb = hm_wb = 0
+        cm_inv = hm_inv = cm_ack = hm_ack = 0
+        cm_put = hm_put = cm_putc = hm_putc = 0
+        cm_mf = hm_mf = cm_md = hm_md = 0
+        cm_local = 0
+        s_l2hits = s_unicast = s_memfetch = s_l2miss = s_wb = 0
+        s_l1ev = s_l2ev = s_checked = s_commits = 0
+
+    proto._handle_read_miss = handle_read_miss  # type: ignore[method-assign]
+    proto._handle_write_miss = handle_write_miss  # type: ignore[method-assign]
+    proto._evict_l1_line = evict_l1_line  # type: ignore[method-assign]
+    proto._evict_l2_entry = evict_l2_entry  # type: ignore[method-assign]
+    return flush

@@ -1,0 +1,13 @@
+"""Compiled miss handlers for the DiCo-Providers protocol.
+
+The Providers variant shares the DiCo family compiler; see
+``handlers_dico._compile_family`` for the full flattening.
+"""
+
+from __future__ import annotations
+
+from .handlers_dico import _compile_family
+
+
+def compile_providers_handlers(proto, tables):
+    return _compile_family(proto, tables, "providers")

@@ -1,0 +1,922 @@
+"""Compiled miss handlers for the Virtual Hierarchy protocol.
+
+Flattens ``VirtualHierarchyProtocol``'s two-level miss paths (domain
+dynamic homes + global level-2 directory) into arm-time closures, with
+the same batched-counter scheme as the DiCo family compiler (see
+``handlers_dico``).  The object-engine methods in
+``core/protocols/vh.py`` remain the single source of truth; every
+closure here mirrors one of them statement for statement with the
+tracing branches dropped (the arm gate guarantees ``_trace is None``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.protocols.base import (
+    CoherenceProtocol,
+    L1Line,
+    L2Line,
+    iter_bits,
+)
+from ..core.states import L1State
+from .handlers_dico import (
+    _I_LOC,
+    _N_SC,
+    _N_UNICAST,
+    _SC_CHECKED,
+    _SC_COMMITS,
+    _SC_L1EV,
+    _SC_L2EV,
+    _SC_L2HITS,
+    _SC_L2MISS,
+    _SC_MEMACC,
+    _SC_MEMFETCH,
+    _SC_UNICAST,
+    _SC_WB,
+    _UNICAST_TYPES,
+)
+from .tables import ProtocolTables
+
+__all__ = ["compile_vh_handlers"]
+
+
+def compile_vh_handlers(
+    proto: CoherenceProtocol, tables: ProtocolTables
+) -> Callable[[], None]:
+    """Bind compiled VH handler closures onto ``proto``; returns the flush."""
+    cfg = proto.config
+    L1_TAG = cfg.l1.tag_latency
+    L1_ACC = cfg.l1.access_latency
+    L2_TAG = proto._l2_tag_lat
+    L2_DATA = cfg.l2.data_latency
+    home_mask = proto._home_mask
+
+    hops_flat = tables.hops_flat
+    n_tiles = tables.n_tiles
+    hop_cycles = tables.hop_cycles
+    flits = tables.flits
+    tiles_range = range(n_tiles)
+
+    (
+        I_GETS,
+        I_GETX,
+        I_FGETS,
+        I_FGETX,
+        I_DATA,
+        I_DOWN,
+        I_HINT,
+        I_CO,
+        I_COACK,
+        I_INV,
+        I_ACK,
+        I_PUT,
+        I_PUTC,
+        I_WB,
+        I_MF,
+        I_MD,
+        I_PROV,
+        I_CP,
+        I_CPACK,
+        I_NOPROV,
+    ) = range(_N_UNICAST)
+    I_LOC = _I_LOC
+    msg_flits = [flits[t] for t in _UNICAST_TYPES]
+    A_GETS = msg_flits[I_GETS] - 1
+    A_GETX = msg_flits[I_GETX] - 1
+    A_FGETS = msg_flits[I_FGETS] - 1
+    A_FGETX = msg_flits[I_FGETX] - 1
+    A_DATA = msg_flits[I_DATA] - 1
+    A_INV = msg_flits[I_INV] - 1
+    A_ACK = msg_flits[I_ACK] - 1
+    A_WB = msg_flits[I_WB] - 1
+
+    l1s = proto.l1s
+    l2s = proto.l2s
+    l1cs = proto.l1cs
+    l2dirs = proto.l2dirs
+    l1_lookup = [c.lookup for c in l1s]
+    l1_peek = [c.peek for c in l1s]
+    l1_insert = [c.insert for c in l1s]
+    l1_invalidate = [c.invalidate for c in l1s]
+    l1_displace = [c.displace for c in l1s]
+    l2_peek = [c.peek for c in l2s]
+    l2_lookup = [c.lookup for c in l2s]
+    l2_insert = [c.insert for c in l2s]
+    l2_invalidate = [c.invalidate for c in l2s]
+    l2_displace = [c.displace for c in l2s]
+    # the level-2 directory caches charge their own stats live (bound
+    # methods; monotonic adds mix soundly with the batched cells)
+    d2_lookup = [c.lookup for c in l2dirs]
+    d2_peek = [c.peek for c in l2dirs]
+    d2_insert = [c.insert for c in l2dirs]
+    d2_invalidate = [c.invalidate for c in l2dirs]
+    d2_victim = [c.victim_for for c in l2dirs]
+    pc_resident = [p._resident for p in l1cs]
+    pc_array_insert = [p.array.insert for p in l1cs]
+    pc_array_invalidate = [p.array.invalidate for p in l1cs]
+
+    checker = proto.checker
+    version_map = checker._version
+    l1_names = proto._l1_names
+    busy = proto._busy
+    busy_get = busy.get
+    mem_version_map = proto._mem_version
+    mem_version_get = mem_version_map.get
+    memctl = proto.memctl
+    positions = memctl.positions
+    nearest = memctl._nearest
+    base_latency = memctl._base_latency
+    randbelow = memctl._randbelow
+    jitter_cycles = memctl.jitter_cycles
+    jitter_bound = jitter_cycles + 1
+
+    # geometry: domains are the static areas; a block's dynamic home in
+    # a domain is interleaved over the domain's tiles
+    area_of = proto.areas._area_of
+    n_areas = cfg.n_areas
+    dh_tiles = [tuple(proto.areas.tiles_of(d)) for d in range(n_areas)]
+    dh_len = [len(ts) for ts in dh_tiles]
+
+    S_state = L1State.S
+    M_state = L1State.M
+    EM_states = (L1State.E, L1State.M)
+    EMO_states = (L1State.E, L1State.M, L1State.O)
+
+    # --- batched counter cells (zeroed by flush) ----------------------
+    cm = [0] * (_N_UNICAST + 1)  # count per type (+ local self-sends)
+    hm = [0] * _N_UNICAST        # hops-sum per type
+    sc = [0] * _N_SC             # scalar stats
+    bl1_r = [0] * n_tiles        # L1 data_reads per tile
+    bl1_w = [0] * n_tiles        # L1 data_writes per tile
+    bl2_r = [0] * n_tiles        # L2 data_reads per bank
+    bl2_w = [0] * n_tiles        # L2 data_writes per bank
+    bl2_tw = [0] * n_tiles       # L2 tag_writes per bank
+
+    # --- inlined shared glue ------------------------------------------
+
+    def mem_fetch(home, block):
+        # mirrors CoherenceProtocol.mem_fetch +
+        # MemoryControllers.access_latency (same RNG draw sequence)
+        sc[_SC_MEMFETCH] += 1
+        sc[_SC_L2MISS] += 1
+        ctrl = positions[nearest[home]]
+        hops = hops_flat[home * n_tiles + ctrl]
+        if hops:
+            cm[I_MF] += 1
+            hm[I_MF] += hops
+        else:
+            cm[I_LOC] += 1
+        hops = hops_flat[ctrl * n_tiles + home]
+        if hops:
+            cm[I_MD] += 1
+            hm[I_MD] += hops
+        else:
+            cm[I_LOC] += 1
+        sc[_SC_MEMACC] += 1
+        jitter = randbelow(jitter_bound) if jitter_cycles else 0
+        return base_latency[home] + jitter
+
+    def mem_writeback(home, block, version):
+        # mirrors CoherenceProtocol.mem_writeback
+        sc[_SC_WB] += 1
+        ctrl = positions[nearest[home]]
+        hops = hops_flat[home * n_tiles + ctrl]
+        if hops:
+            cm[I_WB] += 1
+            hm[I_WB] += hops
+        else:
+            cm[I_LOC] += 1
+        mem_version_map[block] = version
+
+    def drop_l1(tile, block):
+        # mirrors CoherenceProtocol.drop_l1 +
+        # PredictionCache.block_evicted (tracer-off branch)
+        line = l1_invalidate[tile](block)
+        if line is not None:
+            sup = pc_resident[tile].pop(block, None)
+            if sup is not None:
+                pc_array_insert[tile](block, sup)
+        return line
+
+    def fill_l1(tile, block, line, now, supplier):
+        # mirrors CoherenceProtocol.fill_l1 +
+        # PredictionCache.block_evicted / block_cached (tracer-off)
+        victim = l1_displace[tile](block)
+        if victim is not None:
+            vblock = victim[0]
+            sup = pc_resident[tile].pop(vblock, None)
+            if sup is not None:
+                pc_array_insert[tile](vblock, sup)
+            sc[_SC_L1EV] += 1
+            evict_l1_line(tile, vblock, victim[1], now)
+        l1_insert[tile](block, line)
+        bl1_w[tile] += 1
+        pc_array_invalidate[tile](block)
+        if supplier is not None and supplier != tile:
+            pc_resident[tile][block] = supplier
+        else:
+            pc_resident[tile].pop(block, None)
+
+    def fill_l2(home, block, entry, now):
+        # mirrors CoherenceProtocol.fill_l2 (tracer-off branch)
+        victim = l2_displace[home](block)
+        if victim is not None:
+            sc[_SC_L2EV] += 1
+            evict_l2_entry(home, victim[0], victim[1], now)
+        l2_insert[home](block, entry)
+        if entry.has_data:
+            bl2_w[home] += 1
+
+    # --- VH level-1 / level-2 helpers ---------------------------------
+
+    def install_domain_copy(block, domain, version, dirty, now):
+        # mirrors VirtualHierarchyProtocol._install_domain_copy
+        h1 = dh_tiles[domain][block % dh_len[domain]]
+        entry = L2Line(
+            has_data=True,
+            dirty=dirty,
+            version=version,
+            owner_area=domain,
+            sharers=0,
+        )
+        fill_l2(h1, block, entry, now)
+        return entry
+
+    def l2dir_set(block, domains_mask, owner_domain, now):
+        # mirrors VirtualHierarchyProtocol._l2dir_set
+        home = block & home_mask
+        entry = d2_peek[home](block)
+        if entry is not None:
+            entry.sharers = domains_mask
+            entry.owner_area = owner_domain
+            return
+        victim = d2_victim[home](block)
+        if victim is not None:
+            vblock = victim[0]
+            ventry = victim[1]
+            d2_invalidate[home](vblock)
+            global_invalidate(vblock, ventry, now)
+        d2_insert[home](
+            block,
+            L2Line(has_data=False, sharers=domains_mask, owner_area=owner_domain),
+        )
+
+    def global_invalidate(block, info, now):
+        # mirrors VirtualHierarchyProtocol._global_invalidate
+        mask = info.sharers
+        while mask:
+            low = mask & -mask
+            d = low.bit_length() - 1
+            mask ^= low
+            h1 = dh_tiles[d][block % dh_len[d]]
+            entry = l2_peek[h1](block)
+            if entry is not None:
+                l2_invalidate[h1](block)
+                evict_l2_entry(h1, block, entry, now)
+
+    def drop_domain(block, domain, requestor, now, skip):
+        # mirrors VirtualHierarchyProtocol._drop_domain
+        h1 = dh_tiles[domain][block % dh_len[domain]]
+        entry = l2_peek[h1](block)
+        worst = 0
+        if entry is not None:
+            mask = entry.sharers
+            while mask:
+                low = mask & -mask
+                sharer = low.bit_length() - 1
+                mask ^= low
+                if sharer == skip:
+                    continue
+                hops = hops_flat[h1 * n_tiles + sharer]
+                if hops:
+                    cm[I_INV] += 1
+                    hm[I_INV] += hops
+                    inv_lat = hops * hop_cycles + A_INV
+                else:
+                    cm[I_LOC] += 1
+                    inv_lat = 0
+                drop_l1(sharer, block)
+                hops = hops_flat[sharer * n_tiles + requestor]
+                if hops:
+                    cm[I_ACK] += 1
+                    hm[I_ACK] += hops
+                    ack_lat = hops * hop_cycles + A_ACK
+                else:
+                    cm[I_LOC] += 1
+                    ack_lat = 0
+                if inv_lat + ack_lat > worst:
+                    worst = inv_lat + ack_lat
+                sc[_SC_UNICAST] += 1
+            if entry.dirty:
+                mem_writeback(h1, block, entry.version)
+            l2_invalidate[h1](block)
+        return worst
+
+    def drop_domain_sharers(block, domain, requestor, now):
+        # mirrors VirtualHierarchyProtocol._drop_domain_sharers
+        h1 = dh_tiles[domain][block % dh_len[domain]]
+        entry = l2_peek[h1](block)
+        worst = 0
+        if entry is None:
+            return 0
+        mask = entry.sharers
+        while mask:
+            low = mask & -mask
+            sharer = low.bit_length() - 1
+            mask ^= low
+            if sharer == requestor:
+                continue
+            hops = hops_flat[h1 * n_tiles + sharer]
+            if hops:
+                cm[I_INV] += 1
+                hm[I_INV] += hops
+                inv_lat = hops * hop_cycles + A_INV
+            else:
+                cm[I_LOC] += 1
+                inv_lat = 0
+            drop_l1(sharer, block)
+            hops = hops_flat[sharer * n_tiles + requestor]
+            if hops:
+                cm[I_ACK] += 1
+                hm[I_ACK] += hops
+                ack_lat = hops * hop_cycles + A_ACK
+            else:
+                cm[I_LOC] += 1
+                ack_lat = 0
+            if inv_lat + ack_lat > worst:
+                worst = inv_lat + ack_lat
+            sc[_SC_UNICAST] += 1
+        entry.sharers = 0
+        return worst
+
+    # --- reads --------------------------------------------------------
+
+    def handle_read_miss(tile, block, now):
+        # mirrors VirtualHierarchyProtocol._handle_read_miss
+        domain = area_of[tile]
+        h1 = dh_tiles[domain][block % dh_len[domain]]
+        t = L1_TAG
+        links = 0
+        hops = hops_flat[tile * n_tiles + h1]
+        if hops:
+            cm[I_GETS] += 1
+            hm[I_GETS] += hops
+            t += hops * hop_cycles + A_GETS
+        else:
+            cm[I_LOC] += 1
+        links += hops
+        t += L2_TAG
+
+        entry = l2_lookup[h1](block)
+        if entry is not None and not entry.has_data and entry.owner_tile is not None:
+            # the domain's copy is exclusively owned by an L1: forward,
+            # the owner downgrades and refreshes the domain copy
+            owner = entry.owner_tile
+            hops = hops_flat[h1 * n_tiles + owner]
+            if hops:
+                cm[I_FGETS] += 1
+                hm[I_FGETS] += hops
+                t += hops * hop_cycles + A_FGETS
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            oline = l1_lookup[owner](block)
+            assert oline is not None and oline.state in EM_states, (
+                "VH level-1 directory pointed at a non-owner"
+            )
+            bl1_r[owner] += 1
+            hops = hops_flat[owner * n_tiles + tile]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            hops = hops_flat[owner * n_tiles + h1]
+            if hops:
+                cm[I_WB] += 1
+                hm[I_WB] += hops
+            else:
+                cm[I_LOC] += 1
+            t += L1_ACC
+            entry.has_data = True
+            entry.dirty = oline.dirty
+            entry.version = oline.version
+            entry.sharers = (1 << owner) | (1 << tile)
+            entry.owner_tile = None
+            entry.plain_copy = False
+            bl2_w[h1] += 1
+            oline.state = S_state
+            oline.dirty = False
+            version = entry.version
+            sc[_SC_CHECKED] += 1
+            if version != version_map[block]:
+                checker.check_read(block, version, where=l1_names[tile])
+            fill_l1(
+                tile, block, L1Line(state=S_state, version=version), now, None
+            )
+            return t, links, "unpredicted_fwd"
+
+        if entry is not None and entry.has_data:
+            # the VH fast path: an intra-domain two-hop miss
+            sc[_SC_L2HITS] += 1
+            t += L2_DATA
+            bl2_r[h1] += 1
+            hops = hops_flat[h1 * n_tiles + tile]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            entry.sharers |= 1 << tile
+            version = entry.version
+            sc[_SC_CHECKED] += 1
+            if version != version_map[block]:
+                checker.check_read(block, version, where=l1_names[tile])
+            fill_l1(
+                tile, block, L1Line(state=S_state, version=version), now, None
+            )
+            return t, links, "unpredicted_home"
+
+        # level-1 miss: go to the global (level-2) home
+        lat, hops2, cat = read_at_global(tile, domain, block, now, h1)
+        return t + lat, links + hops2, cat
+
+    def read_at_global(tile, domain, block, now, h1):
+        # mirrors VirtualHierarchyProtocol._read_at_global
+        home = block & home_mask
+        hops = hops_flat[h1 * n_tiles + home]
+        if hops:
+            cm[I_FGETS] += 1
+            hm[I_FGETS] += hops
+            t = hops * hop_cycles + A_FGETS + L2_TAG
+        else:
+            cm[I_LOC] += 1
+            t = L2_TAG
+        links = hops
+        info = d2_lookup[home](block)
+
+        src_domain = None
+        src_entry = None
+        if info is not None:
+            mask = info.sharers
+            while mask:
+                low = mask & -mask
+                d = low.bit_length() - 1
+                mask ^= low
+                if d == domain:
+                    continue
+                candidate = l2_peek[dh_tiles[d][block % dh_len[d]]](block)
+                if candidate is None:
+                    info.sharers &= ~(1 << d)  # heal a stale bit
+                    continue
+                src_domain = d
+                src_entry = candidate
+                break
+        if src_entry is not None:
+            # another domain holds the block: fetch from its dynamic home
+            src_h1 = dh_tiles[src_domain][block % dh_len[src_domain]]
+            hops = hops_flat[home * n_tiles + src_h1]
+            if hops:
+                cm[I_FGETS] += 1
+                hm[I_FGETS] += hops
+                t += hops * hop_cycles + A_FGETS
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            bl2_tw[src_h1] += 1
+            if not src_entry.has_data:
+                # that domain's copy lives in an L1 owner: pull it down
+                owner = src_entry.owner_tile
+                assert owner is not None
+                oline = l1_peek[owner](block)
+                assert oline is not None
+                hops = hops_flat[src_h1 * n_tiles + owner]
+                if hops:
+                    cm[I_FGETS] += 1
+                    hm[I_FGETS] += hops
+                    t += hops * hop_cycles + A_FGETS
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                hops = hops_flat[owner * n_tiles + src_h1]
+                if hops:
+                    cm[I_WB] += 1
+                    hm[I_WB] += hops
+                    t += hops * hop_cycles + A_WB
+                else:
+                    cm[I_LOC] += 1
+                links += hops
+                t += L1_ACC
+                src_entry.has_data = True
+                src_entry.dirty = oline.dirty
+                src_entry.version = oline.version
+                src_entry.sharers |= 1 << owner
+                src_entry.owner_tile = None
+                src_entry.plain_copy = False
+                oline.state = S_state
+                oline.dirty = False
+            bl2_r[src_h1] += 1
+            hops = hops_flat[src_h1 * n_tiles + h1]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            hops = hops_flat[h1 * n_tiles + tile]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+            links += hops
+            t += L2_DATA
+            version = src_entry.version
+            # the domain copy is REduplicated into this domain's H1
+            new_entry = install_domain_copy(block, domain, version, False, now)
+            new_entry.sharers = 1 << tile
+            info = d2_lookup[home](block)  # the install may have evicted it
+            mask = (info.sharers if info else 0) | (1 << src_domain) | (1 << domain)
+            l2dir_set(block, mask, None, now)
+            sc[_SC_CHECKED] += 1
+            if version != version_map[block]:
+                checker.check_read(block, version, where=l1_names[tile])
+            fill_l1(
+                tile, block, L1Line(state=S_state, version=version), now, None
+            )
+            return t, links, "unpredicted_fwd"
+
+        # not on chip: memory fetch at the global home, install in-domain
+        t += mem_fetch(home, block)
+        version = mem_version_get(block, 0)
+        hops = hops_flat[home * n_tiles + h1]
+        if hops:
+            cm[I_DATA] += 1
+            hm[I_DATA] += hops
+            t += hops * hop_cycles + A_DATA
+        else:
+            cm[I_LOC] += 1
+        links += hops
+        hops = hops_flat[h1 * n_tiles + tile]
+        if hops:
+            cm[I_DATA] += 1
+            hm[I_DATA] += hops
+            t += hops * hop_cycles + A_DATA
+        else:
+            cm[I_LOC] += 1
+        links += hops
+        entry = install_domain_copy(block, domain, version, False, now)
+        entry.sharers = 1 << tile
+        l2dir_set(block, 1 << domain, None, now)
+        sc[_SC_CHECKED] += 1
+        if version != version_map[block]:
+            checker.check_read(block, version, where=l1_names[tile])
+        fill_l1(
+            tile, block, L1Line(state=S_state, version=version), now, None
+        )
+        until = now + t
+        if until > busy_get(block, 0):
+            busy[block] = until
+        return t, links, "memory"
+
+    # --- writes -------------------------------------------------------
+
+    def handle_write_miss(tile, block, now, had_copy):
+        # mirrors VirtualHierarchyProtocol._handle_write_miss
+        domain = area_of[tile]
+        h1 = dh_tiles[domain][block % dh_len[domain]]
+        home = block & home_mask
+        t = L1_TAG
+        links = 0
+        hops = hops_flat[tile * n_tiles + h1]
+        if hops:
+            cm[I_GETX] += 1
+            hm[I_GETX] += hops
+            t += hops * hop_cycles + A_GETX
+        else:
+            cm[I_LOC] += 1
+        links += hops
+        t += L2_TAG
+
+        info = d2_lookup[home](block)
+        other_domains = 0
+        if info is not None:
+            other_domains = info.sharers & ~(1 << domain)
+
+        inv_worst = 0
+        category = "unpredicted_home"
+        if other_domains:
+            # escalate to level 2: invalidate every other domain
+            hops = hops_flat[h1 * n_tiles + home]
+            if hops:
+                cm[I_FGETX] += 1
+                hm[I_FGETX] += hops
+                up_lat = hops * hop_cycles + A_FGETX
+            else:
+                cm[I_LOC] += 1
+                up_lat = 0
+            t += up_lat + L2_TAG
+            links += hops
+            mask = other_domains
+            while mask:
+                low = mask & -mask
+                d = low.bit_length() - 1
+                mask ^= low
+                hops = hops_flat[home * n_tiles + dh_tiles[d][block % dh_len[d]]]
+                if hops:
+                    cm[I_INV] += 1
+                    hm[I_INV] += hops
+                    dn_lat = hops * hop_cycles + A_INV
+                else:
+                    cm[I_LOC] += 1
+                    dn_lat = 0
+                w = drop_domain(block, d, tile, now, None)
+                if up_lat + dn_lat + w > inv_worst:
+                    inv_worst = up_lat + dn_lat + w
+            category = "unpredicted_fwd"
+
+        entry = l2_lookup[h1](block)
+        version = None
+        if (
+            entry is not None
+            and not entry.has_data
+            and entry.owner_tile is not None
+            and entry.owner_tile != tile
+        ):
+            # the domain's copy is exclusively owned by another L1:
+            # invalidate it and take the data directly
+            owner = entry.owner_tile
+            hops = hops_flat[h1 * n_tiles + owner]
+            if hops:
+                cm[I_INV] += 1
+                hm[I_INV] += hops
+                inv_lat = hops * hop_cycles + A_INV
+            else:
+                cm[I_LOC] += 1
+                inv_lat = 0
+            oline = drop_l1(owner, block)
+            assert oline is not None
+            hops = hops_flat[owner * n_tiles + tile]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                data_lat = hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+                data_lat = 0
+            if inv_lat + data_lat > inv_worst:
+                inv_worst = inv_lat + data_lat
+            links += hops
+            version = oline.version
+            entry.owner_tile = None
+            entry.sharers = 0
+            sc[_SC_UNICAST] += 1
+        elif entry is not None and entry.has_data:
+            w = drop_domain_sharers(block, domain, tile, now)
+            if w > inv_worst:
+                inv_worst = w
+            if not had_copy:
+                bl2_r[h1] += 1
+                hops = hops_flat[h1 * n_tiles + tile]
+                if hops:
+                    cm[I_DATA] += 1
+                    hm[I_DATA] += hops
+                    t += hops * hop_cycles + A_DATA
+                else:
+                    cm[I_LOC] += 1
+                t += L2_DATA
+                links += hops
+            version = entry.version
+        else:
+            # the domain has no copy: fetch through level 2
+            if info is None or not info.sharers:
+                t += mem_fetch(home, block)
+                version = mem_version_get(block, 0)
+                category = "memory"
+            else:
+                src_mask = info.sharers & ~(1 << domain)
+                if not src_mask:
+                    t += mem_fetch(home, block)
+                    version = mem_version_get(block, 0)
+                else:
+                    src_domain = (src_mask & -src_mask).bit_length() - 1
+                    src_h1 = dh_tiles[src_domain][block % dh_len[src_domain]]
+                    src = l2_peek[src_h1](block)
+                    version = src.version if src else mem_version_get(block, 0)
+                    w = drop_domain(block, src_domain, tile, now, None)
+                    if w > inv_worst:
+                        inv_worst = w
+            hops = hops_flat[home * n_tiles + tile]
+            if hops:
+                cm[I_DATA] += 1
+                hm[I_DATA] += hops
+                t += hops * hop_cycles + A_DATA
+            else:
+                cm[I_LOC] += 1
+            links += hops
+
+        t += inv_worst
+        new_version = version_map[block] + 1
+        version_map[block] = new_version
+        sc[_SC_COMMITS] += 1
+        commit_log = checker._commit_log
+        if commit_log is not None:
+            commit_log.append(block)
+        # the writing domain's H1 keeps the (now stale-safe) entry as the
+        # level-1 directory; data refreshes on the owner's writeback
+        h1_entry = l2_lookup[h1](block)
+        if h1_entry is None:
+            h1_entry = install_domain_copy(block, domain, new_version, False, now)
+        h1_entry.has_data = False
+        h1_entry.dirty = False
+        h1_entry.version = new_version
+        h1_entry.sharers = 1 << tile
+        h1_entry.owner_tile = tile
+        h1_entry.plain_copy = True  # never served while the L1 owner holds it
+        l2dir_set(block, 1 << domain, domain, now)
+
+        existing = l1_peek[tile](block)
+        if existing is not None:
+            existing.state = M_state
+            existing.dirty = True
+            existing.version = new_version
+            bl1_w[tile] += 1
+        else:
+            fill_l1(
+                tile,
+                block,
+                L1Line(state=M_state, version=new_version, dirty=True),
+                now,
+                None,
+            )
+        until = now + t
+        if until > busy_get(block, 0):
+            busy[block] = until
+        return t, links, category
+
+    # --- replacements -------------------------------------------------
+
+    def evict_l1_line(tile, block, line, now):
+        # mirrors VirtualHierarchyProtocol._evict_l1_line
+        state = line.state
+        if state is S_state:
+            return  # silent; the H1 mask goes stale harmlessly
+        if state in EMO_states:
+            domain = area_of[tile]
+            h1 = dh_tiles[domain][block % dh_len[domain]]
+            hops = hops_flat[tile * n_tiles + h1]
+            if line.dirty:
+                if hops:
+                    cm[I_WB] += 1
+                    hm[I_WB] += hops
+                else:
+                    cm[I_LOC] += 1
+            else:
+                if hops:
+                    cm[I_PUT] += 1
+                    hm[I_PUT] += hops
+                else:
+                    cm[I_LOC] += 1
+            entry = l2_peek[h1](block)
+            if entry is not None:
+                entry.has_data = True
+                entry.dirty = line.dirty
+                entry.version = line.version
+                entry.sharers = 0
+                entry.owner_tile = None
+                entry.plain_copy = False
+                bl2_w[h1] += 1
+            else:
+                install_domain_copy(block, domain, line.version, line.dirty, now)
+
+    def evict_l2_entry(home, block, entry, now):
+        # mirrors VirtualHierarchyProtocol._evict_l2_entry: a domain
+        # copy leaves its dynamic home ``home``; the level-2 directory
+        # lives at the block's global home
+        worst = 0
+        targets = set(iter_bits(entry.sharers))
+        if entry.owner_tile is not None:
+            targets.add(entry.owner_tile)
+        for sharer in targets:
+            hops = hops_flat[home * n_tiles + sharer]
+            if hops:
+                cm[I_INV] += 1
+                hm[I_INV] += hops
+                inv_lat = hops * hop_cycles + A_INV
+            else:
+                cm[I_LOC] += 1
+                inv_lat = 0
+            line = drop_l1(sharer, block)
+            if line is not None and line.dirty:
+                hops = hops_flat[sharer * n_tiles + home]
+                if hops:
+                    cm[I_WB] += 1
+                    hm[I_WB] += hops
+                    back_lat = hops * hop_cycles + A_WB
+                else:
+                    cm[I_LOC] += 1
+                    back_lat = 0
+                mem_writeback(home, block, line.version)
+                if inv_lat + back_lat > worst:
+                    worst = inv_lat + back_lat
+            else:
+                hops = hops_flat[sharer * n_tiles + home]
+                if hops:
+                    cm[I_ACK] += 1
+                    hm[I_ACK] += hops
+                    ack_lat = hops * hop_cycles + A_ACK
+                else:
+                    cm[I_LOC] += 1
+                    ack_lat = 0
+                if inv_lat + ack_lat > worst:
+                    worst = inv_lat + ack_lat
+            sc[_SC_UNICAST] += 1
+        if entry.dirty and entry.has_data:
+            mem_writeback(home, block, entry.version)
+        # clear this domain's bit at the level 2 directory
+        ghome = block & home_mask
+        info = d2_lookup[ghome](block)
+        if info is not None and entry.owner_area is not None:
+            info.sharers &= ~(1 << entry.owner_area)
+            if not info.sharers:
+                d2_invalidate[ghome](block)
+        until = now + worst
+        if until > busy_get(block, 0):
+            busy[block] = until
+
+    # --- flush --------------------------------------------------------
+
+    stats_pairs = tuple(
+        (i, _UNICAST_TYPES[i], msg_flits[i]) for i in range(_N_UNICAST)
+    )
+
+    def flush():
+        """Add the batched counters into the current stats and zero them."""
+        st = proto.stats
+        st.l2_data_hits += sc[_SC_L2HITS]
+        st.unicast_invalidations += sc[_SC_UNICAST]
+        st.memory_fetches += sc[_SC_MEMFETCH]
+        st.l2_misses += sc[_SC_L2MISS]
+        st.writebacks += sc[_SC_WB]
+        proto._l1_evictions.evictions += sc[_SC_L1EV]
+        proto._l2_evictions.evictions += sc[_SC_L2EV]
+        checker.reads_checked += sc[_SC_CHECKED]
+        checker.writes_committed += sc[_SC_COMMITS]
+        memctl.accesses += sc[_SC_MEMACC]
+        for j in range(_N_SC):
+            sc[j] = 0
+        net = proto.network.stats
+        net.local_messages += cm[I_LOC]
+        cm[I_LOC] = 0
+        by_type = net.by_type
+        flits_by_type = net.flits_by_type
+        msgs = flit_trav = hops_total = 0
+        for i, mt, fl in stats_pairs:
+            cnt = cm[i]
+            if cnt:
+                by_type[mt] += cnt
+                flits_by_type[mt] += cnt * fl
+                msgs += cnt
+                hsum = hm[i]
+                flit_trav += fl * hsum
+                hops_total += hsum
+                cm[i] = 0
+                hm[i] = 0
+        net.messages += msgs
+        net.flit_link_traversals += flit_trav
+        net.router_traversals += hops_total
+        net.routing_events += msgs
+        for i in tiles_range:
+            v = bl1_r[i]
+            if v:
+                l1s[i].stats.data_reads += v
+                bl1_r[i] = 0
+            v = bl1_w[i]
+            if v:
+                l1s[i].stats.data_writes += v
+                bl1_w[i] = 0
+            v = bl2_r[i]
+            if v:
+                l2s[i].stats.data_reads += v
+                bl2_r[i] = 0
+            v = bl2_w[i]
+            if v:
+                l2s[i].stats.data_writes += v
+                bl2_w[i] = 0
+            v = bl2_tw[i]
+            if v:
+                l2s[i].stats.tag_writes += v
+                bl2_tw[i] = 0
+
+    proto._handle_read_miss = handle_read_miss  # type: ignore[method-assign]
+    proto._handle_write_miss = handle_write_miss  # type: ignore[method-assign]
+    proto._evict_l1_line = evict_l1_line  # type: ignore[method-assign]
+    proto._evict_l2_entry = evict_l2_entry  # type: ignore[method-assign]
+    return flush

@@ -135,6 +135,7 @@ def run_trace(
     build = factory if factory is not None else make_protocol
     proto = build(protocol, config, seed=seed, checker=checker)
     if resolve_engine(engine) == "array":
+        from ..simx.handlers import compile_protocol_handlers
         from ..simx.helpers import (
             install_fast_cache_methods,
             install_fast_helpers,
@@ -142,9 +143,14 @@ def run_trace(
         )
         from ..simx.tables import ProtocolTables
 
-        install_fast_helpers(proto, ProtocolTables(proto))
+        tables = ProtocolTables(proto)
+        install_fast_helpers(proto, tables)
         for cache in protocol_caches(proto):
             install_fast_cache_methods(cache)
+        # the compiled miss handlers batch their counters; the harness
+        # only reads the live checker state mid-trace, so the flush can
+        # wait until the trace completes (nothing reads these stats)
+        compile_protocol_handlers(proto, tables)
 
     # ops carry *block numbers*; the protocol interface takes addresses
     addr_shift = (config.block_bytes - 1).bit_length()

@@ -1,0 +1,52 @@
+"""Source-drift guard: simx flattened copies vs object-engine originals.
+
+The array engine duplicates object-engine logic (see
+``repro.simx.drift``).  These tests fail when any duplicated original
+changes without the pins being refreshed — the signal to re-check the
+corresponding simx mirror before trusting the engines' identity.
+"""
+
+from repro.simx import drift
+
+
+def test_every_pin_resolves_and_fingerprints():
+    fingerprints = drift.current_fingerprints()
+    assert set(fingerprints) == set(drift.MIRRORED)
+    for name, digest in fingerprints.items():
+        assert len(digest) == 64, name
+
+
+def test_no_source_drift_against_pins():
+    problems = drift.diff_pins()
+    assert not problems, (
+        "object-engine source drifted from the simx mirrors:\n"
+        + "\n".join(f"  {n}: {p}" for n, p in sorted(problems.items()))
+        + "\nRe-check the simx mirror(s), then re-pin with "
+        "`PYTHONPATH=src python -m repro.simx.drift --update`."
+    )
+
+
+def test_fingerprint_ignores_comments_but_not_structure():
+    import ast
+    import hashlib
+    import textwrap
+
+    def digest(src):
+        return hashlib.sha256(
+            ast.dump(ast.parse(textwrap.dedent(src))).encode()
+        ).hexdigest()
+
+    base = digest("def f(x):\n    return x + 1\n")
+    commented = digest("def f(x):\n    # a comment\n    return x + 1\n")
+    changed = digest("def f(x):\n    return x + 2\n")
+    assert base == commented
+    assert base != changed
+
+
+def test_handler_compiler_registry_covers_all_protocols():
+    # the drift registry only helps if the compilers it guards are
+    # actually armed for every protocol the chip can build
+    from repro.sim.chip import PROTOCOLS
+    from repro.simx.handlers import HANDLER_COMPILERS
+
+    assert set(HANDLER_COMPILERS) == set(PROTOCOLS.values())

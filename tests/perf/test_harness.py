@@ -278,3 +278,88 @@ def test_cli_perf_profile_flag(tmp_path, monkeypatch, capsys):
     captured = capsys.readouterr()
     assert "cProfile top 5" in captured.out
     assert "cumulative" in captured.out
+
+
+def test_cli_perf_profile_covers_selected_engine(
+    tmp_path, monkeypatch, capsys
+):
+    # --profile must profile the engine that was timed, labelled; under
+    # --engine both, one labelled pass per engine, with the array pass
+    # attributing time to the compiled runner (not Core._issue_fast)
+    monkeypatch.setattr(harness, "QUICK_CELLS", tiny_cells(1))
+    assert cli.main([
+        "perf", "--quick", "--engine", "both", "--output", "",
+        "--profile", "40",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "engine object" in captured.out
+    assert "engine array" in captured.out
+    obj_part, arr_part = captured.out.split("engine array", 1)
+    assert "_issue_fast" in obj_part
+    assert "runner" in arr_part
+
+
+def test_cell_results_record_l1_miss_rate():
+    cell = tiny_cells(1)[0]
+    r = harness._time_cell(cell, repeat=1)
+    assert r.l1_miss_rate is not None
+    assert 0.0 < r.l1_miss_rate < 1.0
+    doc = r.to_dict()
+    assert doc["l1_miss_rate"] == pytest.approx(r.l1_miss_rate, abs=1e-6)
+
+
+def test_load_report_upgrades_schema_v1(tmp_path):
+    cells = tiny_cells(1)
+    report = harness.build_report(
+        cells,
+        [CellResult(spec=cells[0], operations=1000, wall_s=0.5,
+                    l1_miss_rate=0.25)],
+        quick=True, repeat=1,
+    )
+    # regress the report to the v1 shape: no schema-2 field, embedded
+    # v1 baseline
+    v1 = json.loads(json.dumps(report))
+    v1["schema"] = 1
+    for c in v1["cells"]:
+        del c["l1_miss_rate"]
+    v1["baseline"] = json.loads(json.dumps(v1))
+    path = tmp_path / "old.json"
+    write_report(v1, str(path))
+
+    upgraded = load_report(str(path))
+    assert upgraded["schema"] == harness.BENCH_PERF_SCHEMA_VERSION
+    # the rate was not recorded, not zero
+    assert upgraded["cells"][0]["l1_miss_rate"] is None
+    assert upgraded["baseline"]["schema"] == harness.BENCH_PERF_SCHEMA_VERSION
+    assert upgraded["baseline"]["cells"][0]["l1_miss_rate"] is None
+
+    # v2 reports round-trip untouched
+    path2 = tmp_path / "new.json"
+    write_report(report, str(path2))
+    assert load_report(str(path2))["cells"][0]["l1_miss_rate"] == 0.25
+
+
+def test_cli_perf_min_geomean_gate(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(harness, "QUICK_CELLS", tiny_cells(1))
+    table = tmp_path / "comparison.txt"
+    # engines are bit-identical, so array-vs-object speedup is ~1×;
+    # a gate of 0.01 always passes, 1000 always fails
+    assert cli.main([
+        "perf", "--quick", "--engine", "both", "--output", "",
+        "--min-geomean", "0.01", "--comparison-output", str(table),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "geomean gate" in captured.err
+    assert "geomean" in table.read_text()
+
+    assert cli.main([
+        "perf", "--quick", "--engine", "both", "--output", "",
+        "--min-geomean", "1000",
+    ]) == 1
+    captured = capsys.readouterr()
+    assert "below the gate" in captured.err
+
+    # gating without a comparison to gate on is a usage error
+    assert cli.main([
+        "perf", "--quick", "--output", "", "--min-geomean", "0.5",
+    ]) == 2

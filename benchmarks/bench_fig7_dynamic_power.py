@@ -18,6 +18,7 @@ from repro.analysis import fig7_rows
 
 from .common import (
     ENERGY_CHIP,
+    LAB_PROTOCOL_ORDER,
     PROTOCOL_ORDER,
     WORKLOAD_ORDER,
     full_sweep,
@@ -37,15 +38,16 @@ def bench_fig7_dynamic_power(benchmark):
     for workload in WORKLOAD_ORDER:
         rows = []
         norm = fig7_rows(results[workload], ENERGY_CHIP)
-        for proto in PROTOCOL_ORDER:
+        for proto in LAB_PROTOCOL_ORDER:
             n = norm[proto]
             rows.append(
                 (proto, [round(n["cache"], 3), round(n["links"], 3),
-                         round(n["routing"], 3), round(n["total"], 3)])
+                         round(n["routing"], 3), round(n["bus"], 3),
+                         round(n["total"], 3)])
             )
         print_table(
             f"Fig. 7 ({workload}): dynamic power normalized to directory cache",
-            ["cache", "links", "routing", "total"],
+            ["cache", "links", "routing", "bus", "total"],
             rows,
         )
 

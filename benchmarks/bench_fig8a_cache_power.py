@@ -10,6 +10,7 @@ from repro.analysis import fig8a_rows
 
 from .common import (
     ENERGY_CHIP,
+    LAB_PROTOCOL_ORDER,
     PROTOCOL_ORDER,
     WORKLOAD_ORDER,
     full_sweep,
@@ -27,7 +28,7 @@ def bench_fig8a_cache_power(benchmark):
     for workload in WORKLOAD_ORDER:
         rows = []
         norm = fig8a_rows(results[workload], ENERGY_CHIP)
-        for proto in PROTOCOL_ORDER:
+        for proto in LAB_PROTOCOL_ORDER:
             comps = norm[proto]
             rows.append(
                 (proto, [round(comps.get(c, 0.0), 3) for c in COLUMNS])

@@ -10,6 +10,7 @@ from repro.analysis import fig8b_rows
 
 from .common import (
     ENERGY_CHIP,
+    LAB_PROTOCOL_ORDER,
     PROTOCOL_ORDER,
     WORKLOAD_ORDER,
     full_sweep,
@@ -25,15 +26,15 @@ def bench_fig8b_network_power(benchmark):
     for workload in WORKLOAD_ORDER:
         rows = []
         norm = fig8b_rows(results[workload], ENERGY_CHIP)
-        for proto in PROTOCOL_ORDER:
+        for proto in LAB_PROTOCOL_ORDER:
             comps = norm[proto]
             rows.append(
                 (proto, [round(comps["links"], 3), round(comps["routing"], 3),
-                         round(comps["total"], 3)])
+                         round(comps["bus"], 3), round(comps["total"], 3)])
             )
         print_table(
             f"Fig. 8b ({workload}): network power (normalized to directory)",
-            ["links", "routing", "total"],
+            ["links", "routing", "bus", "total"],
             rows,
         )
 

@@ -8,7 +8,13 @@ Apache (paper: +3% and +6%); JBB is DiCo-Arin's worst case.
 from repro.analysis import fig9a_performance
 from repro.workloads.spec import BENCHMARKS, MIXES
 
-from .common import PROTOCOL_ORDER, WORKLOAD_ORDER, full_sweep, print_table, run_one
+from .common import (
+    LAB_PROTOCOL_ORDER,
+    WORKLOAD_ORDER,
+    full_sweep,
+    print_table,
+    run_one,
+)
 
 
 def _metric(workload: str) -> str:
@@ -28,7 +34,7 @@ def bench_fig9a_performance(benchmark):
         # the performance metric for every workload class
         perf = fig9a_performance(results[workload], metric="transactions")
         perf_by_workload[workload] = perf
-    for proto in PROTOCOL_ORDER:
+    for proto in LAB_PROTOCOL_ORDER:
         rows.append(
             (proto, [round(perf_by_workload[w][proto], 3) for w in WORKLOAD_ORDER])
         )

@@ -10,7 +10,13 @@ all.
 from repro.analysis import fig9b_miss_breakdown
 from repro.stats.counters import MISS_CATEGORIES
 
-from .common import PROTOCOL_ORDER, WORKLOAD_ORDER, full_sweep, print_table, run_one
+from .common import (
+    LAB_PROTOCOL_ORDER,
+    WORKLOAD_ORDER,
+    full_sweep,
+    print_table,
+    run_one,
+)
 
 
 def bench_fig9b_miss_breakdown(benchmark):
@@ -20,7 +26,7 @@ def bench_fig9b_miss_breakdown(benchmark):
     for workload in WORKLOAD_ORDER:
         rows = []
         shares = fig9b_miss_breakdown(results[workload])
-        for proto in PROTOCOL_ORDER:
+        for proto in LAB_PROTOCOL_ORDER:
             rows.append(
                 (proto, [round(shares[proto][c], 3) for c in MISS_CATEGORIES])
             )

@@ -81,6 +81,7 @@ def fig8b_rows(
         name: {
             "links": e.link_energy / ref,
             "routing": e.routing_energy / ref,
+            "bus": e.bus_energy / ref,
             "total": e.network_energy / ref,
         }
         for name, e in energies.items()

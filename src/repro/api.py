@@ -145,6 +145,9 @@ def attach_tracer(chip: Chip, tracer: Tracer) -> None:
     protocol = chip.protocol
     protocol._trace = tracer
     protocol.network._trace = tracer
+    bus = getattr(protocol, "bus", None)
+    if bus is not None:
+        bus._trace = tracer
     for cache in (*protocol.l1s, *protocol.l2s):
         cache._trace = tracer
     for dircache in getattr(protocol, "dircaches", ()):
@@ -156,6 +159,9 @@ def detach_tracer(chip: Chip) -> None:
     protocol = chip.protocol
     protocol._trace = None
     protocol.network._trace = None
+    bus = getattr(protocol, "bus", None)
+    if bus is not None:
+        bus._trace = None
     for cache in (*protocol.l1s, *protocol.l2s):
         cache._trace = None
     for dircache in getattr(protocol, "dircaches", ()):

@@ -5,7 +5,8 @@ Commands:
 * ``run``      — simulate one (protocol, workload) pair and print stats
 * ``trace``    — traced run: JSONL event stream + run manifest, with
   ``--filter addr=..,tile=..,events=..`` server-side filtering
-* ``compare``  — all four protocols on one workload (Figs. 7/9 style)
+* ``compare``  — the paper's four protocols on one workload
+  (Figs. 7/9 style)
 * ``sweep``    — fan a (protocol × workload × seed) grid across worker
   processes with an on-disk result cache (``--trace-dir`` adds a
   trace + manifest per executed spec)
@@ -38,11 +39,34 @@ from . import (
 )
 from .analysis import fig7_rows, fig9a_performance, fig9b_miss_breakdown
 from .api import RunSpec, TraceOptions, simulate
+from .core.protocols import REGISTRY, expand_selection
 from .sim.config import ConfigError
 from .simx import ENGINES
 from .sweep.spec import valid_override_keys
 
 PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
+
+
+def _protocol_arg(name: str) -> str:
+    """argparse type for a single protocol: resolves aliases, and unknown
+    names fail at the parser with the full option list."""
+    try:
+        return REGISTRY.resolve(name)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown protocol {name!r}; options: "
+            + ", ".join(sorted(PROTOCOLS))
+        )
+
+
+def _expand_protocols(selection: str):
+    """Registry-backed ``--protocols`` expansion for list-taking commands.
+
+    Accepts canonical names, aliases, ``family:*`` globs and the keyword
+    ``all``; raises :class:`ValueError` with the sorted options on any
+    unknown entry.
+    """
+    return list(expand_selection(selection))
 
 
 def _parse_override(text: str):
@@ -267,11 +291,12 @@ def cmd_sweep(args) -> int:
 
     try:
         overrides = tuple(_parse_override(o) for o in args.set or ())
+        protocols = _expand_protocols(args.protocols)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     specs = figure_grid(
-        protocols=args.protocols.split(","),
+        protocols=protocols,
         workloads=args.workloads.split(","),
         seeds=tuple(int(s) for s in args.seeds.split(",")),
         placement=args.placement,
@@ -366,14 +391,10 @@ def cmd_verify(args) -> int:
 
     protocols = None
     if args.protocols:
-        protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
-        unknown = [p for p in protocols if p not in PROTOCOLS]
-        if unknown:
-            print(
-                f"error: unknown protocol(s): {', '.join(unknown)}; "
-                f"options: {', '.join(PROTOCOLS)}",
-                file=sys.stderr,
-            )
+        try:
+            protocols = _expand_protocols(args.protocols)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
     if args.mutate:
         from .verify.mutations import MUTATIONS
@@ -463,8 +484,11 @@ def main(argv=None) -> int:
     )
 
     p_run = sub.add_parser("run", parents=[common], help="one protocol run")
-    p_run.add_argument("--protocol", default="dico-providers",
-                       choices=sorted(PROTOCOLS))
+    p_run.add_argument(
+        "--protocol", default="dico-providers", type=_protocol_arg,
+        help="protocol to simulate (canonical name or alias; "
+        "see `repro verify --protocols all` for the lab roster)",
+    )
     p_run.add_argument(
         "--checker", action=argparse.BooleanOptionalAction, default=True,
         help="run the post-run coherence invariant sweep (default: on)",
@@ -480,7 +504,7 @@ def main(argv=None) -> int:
     p_trace = sub.add_parser(
         "trace", help="traced run: JSONL event stream + run manifest"
     )
-    p_trace.add_argument("protocol", choices=sorted(PROTOCOLS))
+    p_trace.add_argument("protocol", type=_protocol_arg)
     p_trace.add_argument("workload", choices=spec_names())
     p_trace.add_argument("--cycles", type=int, default=20_000)
     p_trace.add_argument("--warmup", type=int, default=5_000)
@@ -506,7 +530,7 @@ def main(argv=None) -> int:
     p_trace.set_defaults(func=cmd_trace)
 
     p_cmp = sub.add_parser("compare", parents=[common],
-                           help="compare all four protocols")
+                           help="compare the paper's four protocols")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_sweep = sub.add_parser(
@@ -526,7 +550,8 @@ def main(argv=None) -> int:
     )
     p_sweep.add_argument(
         "--protocols", default=",".join(PROTOCOL_ORDER),
-        help="comma-separated protocol list",
+        help="protocol selection: comma-separated names/aliases, "
+        "'all', or family globs like snoop:*",
     )
     p_sweep.add_argument(
         "--workloads",
@@ -604,6 +629,11 @@ def main(argv=None) -> int:
         help="CI-smoke windows instead of the 100k-cycle reference cells",
     )
     p_perf.add_argument(
+        "--protocols", default=None,
+        help="protocol selection for the cell grid (names, aliases, "
+        "family:* globs or 'all'; default: the pinned reference set)",
+    )
+    p_perf.add_argument(
         "--repeat", type=int, default=1,
         help="timing repeats per cell; the median wall time is reported",
     )
@@ -653,7 +683,8 @@ def main(argv=None) -> int:
     )
     p_verify.add_argument(
         "--protocols", default=None,
-        help="comma-separated subset to fuzz (default: all five)",
+        help="protocol selection to fuzz: names/aliases, 'all', or "
+        "family globs like snoop:* (default: every registered protocol)",
     )
     p_verify.add_argument(
         "--rounds", type=int, default=6,

@@ -44,6 +44,7 @@ __all__ = [
     "StructureSize",
     "StorageBreakdown",
     "PROTOCOL_NAMES",
+    "EXTENDED_PROTOCOL_NAMES",
     "tag_bits",
     "storage_breakdown",
     "overhead_percent",
@@ -51,6 +52,16 @@ __all__ = [
 ]
 
 PROTOCOL_NAMES = ("directory", "dico", "dico-providers", "dico-arin")
+
+#: protocols the breakdown also prices beyond the paper's Table V four:
+#: VH's two-level directory, the storage-free snooping family, and the
+#: DLS classification entry
+EXTENDED_PROTOCOL_NAMES = PROTOCOL_NAMES + (
+    "vh",
+    "mesi-snoop",
+    "moesi-snoop",
+    "dls",
+)
 
 
 @dataclass(frozen=True)
@@ -130,8 +141,15 @@ def storage_breakdown(
     protocol: str, config: ChipConfig = DEFAULT_CHIP
 ) -> StorageBreakdown:
     """Per-tile storage structures of ``protocol`` on ``config``."""
-    if protocol not in PROTOCOL_NAMES:
-        raise ValueError(f"unknown protocol {protocol!r}; options {PROTOCOL_NAMES}")
+    if protocol not in EXTENDED_PROTOCOL_NAMES:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; options {EXTENDED_PROTOCOL_NAMES}"
+        )
+    if protocol == "vh":
+        # the two-level VH comparator prices its own structures
+        from .protocols.vh import vh_storage_breakdown
+
+        return vh_storage_breakdown(config)
     ntc = config.n_tiles
     na = config.n_areas
     nta = config.tiles_per_area
@@ -176,6 +194,14 @@ def storage_breakdown(
             l1c,
             l2c,
         )
+    elif protocol in ("mesi-snoop", "moesi-snoop"):
+        # snooping keeps no directory state at all — ordering comes from
+        # the bus, so the coherence storage bill is exactly zero
+        coherence = ()
+    elif protocol == "dls":
+        # directoryless-shared: one private/shared classification bit
+        # plus the owning-tile pointer per LLC entry
+        coherence = (StructureSize("l2_dir", 1 + genpo, nl2),)
     else:  # dico-arin
         l1_entry = nta
         l2_entry = max(nta + _log2(na), na * propo)

@@ -1,3 +1,5 @@
-"""Network-on-chip substrate: mesh topology and the message layer."""
+"""Network-on-chip substrate: mesh topology, the message layer and the
+snooping-bus transport."""
 from .network import Delivery, Network, NetworkStats
 from .topology import Mesh
+from .bus import Bus, BusGrant

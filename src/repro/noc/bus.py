@@ -1,0 +1,107 @@
+"""Snooping-bus transport: an arbitrated atomic broadcast medium.
+
+The mesh transports point-to-point packets; the snooping protocols
+(`mesi-snoop`, `moesi-snoop`) instead share a single split-nothing bus
+in the classic SMP style:
+
+* a requester first **arbitrates** for the bus (``bus_arb_cycles``);
+  grants are FCFS — a single next-free-time register serializes every
+  transaction chip-wide, exactly like the per-link table the mesh uses
+  for its contention ablation, but with one global "link";
+* a granted transaction holds the bus **atomically** from the request
+  broadcast through the data response: request flits, the supplier's
+  lookup (or the memory access), and response flits all occupy the
+  medium, so a memory-served miss stalls every other requester — the
+  scalability cliff that motivated directory protocols;
+* every flit is observed by **every snooper**, so its energy/traffic
+  cost scales with the tile count: one flit on the bus counts
+  ``n_tiles`` segment traversals (``bus_flit_traversals``), the bus
+  analogue of the mesh's per-link ``flit_link_traversals``.
+
+Accounting folds into the same :class:`~repro.noc.network.NetworkStats`
+the mesh uses (``messages``/``by_type``/``flits_by_type`` plus the four
+``bus_*`` counters), so `RunStats`, serialization and the dynamic power
+model see bus traffic through the existing schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.messages import flits_for
+from .network import NetworkStats
+
+__all__ = ["BusGrant", "Bus"]
+
+
+@dataclass(frozen=True)
+class BusGrant:
+    """Outcome of one arbitrated bus transaction."""
+
+    latency: int  #: cycles from the request until the bus is released
+    wait: int  #: cycles spent queued behind earlier transactions
+    occupancy: int  #: cycles the bus was held once granted
+
+
+class Bus:
+    """FCFS-arbitrated atomic broadcast bus shared by all tiles."""
+
+    def __init__(self, n_tiles: int, noc) -> None:
+        self.n_tiles = n_tiles
+        self.noc = noc
+        self.stats = NetworkStats()
+        self._arb_cycles = noc.bus_arb_cycles
+        self._flit_cycles = noc.bus_flit_cycles
+        self._next_free = 0
+        self._trace = None
+
+    def reset_stats(self) -> None:
+        """Fresh counters and a free bus (warmup boundary)."""
+        self.stats = NetworkStats()
+        self._next_free = 0
+
+    def _flits(self, msg_type: str) -> int:
+        return flits_for(msg_type, self.noc.control_flits, self.noc.data_flits)
+
+    def transaction(
+        self,
+        msg_types: Sequence[str],
+        now: int,
+        service_cycles: int = 0,
+        src: int = 0,
+    ) -> BusGrant:
+        """Arbitrate, then hold the bus for one atomic transaction.
+
+        ``msg_types`` are the packets broadcast while the bus is held
+        (request, then any data/writeback response); ``service_cycles``
+        is the supplier's lookup or the memory access sitting between
+        them.  Returns the grant with the requester-visible latency.
+        """
+        st = self.stats
+        wait = max(0, self._next_free - now)
+        grant = now + wait + self._arb_cycles
+        occupancy = service_cycles
+        for msg_type in msg_types:
+            flits = self._flits(msg_type)
+            occupancy += flits * self._flit_cycles
+            st.messages += 1
+            st.broadcasts += 1
+            st.by_type[msg_type] += 1
+            st.flits_by_type[msg_type] += flits
+            st.bus_flit_traversals += flits * self.n_tiles
+            if self._trace is not None:
+                # links=0: the bus has no mesh links, so the accumulator
+                # charges exactly `flits` — matching flits_by_type above
+                self._trace.noc_broadcast(
+                    src, msg_type, flits, 0, 0, flits * self._flit_cycles
+                )
+        self._next_free = grant + occupancy
+        st.bus_transactions += 1
+        st.bus_busy_cycles += occupancy
+        st.bus_wait_cycles += wait
+        return BusGrant(
+            latency=wait + self._arb_cycles + occupancy,
+            wait=wait,
+            occupancy=occupancy,
+        )

@@ -54,6 +54,10 @@ class NetworkStats:
         "router_traversals",
         "routing_events",
         "broadcasts",
+        "bus_transactions",
+        "bus_flit_traversals",
+        "bus_busy_cycles",
+        "bus_wait_cycles",
         "by_type",
         "flits_by_type",
         "link_load",
@@ -70,6 +74,14 @@ class NetworkStats:
         #: model charges "routing a message" at this granularity)
         self.routing_events = 0
         self.broadcasts = 0
+        #: snoop-bus transport (see :class:`repro.noc.bus.Bus`): granted
+        #: transactions, flit·segment traversals (each flit is seen by
+        #: every snooper), cycles the bus was held, cycles requesters
+        #: spent queued behind the FCFS arbiter
+        self.bus_transactions = 0
+        self.bus_flit_traversals = 0
+        self.bus_busy_cycles = 0
+        self.bus_wait_cycles = 0
         self.by_type: Dict[str, int] = defaultdict(int)
         self.flits_by_type: Dict[str, int] = defaultdict(int)
         self.link_load: Dict[Tuple[int, int], int] = defaultdict(int)
@@ -81,6 +93,10 @@ class NetworkStats:
         self.router_traversals += other.router_traversals
         self.routing_events += other.routing_events
         self.broadcasts += other.broadcasts
+        self.bus_transactions += other.bus_transactions
+        self.bus_flit_traversals += other.bus_flit_traversals
+        self.bus_busy_cycles += other.bus_busy_cycles
+        self.bus_wait_cycles += other.bus_wait_cycles
         for k, v in other.by_type.items():
             self.by_type[k] += v
         for k, v in other.flits_by_type.items():
@@ -96,6 +112,10 @@ class NetworkStats:
             "router_traversals": self.router_traversals,
             "routing_events": self.routing_events,
             "broadcasts": self.broadcasts,
+            "bus_transactions": self.bus_transactions,
+            "bus_flit_traversals": self.bus_flit_traversals,
+            "bus_busy_cycles": self.bus_busy_cycles,
+            "bus_wait_cycles": self.bus_wait_cycles,
         }
 
 

@@ -93,7 +93,9 @@ _PROTOCOLS = ("directory", "dico", "dico-providers", "dico-arin")
 _WORKLOADS = ("apache", "radix")
 
 
-def _grid(cycles: int, warmup: int) -> Tuple[RunSpec, ...]:
+def _grid(
+    cycles: int, warmup: int, protocols: Sequence[str] = _PROTOCOLS
+) -> Tuple[RunSpec, ...]:
     return tuple(
         RunSpec(
             protocol=p,
@@ -102,7 +104,7 @@ def _grid(cycles: int, warmup: int) -> Tuple[RunSpec, ...]:
             cycles=cycles,
             warmup=warmup,
         )
-        for p in _PROTOCOLS
+        for p in protocols
         for w in _WORKLOADS
     )
 
@@ -540,7 +542,22 @@ def _print_comparison(
 
 
 def main(args) -> int:
-    cells = QUICK_CELLS if args.quick else REFERENCE_CELLS
+    selection = getattr(args, "protocols", None)
+    if selection:
+        from ..core.protocols import expand_selection
+
+        try:
+            protocols = expand_selection(selection)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cells = _grid(
+            cycles=10_000 if args.quick else 100_000,
+            warmup=2_000 if args.quick else 10_000,
+            protocols=protocols,
+        )
+    else:
+        cells = QUICK_CELLS if args.quick else REFERENCE_CELLS
     engine = getattr(args, "engine", None)
     if engine != "both":
         # no flag: defer to REPRO_ENGINE, like every other entry point

@@ -33,11 +33,19 @@ from ..core.storage import StorageBreakdown, storage_breakdown
 from ..sim.config import ChipConfig, DEFAULT_CHIP
 from ..stats.counters import RunStats
 
-__all__ = ["ROUTE_ENERGY", "FLIT_ENERGY", "DynamicEnergyModel", "EnergyBreakdown"]
+__all__ = [
+    "ROUTE_ENERGY",
+    "FLIT_ENERGY",
+    "BUS_ARB_ENERGY",
+    "DynamicEnergyModel",
+    "EnergyBreakdown",
+]
 
 #: Barrow-Williams network model [22], in L1-block-read units
 ROUTE_ENERGY = 1.0
 FLIT_ENERGY = 0.25
+#: one bus arbitration decision costs as much as one router traversal
+BUS_ARB_ENERGY = 1.0
 
 #: map from RunStats structure groups to storage-model structure names
 _TAG_ARRAYS = {
@@ -63,6 +71,8 @@ class EnergyBreakdown:
     cache_events: Dict[str, float] = field(default_factory=dict)
     link_energy: float = 0.0
     routing_energy: float = 0.0
+    #: snoop-bus transport: broadcast flit wires plus arbitration
+    bus_energy: float = 0.0
 
     @property
     def cache_energy(self) -> float:
@@ -70,7 +80,7 @@ class EnergyBreakdown:
 
     @property
     def network_energy(self) -> float:
-        return self.link_energy + self.routing_energy
+        return self.link_energy + self.routing_energy + self.bus_energy
 
     @property
     def total(self) -> float:
@@ -82,6 +92,7 @@ class EnergyBreakdown:
             "cache": self.cache_energy / reference,
             "links": self.link_energy / reference,
             "routing": self.routing_energy / reference,
+            "bus": self.bus_energy / reference,
             "total": self.total / reference,
         }
 
@@ -140,4 +151,10 @@ class DynamicEnergyModel:
                 )
         out.link_energy = stats.network.flit_link_traversals * FLIT_ENERGY
         out.routing_energy = stats.network.routing_events * ROUTE_ENERGY
+        # the snoop bus drives every flit to all tiles (flit traversals
+        # already count the fan-out) and arbitrates once per transaction
+        out.bus_energy = (
+            stats.network.bus_flit_traversals * FLIT_ENERGY
+            + stats.network.bus_transactions * BUS_ARB_ENERGY
+        )
         return out

@@ -24,12 +24,8 @@ from heapq import heappush
 from typing import Dict, Optional, Type
 
 from ..core.checker import CoherenceChecker
-from ..core.protocols.arin import DiCoArinProtocol
+from ..core.protocols import PROTOCOLS, REGISTRY
 from ..core.protocols.base import CoherenceProtocol
-from ..core.protocols.dico import DiCoProtocol
-from ..core.protocols.directory import DirectoryProtocol
-from ..core.protocols.providers import DiCoProvidersProtocol
-from ..core.protocols.vh import VirtualHierarchyProtocol
 from ..stats.counters import RunStats
 from ..workloads.generator import ConsolidatedWorkload, MemOp
 from ..workloads.placement import VMPlacement
@@ -45,15 +41,8 @@ __all__ = [
     "paper_scaled_chip",
 ]
 
-PROTOCOLS: Dict[str, Type[CoherenceProtocol]] = {
-    "directory": DirectoryProtocol,
-    "dico": DiCoProtocol,
-    "dico-providers": DiCoProvidersProtocol,
-    "dico-arin": DiCoArinProtocol,
-    # the related-work comparator (Sec. II); not part of the paper's
-    # four-protocol evaluation but used by bench_comparison_vh
-    "vh": VirtualHierarchyProtocol,
-}
+# PROTOCOLS (re-exported above) is the registry's read-only name->class
+# view; registration happens in repro.core.protocols
 
 
 def make_protocol(
@@ -63,10 +52,10 @@ def make_protocol(
     checker: Optional[CoherenceChecker] = None,
     **kwargs,
 ) -> CoherenceProtocol:
-    """Instantiate a protocol by name."""
+    """Instantiate a protocol by canonical name or registered alias."""
     try:
-        cls = PROTOCOLS[name]
-    except KeyError:
+        cls = REGISTRY.get(name).cls
+    except ValueError:
         raise ValueError(
             f"unknown protocol {name!r}; options: {sorted(PROTOCOLS)}"
         ) from None

@@ -138,11 +138,21 @@ class NocConfig:
     #: when True, the network records per-link flit counts (hotspot
     #: analysis); off by default to keep the hot path lean
     track_link_load: bool = False
+    #: snooping-bus transport (`repro.noc.bus.Bus`): FCFS arbitration
+    #: latency and per-flit broadcast time.  Only the snoop-family
+    #: protocols use these; the mesh transport ignores them.
+    bus_arb_cycles: int = 1
+    bus_flit_cycles: int = 1
 
     def __post_init__(self) -> None:
         for key in ("link_cycles", "switch_cycles", "router_cycles"):
             if getattr(self, key) < 0:
                 raise ConfigError(key, "NoC stage latencies must be >= 0")
+        if self.bus_arb_cycles < 0 or self.bus_flit_cycles < 1:
+            raise ConfigError(
+                "bus_arb_cycles" if self.bus_arb_cycles < 0 else "bus_flit_cycles",
+                "bus arbitration must be >= 0 cycles and flit time >= 1",
+            )
         if self.flit_bytes < 1:
             raise ConfigError("flit_bytes", f"flit size must be >= 1 byte, got {self.flit_bytes}")
         if self.control_flits < 1 or self.data_flits < 1:

@@ -415,10 +415,16 @@ class ArrayChip(Chip):
         if self._armed:
             return
         proto = self.protocol
+        from ..core.protocols.registry import REGISTRY
+
         if (
             os.environ.get("REPRO_SIMX_COMPILED", "1") == "0"
             or proto._trace is not None
             or proto.network._detailed
+            # registry capability flag: new protocol families (bus
+            # transport, directoryless LLC) have no compiled mirrors —
+            # fall back to the object issue path transparently
+            or not REGISTRY.supports_simx(type(proto))
         ):
             return
         tables = ProtocolTables(proto)

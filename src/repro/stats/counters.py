@@ -226,4 +226,6 @@ class RunStats:
             "flit_links": self.network.flit_link_traversals,
             "routings": self.network.routing_events,
             "broadcasts": self.network.broadcasts,
+            "bus_transactions": self.network.bus_transactions,
+            "bus_flits": self.network.bus_flit_traversals,
         }

@@ -26,8 +26,13 @@ __all__ = ["STATS_SCHEMA", "stats_to_dict", "stats_from_dict", "save_stats",
 #: — L1C$ lookup/hit/update totals and L2C$ forced relinquishes,
 #: aggregated by ``finalize_stats``.  Migration: schema 1-3 documents
 #: still load, with an empty ``prediction`` dict; writers always emit
-#: schema 4, so round-tripping an old document upgrades it in place.
-STATS_SCHEMA = 4
+#: the current schema, so round-tripping an old document upgrades it in
+#: place.
+#: schema 5 (the snoop-transport release) adds the four
+#: ``network.bus_*`` counters — transactions, flit traversals, busy and
+#: wait cycles on the arbitrated broadcast bus.  Older documents load
+#: with all four at 0.
+STATS_SCHEMA = 5
 _SCHEMA = STATS_SCHEMA
 
 _SCALARS = (
@@ -90,6 +95,10 @@ def stats_to_dict(stats: RunStats) -> Dict:
         "router_traversals": net.router_traversals,
         "routing_events": net.routing_events,
         "broadcasts": net.broadcasts,
+        "bus_transactions": net.bus_transactions,
+        "bus_flit_traversals": net.bus_flit_traversals,
+        "bus_busy_cycles": net.bus_busy_cycles,
+        "bus_wait_cycles": net.bus_wait_cycles,
         "by_type": dict(net.by_type),
         "flits_by_type": dict(net.flits_by_type),
         # JSON keys must be strings; links are (src, dst) tile pairs
@@ -100,7 +109,7 @@ def stats_to_dict(stats: RunStats) -> Dict:
 
 def stats_from_dict(data: Mapping) -> RunStats:
     """Inverse of :func:`stats_to_dict`."""
-    if data.get("schema") not in (1, 2, 3, _SCHEMA):
+    if data.get("schema") not in (1, 2, 3, 4, _SCHEMA):
         raise ValueError(f"unsupported stats schema {data.get('schema')!r}")
     stats = RunStats()
     for name in _SCALARS:
@@ -128,6 +137,10 @@ def stats_from_dict(data: Mapping) -> RunStats:
     stats.network.router_traversals = net["router_traversals"]
     stats.network.routing_events = net["routing_events"]
     stats.network.broadcasts = net["broadcasts"]
+    stats.network.bus_transactions = net.get("bus_transactions", 0)
+    stats.network.bus_flit_traversals = net.get("bus_flit_traversals", 0)
+    stats.network.bus_busy_cycles = net.get("bus_busy_cycles", 0)
+    stats.network.bus_wait_cycles = net.get("bus_wait_cycles", 0)
     for k, v in net["by_type"].items():
         stats.network.by_type[k] = v
     for k, v in net.get("flits_by_type", {}).items():

@@ -24,6 +24,7 @@ from :mod:`repro.faults`; the relevant names are re-exported here.
 from ..faults import FailureRecord, FaultPlan, FaultPolicy, failure_summary
 from .cache import ResultCache, code_fingerprint
 from .grids import (
+    LAB_PROTOCOL_ORDER,
     PROTOCOL_ORDER,
     WINDOWS,
     WORKLOAD_ORDER,
@@ -51,6 +52,7 @@ __all__ = [
     "FailureRecord",
     "FaultPlan",
     "FaultPolicy",
+    "LAB_PROTOCOL_ORDER",
     "PROTOCOL_ORDER",
     "ResultCache",
     "RunSpec",

@@ -12,11 +12,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from ..core.protocols.registry import protocol_names
 from ..stats.counters import RunStats
 from .spec import RunSpec
 
 __all__ = [
     "PROTOCOL_ORDER",
+    "LAB_PROTOCOL_ORDER",
     "WORKLOAD_ORDER",
     "WINDOWS",
     "window_for",
@@ -24,7 +26,12 @@ __all__ = [
     "merge_by_point",
 ]
 
+#: the paper's four-protocol evaluation (Figs. 7-9 shape assertions)
 PROTOCOL_ORDER = ("directory", "dico", "dico-providers", "dico-arin")
+
+#: the full protocol lab, straight from the registry: the paper's four
+#: plus VH and the snooping/directoryless families
+LAB_PROTOCOL_ORDER = protocol_names()
 WORKLOAD_ORDER = (
     "apache",
     "jbb",

@@ -30,6 +30,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..core.protocols.registry import REGISTRY
 from ..sim.chip import PROTOCOLS, Chip, paper_scaled_chip
 from ..sim.config import (
     CacheGeometry,
@@ -197,12 +198,19 @@ class RunSpec:
     workload_specs: Optional[Tuple[Tuple[int, Mapping[str, Any]], ...]] = None
 
     def __post_init__(self) -> None:
-        if self.protocol not in PROTOCOLS:
+        try:
+            canonical = REGISTRY.resolve(self.protocol)
+        except ValueError:
             raise ConfigError(
                 "protocol",
                 f"unknown protocol {self.protocol!r}; "
-                f"choose from {', '.join(PROTOCOLS)}",
-            )
+                f"choose from {', '.join(sorted(PROTOCOLS))}",
+            ) from None
+        if canonical != self.protocol:
+            # canonicalize aliases so a spec's fingerprint — and with it
+            # the sweep result cache — does not depend on which alias
+            # the caller typed
+            object.__setattr__(self, "protocol", canonical)
         if self.cycles < 1:
             raise ConfigError(
                 "cycles", f"measurement window must be >= 1 cycle, got {self.cycles}"

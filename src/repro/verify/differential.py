@@ -134,7 +134,11 @@ def run_trace(
     checker.record_commits(commits)
     build = factory if factory is not None else make_protocol
     proto = build(protocol, config, seed=seed, checker=checker)
-    if resolve_engine(engine) == "array":
+    from ..core.protocols.registry import REGISTRY
+
+    if resolve_engine(engine) == "array" and REGISTRY.supports_simx(type(proto)):
+        # non-supports_simx protocols (bus/DLS families) run the object
+        # path under both engine labels — the transparent fallback
         from ..simx.handlers import compile_protocol_handlers
         from ..simx.helpers import (
             install_fast_cache_methods,

@@ -14,7 +14,13 @@ docstring says which detection layer is expected to fire:
 * ``arin-skip-broadcast`` — checker SWMR/value-propagation (one stale
   copy survives the write broadcast);
 * ``vh-stale-l2dir`` — the VH directory audit (the level-2 directory
-  loses a live domain's bit).
+  loses a live domain's bit);
+* ``mesi-snoop-lost-invalidate`` — the snoop audit / checker SWMR (a
+  GETX broadcast misses one sharer, whose stale S copy survives);
+* ``moesi-snoop-silent-owner`` — the snoop audit / checker SWMR (an O
+  owner upgrades silently while live S copies exist);
+* ``dls-stale-demotion`` — the DLS LLC-inclusion audit (a demotion
+  leaves the former private owner's L1 copy alive on a shared block).
 
 The factories build subclasses lazily so importing this module never
 pays protocol-import cost.
@@ -140,6 +146,70 @@ def _vh_stale_l2dir() -> type:
     return StaleL2DirVH
 
 
+def _mesi_snoop_lost_invalidate() -> type:
+    from ..core.protocols.snoop import MesiSnoopProtocol
+
+    class LostInvalidateMesiSnoop(MesiSnoopProtocol):
+        """The GETX broadcast misses exactly one snooping sharer, which
+        keeps its (now stale) S copy."""
+
+        _mut_armed = False
+
+        def _handle_write_miss(self, tile, block, now, had_copy):
+            self._mut_armed = True
+            try:
+                return super()._handle_write_miss(tile, block, now, had_copy)
+            finally:
+                self._mut_armed = False
+
+        def drop_l1(self, tile, block):
+            line = self.l1s[tile].peek(block)
+            if self._mut_armed and line is not None and line.state.name == "S":
+                self._mut_armed = False  # skip exactly one invalidation
+                return None
+            return super().drop_l1(tile, block)
+
+    return LostInvalidateMesiSnoop
+
+
+def _moesi_snoop_silent_owner() -> type:
+    from ..core.protocols.snoop import MoesiSnoopProtocol
+
+    class SilentOwnerMoesiSnoop(MoesiSnoopProtocol):
+        """An O owner upgrades to M silently even while the snoopers
+        hold live S copies — the write never reaches the bus."""
+
+        def _owner_upgrade_is_local(self, block, line):
+            return True
+
+    return SilentOwnerMoesiSnoop
+
+
+def _dls_stale_demotion() -> type:
+    from ..core.protocols.dls import DLSProtocol
+
+    class StaleDemotionDLS(DLSProtocol):
+        """Demotion marks the block shared without invalidating the
+        former private owner's L1 copy (inclusion broken)."""
+
+        _mut_armed = False
+
+        def _demote(self, home, block, owner, now):
+            self._mut_armed = True
+            try:
+                return super()._demote(home, block, owner, now)
+            finally:
+                self._mut_armed = False
+
+        def drop_l1(self, tile, block):
+            if self._mut_armed:
+                self._mut_armed = False  # leave the stale copy alive
+                return None
+            return super().drop_l1(tile, block)
+
+    return StaleDemotionDLS
+
+
 @dataclass(frozen=True)
 class Mutation:
     """One seeded protocol bug."""
@@ -182,6 +252,24 @@ MUTATIONS: Dict[str, Mutation] = {
             "vh",
             "directory audit",
             _vh_stale_l2dir,
+        ),
+        Mutation(
+            "mesi-snoop-lost-invalidate",
+            "mesi-snoop",
+            "snoop audit / checker SWMR",
+            _mesi_snoop_lost_invalidate,
+        ),
+        Mutation(
+            "moesi-snoop-silent-owner",
+            "moesi-snoop",
+            "snoop audit / checker SWMR",
+            _moesi_snoop_silent_owner,
+        ),
+        Mutation(
+            "dls-stale-demotion",
+            "dls",
+            "LLC-inclusion audit",
+            _dls_stale_demotion,
         ),
     )
 }

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from ..core.protocols.registry import protocol_names
 from ..sim.config import ChipConfig
 from ..trace.manifest import git_rev
 from .bundle import write_bundle
@@ -26,7 +27,9 @@ from .shrinker import ddmin
 
 __all__ = ["VerifyReport", "run_verification", "DEFAULT_PROTOCOLS"]
 
-DEFAULT_PROTOCOLS = ("directory", "dico", "dico-providers", "dico-arin", "vh")
+#: every registered protocol — the registry is the source of truth, so
+#: newly registered families are fuzzed from day one
+DEFAULT_PROTOCOLS = protocol_names()
 
 #: per-round op-sequence length; long enough to reach eviction and
 #: ownership-migration paths on the tiny fuzz chip, short enough that a

@@ -50,6 +50,27 @@ def test_array_engine_is_bit_identical_to_object_engine(
     assert stats_to_dict(array) == stats_to_dict(reference)
 
 
+@pytest.mark.parametrize("protocol", ["mesi-snoop", "moesi-snoop", "dls"])
+def test_array_engine_falls_back_for_uncompiled_families(protocol):
+    # the registry capability flag gates arming: the new families have
+    # no compiled mirrors, so ArrayChip must transparently keep the
+    # object issue path — never arming, still bit-identical
+    from repro.core.protocols.registry import REGISTRY
+    from repro.sim.chip import PROTOCOLS
+    from repro.simx.engine import ArrayChip
+    from repro.sim.config import small_test_chip
+
+    assert not REGISTRY.supports_simx(PROTOCOLS[protocol])
+    chip = ArrayChip(protocol, "mixed-sci", config=small_test_chip(), seed=7)
+    array = chip.run_cycles(3_000, warmup=500)
+    assert not chip._armed
+    assert chip._simx_tables is None
+    reference = spec_for(protocol, cycles=3_000, warmup=500).execute(
+        engine="object"
+    )
+    assert stats_to_dict(array) == stats_to_dict(reference)
+
+
 def test_engine_env_knob_reaches_the_chip(monkeypatch):
     # REPRO_ENGINE=array via the environment must match an explicit
     # engine="array" — the knob the sweep workers inherit

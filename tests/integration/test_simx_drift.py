@@ -43,10 +43,19 @@ def test_fingerprint_ignores_comments_but_not_structure():
     assert base != changed
 
 
-def test_handler_compiler_registry_covers_all_protocols():
+def test_handler_compiler_registry_covers_simx_protocols():
     # the drift registry only helps if the compilers it guards are
-    # actually armed for every protocol the chip can build
-    from repro.sim.chip import PROTOCOLS
+    # actually armed for every protocol the array engine claims to
+    # compile; protocols registered without simx support fall back to
+    # the object engine and must NOT appear here
+    from repro.core.protocols.registry import REGISTRY
     from repro.simx.handlers import HANDLER_COMPILERS
 
-    assert set(HANDLER_COMPILERS) == set(PROTOCOLS.values())
+    simx = {
+        info.cls for info in REGISTRY.infos() if info.supports_simx
+    }
+    fallback = {
+        info.cls for info in REGISTRY.infos() if not info.supports_simx
+    }
+    assert set(HANDLER_COMPILERS) == simx
+    assert not (set(HANDLER_COMPILERS) & fallback)

@@ -78,7 +78,9 @@ def test_normalized_breakdown():
     b.link_energy = 5.0
     b.routing_energy = 5.0
     n = b.normalized(reference=10.0)
-    assert n == {"cache": 1.0, "links": 0.5, "routing": 0.5, "total": 2.0}
+    assert n == {
+        "cache": 1.0, "links": 0.5, "routing": 0.5, "bus": 0.0, "total": 2.0,
+    }
 
 
 def test_dircache_energy_only_for_directory():

@@ -74,12 +74,20 @@ def test_read_sharing_scales_to_all_tiles(proto):
     for tile in range(proto.config.n_tiles):
         _, t = settle(proto, tile, addr, False, t)
     copies = proto.live_copies(block)
-    assert len(copies) >= proto.config.n_tiles  # every L1 holds it
+    if proto.name == "dls":
+        # DLS never caches shared blocks in L1; the home LLC entry is
+        # the single live copy however many tiles read the block
+        assert len(copies) == 1 and copies[0][1] == "L2_OWNER"
+    else:
+        assert len(copies) >= proto.config.n_tiles  # every L1 holds it
     proto.check_block(block)
     # one write tears all of it down
     _, t = settle(proto, 0, addr, True, t)
     copies = [c for c in proto.live_copies(block) if c[0].startswith("L1")]
-    assert len(copies) == 1
+    if proto.name == "dls":
+        assert copies == []  # the write committed at the LLC, not an L1
+    else:
+        assert len(copies) == 1
     proto.check_block(block)
 
 

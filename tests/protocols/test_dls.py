@@ -1,0 +1,140 @@
+"""Behaviours specific to the directoryless shared-LLC protocol."""
+
+import pytest
+
+from repro.core.checker import CoherenceViolation
+from repro.core.protocols.dls import SHARED
+from repro.core.states import L1State
+from repro.sim.chip import make_protocol
+from repro.verify.mutations import make_mutated_factory
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+HOME = 5
+
+
+@pytest.fixture
+def proto():
+    return make_protocol("dls", tiny_chip(), seed=0)
+
+
+def settle(proto, tile, addr, is_write, now):
+    r = proto.access(tile, addr, is_write, now)
+    while r.needs_retry:
+        now = r.retry_at
+        r = proto.access(tile, addr, is_write, now)
+    return r, now + max(1, r.latency)
+
+
+def test_first_touch_classifies_private(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    settle(proto, 3, addr, False, 0)
+    assert proto._class[block] == 3
+    line = proto.l1s[3].peek(block)
+    assert line is not None and line.state is L1State.E
+    # inclusive LLC tracking entry names the one possible copy
+    entry = proto.l2s[HOME].peek(block)
+    assert entry is not None and entry.owner_tile == 3
+    proto.audit_block(block)
+
+
+def test_private_blocks_hit_locally(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 3, addr, True, 0)
+    r, _ = settle(proto, 3, addr, False, t)
+    assert r.l1_hit
+    assert r.latency == proto.config.l1.access_latency
+
+
+def test_second_toucher_demotes_to_shared(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 3, addr, True, 0)  # private dirty at 3
+    settle(proto, 9, addr, False, t)  # second tile: demote
+    assert proto._class[block] == SHARED
+    # the owner's copy was folded back into the LLC...
+    assert proto.l1s[3].peek(block) is None
+    assert proto.stats.unicast_invalidations == 1
+    entry = proto.l2s[HOME].peek(block)
+    assert entry.is_owner and entry.owner_tile is None
+    assert entry.version == 1 and entry.dirty
+    # ...and the reader got data without filling its own L1
+    assert proto.l1s[9].peek(block) is None
+    proto.audit_block(block)
+
+
+def test_shared_blocks_never_fill_l1(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    t = 0
+    for tile in range(proto.config.n_tiles):
+        _, t = settle(proto, tile, addr, False, t)
+    assert all(l1.peek(block) is None for l1 in proto.l1s)
+    proto.audit_block(block)
+
+
+def test_shared_write_commits_at_the_llc(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 1, addr, False, 0)
+    _, t = settle(proto, 2, addr, False, t)  # demoted
+    _, t = settle(proto, 7, addr, True, t)
+    entry = proto.l2s[HOME].peek(block)
+    assert entry.version == 1 and entry.dirty
+    assert proto.checker.current_version(block) == 1
+    assert proto.l1s[7].peek(block) is None
+    proto.audit_block(block)
+
+
+def test_shared_blocks_pay_the_remote_round_trip(proto):
+    """The DLS trade: shared data loses L1 locality — every access is
+    a home-bank round trip, never an L1 hit."""
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 1, addr, False, 0)
+    _, t = settle(proto, 2, addr, False, t)
+    r, _ = settle(proto, 2, addr, False, t)
+    assert not r.l1_hit
+    assert r.latency > proto.config.l1.access_latency
+
+
+def test_private_l1_eviction_folds_into_llc(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    settle(proto, 3, addr, True, 0)
+    line = proto.l1s[3].peek(block)
+    proto.l1s[3].invalidate(block)
+    proto._evict_l1_line(3, block, line, 100)
+    entry = proto.l2s[HOME].peek(block)
+    assert entry.version == 1 and entry.dirty
+    assert entry.owner_tile is None
+    # classification survives: the block stays bound to tile 3
+    assert proto._class[block] == 3
+    proto.audit_block(block)
+
+
+def test_llc_eviction_enforces_inclusion(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    settle(proto, 3, addr, True, 0)
+    entry = proto.l2s[HOME].peek(block)
+    proto.l2s[HOME].invalidate(block)
+    proto._evict_l2_entry(HOME, block, entry, 100)
+    # the private owner's L1 copy cannot outlive the tracking entry
+    assert proto.l1s[3].peek(block) is None
+    assert proto.mem_version(block) == 1  # dirty data reached memory
+    proto.audit_block(block)
+
+
+def test_audit_catches_stale_demotion():
+    """A demotion that leaves the old owner's L1 copy alive must fail
+    the LLC-inclusion audit."""
+    factory = make_mutated_factory("dls-stale-demotion")
+    proto = factory("dls", tiny_chip(), seed=0)
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 3, addr, True, 0)
+    with pytest.raises(CoherenceViolation):
+        # mutated: the fold-back skips the invalidation
+        _, t = settle(proto, 9, addr, False, t)
+        proto.audit_block(block)

@@ -1,0 +1,160 @@
+"""Behaviours specific to the bus-snooping family (mesi/moesi-snoop)."""
+
+import pytest
+
+from repro.core.checker import CoherenceViolation
+from repro.core.states import L1State
+from repro.sim.chip import make_protocol
+from repro.verify.mutations import make_mutated_factory
+
+from ..conftest import addr_homed_at, block_homed_at, tiny_chip
+
+HOME = 5
+
+
+@pytest.fixture(params=["mesi-snoop", "moesi-snoop"])
+def proto(request):
+    return make_protocol(request.param, tiny_chip(), seed=0)
+
+
+def settle(proto, tile, addr, is_write, now):
+    r = proto.access(tile, addr, is_write, now)
+    while r.needs_retry:
+        now = r.retry_at
+        r = proto.access(tile, addr, is_write, now)
+    return r, now + max(1, r.latency)
+
+
+def test_sole_reader_fills_exclusive(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    settle(proto, 3, addr, False, 0)
+    line = proto.l1s[3].peek(block)
+    assert line is not None and line.state is L1State.E
+    proto.audit_block(block)
+
+
+def test_second_reader_downgrades_owner_to_s_or_o(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 3, addr, True, 0)  # dirty M owner
+    settle(proto, 9, addr, False, t)
+    owner_line = proto.l1s[3].peek(block)
+    if proto.name == "moesi-snoop":
+        # MOESI keeps the dirty data on chip: M -> O, memory untouched
+        assert owner_line.state is L1State.O
+        assert proto.mem_version(block) == 0
+    else:
+        # MESI has no O: the owner drops to S and memory snarfs the data
+        assert owner_line.state is L1State.S
+        assert proto.mem_version(block) == 1
+    assert proto.l1s[9].peek(block).state is L1State.S
+    proto.audit_block(block)
+
+
+def test_getx_invalidates_every_snooped_copy(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    t = 0
+    for tile in (1, 4, 7, 11):
+        _, t = settle(proto, tile, addr, False, t)
+    settle(proto, 2, addr, True, t)
+    copies = proto._l1_copies(block)
+    assert [tile for tile, _ in copies] == [2]
+    assert copies[0][1].state is L1State.M
+    assert proto.stats.broadcast_invalidations >= 1
+    proto.audit_block(block)
+
+
+def test_every_miss_is_a_bus_transaction(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    _, t = settle(proto, 1, addr, False, 0)
+    _, t = settle(proto, 6, addr, True, t)
+    st = proto.bus.stats
+    assert st.bus_transactions == 2
+    assert st.broadcasts == st.messages > 0
+    # every bus flit is seen by every snooper
+    assert st.bus_flit_traversals == (
+        sum(st.flits_by_type.values()) * proto.config.n_tiles
+    )
+    assert st.bus_busy_cycles > 0
+
+
+def test_snoop_probes_charge_every_other_tag_array(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    settle(proto, 0, addr, False, 0)
+    probed = sum(proto.l1s[t].stats.tag_reads for t in range(1, 16))
+    assert probed >= proto.config.n_tiles - 1
+
+
+def test_bus_serialization_back_to_back(proto):
+    """Two misses contend for the bus: the second one's grant waits."""
+    a1 = addr_homed_at(proto.config, HOME)
+    a2 = addr_homed_at(proto.config, 9)
+    proto.access(1, a1, False, 0)
+    proto.access(2, a2, False, 0)
+    assert proto.bus.stats.bus_wait_cycles > 0
+
+
+def test_dirty_owner_eviction_writes_back(proto):
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    settle(proto, 4, addr, True, 0)
+    line = proto.l1s[4].peek(block)
+    proto.l1s[4].invalidate(block)
+    proto._evict_l1_line(4, block, line, 100)
+    assert proto.mem_version(block) == 1
+    assert proto.stats.writebacks == 1
+    proto.audit_block(block)
+
+
+def test_l2_banks_stay_empty(proto):
+    t = 0
+    for home in (0, 5, 11):
+        addr = addr_homed_at(proto.config, home)
+        _, t = settle(proto, home + 1, addr, False, t)
+        _, t = settle(proto, home + 2, addr, True, t)
+    assert all(len(l2) == 0 for l2 in proto.l2s)
+
+
+def test_moesi_o_eviction_writes_back():
+    proto = make_protocol("moesi-snoop", tiny_chip(), seed=0)
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 3, addr, True, 0)
+    _, t = settle(proto, 9, addr, False, t)  # M -> O at tile 3
+    assert proto.mem_version(block) == 0  # no write-back yet
+    line = proto.l1s[3].peek(block)
+    assert line.state is L1State.O
+    proto.l1s[3].invalidate(block)
+    proto._evict_l1_line(3, block, line, 100)
+    # the O line carried the only current data
+    assert proto.mem_version(block) == 1
+    proto.audit_block(block)
+
+
+def test_audit_catches_lost_invalidate():
+    """A GETX that skips one snooped S copy must fail the snoop audit."""
+    factory = make_mutated_factory("mesi-snoop-lost-invalidate")
+    proto = factory("mesi-snoop", tiny_chip(), seed=0)
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 1, addr, False, 0)
+    _, t = settle(proto, 6, addr, False, t)  # two ownerless S copies
+    with pytest.raises(CoherenceViolation):
+        _, t = settle(proto, 12, addr, True, t)  # drops one S copy, not both
+        proto.audit_block(block)
+
+
+def test_audit_catches_silent_owner_upgrade():
+    """An O owner upgrading without invalidating its sharers must fail."""
+    factory = make_mutated_factory("moesi-snoop-silent-owner")
+    proto = factory("moesi-snoop", tiny_chip(), seed=0)
+    addr = addr_homed_at(proto.config, HOME)
+    block = block_homed_at(proto.config, HOME)
+    _, t = settle(proto, 3, addr, True, 0)  # M at tile 3
+    _, t = settle(proto, 9, addr, False, t)  # 3: M -> O, 9: S
+    with pytest.raises(CoherenceViolation):
+        # mutated: the upgrade goes silent, leaving 9's stale S copy
+        _, t = settle(proto, 3, addr, True, t)
+        proto.audit_block(block)

@@ -15,6 +15,9 @@ def test_protocols_registry_complete():
         "dico-providers",
         "dico-arin",
         "vh",  # the Sec. II related-work comparator
+        "mesi-snoop",  # the classic-SMP bus family
+        "moesi-snoop",
+        "dls",  # directoryless shared-LLC
     }
 
 

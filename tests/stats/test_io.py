@@ -101,7 +101,7 @@ def test_schema2_network_detail_survives_round_trip(real_stats):
 
 def test_schema1_documents_still_load(real_stats):
     data = stats_to_dict(real_stats)
-    assert data["schema"] == 4
+    assert data["schema"] == 5
     data["schema"] = 1
     del data["prediction"]
     del data["network"]["flits_by_type"]
@@ -141,3 +141,29 @@ def test_schema4_prediction_round_trip(real_stats):
     loaded = stats_from_dict(stats_to_dict(real_stats))
     assert loaded.prediction == real_stats.prediction
     assert "l2c_forced_relinquishes" in loaded.prediction
+
+
+def test_schema4_documents_still_load(real_stats):
+    """Pre-bus documents (schema 4) load with the four ``bus_*``
+    counters defaulting to zero (the section schema 5 added)."""
+    data = stats_to_dict(real_stats)
+    data["schema"] = 4
+    for key in ("bus_transactions", "bus_flit_traversals",
+                "bus_busy_cycles", "bus_wait_cycles"):
+        del data["network"][key]
+    loaded = stats_from_dict(data)
+    assert loaded.operations == real_stats.operations
+    assert loaded.network.bus_transactions == 0
+    assert loaded.network.bus_busy_cycles == 0
+
+
+def test_schema5_bus_counters_round_trip(real_stats):
+    real_stats.network.bus_transactions = 11
+    real_stats.network.bus_flit_traversals = 176
+    real_stats.network.bus_busy_cycles = 44
+    real_stats.network.bus_wait_cycles = 9
+    loaded = stats_from_dict(stats_to_dict(real_stats))
+    assert loaded.network.bus_transactions == 11
+    assert loaded.network.bus_flit_traversals == 176
+    assert loaded.network.bus_busy_cycles == 44
+    assert loaded.network.bus_wait_cycles == 9

@@ -117,6 +117,23 @@ def test_specs_are_hashable():
     assert len({a, b}) == 1
 
 
+def test_alias_canonicalizes_to_a_stable_fingerprint():
+    # the registry resolves aliases in __post_init__, so the sweep
+    # result cache never depends on which spelling the caller typed
+    a = tiny_spec(protocol="providers")
+    b = tiny_spec(protocol="dico-providers")
+    assert a.protocol == "dico-providers"
+    assert a.fingerprint() == b.fingerprint()
+    assert tiny_spec(protocol="mesi").protocol == "mesi-snoop"
+
+
+def test_unknown_protocol_rejected_via_registry():
+    from repro.sim.config import ConfigError
+
+    with pytest.raises(ConfigError, match="unknown protocol"):
+        tiny_spec(protocol="mosi")
+
+
 def test_unknown_override_key_rejected():
     from repro.sweep.spec import valid_override_keys
 

@@ -13,7 +13,7 @@ from repro.verify.bundle import (
 )
 from repro.verify.differential import Violation, default_config
 from repro.verify.fuzzer import Op
-from repro.verify.runner import run_verification
+from repro.verify.runner import DEFAULT_PROTOCOLS, run_verification
 
 CONFIG = default_config()
 
@@ -55,7 +55,7 @@ def test_clean_verification_passes(tmp_path):
     assert report.rounds_run == 2
     assert report.violations == []
     assert report.bundles == []
-    assert report.ops_executed == 2 * 5 * 150
+    assert report.ops_executed == 2 * len(DEFAULT_PROTOCOLS) * 150
 
 
 def test_mutated_verification_fails_shrinks_and_replays(tmp_path):

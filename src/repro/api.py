@@ -66,6 +66,7 @@ __all__ = [
     "spec_fingerprint",
     "verify",
     "replay_bundle",
+    "connect",
 ]
 
 
@@ -334,3 +335,30 @@ def replay_bundle(path: Union[str, Path]):
     from .verify.bundle import replay_bundle as _replay
 
     return _replay(path)
+
+
+# ---------------------------------------------------------------------------
+# the experiment daemon (the ``python -m repro serve`` facade)
+
+def connect(host: str = "127.0.0.1", port: int = 8047, **kwargs):
+    """Client for a running experiment daemon (``python -m repro serve``).
+
+    ::
+
+        from repro.api import RunSpec, connect
+
+        client = connect(port=8047)
+        job = client.submit(
+            [RunSpec(protocol="dico", workload="radix").to_dict()],
+            tenant="alice",
+        )
+        for event in client.results(job["job_id"]):
+            print(event["index"], event["status"])
+
+    Returns a :class:`repro.serve.ServeClient`; submissions refused by
+    admission control raise :class:`repro.serve.Backpressure` with the
+    daemon's ``Retry-After``.
+    """
+    from .serve import ServeClient
+
+    return ServeClient(host, port, **kwargs)

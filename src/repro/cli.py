@@ -10,6 +10,11 @@ Commands:
 * ``sweep``    — fan a (protocol × workload × seed) grid across worker
   processes with an on-disk result cache (``--trace-dir`` adds a
   trace + manifest per executed spec)
+* ``serve``    — run the experiment daemon: an asyncio HTTP job queue
+  in front of the same sweep machinery (multi-tenant admission
+  control, fair scheduling, restart-resume; see docs/SIMULATOR.md)
+* ``serve-bench`` — load/overload/chaos harness against a real daemon
+  subprocess (``BENCH_SERVE.json`` report)
 * ``perf``     — benchmark the simulator itself on a pinned reference
   subset (ops/sec per cell, ``BENCH_PERF.json`` report)
 * ``verify``   — differentially fuzz the coherence protocols under the
@@ -246,10 +251,15 @@ def _emit_sweep_results(args, runner, results, specs, elapsed) -> None:
                 )
             )
     summary = failure_summary(results)
+    cache_counters = (
+        runner.cache.counters() if runner.cache is not None else {}
+    )
     if not args.quiet:
+        quarantined = cache_counters.get("quarantined", 0)
+        extra = f", {quarantined} quarantined" if quarantined else ""
         print(
             f"sweep: {len(specs)} specs, {runner.executed} simulated, "
-            f"{runner.cache_hits} cached, {summary['failed']} failed, "
+            f"{runner.cache_hits} cached{extra}, {summary['failed']} failed, "
             f"{elapsed:.1f}s wall ({runner.jobs} jobs)",
             file=sys.stderr,
         )
@@ -261,6 +271,9 @@ def _emit_sweep_results(args, runner, results, specs, elapsed) -> None:
                 file=sys.stderr,
             )
     if args.failures:
+        # structured cache-health counters ride along with the failure
+        # summary so chaos jobs can assert on quarantine behavior
+        summary["cache"] = cache_counters
         with open(args.failures, "w") as fh:
             json.dump(summary, fh, indent=1, sort_keys=True)
     if args.output:
@@ -322,6 +335,21 @@ def cmd_sweep(args) -> int:
                   file=sys.stderr)
             return 2
     cache_dir = None if args.no_cache else args.cache_dir
+    if args.gc_journals:
+        from .sweep import gc_journals
+
+        if cache_dir is None:
+            print("error: --gc-journals needs the result cache "
+                  "(drop --no-cache)", file=sys.stderr)
+            return 2
+        pruned = gc_journals(cache_dir, keep_s=args.gc_keep_days * 86400.0)
+        if not args.quiet:
+            print(
+                f"sweep: pruned {len(pruned)} completed journal(s) older "
+                f"than {args.gc_keep_days:g} day(s)",
+                file=sys.stderr,
+            )
+        return 0  # maintenance mode: no grid run
     if args.resume:
         if cache_dir is None:
             print("error: --resume needs the result cache (drop --no-cache)",
@@ -373,6 +401,90 @@ def cmd_sweep(args) -> int:
     # partial completion is visible in the exit code so CI chaos jobs
     # can assert on it without parsing stderr
     return 3 if any(not res.ok for res in results) else 0
+
+
+def _parse_quota(text: str):
+    """``tenant=max_pending[:weight[:rate[:burst]]]`` -> (tenant, quota)."""
+    from .serve import TenantQuota
+
+    tenant, sep, raw = text.partition("=")
+    if not sep or not tenant:
+        raise ValueError(
+            f"quota {text!r} is not of the form "
+            "tenant=max_pending[:weight[:rate[:burst]]]"
+        )
+    parts = raw.split(":")
+    if not 1 <= len(parts) <= 4:
+        raise ValueError(f"quota {text!r} has too many ':' fields")
+    try:
+        quota = TenantQuota(
+            max_pending=int(parts[0]),
+            weight=int(parts[1]) if len(parts) > 1 else 1,
+            rate=float(parts[2]) if len(parts) > 2 else 0.0,
+            burst=float(parts[3]) if len(parts) > 3 else 0.0,
+        )
+    except ValueError as exc:
+        raise ValueError(f"bad quota {text!r}: {exc}")
+    return tenant, quota
+
+
+def cmd_serve(args) -> int:
+    import logging
+
+    from .faults import FaultPlan, FaultPolicy
+    from .serve import ServeConfig, TenantQuota
+    from .serve.daemon import serve
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    try:
+        quotas = dict(_parse_quota(q) for q in args.quota or ())
+        default_quota = TenantQuota(
+            max_pending=args.default_max_pending,
+            weight=1,
+            rate=args.default_rate,
+        )
+        policy = FaultPolicy(
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            on_failure="skip",
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: bad fault plan {args.fault_plan!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    config = ServeConfig(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue_points=args.max_queue,
+        default_quota=default_quota,
+        quotas=quotas,
+        default_policy=policy,
+        fault_plan=fault_plan,
+        journal_gc_days=args.journal_gc_days,
+        gc_interval_s=args.gc_interval_s,
+        drain_s=args.drain_s,
+        port_file=args.port_file,
+    )
+    return serve(config)
+
+
+def cmd_serve_bench(args) -> int:
+    from .serve import bench
+
+    return bench.main(args)
 
 
 def cmd_verify(args) -> int:
@@ -619,7 +731,139 @@ def main(argv=None) -> int:
         "points come from the cache/journal, only failed or missing "
         "points re-execute (requires the journal from the earlier run)",
     )
+    p_sweep.add_argument(
+        "--gc-journals", action="store_true",
+        help="before sweeping, prune completed-grid journals older than "
+        "--gc-keep-days from <cache-dir>/journals/ (incomplete journals "
+        "— resume state — are never pruned)",
+    )
+    p_sweep.add_argument(
+        "--gc-keep-days", type=float, default=7.0, metavar="DAYS",
+        help="journal GC keep window (default: 7)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the experiment daemon (HTTP job queue over the sweep "
+        "machinery; see docs/SIMULATOR.md § Service)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="result cache / journal / job-store root "
+        "(default: .repro-cache)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8047,
+        help="listen port; 0 picks a free port (default: 8047)",
+    )
+    p_serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (for --port 0)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent simulation worker slots (default: 2)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=1024,
+        help="global bound on pending points; beyond it submissions get "
+        "429 + Retry-After (default: 1024)",
+    )
+    p_serve.add_argument(
+        "--quota", action="append",
+        metavar="TENANT=MAX[:WEIGHT[:RATE[:BURST]]]",
+        help="per-tenant quota: max pending points, WRR weight, "
+        "points/sec rate, burst (repeatable)",
+    )
+    p_serve.add_argument(
+        "--default-max-pending", type=int, default=512,
+        help="pending-point quota for tenants without --quota "
+        "(default: 512)",
+    )
+    p_serve.add_argument(
+        "--default-rate", type=float, default=0.0,
+        help="submission rate limit for unlisted tenants, points/sec "
+        "(default: 0 = unlimited)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="default per-attempt timeout; jobs may lower/raise via "
+        "their policy (default: 300)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="default retries per failing point (default: 1)",
+    )
+    p_serve.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="inject faults from this JSON plan (chaos testing)",
+    )
+    p_serve.add_argument(
+        "--journal-gc-days", type=float, default=7.0,
+        help="prune completed-grid journals older than this many days "
+        "(0 disables; default: 7)",
+    )
+    p_serve.add_argument(
+        "--gc-interval-s", type=float, default=3600.0,
+        help="journal GC period in seconds (default: 3600)",
+    )
+    p_serve.add_argument(
+        "--drain-s", type=float, default=10.0,
+        help="graceful-shutdown drain budget before checkpointing "
+        "(default: 10)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sbench = sub.add_parser(
+        "serve-bench",
+        help="drive a real serve daemon through load/overload/chaos "
+        "phases and write BENCH_SERVE.json",
+    )
+    p_sbench.add_argument(
+        "--mode", default="all",
+        choices=("all", "load", "overload", "chaos"),
+    )
+    p_sbench.add_argument(
+        "--tenants", type=int, default=4,
+        help="concurrent tenants in the load phase (default: 4)",
+    )
+    p_sbench.add_argument(
+        "--jobs", type=int, default=25,
+        help="jobs per tenant in the load phase (default: 25)",
+    )
+    p_sbench.add_argument(
+        "--points", type=int, default=4,
+        help="points per job (default: 4)",
+    )
+    p_sbench.add_argument(
+        "--distinct", type=int, default=16,
+        help="distinct specs the load draws from — everything else "
+        "dedupes (default: 16)",
+    )
+    p_sbench.add_argument(
+        "--workers", type=int, default=4,
+        help="daemon worker slots during load (default: 4)",
+    )
+    p_sbench.add_argument(
+        "--max-queue", type=int, default=512,
+        help="daemon queue bound during load (default: 512)",
+    )
+    p_sbench.add_argument(
+        "--chaos-points", type=int, default=10,
+        help="points per tenant in the chaos phase (default: 10)",
+    )
+    p_sbench.add_argument(
+        "--kill-after-s", type=float, default=2.5,
+        help="SIGKILL the daemon this long into the chaos run "
+        "(default: 2.5)",
+    )
+    p_sbench.add_argument(
+        "--out", default="BENCH_SERVE.json",
+        help="report path (default: BENCH_SERVE.json)",
+    )
+    p_sbench.set_defaults(func=cmd_serve_bench)
 
     p_perf = sub.add_parser(
         "perf", help="benchmark the simulator itself (ops/sec per cell)"

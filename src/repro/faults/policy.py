@@ -135,6 +135,29 @@ class FaultPolicy:
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (inverse of :meth:`from_dict`); the serve
+        daemon persists per-job policies through this."""
+        return {
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_max_s": self.backoff_max_s,
+            "backoff_seed": self.backoff_seed,
+            "on_failure": self.on_failure,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultPolicy":
+        return cls(
+            timeout_s=doc.get("timeout_s"),
+            max_retries=int(doc.get("max_retries", 0)),
+            backoff_base_s=float(doc.get("backoff_base_s", 0.05)),
+            backoff_max_s=float(doc.get("backoff_max_s", 5.0)),
+            backoff_seed=int(doc.get("backoff_seed", 0)),
+            on_failure=doc.get("on_failure", "raise"),
+        )
+
     @property
     def is_default(self) -> bool:
         """True when the policy adds nothing over historical behavior."""

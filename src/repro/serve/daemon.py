@@ -1,0 +1,801 @@
+"""``python -m repro serve`` — the multi-tenant experiment daemon.
+
+:class:`ExperimentServer` puts an asyncio HTTP control plane in front
+of the existing sweep machinery.  Every result still flows through the
+same code the CLI uses — :func:`repro.sweep.runner._isolated_worker`
+for process-isolated execution, :class:`~repro.sweep.cache.ResultCache`
+for content-addressed dedup, :class:`~repro.sweep.journal.SweepJournal`
+for crash-safe per-point progress — so a grid served over HTTP is
+bit-identical to the same grid run by ``repro sweep``.
+
+The robustness contract:
+
+* **Admission control** — submissions are bounded by a global queue
+  cap, per-tenant pending quotas and per-tenant token-bucket rates.
+  A refused submission gets ``429`` with ``Retry-After``; daemon
+  memory never grows unboundedly with offered load.
+* **Fair scheduling** — worker slots are granted weighted round-robin
+  across tenants (:class:`~repro.serve.scheduling.FairWorkerPool`).
+* **Graceful degradation** — each point attempt runs in its own
+  process with a deadline; crashes/hangs/timeouts become retries with
+  seeded non-blocking backoff and, when exhausted, structured
+  :class:`~repro.faults.FailureRecord` events — never daemon death.
+* **Restart = resume** — job records persist in the
+  :class:`~repro.serve.store.JobStore`; completed points persist in
+  the journal + result cache.  A daemon killed hard and restarted
+  re-serves finished points from the cache and re-executes only the
+  remainder, exactly like ``repro sweep --resume``.
+* **Clean shutdown** — SIGTERM/SIGINT (or ``POST /shutdown``) stops
+  accepting, drains in-flight points for ``drain_s`` seconds, then
+  checkpoints: outstanding attempts are killed, and the journal's
+  record of completed points makes them resumable.
+
+HTTP API (all JSON; NDJSON for result streams)::
+
+    POST   /jobs                 {"tenant", "specs": [...], "policy"?}
+                                 -> 202 {"job_id", ...} | 429 backpressure
+    GET    /jobs                 -> job summaries
+    GET    /jobs/<id>            -> one job's status/counts
+    GET    /jobs/<id>/results    -> NDJSON, one line per finished point
+                                    (?wait=1 streams until terminal)
+    DELETE /jobs/<id>            -> cancel pending points
+    GET    /healthz, /stats      -> liveness, structured counters
+    POST   /shutdown             {"drain": bool} -> graceful stop
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import re
+import signal
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+from ..faults import FailureRecord, FaultPlan, FaultPolicy
+from ..sim.config import ConfigError
+from ..stats.counters import RunStats
+from ..stats.io import stats_from_dict, stats_to_dict
+from ..sweep.cache import ResultCache, stats_checksum
+from ..sweep.journal import SweepJournal, gc_journals
+from ..sweep.spec import RunSpec
+from .executor import AttemptRegistry, run_attempt
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    error_body,
+    json_response,
+    ndjson_response,
+    read_request,
+    write_response,
+)
+from .models import Job, PointState
+from .scheduling import (
+    AdmissionController,
+    AdmissionError,
+    FairWorkerPool,
+    TenantQuota,
+)
+from .store import JobStore
+
+__all__ = ["ExperimentServer", "ServeConfig", "serve", "spec_from_doc"]
+
+_log = logging.getLogger("repro.serve")
+
+_TENANT_RE = re.compile(r"[A-Za-z0-9._-]{1,64}")
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs, CLI-independent."""
+
+    cache_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    max_queue_points: int = 1024
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    #: baseline per-job policy; a job's ``policy`` document overlays it
+    default_policy: FaultPolicy = field(
+        default_factory=lambda: FaultPolicy(
+            timeout_s=300.0, max_retries=1, on_failure="skip"
+        )
+    )
+    fault_plan: Optional[FaultPlan] = None
+    journal_gc_days: float = 7.0
+    gc_interval_s: float = 3600.0
+    #: graceful-shutdown drain budget before checkpointing
+    drain_s: float = 10.0
+    #: written with the bound port once listening (for ``--port 0``)
+    port_file: Optional[str] = None
+    allow_shutdown_endpoint: bool = True
+
+
+def spec_from_doc(doc: Any) -> RunSpec:
+    """A submitted point document -> :class:`RunSpec`, with defaults.
+
+    Unlike :meth:`RunSpec.from_dict` this tolerates sparse documents
+    (hand-written ``curl`` bodies), defaulting every field but
+    ``protocol`` and ``workload``.
+    """
+    if not isinstance(doc, dict):
+        raise HttpError(400, f"spec must be an object, got {type(doc).__name__}")
+    try:
+        return RunSpec(
+            protocol=doc["protocol"],
+            workload=doc["workload"],
+            seed=doc.get("seed", 1),
+            placement=doc.get("placement", "aligned"),
+            cycles=doc.get("cycles", 80_000),
+            warmup=doc.get("warmup", 60_000),
+            n_vms=doc.get("n_vms", 4),
+            config=doc.get("config"),
+            overrides=tuple((k, v) for k, v in doc.get("overrides") or ()),
+            protocol_kwargs=doc.get("protocol_kwargs") or {},
+            workload_specs=None
+            if doc.get("workload_specs") is None
+            else tuple((vm, d) for vm, d in doc["workload_specs"]),
+        )
+    except KeyError as exc:
+        raise HttpError(400, f"spec is missing required key {exc.args[0]!r}")
+    except ConfigError as exc:
+        raise HttpError(400, f"invalid spec: {exc}")
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"malformed spec: {exc}")
+
+
+class ExperimentServer:
+    """The daemon: admission, fair scheduling, execution, persistence."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        if not config.cache_dir:
+            raise ValueError("serve requires a cache directory")
+        self.config = config
+        self.cache = ResultCache(config.cache_dir)
+        self.store = JobStore(config.cache_dir)
+        self.admission = AdmissionController(
+            config.max_queue_points,
+            config.default_quota,
+            config.quotas,
+        )
+        self.pool = FairWorkerPool(
+            config.workers,
+            lambda tenant: self.admission.quota_for(tenant).weight,
+        )
+        self.jobs: Dict[str, Job] = {}
+        self._journals: Dict[str, SweepJournal] = {}
+        self._tasks: set = set()
+        self._point_tasks: Dict[Tuple[str, int], asyncio.Task] = {}
+        #: single-flight map: spec fingerprint -> in-progress execution
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._attempts = AttemptRegistry()
+        self._jobs_seq = 0
+        self.counters: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_resumed": 0,
+            "points_ok": 0,
+            "points_failed": 0,
+            "points_cancelled": 0,
+            "points_resumed": 0,
+            "executed": 0,
+            "cache_hits": 0,
+            "dedup": 0,
+            "retries": 0,
+            "gc_pruned": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closing = asyncio.Event()
+        self._shutdown_drain = True
+        self._started_unix = time.time()
+        self._started_monotonic = time.monotonic()
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        self._resume_jobs()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            self._write_port_file()
+        if self.config.journal_gc_days > 0:
+            self._track(asyncio.create_task(self._gc_loop()))
+        _log.info(
+            "serve: listening on %s:%d (cache %s, %d workers, queue cap %d)",
+            self.config.host, self.port, self.config.cache_dir,
+            self.config.workers, self.config.max_queue_points,
+        )
+
+    def _write_port_file(self) -> None:
+        path = Path(self.config.port_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".port-")
+        with os.fdopen(fd, "w") as fh:
+            fh.write(f"{self.port}\n")
+        os.replace(tmp, path)
+
+    async def run(self) -> None:
+        """Start, serve until told to stop, then shut down cleanly."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._closing.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await self._closing.wait()
+        finally:
+            await self.shutdown(drain=self._shutdown_drain)
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting; drain or checkpoint; never drop silently.
+
+        With ``drain=True``, in-flight points get ``drain_s`` seconds
+        to finish (their completions are journaled as they land).
+        Whatever remains is checkpointed: tasks cancelled, attempt
+        processes killed — the journal's completed points plus the
+        still-``active`` job records make the next start resume them.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain and self.config.drain_s > 0:
+            active = [t for t in self._tasks if not t.done()]
+            if active:
+                await asyncio.wait(active, timeout=self.config.drain_s)
+        leftovers = [t for t in self._tasks if not t.done()]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.wait(leftovers, timeout=5)
+        killed = self._attempts.kill_all()
+        if killed:
+            _log.info("shutdown: killed %d in-flight attempt(s); their "
+                      "points will re-run on resume", killed)
+        for job in self.jobs.values():
+            await asyncio.to_thread(self.store.save, self._job_record(job))
+
+    # ------------------------------------------------------------------
+    # task bookkeeping
+
+    def _track(self, task: asyncio.Task) -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _spawn_point(self, job: Job, point: PointState) -> None:
+        task = asyncio.create_task(self._point_task(job, point))
+        self._track(task)
+        self._point_tasks[(job.job_id, point.index)] = task
+        task.add_done_callback(
+            lambda t, key=(job.job_id, point.index):
+            self._point_tasks.pop(key, None)
+        )
+
+    # ------------------------------------------------------------------
+    # resume
+
+    def _resume_jobs(self) -> None:
+        for doc in self.store.load_active():
+            job_id = doc["job_id"]
+            try:
+                specs = [spec_from_doc(d) for d in doc["specs"]]
+                policy = FaultPolicy.from_dict(doc.get("policy") or {})
+            except (HttpError, KeyError, TypeError, ValueError) as exc:
+                _log.warning("cannot resume job %s (%s); leaving its "
+                             "record on disk", job_id, exc)
+                continue
+            job = Job(
+                job_id,
+                doc.get("tenant", "default"),
+                specs,
+                policy,
+                created_unix=doc.get("created_unix"),
+            )
+            self.jobs[job_id] = job
+            journal = SweepJournal.for_grid(self.config.cache_dir, specs)
+            self._journals[job_id] = journal
+            ok_fps = set(journal.summarize(specs)["ok"])
+            pending: List[PointState] = []
+            for point in job.points:
+                if point.fingerprint in ok_fps:
+                    stats = self.cache.get(point.spec)
+                    if stats is not None:
+                        # journal + cache agree: serve the stored result
+                        event = {
+                            "index": point.index,
+                            "fingerprint": point.fingerprint,
+                            "resumed": True,
+                            **self._ok_outcome(
+                                stats, cached=True, attempts=0, elapsed=0.0
+                            ),
+                        }
+                        point.event = event
+                        point.status = "ok"
+                        job.events.append(event)
+                        self.counters["points_ok"] += 1
+                        self.counters["points_resumed"] += 1
+                        continue
+                    # journal says ok but the cache lost (or
+                    # quarantined) the entry — re-execute
+                pending.append(point)
+            self.counters["jobs_resumed"] += 1
+            if not pending:
+                self.store.save(self._job_record(job))
+                continue
+            # resumed work was admitted before the restart; it must not
+            # be bounced by admission control now
+            self.admission.admit(job.tenant, len(pending), force=True)
+            for point in pending:
+                self._spawn_point(job, point)
+            _log.info("resume: job %s — %d point(s) already ok, %d to run",
+                      job_id, len(job.events), len(pending))
+
+    # ------------------------------------------------------------------
+    # execution
+
+    async def _point_task(self, job: Job, point: PointState) -> None:
+        try:
+            if job.cancelled:
+                raise asyncio.CancelledError
+            point.status = "running"
+            outcome = await self._outcome_for(job, point)
+        except asyncio.CancelledError:
+            if job.cancelled and not point.terminal:
+                # job-level cancel: record a structured terminal event
+                record = FailureRecord(
+                    kind="interrupted",
+                    message="cancelled by client",
+                    attempts=0,
+                    fingerprint=point.fingerprint,
+                )
+                await self._finish_point(
+                    job,
+                    point,
+                    {
+                        "status": "cancelled",
+                        "cached": False,
+                        "attempts": 0,
+                        "elapsed_s": 0.0,
+                        "failure": record.to_dict(),
+                    },
+                )
+                return
+            # daemon shutdown checkpoint: leave the point un-journaled
+            # so the next start re-runs it
+            raise
+        await self._finish_point(job, point, outcome)
+
+    async def _outcome_for(
+        self, job: Job, point: PointState
+    ) -> Dict[str, Any]:
+        """Single-flight execution keyed by content fingerprint."""
+        fp = point.fingerprint
+        inner = self._inflight.get(fp)
+        if inner is None or inner.done():
+            inner = asyncio.create_task(
+                self._execute_fp(job.tenant, point.spec, fp, job.policy)
+            )
+            self._inflight[fp] = inner
+
+            def _pop(task: asyncio.Task, fp: str = fp) -> None:
+                if self._inflight.get(fp) is task:
+                    del self._inflight[fp]
+
+            inner.add_done_callback(_pop)
+            self._track(inner)
+            shared = False
+        else:
+            shared = True
+            self.counters["dedup"] += 1
+        # shield: cancelling one subscriber (job cancel) must not kill
+        # the execution other jobs are waiting on
+        base = await asyncio.shield(inner)
+        outcome = dict(base)
+        if shared:
+            outcome["dedup"] = True
+        return outcome
+
+    def _ok_outcome(
+        self, stats: RunStats, *, cached: bool, attempts: int, elapsed: float
+    ) -> Dict[str, Any]:
+        doc = stats_to_dict(stats)
+        return {
+            "status": "ok",
+            "cached": cached,
+            "attempts": attempts,
+            "elapsed_s": round(elapsed, 6),
+            "stats_sha256": stats_checksum(doc),
+            "summary": stats.summary(),
+        }
+
+    def _store_result(
+        self, spec: RunSpec, fp: str, stats: RunStats, elapsed: float
+    ) -> None:
+        self.cache.put(spec, stats, elapsed)
+        plan = self.config.fault_plan
+        # parity with SweepRunner._corrupt_cache_entry: the injection is
+        # keyed on attempt 1, after a successful write
+        if plan is not None and plan.first_fault(fp, 1, ("corrupt-cache",)):
+            path = self.cache.path_for(spec)
+            try:
+                text = path.read_text()
+                path.write_text(text[: max(1, len(text) // 2)] + '"CORRUPT')
+            except OSError:  # pragma: no cover - entry vanished mid-injection
+                pass
+
+    async def _execute_fp(
+        self, tenant: str, spec: RunSpec, fp: str, policy: FaultPolicy
+    ) -> Dict[str, Any]:
+        stats = await asyncio.to_thread(self.cache.get, spec)
+        if stats is not None:
+            self.counters["cache_hits"] += 1
+            return self._ok_outcome(
+                stats, cached=True, attempts=0, elapsed=0.0
+            )
+        plan = self.config.fault_plan
+        base_payload = spec.to_dict()
+        total_elapsed = 0.0
+        attempt = 1
+        while True:
+            payload = dict(base_payload)
+            payload["__attempt__"] = attempt
+            if plan is not None:
+                payload["__fault_plan__"] = plan.to_dict()
+            await self.pool.acquire(tenant)
+            try:
+                kind, data, elapsed = await asyncio.to_thread(
+                    run_attempt, payload, policy.timeout_s, self._attempts
+                )
+            finally:
+                self.pool.release(tenant)
+            total_elapsed += elapsed
+            failure_fields: Optional[Dict[str, str]] = None
+            if kind == "ok":
+                try:
+                    stats = stats_from_dict(data)
+                except (KeyError, TypeError, ValueError) as exc:
+                    failure_fields = {
+                        "kind": "exception",
+                        "exc_type": type(exc).__name__,
+                        "message": f"undecodable stats document: {exc}",
+                    }
+                else:
+                    self.counters["executed"] += 1
+                    await asyncio.to_thread(
+                        self._store_result, spec, fp, stats, elapsed
+                    )
+                    return self._ok_outcome(
+                        stats,
+                        cached=False,
+                        attempts=attempt,
+                        elapsed=total_elapsed,
+                    )
+            elif kind == "exception":
+                failure_fields = {
+                    "kind": "exception",
+                    "exc_type": data.get("exc_type", ""),
+                    "message": data.get("message", ""),
+                    "traceback_tail": data.get("traceback_tail", ""),
+                }
+            else:  # crash | timeout
+                failure_fields = {"kind": kind, "message": data}
+            if attempt <= policy.max_retries:
+                self.counters["retries"] += 1
+                delay = policy.backoff_delay(fp, attempt)
+                attempt += 1
+                # the worker slot was released above — backoff parks
+                # only this coroutine, never a scheduler slot
+                await asyncio.sleep(delay)
+                continue
+            record = FailureRecord(
+                attempts=attempt,
+                elapsed_s=round(total_elapsed, 6),
+                fingerprint=fp,
+                **failure_fields,
+            )
+            return {
+                "status": "failed",
+                "cached": False,
+                "attempts": attempt,
+                "elapsed_s": round(total_elapsed, 6),
+                "failure": record.to_dict(),
+            }
+
+    async def _finish_point(
+        self, job: Job, point: PointState, outcome: Dict[str, Any]
+    ) -> None:
+        event = {
+            "index": point.index,
+            "fingerprint": point.fingerprint,
+            **outcome,
+        }
+        job.mark_terminal(point, event)
+        self.admission.release(job.tenant)
+        status = outcome["status"]
+        self.counters[f"points_{status}"] += 1
+        if status in ("ok", "failed"):
+            journal = self._journals.get(job.job_id)
+            if journal is not None:
+                detail = ""
+                if status == "failed":
+                    failure = outcome.get("failure") or {}
+                    detail = f"{failure.get('kind', '')}: " \
+                             f"{failure.get('message', '')}".strip()
+                await asyncio.to_thread(
+                    journal.record,
+                    point.fingerprint,
+                    status,
+                    attempts=outcome.get("attempts", 1),
+                    elapsed_s=outcome.get("elapsed_s", 0.0),
+                    detail=detail,
+                )
+        if job.terminal:
+            await asyncio.to_thread(
+                self.store.save, self._job_record(job)
+            )
+        # publish last: a client that sees the job go terminal must be
+        # able to trust the durable record on disk
+        await job.publish(event)
+
+    def _job_record(self, job: Job) -> Dict[str, Any]:
+        return {
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "created_unix": round(job.created_unix, 3),
+            "status": job.status if job.terminal else "active",
+            "policy": job.policy.to_dict(),
+            "counts": job.counts(),
+            "specs": [spec.to_dict() for spec in job.specs],
+        }
+
+    # ------------------------------------------------------------------
+    # journal GC
+
+    async def _gc_loop(self) -> None:
+        while True:
+            try:
+                pruned = await asyncio.to_thread(
+                    gc_journals,
+                    self.config.cache_dir,
+                    self.config.journal_gc_days * 86400.0,
+                )
+                self.counters["gc_pruned"] += len(pruned)
+            except OSError as exc:  # pragma: no cover - disk trouble
+                _log.warning("journal gc failed: %s", exc)
+            await asyncio.sleep(self.config.gc_interval_s)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                req = await read_request(reader)
+                if req is None:
+                    return
+                resp = await self._dispatch(req)
+            except HttpError as exc:
+                resp = Response(exc.status, error_body(exc.status, str(exc)))
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # noqa: BLE001 - daemon must not die
+                _log.exception("internal error handling request")
+                resp = Response(
+                    500, error_body(500, f"{type(exc).__name__}: {exc}")
+                )
+            try:
+                await write_response(writer, resp)
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, req: Request) -> Response:
+        parts = [p for p in req.path.split("/") if p]
+        if req.path == "/healthz" and req.method == "GET":
+            return json_response({
+                "status": "ok",
+                "uptime_s": round(
+                    time.monotonic() - self._started_monotonic, 3
+                ),
+            })
+        if req.path == "/stats" and req.method == "GET":
+            return json_response(self.stats())
+        if req.path == "/shutdown" and req.method == "POST":
+            if not self.config.allow_shutdown_endpoint:
+                raise HttpError(405, "shutdown endpoint disabled")
+            doc = req.json() or {}
+            self._shutdown_drain = bool(doc.get("drain", True))
+            self._closing.set()
+            return json_response(
+                {"shutting_down": True, "drain": self._shutdown_drain},
+                status=202,
+            )
+        if parts and parts[0] == "jobs":
+            if len(parts) == 1:
+                if req.method == "POST":
+                    return await self._handle_submit(req)
+                if req.method == "GET":
+                    return json_response({
+                        "jobs": [
+                            job.to_doc() for job in sorted(
+                                self.jobs.values(),
+                                key=lambda j: j.created_unix,
+                            )
+                        ]
+                    })
+                raise HttpError(405, f"{req.method} not allowed on /jobs")
+            job = self.jobs.get(parts[1])
+            if job is None:
+                raise HttpError(404, f"no such job {parts[1]!r}")
+            if len(parts) == 2:
+                if req.method == "GET":
+                    return json_response(job.to_doc())
+                if req.method == "DELETE":
+                    return self._handle_cancel(job)
+                raise HttpError(405, f"{req.method} not allowed on a job")
+            if len(parts) == 3 and parts[2] == "results":
+                if req.method != "GET":
+                    raise HttpError(405, "results is GET-only")
+                wait = req.query.get("wait", "") not in ("", "0", "false")
+                return ndjson_response(self._results_stream(job, wait))
+        raise HttpError(404, f"no route for {req.method} {req.path}")
+
+    # ------------------------------------------------------------------
+    # handlers
+
+    async def _handle_submit(self, req: Request) -> Response:
+        doc = req.json()
+        if not isinstance(doc, dict):
+            raise HttpError(400, "submission must be a JSON object")
+        tenant = str(doc.get("tenant") or "default")
+        if not _TENANT_RE.fullmatch(tenant):
+            raise HttpError(
+                400, "tenant must match [A-Za-z0-9._-]{1,64}"
+            )
+        raw_specs = doc.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise HttpError(400, "submission needs a non-empty 'specs' list")
+        specs = [spec_from_doc(d) for d in raw_specs]
+        policy_doc = dict(self.config.default_policy.to_dict())
+        overlay = doc.get("policy") or {}
+        if not isinstance(overlay, dict):
+            raise HttpError(400, "'policy' must be an object")
+        unknown = set(overlay) - set(policy_doc)
+        if unknown:
+            raise HttpError(
+                400,
+                "unknown policy key(s): " + ", ".join(sorted(unknown)),
+            )
+        policy_doc.update(overlay)
+        # the daemon always records per-point failures; a job cannot
+        # opt into aborting the whole daemon
+        policy_doc["on_failure"] = "skip"
+        try:
+            policy = FaultPolicy.from_dict(policy_doc)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid policy: {exc}")
+        try:
+            self.admission.admit(tenant, len(specs))
+        except AdmissionError as exc:
+            retry_after = max(1, int(exc.retry_after_s + 0.999))
+            return Response(
+                429,
+                error_body(
+                    429, str(exc),
+                    reason=exc.reason,
+                    retry_after_s=round(exc.retry_after_s, 3),
+                ),
+                headers={"Retry-After": str(retry_after)},
+            )
+        self._jobs_seq += 1
+        job_id = f"{self._jobs_seq:04d}-{os.urandom(4).hex()}"
+        job = Job(job_id, tenant, specs, policy)
+        self.jobs[job_id] = job
+        journal = SweepJournal.for_grid(self.config.cache_dir, specs)
+        self._journals[job_id] = journal
+        await asyncio.to_thread(journal.touch)
+        await asyncio.to_thread(self.store.save, self._job_record(job))
+        for point in job.points:
+            self._spawn_point(job, point)
+        self.counters["jobs_submitted"] += 1
+        return json_response(
+            {
+                "job_id": job_id,
+                "tenant": tenant,
+                "points": len(specs),
+                "status_url": f"/jobs/{job_id}",
+                "results_url": f"/jobs/{job_id}/results",
+            },
+            status=202,
+        )
+
+    def _handle_cancel(self, job: Job) -> Response:
+        if not job.terminal:
+            job.cancelled = True
+            for point in job.points:
+                if not point.terminal:
+                    task = self._point_tasks.get((job.job_id, point.index))
+                    if task is not None:
+                        task.cancel()
+        return json_response(job.to_doc())
+
+    async def _results_stream(
+        self, job: Job, wait: bool
+    ) -> AsyncIterator[bytes]:
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                yield (
+                    json.dumps(job.events[sent], sort_keys=True) + "\n"
+                ).encode()
+                sent += 1
+            # a terminal job may still have its last event in flight
+            # (durable state is persisted before the publish) — only a
+            # fully published stream is complete
+            if (job.terminal and sent == len(job.points)) or not wait:
+                return
+            async with job.changed:
+                if len(job.events) > sent:
+                    continue
+                await job.changed.wait()
+
+    def stats(self) -> Dict[str, Any]:
+        jobs_by_status: Dict[str, int] = {}
+        for job in self.jobs.values():
+            jobs_by_status[job.status] = jobs_by_status.get(job.status, 0) + 1
+        return {
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "started_unix": round(self._started_unix, 3),
+            "workers": self.pool.snapshot(),
+            "admission": self.admission.snapshot(),
+            "jobs": {"total": len(self.jobs), "by_status": jobs_by_status},
+            "points": {
+                key: self.counters[key]
+                for key in (
+                    "points_ok", "points_failed", "points_cancelled",
+                    "points_resumed", "executed", "cache_hits", "dedup",
+                    "retries",
+                )
+            },
+            "cache": self.cache.counters(),
+            "journal_gc": {
+                "keep_days": self.config.journal_gc_days,
+                "pruned": self.counters["gc_pruned"],
+            },
+            "counters": dict(self.counters),
+        }
+
+
+def serve(config: ServeConfig) -> int:
+    """Blocking entry point: run the daemon until signalled to stop."""
+    server = ExperimentServer(config)
+
+    async def _main() -> None:
+        await server.run()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        pass
+    print("serve: stopped cleanly", file=sys.stderr)
+    return 0

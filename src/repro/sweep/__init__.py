@@ -32,7 +32,7 @@ from .grids import (
     merge_by_point,
     window_for,
 )
-from .journal import SweepJournal, grid_fingerprint
+from .journal import SweepJournal, gc_journals, grid_fingerprint
 from .runner import (
     SweepExecutionError,
     SweepInterrupted,
@@ -69,6 +69,7 @@ __all__ = [
     "config_to_dict",
     "failure_summary",
     "figure_grid",
+    "gc_journals",
     "grid_fingerprint",
     "merge_by_point",
     "placement_spec",

@@ -78,6 +78,17 @@ class ResultCache:
         )
         self.hits = 0
         self.misses = 0
+        #: corrupt entries moved aside by this process — silent corruption
+        #: under load must show up in summaries, not just a log line
+        self.quarantined = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Structured cache health counters for sweep/serve summaries."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+        }
 
     # ------------------------------------------------------------------
 
@@ -134,6 +145,7 @@ class ResultCache:
             os.replace(path, target)
         except OSError:  # pragma: no cover - raced with another reader
             target = path
+        self.quarantined += 1
         _log.warning(
             "quarantined corrupt cache entry %s -> %s (%s: %s)",
             path.name, target.name, type(reason).__name__, reason,

@@ -22,13 +22,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from .spec import RunSpec
 
-__all__ = ["SweepJournal", "grid_fingerprint"]
+__all__ = ["SweepJournal", "gc_journals", "grid_fingerprint"]
+
+_log = logging.getLogger("repro.sweep.journal")
 
 
 def grid_fingerprint(specs: Sequence[RunSpec]) -> str:
@@ -88,6 +92,44 @@ class SweepJournal:
             fh.flush()
             os.fsync(fh.fileno())
 
+    def mark_complete(self, points: int) -> None:
+        """Append a grid-complete marker: every one of ``points`` grid
+        points finished ``ok``.
+
+        The marker is what journal garbage collection keys on — a
+        journal without one still describes work in flight (or failed)
+        and is never pruned.  :meth:`load` skips marker lines (they
+        carry no ``fingerprint``), so old readers are unaffected.
+        """
+        line = (
+            json.dumps(
+                {"grid_complete": True, "points": points}, sort_keys=True
+            )
+            + "\n"
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def is_complete(self) -> bool:
+        """True when a grid-complete marker has been recorded."""
+        if not self.path.is_file():
+            return False
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(doc, dict) and doc.get("grid_complete"):
+                    return True
+        return False
+
     def touch(self) -> None:
         """Ensure the journal file exists (so ``--resume`` works even
         after a sweep interrupted before its first point completed)."""
@@ -140,3 +182,39 @@ class SweepJournal:
             else:
                 failed.append(fp)
         return {"ok": ok, "failed": failed, "missing": missing}
+
+
+def gc_journals(
+    cache_dir: Union[str, Path],
+    keep_s: float = 7 * 86400.0,
+    now: Optional[float] = None,
+) -> List[Path]:
+    """Prune completed-grid journals older than the keep window.
+
+    Journals accumulate forever otherwise — one file per distinct grid
+    under ``<cache_dir>/journals/``.  Only journals carrying a
+    grid-complete marker (see :meth:`SweepJournal.mark_complete`) are
+    candidates: an incomplete journal is the resume state of a sweep
+    that may still be finished.  Within the candidates, anything whose
+    mtime is older than ``keep_s`` seconds is deleted.  Returns the
+    pruned paths.
+    """
+    root = Path(cache_dir) / "journals"
+    if not root.is_dir():
+        return []
+    cutoff = (time.time() if now is None else now) - keep_s
+    pruned: List[Path] = []
+    for path in sorted(root.glob("*.jsonl")):
+        try:
+            if path.stat().st_mtime > cutoff:
+                continue
+            if not SweepJournal(path).is_complete():
+                continue
+            path.unlink()
+        except OSError:  # pragma: no cover - raced with another pruner
+            continue
+        pruned.append(path)
+    if pruned:
+        _log.info("journal gc: pruned %d completed-grid journal(s)",
+                  len(pruned))
+    return pruned

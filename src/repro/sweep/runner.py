@@ -441,6 +441,16 @@ class SweepRunner:
             ) from None
 
         assert all(r is not None for r in results)
+        if (
+            journal is not None
+            and total > 0
+            and self.failed == 0
+            and not journal.is_complete()
+        ):
+            # a fully-ok grid is done for good: mark the journal so GC
+            # may prune it once the keep window passes (failed grids
+            # stay unmarked — they are resume state)
+            journal.mark_complete(total)
         return results  # type: ignore[return-value]
 
     def run_one(self, spec: RunSpec) -> SweepResult:

@@ -1,0 +1,369 @@
+"""Integration tests for the experiment daemon.
+
+A real :class:`ExperimentServer` runs on a background thread with its
+own event loop; tests talk to it over actual HTTP through
+:class:`ServeClient` — the same path production clients use.  Specs
+are tiny (~0.1 s of simulation), so the whole module stays fast.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.faults import FaultPlan, FaultPolicy, FaultRule
+from repro.serve import (
+    Backpressure,
+    ExperimentServer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    TenantQuota,
+)
+from repro.sim.config import small_test_chip
+from repro.sweep.cache import ResultCache, stats_checksum
+from repro.sweep.spec import RunSpec, config_to_dict
+from repro.stats.io import stats_to_dict
+
+TINY = config_to_dict(small_test_chip())
+
+
+def tiny_docs(n, seed0=1):
+    return [
+        RunSpec(
+            protocol="dico",
+            workload="radix",
+            seed=seed0 + i,
+            cycles=1_500,
+            warmup=500,
+            config=TINY,
+        ).to_dict()
+        for i in range(n)
+    ]
+
+
+class ServerThread:
+    """Run an ExperimentServer on its own thread + loop."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.server = None
+        self._ready = threading.Event()
+        self._thread = None
+
+    def start(self) -> ServeClient:
+        import asyncio
+
+        def run():
+            async def main():
+                self.server = ExperimentServer(self.config)
+                await self.server.start()
+                self._ready.set()
+                await self.server._closing.wait()
+                await self.server.shutdown(
+                    drain=self.server._shutdown_drain
+                )
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(15), "server did not start"
+        return ServeClient("127.0.0.1", self.server.port, timeout_s=60.0)
+
+    def stop(self, client: ServeClient) -> None:
+        try:
+            client.shutdown(drain=True)
+        except (ServeError, OSError):
+            pass
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "server thread hung"
+
+
+def make_config(tmp_path, **kwargs):
+    defaults = dict(
+        cache_dir=str(tmp_path / "cache"),
+        port=0,
+        workers=2,
+        default_policy=FaultPolicy(
+            timeout_s=60.0, max_retries=1, on_failure="skip"
+        ),
+        journal_gc_days=0,  # no background GC task in tests
+        drain_s=5.0,
+    )
+    defaults.update(kwargs)
+    return ServeConfig(**defaults)
+
+
+@pytest.fixture
+def server(tmp_path):
+    st = ServerThread(make_config(tmp_path))
+    client = st.start()
+    yield client, st
+    st.stop(client)
+
+
+# ------------------------------------------------------------------ basics
+
+
+def test_submit_execute_stream(server, tmp_path):
+    client, st = server
+    docs = tiny_docs(2)
+    sub = client.submit(docs, tenant="alice")
+    assert sub["points"] == 2
+    events = client.wait_job(sub["job_id"])
+    assert [e["index"] for e in events] == [0, 1]
+    assert all(e["status"] == "ok" for e in events)
+    assert all(len(e["stats_sha256"]) == 64 for e in events)
+    assert all(e["summary"]["operations"] > 0 for e in events)
+    job = client.job(sub["job_id"])
+    assert job["status"] == "done"
+    assert job["counts"]["ok"] == 2
+    # terminal job record persisted as done
+    record = json.loads(
+        (tmp_path / "cache" / "serve" / "jobs"
+         / f"{sub['job_id']}.json").read_text()
+    )
+    assert record["status"] == "done"
+
+
+def test_results_are_bit_identical_to_direct_execution(server):
+    client, _ = server
+    doc = tiny_docs(1)[0]
+    events = client.wait_job(client.submit([doc])["job_id"])
+    want = stats_checksum(stats_to_dict(RunSpec.from_dict(doc).execute()))
+    assert events[0]["stats_sha256"] == want
+
+
+def test_cache_hit_on_resubmission(server):
+    client, st = server
+    docs = tiny_docs(1, seed0=50)
+    client.wait_job(client.submit(docs, tenant="a")["job_id"])
+    events = client.wait_job(client.submit(docs, tenant="b")["job_id"])
+    assert events[0]["status"] == "ok"
+    assert events[0]["cached"] is True
+    stats = client.stats()
+    assert stats["points"]["executed"] == 1
+    assert stats["points"]["cache_hits"] >= 1
+
+
+def test_concurrent_identical_submissions_dedupe(server):
+    client, st = server
+    docs = tiny_docs(1, seed0=60)
+    subs = [client.submit(docs, tenant=t) for t in ("a", "b", "c")]
+    for sub in subs:
+        events = client.wait_job(sub["job_id"])
+        assert events[0]["status"] == "ok"
+    # one simulation total: the rest were in-flight dedup or cache hits
+    points = client.stats()["points"]
+    assert points["executed"] == 1
+    assert points["dedup"] + points["cache_hits"] == 2
+
+
+def test_health_stats_and_listing(server):
+    client, _ = server
+    assert client.health()["status"] == "ok"
+    sub = client.submit(tiny_docs(1, seed0=70))
+    client.wait_job(sub["job_id"])
+    assert any(j["job_id"] == sub["job_id"] for j in client.jobs())
+    stats = client.stats()
+    assert stats["workers"]["slots"] == 2
+    assert "rejected" in stats["admission"]
+    assert "quarantined" in stats["cache"]
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_malformed_submissions_rejected(server):
+    client, _ = server
+    with pytest.raises(ServeError) as err:
+        client.submit([])
+    assert err.value.status == 400
+    with pytest.raises(ServeError) as err:
+        client.submit([{"workload": "radix"}])  # no protocol
+    assert err.value.status == 400
+    with pytest.raises(ServeError) as err:
+        client.submit(tiny_docs(1), tenant="bad tenant!")
+    assert err.value.status == 400
+    with pytest.raises(ServeError) as err:
+        client.submit(tiny_docs(1), policy={"no_such_knob": 1})
+    assert err.value.status == 400
+
+
+def test_unknown_routes_and_jobs_are_404(server):
+    client, _ = server
+    with pytest.raises(ServeError) as err:
+        client.job("0000-deadbeef")
+    assert err.value.status == 404
+    with pytest.raises(ServeError) as err:
+        client._request("GET", "/nope")
+    assert err.value.status == 404
+
+
+# ----------------------------------------------------------- backpressure
+
+
+def test_queue_full_gives_429_with_retry_after(tmp_path):
+    st = ServerThread(make_config(
+        tmp_path, workers=1, max_queue_points=2,
+    ))
+    client = st.start()
+    try:
+        accepted = client.submit(tiny_docs(2, seed0=80), tenant="a")
+        with pytest.raises(Backpressure) as err:
+            client.submit(tiny_docs(1, seed0=90), tenant="b")
+        assert err.value.status == 429
+        assert err.value.reason == "queue-full"
+        assert err.value.retry_after_s > 0
+        # the refused submission reserved nothing: after the queue
+        # drains the tenant can come back
+        client.wait_job(accepted["job_id"])
+        again = client.submit(tiny_docs(1, seed0=90), tenant="b")
+        client.wait_job(again["job_id"])
+    finally:
+        st.stop(client)
+
+
+def test_tenant_quota_and_rate_limits(tmp_path):
+    st = ServerThread(make_config(
+        tmp_path,
+        workers=1,
+        max_queue_points=100,
+        quotas={
+            "small": TenantQuota(max_pending=1),
+            "rated": TenantQuota(max_pending=50, rate=0.001, burst=2.0),
+        },
+    ))
+    client = st.start()
+    try:
+        client.submit(tiny_docs(1, seed0=100), tenant="small")
+        with pytest.raises(Backpressure) as err:
+            client.submit(tiny_docs(1, seed0=101), tenant="small")
+        assert err.value.reason == "tenant-quota"
+        client.submit(tiny_docs(2, seed0=110), tenant="rated")
+        with pytest.raises(Backpressure) as err:
+            client.submit(tiny_docs(1, seed0=112), tenant="rated")
+        assert err.value.reason == "rate-limited"
+        assert err.value.retry_after_s > 10  # 1 token at 0.001/s
+    finally:
+        st.stop(client)
+
+
+# ----------------------------------------------------------------- faults
+
+
+def test_failing_point_gets_structured_record(tmp_path):
+    plan = FaultPlan(seed=5, rules=(FaultRule(kind="crash", rate=1.0,
+                                              times=99),))
+    st = ServerThread(make_config(tmp_path, fault_plan=plan))
+    client = st.start()
+    try:
+        events = client.wait_job(
+            client.submit(
+                tiny_docs(1, seed0=120),
+                policy={"max_retries": 1, "backoff_base_s": 0.01},
+            )["job_id"]
+        )
+        assert events[0]["status"] == "failed"
+        assert events[0]["attempts"] == 2
+        failure = events[0]["failure"]
+        assert failure["kind"] == "crash"
+        assert failure["fingerprint"]
+        job = client.job(client.jobs()[0]["job_id"])
+        assert job["status"] == "partial"
+    finally:
+        st.stop(client)
+
+
+def test_transient_crash_retries_to_success(tmp_path):
+    plan = FaultPlan(seed=5, rules=(FaultRule(kind="crash", rate=1.0,
+                                              times=1),))
+    st = ServerThread(make_config(tmp_path, fault_plan=plan))
+    client = st.start()
+    try:
+        doc = tiny_docs(1, seed0=130)[0]
+        events = client.wait_job(
+            client.submit(
+                [doc], policy={"max_retries": 2, "backoff_base_s": 0.01}
+            )["job_id"]
+        )
+        assert events[0]["status"] == "ok"
+        assert events[0]["attempts"] == 2
+        want = stats_checksum(
+            stats_to_dict(RunSpec.from_dict(doc).execute())
+        )
+        assert events[0]["stats_sha256"] == want  # retry didn't perturb
+        assert client.stats()["points"]["retries"] == 1
+    finally:
+        st.stop(client)
+
+
+# ----------------------------------------------------------------- cancel
+
+
+def test_cancel_queued_points(tmp_path):
+    st = ServerThread(make_config(tmp_path, workers=1))
+    client = st.start()
+    try:
+        # 4 points through 1 worker: cancel lands while most are queued
+        sub = client.submit(tiny_docs(4, seed0=140), tenant="c")
+        client.cancel(sub["job_id"])
+        events = client.wait_job(sub["job_id"])
+        statuses = {e["status"] for e in events}
+        assert statuses <= {"ok", "cancelled"}
+        assert "cancelled" in statuses
+        cancelled = [e for e in events if e["status"] == "cancelled"]
+        assert all(
+            e["failure"]["kind"] == "interrupted" for e in cancelled
+        )
+        assert client.job(sub["job_id"])["status"] == "cancelled"
+    finally:
+        st.stop(client)
+
+
+# ----------------------------------------------------------------- resume
+
+
+def test_restart_resumes_active_job(tmp_path):
+    config = make_config(tmp_path)
+    st = ServerThread(config)
+    client = st.start()
+    docs = tiny_docs(3, seed0=150)
+    sub = client.submit(docs, tenant="r")
+    events = client.wait_job(sub["job_id"])
+    assert all(e["status"] == "ok" for e in events)
+    st.stop(client)
+
+    # simulate dying before the final record write: flip the job back
+    # to active and lose one cache entry (as if quarantined)
+    record_path = (
+        tmp_path / "cache" / "serve" / "jobs" / f"{sub['job_id']}.json"
+    )
+    record = json.loads(record_path.read_text())
+    record["status"] = "active"
+    record_path.write_text(json.dumps(record))
+    cache = ResultCache(tmp_path / "cache")
+    lost_fp = events[1]["fingerprint"]
+    cache.path_for(RunSpec.from_dict(docs[1])).unlink()
+
+    st2 = ServerThread(make_config(tmp_path))
+    client2 = st2.start()
+    try:
+        events2 = client2.wait_job(sub["job_id"])
+        assert [e["index"] for e in events2] == [0, 1, 2]
+        assert all(e["status"] == "ok" for e in events2)
+        by_index = {e["index"]: e for e in events2}
+        # journal+cache intact -> served without re-execution
+        assert by_index[0].get("resumed") is True
+        assert by_index[2].get("resumed") is True
+        # the lost entry re-executed, bit-identical
+        assert by_index[1].get("resumed") is None
+        assert by_index[1]["fingerprint"] == lost_fp
+        assert by_index[1]["stats_sha256"] == events[1]["stats_sha256"]
+        points = client2.stats()["points"]
+        assert points["points_resumed"] == 2
+        assert points["executed"] == 1
+        assert client2.job(sub["job_id"])["status"] == "done"
+    finally:
+        st2.stop(client2)

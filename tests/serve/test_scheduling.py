@@ -1,0 +1,287 @@
+"""Unit tests for admission control and weighted-fair scheduling.
+
+All deterministic: the token bucket and admission controller take an
+injectable clock; the worker pool is driven inside explicit asyncio
+loops with no sleeps on the success paths.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.scheduling import (
+    AdmissionController,
+    AdmissionError,
+    FairWorkerPool,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# ---------------------------------------------------------------- quota
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        TenantQuota(max_pending=0)
+    with pytest.raises(ValueError):
+        TenantQuota(weight=0)
+    with pytest.raises(ValueError):
+        TenantQuota(rate=-1.0)
+
+
+def test_quota_effective_burst():
+    assert TenantQuota(rate=0.0).effective_burst == float("inf")
+    assert TenantQuota(rate=4.0).effective_burst == 4.0
+    assert TenantQuota(rate=4.0, burst=10.0).effective_burst == 10.0
+    assert TenantQuota(rate=0.25).effective_burst == 1.0
+
+
+# ---------------------------------------------------------------- bucket
+
+
+def test_token_bucket_refills_continuously():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+    assert bucket.try_take(4)
+    assert not bucket.try_take(1)
+    clock.advance(0.5)  # one token back
+    assert bucket.try_take(1)
+    assert not bucket.try_take(1)
+
+
+def test_token_bucket_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+    clock.advance(100.0)
+    assert bucket.tokens == 3.0
+
+
+def test_token_bucket_seconds_until():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+    bucket.try_take(4)
+    assert bucket.seconds_until(2) == pytest.approx(1.0)
+    # asking beyond burst: advice is capped at the fill-to-burst time
+    assert bucket.seconds_until(100) == pytest.approx(2.0)
+
+
+def test_zero_rate_is_unlimited():
+    bucket = TokenBucket(rate=0.0, burst=0.0, clock=FakeClock())
+    for _ in range(1000):
+        assert bucket.try_take(10)
+    assert bucket.seconds_until(10 ** 9) == 0.0
+
+
+# ------------------------------------------------------------- admission
+
+
+def _controller(**kwargs):
+    defaults = dict(
+        max_queue_points=10,
+        default_quota=TenantQuota(max_pending=6),
+        clock=FakeClock(),
+    )
+    defaults.update(kwargs)
+    return AdmissionController(**defaults)
+
+
+def test_admit_and_release_accounting():
+    ctl = _controller()
+    ctl.admit("a", 3)
+    ctl.admit("b", 2)
+    assert ctl.total_pending == 5
+    assert ctl.pending("a") == 3
+    for _ in range(3):
+        ctl.release("a")
+    assert ctl.pending("a") == 0
+    assert ctl.total_pending == 2
+
+
+def test_global_bound_gives_queue_full():
+    ctl = _controller()
+    ctl.admit("a", 6)
+    ctl.admit("b", 4)
+    with pytest.raises(AdmissionError) as err:
+        ctl.admit("c", 1)
+    assert err.value.reason == "queue-full"
+    assert err.value.retry_after_s > 0
+    assert ctl.rejected["queue-full"] == 1
+    # admission is all-or-nothing: the failed submission reserved nothing
+    assert ctl.total_pending == 10
+
+
+def test_tenant_quota_enforced_before_global():
+    ctl = _controller()
+    ctl.admit("a", 6)
+    with pytest.raises(AdmissionError) as err:
+        ctl.admit("a", 1)
+    assert err.value.reason == "tenant-quota"
+    # another tenant still fits
+    ctl.admit("b", 4)
+
+
+def test_rate_limit_reports_usable_retry_after():
+    clock = FakeClock()
+    ctl = _controller(
+        clock=clock,
+        quotas={"r": TenantQuota(max_pending=6, rate=1.0, burst=2.0)},
+    )
+    ctl.admit("r", 2)
+    with pytest.raises(AdmissionError) as err:
+        ctl.admit("r", 1)
+    assert err.value.reason == "rate-limited"
+    clock.advance(err.value.retry_after_s)
+    ctl.admit("r", 1)  # the advice was sufficient
+
+
+def test_force_bypasses_every_bound():
+    ctl = _controller()
+    ctl.admit("a", 6)
+    ctl.admit("a", 50, force=True)  # resume path
+    assert ctl.pending("a") == 56
+
+
+def test_release_underflow_is_an_error():
+    ctl = _controller()
+    with pytest.raises(RuntimeError):
+        ctl.release("ghost")
+
+
+def test_snapshot_shape():
+    ctl = _controller()
+    ctl.admit("a", 2)
+    snap = ctl.snapshot()
+    assert snap["total_pending"] == 2
+    assert snap["pending_by_tenant"] == {"a": 2}
+    assert set(snap["rejected"]) == {
+        "queue-full", "tenant-quota", "rate-limited"
+    }
+
+
+# ------------------------------------------------------------------ pool
+
+
+def test_pool_grants_up_to_slots():
+    async def scenario():
+        pool = FairWorkerPool(2)
+        await pool.acquire("a")
+        await pool.acquire("a")
+        assert pool.busy == 2
+        third = asyncio.ensure_future(pool.acquire("a"))
+        await asyncio.sleep(0)
+        assert not third.done()
+        pool.release("a")
+        await asyncio.sleep(0)
+        assert third.done()
+        pool.release("a")
+        pool.release("a")
+        assert pool.busy == 0
+
+    asyncio.run(scenario())
+
+
+def test_pool_wrr_interleaving_is_three_to_one():
+    """Both tenants backlogged, weights 3:1: every window of four
+    grants carries exactly one light grant (smooth WRR)."""
+
+    async def scenario():
+        weights = {"heavy": 3, "light": 1, "seed": 1}
+        pool = FairWorkerPool(1, weight_of=lambda t: weights[t])
+        order = []
+
+        async def one(tenant):
+            # one-shot acquirers: the daemon runs many concurrent point
+            # tasks per tenant, so both queues hold live waiters at
+            # every grant — exactly what this models
+            await pool.acquire(tenant)
+            order.append(tenant)
+            pool.release(tenant)
+
+        await pool.acquire("seed")
+        tasks = [asyncio.ensure_future(one("heavy")) for _ in range(30)]
+        tasks += [asyncio.ensure_future(one("light")) for _ in range(10)]
+        await asyncio.sleep(0)
+        pool.release("seed")
+        await asyncio.gather(*tasks)
+        return order
+
+    order = asyncio.run(scenario())
+    assert order.count("heavy") == 30 and order.count("light") == 10
+    for i in range(0, 40, 4):
+        window = order[i: i + 4]
+        assert window.count("light") == 1, (i, order)
+
+
+def test_pool_single_tenant_gets_full_capacity():
+    async def scenario():
+        pool = FairWorkerPool(2, weight_of=lambda t: 1)
+        done = 0
+        async def worker():
+            nonlocal done
+            await pool.acquire("solo")
+            done += 1
+            pool.release("solo")
+        await asyncio.gather(*[worker() for _ in range(20)])
+        return done
+
+    assert asyncio.run(scenario()) == 20
+
+
+def test_pool_cancelled_waiter_does_not_strand_slots():
+    async def scenario():
+        pool = FairWorkerPool(1)
+        await pool.acquire("a")
+        waiter = asyncio.ensure_future(pool.acquire("b"))
+        await asyncio.sleep(0)
+        waiter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        pool.release("a")
+        # a fresh acquirer must get the slot even though a cancelled
+        # future is still lingering in b's queue
+        await asyncio.wait_for(pool.acquire("c"), timeout=1.0)
+        pool.release("c")
+        assert pool.busy == 0
+
+    asyncio.run(scenario())
+
+
+def test_pool_acquire_after_free_with_stale_queue():
+    """Free slot + stale cancelled waiter: acquire must not deadlock."""
+
+    async def scenario():
+        pool = FairWorkerPool(1)
+        waiter = asyncio.ensure_future(pool.acquire("a"))
+        await asyncio.sleep(0)  # granted immediately
+        assert waiter.done()
+        stale = asyncio.ensure_future(pool.acquire("a"))
+        await asyncio.sleep(0)
+        stale.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await stale
+        pool.release("a")  # slot free, a's queue holds a cancelled future
+        await asyncio.wait_for(pool.acquire("b"), timeout=1.0)
+        pool.release("b")
+
+    asyncio.run(scenario())
+
+
+def test_pool_release_without_acquire_raises():
+    async def scenario():
+        pool = FairWorkerPool(1)
+        with pytest.raises(RuntimeError):
+            pool.release("nobody")
+
+    asyncio.run(scenario())

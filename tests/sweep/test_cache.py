@@ -119,3 +119,60 @@ def test_clear(tmp_path):
 def test_fingerprint_is_stable_within_a_process():
     assert code_fingerprint() == code_fingerprint()
     assert len(code_fingerprint()) == 64
+
+
+# ------------------------------------------------------ health counters
+
+
+def test_counters_track_hits_misses_quarantines(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.counters() == {"hits": 0, "misses": 0, "quarantined": 0}
+    cache.get(SPEC)  # miss
+    cache.put(SPEC, dummy_stats(), elapsed_s=0.1)
+    cache.get(SPEC)  # hit
+    cache.path_for(SPEC).write_text("{ torn")
+    cache.get(SPEC)  # quarantine (counts as a miss too)
+    counters = cache.counters()
+    assert counters["hits"] == 1
+    assert counters["misses"] == 2
+    assert counters["quarantined"] == 1
+
+
+# ------------------------------------------------- concurrent writers
+
+
+def _race_writer(cache_dir, barrier, rounds):
+    """Child process: race identical put() calls against siblings."""
+    cache = ResultCache(cache_dir)
+    for _ in range(rounds):
+        barrier.wait()
+        cache.put(SPEC, dummy_stats(), elapsed_s=0.1)
+
+
+def test_concurrent_writers_same_fingerprint_never_tear(tmp_path):
+    """N processes put() the same fingerprint simultaneously: the entry
+    must always read back valid — one winner per round, no torn JSON,
+    no quarantine events (atomic temp-file + rename discipline)."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    n_procs, rounds = 4, 8
+    barrier = ctx.Barrier(n_procs)
+    procs = [
+        ctx.Process(
+            target=_race_writer, args=(str(tmp_path), barrier, rounds)
+        )
+        for _ in range(n_procs)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    reader = ResultCache(tmp_path)
+    got = reader.get(SPEC)
+    assert got is not None and got.operations == 10
+    assert reader.counters()["quarantined"] == 0
+    assert list(tmp_path.glob("**/*.corrupt")) == []
+    # exactly one entry file: concurrent writers converged on one key
+    assert len(list(tmp_path.glob("**/*.json"))) == 1

@@ -235,6 +235,47 @@ def test_retries_exhaust_with_attempt_count():
     assert results[0].attempts == 3
 
 
+def test_backoff_does_not_block_a_scheduler_slot(baseline):
+    """A spec waiting out its retry backoff must not occupy a worker.
+
+    Grid of two specs through ONE slot: the first crashes on attempt 1
+    and backs off for ~0.5-1 s, the second runs clean in ~0.1 s.  With
+    a free slot during the backoff the clean spec finishes first; a
+    blocking backoff would serialize the retry ahead of it.
+    """
+    grid = tiny_grid(("directory", "dico"))
+    crashy, clean = grid
+    plan = FaultPlan(
+        seed=0,
+        rules=(
+            FaultRule(
+                kind="crash", match=crashy.fingerprint()[:16], times=1
+            ),
+        ),
+    )
+    completed = []
+    runner = SweepRunner(
+        jobs=1,
+        policy=FaultPolicy(
+            max_retries=1,
+            backoff_base_s=1.0,
+            backoff_max_s=1.5,
+            on_failure="skip",
+        ),
+        fault_plan=plan,
+        progress=completed.append,
+    )
+    results = runner.run(grid)
+    assert all(r.ok for r in results)
+    assert results[0].attempts == 2 and results[1].attempts == 1
+    for r in results:
+        assert stats_to_dict(r.stats) == baseline[r.spec.fingerprint()]
+    # completion order: the clean spec landed while the crashed one
+    # was still backing off
+    assert clean.label in completed[0]
+    assert crashy.label in completed[1]
+
+
 def test_timeout_kills_hung_worker():
     plan = FaultPlan(
         seed=1, rules=(FaultRule(kind="hang", rate=1.0),), hang_s=60.0

@@ -106,3 +106,73 @@ def test_records_are_single_json_lines(tmp_path):
         "elapsed_s": 1.25,
         "detail": "",
     }
+
+
+# -------------------------------------------------------- completion + GC
+
+
+def test_mark_complete_and_is_complete(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.record("a" * 64, "ok")
+    assert not journal.is_complete()
+    journal.mark_complete(points=1)
+    assert journal.is_complete()
+    # the marker is invisible to load()/summarize() readers
+    assert list(journal.load()) == ["a" * 64]
+
+
+def test_gc_prunes_only_old_completed_journals(tmp_path):
+    import os
+
+    from repro.sweep import gc_journals
+
+    root = tmp_path / "journals"
+    done_old = SweepJournal(root / "done-old.jsonl")
+    done_old.record("a" * 64, "ok")
+    done_old.mark_complete(1)
+    done_new = SweepJournal(root / "done-new.jsonl")
+    done_new.record("b" * 64, "ok")
+    done_new.mark_complete(1)
+    inflight_old = SweepJournal(root / "inflight-old.jsonl")
+    inflight_old.record("c" * 64, "failed", detail="boom")
+
+    old = 1_000_000.0
+    os.utime(done_old.path, (old, old))
+    os.utime(inflight_old.path, (old, old))
+
+    pruned = gc_journals(tmp_path, keep_s=7 * 86400.0)
+    assert [p.name for p in pruned] == ["done-old.jsonl"]
+    assert not done_old.path.exists()
+    # recent completed journals stay within the keep window
+    assert done_new.path.exists()
+    # incomplete journals are resume state: never pruned, however old
+    assert inflight_old.path.exists()
+
+
+def test_gc_injectable_now_and_missing_dir(tmp_path):
+    from repro.sweep import gc_journals
+
+    assert gc_journals(tmp_path / "nowhere") == []
+    journal = SweepJournal(tmp_path / "journals" / "j.jsonl")
+    journal.record("a" * 64, "ok")
+    journal.mark_complete(1)
+    mtime = journal.path.stat().st_mtime
+    assert gc_journals(tmp_path, keep_s=60.0, now=mtime + 30.0) == []
+    pruned = gc_journals(tmp_path, keep_s=60.0, now=mtime + 61.0)
+    assert [p.name for p in pruned] == ["j.jsonl"]
+
+
+def test_runner_marks_fully_ok_grid_complete(tmp_path):
+    from repro.sweep import SweepRunner
+
+    grid = specs(2)
+    grid = [
+        RunSpec(
+            protocol=s.protocol, workload=s.workload, seed=s.seed,
+            cycles=1_500, warmup=500, config=TINY,
+        )
+        for s in grid
+    ]
+    SweepRunner(jobs=1, cache_dir=tmp_path, progress=False).run(grid)
+    journal = SweepJournal.for_grid(tmp_path, grid)
+    assert journal.is_complete()

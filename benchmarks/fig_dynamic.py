@@ -1,0 +1,348 @@
+"""Graceful-degradation measurement under dynamic consolidation.
+
+Not a figure from the paper: the paper evaluates a *static* placement,
+and this benchmark measures exactly what that leaves open — how each
+protocol of the lab degrades when the consolidation assumptions move
+mid-run.  Every protocol executes the same seeded storyline (a VM
+migrates across areas, dedup churn breaks and re-merges shared pages,
+a VM departs and a fresh one arrives) plus a heavier churn variant,
+against a no-plan baseline of the same seed and window.
+
+The run is observed in fixed windows (:meth:`Chip.run_cycles_windowed`)
+and three degradation metrics come out per protocol and plan:
+
+* **flit / latency spike** — traffic and average miss latency in the
+  window an event fires, relative to the baseline's same window (the
+  cost of the handoff itself: flush writebacks, re-fetches, re-homing);
+* **recovery windows** — how many windows after the event until
+  per-core throughput is back within 95% of the baseline's (per-core,
+  so a departed VM's missing cores don't read as degradation);
+* **steady-state delta** — per-core throughput over the final quarter
+  of the run versus baseline (the residual cost: cold arrivals, sharing
+  state the protocol could not carry across the handoff).
+
+The interesting contrast is structural: Directory and DiCo implement a
+real coherence-state transfer (``_migrate_block_state``), while
+DiCo-Providers and DiCo-Arin must flush on migration because their
+sharing codes are keyed to static areas — the brittleness this
+benchmark exists to measure.
+
+Output is ``BENCH_DYNAMIC.json`` (committed at the repo root; CI's
+dynamic-smoke job regenerates a ``--quick`` variant as an artifact).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fig_dynamic.py [--quick] [-o PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.area import AreaMap
+from repro.core.protocols.registry import protocol_names
+from repro.sim.chip import Chip, paper_scaled_chip
+from repro.sim.config import ChipConfig, small_test_chip
+from repro.workloads.dynamics import ConsolidationEvent, ConsolidationPlan
+
+SEED = 1
+WORKLOAD = "mixed-com"
+N_VMS = 3  # three areas occupied, one free — the migration target
+RECOVERY_THRESHOLD = 0.95
+
+
+# ---------------------------------------------------------------------------
+# plans
+
+def _area_tiles(cfg: ChipConfig) -> List[tuple]:
+    areas = AreaMap(cfg.mesh_width, cfg.mesh_height, cfg.n_areas)
+    return [tuple(areas.tiles_of(a)) for a in range(cfg.n_areas)]
+
+
+def storyline_plan(cfg: ChipConfig, cycles: int) -> ConsolidationPlan:
+    """The canonical consolidation storyline, scaled to the window."""
+    a = _area_tiles(cfg)
+    c = lambda frac: max(1, int(cycles * frac))
+    return ConsolidationPlan(
+        events=(
+            ConsolidationEvent(c(0.20), "vm_migrate", vm=1, tiles=a[3]),
+            ConsolidationEvent(c(0.35), "dedup_break", vm=0, pages=6),
+            ConsolidationEvent(c(0.50), "dedup_merge", vm=0, pages=6),
+            ConsolidationEvent(c(0.65), "vm_depart", vm=2),
+            ConsolidationEvent(c(0.80), "vm_arrive", vm=3, tiles=a[2]),
+        ),
+        seed=SEED,
+    )
+
+
+def churn_plan(cfg: ChipConfig, cycles: int) -> ConsolidationPlan:
+    """The storyline at roughly double the event rate: the migrated VM
+    bounces back, and every phase carries extra dedup churn."""
+    a = _area_tiles(cfg)
+    c = lambda frac: max(1, int(cycles * frac))
+    return ConsolidationPlan(
+        events=(
+            ConsolidationEvent(c(0.10), "dedup_break", vm=1, pages=4),
+            ConsolidationEvent(c(0.20), "vm_migrate", vm=1, tiles=a[3]),
+            ConsolidationEvent(c(0.28), "dedup_merge", vm=1, pages=4),
+            ConsolidationEvent(c(0.35), "dedup_break", vm=0, pages=6),
+            ConsolidationEvent(c(0.42), "vm_migrate", vm=1, tiles=a[1]),
+            ConsolidationEvent(c(0.50), "dedup_merge", vm=0, pages=6),
+            ConsolidationEvent(c(0.58), "dedup_break", vm=2, pages=4),
+            ConsolidationEvent(c(0.65), "vm_depart", vm=2),
+            ConsolidationEvent(c(0.80), "vm_arrive", vm=3, tiles=a[2]),
+            ConsolidationEvent(c(0.90), "dedup_break", vm=0, pages=4),
+        ),
+        seed=SEED,
+    )
+
+
+# ---------------------------------------------------------------------------
+# windowed observation
+
+class WindowSampler:
+    """Per-window deltas of the live counters during a windowed run."""
+
+    def __init__(self, chip: Chip) -> None:
+        self.chip = chip
+        self.ops: List[int] = []
+        self.flits: List[int] = []
+        self.miss_lat: List[float] = []
+        self._last_ops = 0
+        self._last_flits = 0
+        self._last_lat = (0, 0)  # (count, total)
+
+    def __call__(self, measured_cycle: int) -> None:
+        stats = self.chip.protocol.stats
+        ops = sum(c.ops_done for c in self.chip.cores)
+        # live NoC counters sit on the network object (and, for the
+        # snooping family, the arbitrated bus); they merge into RunStats
+        # only at finalize.  Mesh and bus traversals are summed so every
+        # transport produces a spike curve.
+        proto = self.chip.protocol
+        net = proto.network.stats
+        flits = net.flit_link_traversals + net.bus_flit_traversals
+        bus = getattr(proto, "bus", None)
+        if bus is not None:
+            flits += bus.stats.bus_flit_traversals
+        lat = (stats.miss_latency.count, stats.miss_latency.total)
+        if measured_cycle:  # cycle 0 is the priming call: baseline only
+            self.ops.append(ops - self._last_ops)
+            self.flits.append(flits - self._last_flits)
+            d_count = lat[0] - self._last_lat[0]
+            d_total = lat[1] - self._last_lat[1]
+            self.miss_lat.append(d_total / d_count if d_count else 0.0)
+        self._last_ops, self._last_flits, self._last_lat = ops, flits, lat
+
+
+def active_core_cycles(
+    plan: Optional[ConsolidationPlan],
+    cores0: int,
+    tiles_per_vm: int,
+    cycles: int,
+    window: int,
+) -> List[float]:
+    """Exact active-core-cycles per window from the plan timeline.
+
+    Departures and arrivals change how many cores commit ops; per-core
+    normalization needs the integral of the active-core count over each
+    window, not a point sample.
+    """
+    changes = [(0, cores0)]
+    n = cores0
+    for ev in plan.events if plan is not None else ():
+        if ev.kind == "vm_depart":
+            n -= tiles_per_vm
+        elif ev.kind == "vm_arrive":
+            n += tiles_per_vm
+        else:
+            continue
+        changes.append((ev.cycle, n))
+    out: List[float] = []
+    t = 0
+    while t < cycles:
+        end = min(cycles, t + window)
+        total = 0.0
+        for i, (start, count) in enumerate(changes):
+            nxt = changes[i + 1][0] if i + 1 < len(changes) else cycles
+            lo, hi = max(start, t), min(nxt, end)
+            if hi > lo:
+                total += (hi - lo) * count
+        out.append(total)
+        t = end
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the measurement
+
+def run_protocol(
+    protocol: str,
+    cfg: ChipConfig,
+    cycles: int,
+    warmup: int,
+    window: int,
+    plans: Dict[str, Optional[ConsolidationPlan]],
+) -> Dict:
+    tiles_per_vm = cfg.n_tiles // cfg.n_areas
+    cores0 = N_VMS * tiles_per_vm
+    out: Dict[str, Dict] = {}
+    base: Optional[Dict] = None
+    for name, plan in plans.items():
+        chip = Chip(
+            protocol, WORKLOAD, config=cfg, seed=SEED, n_vms=N_VMS, plan=plan
+        )
+        sampler = WindowSampler(chip)
+        stats = chip.run_cycles_windowed(cycles, warmup, window, sampler)
+        core_cycles = active_core_cycles(
+            plan, cores0, tiles_per_vm, cycles, window
+        )
+        ops_per_kcc = [  # ops per thousand active core cycles
+            1000.0 * o / cc if cc else 0.0
+            for o, cc in zip(sampler.ops, core_cycles)
+        ]
+        doc = {
+            "operations": stats.operations,
+            "l1_misses": stats.l1_misses,
+            "flits": stats.network.flit_link_traversals,
+            "consolidation": dict(stats.consolidation),
+            "ops_per_window": sampler.ops,
+            "flits_per_window": sampler.flits,
+            "miss_latency_per_window": [round(v, 3) for v in sampler.miss_lat],
+            "ops_per_kilo_core_cycle": [round(v, 4) for v in ops_per_kcc],
+        }
+        if plan is None:
+            base = doc
+        else:
+            assert base is not None, "baseline must run first"
+            doc["events"] = [
+                _event_metrics(ev, window, doc, base)
+                for ev in plan.events
+            ]
+            doc["steady_state_delta"] = _steady_state_delta(doc, base)
+        out[name] = doc
+    return out
+
+
+def _event_metrics(ev: ConsolidationEvent, window: int, dyn: Dict, base: Dict) -> Dict:
+    w = min((ev.cycle - 1) // window, len(dyn["ops_per_window"]) - 1)
+    flit_spike = _ratio(dyn["flits_per_window"][w], base["flits_per_window"][w])
+    lat_spike = _ratio(
+        dyn["miss_latency_per_window"][w], base["miss_latency_per_window"][w]
+    )
+    recovery = None
+    d, b = dyn["ops_per_kilo_core_cycle"], base["ops_per_kilo_core_cycle"]
+    for k, j in enumerate(range(w + 1, len(d))):
+        if b[j] and d[j] >= RECOVERY_THRESHOLD * b[j]:
+            recovery = k
+            break
+    return {
+        "kind": ev.kind,
+        "vm": ev.vm,
+        "cycle": ev.cycle,
+        "window": w,
+        "flit_spike": flit_spike,
+        "miss_latency_spike": lat_spike,
+        "recovery_windows": recovery,
+    }
+
+
+def _steady_state_delta(dyn: Dict, base: Dict) -> float:
+    """Per-core throughput over the final quarter vs. baseline."""
+    n = len(dyn["ops_per_kilo_core_cycle"])
+    tail = max(1, n // 4)
+    d = sum(dyn["ops_per_kilo_core_cycle"][-tail:]) / tail
+    b = sum(base["ops_per_kilo_core_cycle"][-tail:]) / tail
+    return round(d / b - 1.0, 4) if b else 0.0
+
+
+def _ratio(a: float, b: float) -> Optional[float]:
+    return round(a / b, 3) if b else None
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="per-protocol degradation curves under dynamic "
+        "consolidation (mid-run migration, dedup churn, VM churn)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small chip and short windows — the CI smoke configuration",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_DYNAMIC.json", metavar="PATH",
+        help="output document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--protocols", default=None,
+        help="comma-separated subset (default: the whole lab)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        cfg = small_test_chip(4, 4, 4, l1_kb=2, l2_kb=8)
+        cycles, warmup, window = 12_000, 4_000, 1_000
+    else:
+        cfg = paper_scaled_chip()
+        cycles, warmup, window = 60_000, 30_000, 3_000
+
+    protocols = (
+        args.protocols.split(",") if args.protocols else list(protocol_names())
+    )
+    plans: Dict[str, Optional[ConsolidationPlan]] = {
+        "baseline": None,
+        "storyline": storyline_plan(cfg, cycles),
+        "churn": churn_plan(cfg, cycles),
+    }
+
+    started = time.monotonic()
+    results: Dict[str, Dict] = {}
+    for protocol in protocols:
+        t0 = time.monotonic()
+        results[protocol] = run_protocol(
+            protocol, cfg, cycles, warmup, window, plans
+        )
+        story = results[protocol]["storyline"]
+        print(
+            f"{protocol:16s} steady-state {story['steady_state_delta']:+.1%} "
+            f"(storyline) {results[protocol]['churn']['steady_state_delta']:+.1%} "
+            f"(churn)  [{time.monotonic() - t0:.1f}s]",
+            file=sys.stderr,
+        )
+
+    doc = {
+        "schema": "repro-bench-dynamic/v1",
+        "quick": bool(args.quick),
+        "workload": WORKLOAD,
+        "seed": SEED,
+        "n_vms": N_VMS,
+        "chip": {
+            "mesh": [cfg.mesh_width, cfg.mesh_height],
+            "n_areas": cfg.n_areas,
+        },
+        "cycles": cycles,
+        "warmup": warmup,
+        "window": window,
+        "recovery_threshold": RECOVERY_THRESHOLD,
+        "plans": {
+            name: plan.to_dict()
+            for name, plan in plans.items()
+            if plan is not None
+        },
+        "elapsed_seconds": round(time.monotonic() - started, 1),
+        "protocols": results,
+    }
+    Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..stats.counters import RunStats
 from ..trace.events import TraceEvent
+from ..workloads.dynamics import EVENT_KINDS
 
 __all__ = [
     "ReconciliationError",
@@ -113,6 +114,8 @@ class TrafficAccumulator:
         self.broadcasts = 0
         self.by_type: Dict[str, int] = {}
         self.flits_by_type: Dict[str, int] = {}
+        #: dynamic-consolidation events by kind (vm_migrate, ...)
+        self.consolidation: Dict[str, int] = {}
         self.per_addr: Dict[Optional[int], Dict] = {}
 
     def _addr_bucket(self, addr: Optional[int]) -> Dict:
@@ -186,6 +189,10 @@ class TrafficAccumulator:
                         bucket["flits_by_type"].get(msg_type, 0) + charged
                     )
             # "deliver" is timing-only: the send carried the traffic
+        elif layer == "consolidation":
+            self.consolidation[event.event] = (
+                self.consolidation.get(event.event, 0) + 1
+            )
         elif _is_reset(event):
             self.reset()
 
@@ -248,6 +255,20 @@ def reconcile(
     for label, traced_map, agg_map in (
         ("by_type", acc.by_type, dict(net.by_type)),
         ("flits_by_type", acc.flits_by_type, dict(net.flits_by_type)),
+        (
+            "consolidation",
+            acc.consolidation,
+            # the aggregate dict also holds effect counters
+            # (blocks_migrated, pages_broken, ...); only the per-kind
+            # counts have trace-event counterparts
+            # stats-shaped views over live network counters may not
+            # carry the section at all (== a static run)
+            {
+                k: v
+                for k, v in getattr(stats, "consolidation", {}).items()
+                if k in EVENT_KINDS
+            },
+        ),
     ):
         agg_map = {k: v for k, v in agg_map.items() if v}
         traced_map = {k: v for k, v in traced_map.items() if v}

@@ -518,6 +518,18 @@ def cmd_verify(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.scenario:
+        from .verify.fuzzer import EVENT_SCENARIOS, SCENARIOS
+
+        catalogue = {**SCENARIOS, **EVENT_SCENARIOS}
+        unknown = [s for s in args.scenario if s not in catalogue]
+        if unknown:
+            print(
+                f"error: unknown fuzz scenario(s) {unknown}; options: "
+                + ", ".join(sorted(catalogue)),
+                file=sys.stderr,
+            )
+            return 2
     report = verify(
         protocols,
         rounds=args.rounds,
@@ -528,6 +540,7 @@ def cmd_verify(args) -> int:
         bundle_dir=args.bundle_dir,
         report_path=args.output or None,
         engine=args.engine,
+        scenarios=args.scenario or None,
     )
     print(json.dumps(report.to_dict(), indent=2))
     return 0 if report.passed else 1
@@ -956,6 +969,13 @@ def main(argv=None) -> int:
         "--mutate", default=None, metavar="NAME",
         help="inject a named protocol bug (see repro.verify.mutations); "
         "the run is then expected to fail — proves the harness bites",
+    )
+    p_verify.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="restrict rounds to the named scenario (repeatable); the "
+        "only way to reach the consolidation-event scenarios "
+        "(migrate-race, depart-dirty-owner, shootdown-upgrade), which "
+        "the default rotation excludes",
     )
     p_verify.add_argument(
         "--replay", default=None, metavar="BUNDLE",

@@ -482,6 +482,18 @@ class DiCoArinProtocol(DiCoProtocol):
         super()._evict_l2_entry(home, block, entry, now)
 
     # ------------------------------------------------------------------
+    # dynamic consolidation
+
+    def _migrate_block_state(
+        self, block: int, src: int, dst: int, now: int
+    ) -> bool:
+        """No handoff: both Arin regimes are area-keyed — intra-area
+        blocks must keep every copy inside the owning area, and the
+        per-area ProPos of inter-area blocks cannot follow a line to a
+        different region — so migrated tiles flush."""
+        return False
+
+    # ------------------------------------------------------------------
     # verification
 
     def _directory_audit(self, block: int, now: Optional[int] = None) -> None:

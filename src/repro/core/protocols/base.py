@@ -200,6 +200,9 @@ class CoherenceProtocol(ABC):
         #: observability hook (:class:`repro.trace.Tracer`); ``None``
         #: keeps every instrumented path at one ``is not None`` test
         self._trace = None
+        #: tiles whose cores are quiesced (drained or migrated-from);
+        #: audits reject precise protocol pointers at these tiles
+        self._inactive_tiles: set = set()
         self._rebuild_l1_hot()
 
     def _rebuild_l1_hot(self) -> None:
@@ -515,6 +518,113 @@ class CoherenceProtocol(ABC):
     def l1_line(self, tile: int, block: int) -> Optional[L1Line]:
         return self.l1s[tile].peek(block)
 
+    # -- dynamic consolidation (VM migration / departure / dedup churn) --
+
+    def set_active_tiles(self, tiles) -> None:
+        """Record which tiles still run cores; the rest are *inactive*.
+
+        Inactive tiles may keep stale L1 lines only transiently: the
+        consolidation paths flush them, and :meth:`audit_block` treats
+        a live copy — or a precise protocol pointer — at an inactive
+        tile as a directory inconsistency.
+        """
+        self._inactive_tiles = set(range(self.config.n_tiles)) - set(tiles)
+
+    def flush_l1_block(self, tile: int, block: int, now: int) -> bool:
+        """Force-evict one L1 line, running the protocol's replacement
+        actions (Table II) — exactly like a capacity eviction, so dirty
+        owners write back and directory state is updated.  Returns
+        whether a live line was flushed.
+        """
+        line = self.l1s[tile].invalidate(block)
+        if line is None or line.state is L1State.I:
+            return False
+        self.l1cs[tile].block_evicted(block)
+        self._l1_evictions.evictions += 1
+        tr = self._trace
+        if tr is None:
+            self._evict_l1_line(tile, block, line, now)
+        else:
+            tr.transition(
+                tile, block, line.state.name, "I", "consolidation_flush"
+            )
+            saved = tr.ctx
+            tr.ctx = (tile, block)
+            self._evict_l1_line(tile, block, line, now)
+            tr.ctx = saved
+        return True
+
+    def drain_tile(self, tile: int, now: int, deactivate: bool = False) -> int:
+        """Flush every live L1 line of ``tile`` (VM departure / quiesce).
+
+        Returns the number of lines flushed.  With ``deactivate`` the
+        tile is also marked inactive for the audits.
+        """
+        flushed = 0
+        for block in sorted(b for b, _ in self.l1s[tile]):
+            if self.flush_l1_block(tile, block, now):
+                flushed += 1
+        if deactivate:
+            self._inactive_tiles.add(tile)
+        return flushed
+
+    def migrate_tile_state(
+        self, src: int, dst: int, now: int
+    ) -> Tuple[int, int]:
+        """Hand the coherence state of ``src``'s L1 over to ``dst``.
+
+        Per block the protocol-specific :meth:`_migrate_block_state`
+        hook may *transfer* the line (move the copy and re-home its
+        metadata); blocks it declines — and blocks busy with an
+        in-flight transaction — are flushed instead, writing dirty
+        owners back through the normal eviction actions.  Returns
+        ``(moved, flushed)``.
+        """
+        moved = flushed = 0
+        busy = self._busy
+        for block in sorted(b for b, _ in self.l1s[src]):
+            if busy.get(block, 0) <= now and self._migrate_block_state(
+                block, src, dst, now
+            ):
+                moved += 1
+            elif self.flush_l1_block(src, block, now):
+                flushed += 1
+        self._inactive_tiles.add(src)
+        self._inactive_tiles.discard(dst)
+        return moved, flushed
+
+    def _migrate_block_state(
+        self, block: int, src: int, dst: int, now: int
+    ) -> bool:
+        """Try to transfer one L1 line from ``src`` to ``dst``.
+
+        The base protocol has no transfer path — everything is flushed.
+        Directory and plain DiCo override this with a real handoff
+        (move the line, re-point owner metadata); the area-keyed
+        families (Providers, Arin) deliberately do *not*: their sharing
+        codes are keyed by area and cannot survive a region change —
+        the brittleness the dynamic experiments measure.
+        """
+        return False
+
+    def shootdown_block(self, block: int, now: int) -> int:
+        """Invalidate every L1 copy of ``block`` chip-wide (the
+        TLB-shootdown analogue after a dedup re-merge retires a frame).
+
+        Flushes run the normal eviction actions, so ownership may hop
+        between copies (DiCo transfers to a sharer); the loop re-scans
+        until no live copy remains.  Returns the number flushed.
+        """
+        flushed = 0
+        for _ in range(4 * self.config.n_tiles):
+            copies = self._l1_copies(block)
+            if not copies:
+                break
+            tile, _line = copies[0]
+            if self.flush_l1_block(tile, block, now):
+                flushed += 1
+        return flushed
+
     # -- L2 fills --------------------------------------------------------
 
     def fill_l2(self, home: int, block: int, entry: L2Line, now: int) -> None:
@@ -568,6 +678,15 @@ class CoherenceProtocol(ABC):
         """Full per-block audit: copy-set invariants plus the
         protocol-specific directory-consistency check."""
         self.checker.check_copy_set(block, self.live_copies(block), now=now)
+        if self._inactive_tiles:
+            for tile, line in self._l1_copies(block):
+                if tile in self._inactive_tiles:
+                    self._audit_fail(
+                        block,
+                        f"live {line.state.name} copy on inactive tile "
+                        f"{tile} (not drained on departure/migration)",
+                        now,
+                    )
         self._directory_audit(block, now)
 
     def _directory_audit(self, block: int, now: Optional[int] = None) -> None:

@@ -517,6 +517,70 @@ class DiCoProtocol(CoherenceProtocol):
         else:
             self._put_ownership_home(tile, block, line, now)
 
+    # ------------------------------------------------------------------
+    # dynamic consolidation
+
+    def _migrate_block_state(
+        self, block: int, src: int, dst: int, now: int
+    ) -> bool:
+        """DiCo handoff: move the line and keep the metadata precise.
+
+        Owner lines (E/M/O) travel with their sharing code; the move is
+        an ownership change (``Change_Owner`` to the home, re-pointing
+        the L2C$) plus hints so the sharers' L1C$ predictions follow.
+        Shared lines move when the ordering point is known — its
+        sharing code swaps the src bit for the dst bit.
+        """
+        line = self.l1s[src].peek(block)
+        if line is None or line.state is L1State.I:
+            return False
+        dline = self.l1s[dst].peek(block)
+        if dline is not None and dline.state is not L1State.I:
+            return False  # destination already holds its own copy
+        home = (block & self._home_mask)
+        pointer = self.l2cs[home].peek_owner(block)
+        if line.state in (L1State.E, L1State.M, L1State.O):
+            if pointer != src:
+                return False  # pointer out of step; take the flush path
+            taken = self.l1s[src].invalidate(block)
+            assert taken is line
+            self.l1cs[src].block_evicted(block)
+            self.trace_transition(
+                src, block, line.state.name, "I", "migrated_out"
+            )
+            self.msg(src, dst, MessageType.DATA_OWNER, now)
+            self.msg(dst, home, MessageType.CHANGE_OWNER, now)
+            self.msg(home, dst, MessageType.CHANGE_OWNER_ACK, now)
+            line.sharers &= ~(1 << dst)
+            self.fill_l1(dst, block, line, now, supplier=None)
+            self._set_l1_owner(block, dst, now)
+            self._send_hints(
+                block,
+                self._live_sharers(block, line.sharers, exclude=dst),
+                dst,
+                now,
+            )
+            return True
+        # shared line: the ordering point's sharing code must follow
+        if pointer is not None:
+            oline = self.l1s[pointer].peek(block)
+            if oline is None:
+                return False
+            code_holder = oline
+        else:
+            entry = self.l2s[home].peek(block)
+            if entry is None or not entry.is_owner or entry.plain_copy:
+                return False
+            code_holder = entry
+        taken = self.l1s[src].invalidate(block)
+        assert taken is line
+        self.l1cs[src].block_evicted(block)
+        self.trace_transition(src, block, line.state.name, "I", "migrated_out")
+        self.msg(src, dst, MessageType.DATA, now)
+        code_holder.sharers = (code_holder.sharers & ~(1 << src)) | (1 << dst)
+        self.fill_l1(dst, block, line, now, supplier=pointer)
+        return True
+
     def _evict_l2_entry(self, home: int, block: int, entry: L2Line, now: int) -> None:
         """Home-owned entry eviction: invalidate chip-wide, then drop."""
         if entry.plain_copy:
@@ -554,6 +618,13 @@ class DiCoProtocol(CoherenceProtocol):
             if l.state in (L1State.E, L1State.M, L1State.O)
         ]
         if pointer is not None:
+            if pointer in self._inactive_tiles:
+                self._audit_fail(
+                    block,
+                    f"L2C$ pointer names inactive tile {pointer} "
+                    "(stale after consolidation)",
+                    now,
+                )
             if home_owned:
                 self._audit_fail(
                     block,

@@ -357,6 +357,43 @@ class DirectoryProtocol(CoherenceProtocol):
                     now,
                 )
 
+    # ------------------------------------------------------------------
+    # dynamic consolidation
+
+    def _migrate_block_state(
+        self, block: int, src: int, dst: int, now: int
+    ) -> bool:
+        """Flat-directory handoff: move the L1 copy and re-point the
+        home's full-map metadata — the directory has no area-keyed
+        state, so every line survives a migration."""
+        line = self.l1s[src].peek(block)
+        if line is None or line.state is L1State.I:
+            return False
+        dline = self.l1s[dst].peek(block)
+        if dline is not None and dline.state is not L1State.I:
+            return False  # destination already holds its own copy
+        home = (block & self._home_mask)
+        info = self._dir_lookup(home, block)
+        if info is None:
+            return False
+        if line.state in (L1State.E, L1State.M) and info.owner_tile != src:
+            return False  # metadata out of step; take the flush path
+        taken = self.l1s[src].invalidate(block)
+        assert taken is line
+        self.l1cs[src].block_evicted(block)
+        self.trace_transition(src, block, line.state.name, "I", "migrated_out")
+        # data travels core-to-core; a control message re-points the home
+        self.msg(src, dst, MessageType.DATA, now)
+        self.msg(src, home, MessageType.CHANGE_OWNER, now)
+        if info.owner_tile == src:
+            info.owner_tile = dst
+        if info.sharers & (1 << src):
+            info.sharers = (info.sharers & ~(1 << src)) | (1 << dst)
+        elif line.state is L1State.S:
+            info.sharers |= 1 << dst
+        self.fill_l1(dst, block, line, now, supplier=src)
+        return True
+
     def _evict_l2_entry(self, home: int, block: int, entry: L2Line, now: int) -> None:
         """L2 *data* eviction: keep the directory info alive (NCID)."""
         live = [
@@ -453,6 +490,13 @@ class DirectoryProtocol(CoherenceProtocol):
         covered = info.sharers
         if info.owner_tile is not None:
             covered |= 1 << info.owner_tile
+            if info.owner_tile in self._inactive_tiles:
+                self._audit_fail(
+                    block,
+                    f"{via} owner pointer names inactive tile "
+                    f"{info.owner_tile} (stale after consolidation)",
+                    now,
+                )
             oline = self.l1s[info.owner_tile].peek(block)
             if oline is None or oline.state not in (L1State.E, L1State.M):
                 self._audit_fail(

@@ -304,6 +304,17 @@ class DLSProtocol(CoherenceProtocol):
                 self._audit_fail(
                     block, f"private copy in non-exclusive state {line.state.name}", now
                 )
+        if (
+            entry is not None
+            and entry.owner_tile is not None
+            and entry.owner_tile in self._inactive_tiles
+        ):
+            self._audit_fail(
+                block,
+                f"LLC tracking entry names inactive tile {entry.owner_tile} "
+                "(stale after consolidation)",
+                now,
+            )
         if copies:
             if entry is None:
                 self._audit_fail(

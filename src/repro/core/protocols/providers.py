@@ -471,6 +471,18 @@ class DiCoProvidersProtocol(DiCoProtocol):
         self.set_busy(block, now + worst)
 
     # ------------------------------------------------------------------
+    # dynamic consolidation
+
+    def _migrate_block_state(
+        self, block: int, src: int, dst: int, now: int
+    ) -> bool:
+        """No handoff: the ProPo maps and area-local sharing codes are
+        keyed by static areas and cannot follow a line across a region
+        change — everything flushes (the brittleness under migration
+        the dynamic experiments measure)."""
+        return False
+
+    # ------------------------------------------------------------------
     # verification
 
     def _audit_propos(self, block: int) -> Dict[int, int]:
@@ -496,6 +508,13 @@ class DiCoProvidersProtocol(DiCoProtocol):
         orphaned provider no ProPo references — then fails the base
         coverage check)."""
         for area, provider in self._audit_propos(block).items():
+            if provider in self._inactive_tiles:
+                self._audit_fail(
+                    block,
+                    f"ProPo for area {area} names inactive tile "
+                    f"{provider} (stale after consolidation)",
+                    now,
+                )
             pline = self.l1s[provider].peek(block)
             if pline is None or pline.state is not L1State.P:
                 self._audit_fail(

@@ -261,6 +261,13 @@ class _SnoopProtocolBase(CoherenceProtocol):
         owner_tile = owners[0][0] if owners else None
         rec_owner = d.owner if d is not None else None
         rec_sharers = d.sharers if d is not None else 0
+        if rec_owner is not None and rec_owner in self._inactive_tiles:
+            self._audit_fail(
+                block,
+                f"snoop record owner names inactive tile {rec_owner} "
+                "(stale after consolidation)",
+                now,
+            )
         if rec_owner != owner_tile:
             self._audit_fail(
                 block,

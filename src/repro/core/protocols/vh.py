@@ -537,6 +537,14 @@ class VirtualHierarchyProtocol(CoherenceProtocol):
                     now,
                 )
             if entry.owner_tile is not None:
+                if entry.owner_tile in self._inactive_tiles:
+                    self._audit_fail(
+                        block,
+                        f"domain {d} level-1 directory names inactive "
+                        f"tile {entry.owner_tile} (stale after "
+                        "consolidation)",
+                        now,
+                    )
                 if entry.has_data:
                     self._audit_fail(
                         block,

@@ -146,6 +146,109 @@ class DedupPageTable:
         return new_ppage, event
 
     # ------------------------------------------------------------------
+    # dynamic consolidation (mid-run churn)
+
+    def force_cow(self, vm: int, vpage: int) -> Optional[CowEvent]:
+        """Break the dedup sharing of one page without a write.
+
+        Models the hypervisor un-sharing a page (memory pressure,
+        ballooning).  Same mechanics as :meth:`translate_write` —
+        returns the :class:`CowEvent`, or ``None`` when the page is not
+        currently deduplicated.
+        """
+        key = (vm, vpage)
+        ppage = self.translate(vm, vpage)
+        if ppage not in self._dedup_ppages:
+            return None
+        users = self._dedup_users[ppage]
+        new_ppage = self._alloc_ppage()
+        self._pages_saved -= 1
+        users.discard(key)
+        self._map[key] = new_ppage
+        if len(users) <= 1:
+            self._dedup_ppages.discard(ppage)
+            del self._dedup_users[ppage]
+        event = CowEvent(vm=vm, vpage=vpage, old_ppage=ppage, new_ppage=new_ppage)
+        self.cow_events.append(event)
+        return event
+
+    def remap_shared(
+        self, vm: int, vpage: int, peer_vm: int, peer_vpage: int
+    ) -> Optional[Tuple[int, int]]:
+        """Re-merge ``(vm, vpage)`` onto the frame backing the peer's
+        (content-identical) page.
+
+        The inverse of a CoW break: the VM's private frame is retired
+        and its mapping joins the peer's frame (which is promoted to a
+        deduplicated frame if it was private).  Returns ``(retired
+        private ppage, shared ppage)``, or ``None`` when the mapping
+        already shares the peer's frame.  Frame numbers are never
+        reused (:meth:`_alloc_ppage` is monotonic), so stale cached
+        blocks of the retired frame can never alias a later page.
+        """
+        key = (vm, vpage)
+        old = self.translate(vm, vpage)
+        shared = self.translate(peer_vm, peer_vpage)
+        if old == shared:
+            return None
+        if old in self._dedup_ppages:
+            raise ValueError(
+                f"page {key} is still deduplicated on frame {old:#x}"
+            )
+        if shared not in self._dedup_ppages:
+            self._dedup_ppages.add(shared)
+            self._dedup_users[shared] = {(peer_vm, peer_vpage)}
+        self._dedup_users[shared].add(key)
+        self._map[key] = shared
+        self._pages_saved += 1
+        # a remap invalidates cached translations exactly like a break
+        self.cow_events.append(
+            CowEvent(vm=vm, vpage=vpage, old_ppage=old, new_ppage=shared)
+        )
+        return old, shared
+
+    def map_shared_with(
+        self, vm: int, vpage: int, peer_vm: int, peer_vpage: int
+    ) -> int:
+        """Map a *new* ``(vm, vpage)`` onto the peer's existing frame.
+
+        Used when a VM arrives mid-run and its content-identical pages
+        (guest OS, same-benchmark data) join the live dedup groups.
+        """
+        key = (vm, vpage)
+        if key in self._map:
+            raise ValueError(f"page {key} already mapped")
+        shared = self.translate(peer_vm, peer_vpage)
+        if shared not in self._dedup_ppages:
+            self._dedup_ppages.add(shared)
+            self._dedup_users[shared] = {(peer_vm, peer_vpage)}
+        self._dedup_users[shared].add(key)
+        self._map[key] = shared
+        self._pages_saved += 1
+        return shared
+
+    def release_vm(self, vm: int) -> List[int]:
+        """Unmap every page of ``vm`` (the VM departed).
+
+        Dedup frames lose one user (and demote to private when a single
+        user remains); frames the VM held alone are retired.  Returns
+        the retired physical pages, sorted.
+        """
+        retired: Set[int] = set()
+        for key in [k for k in self._map if k[0] == vm]:
+            ppage = self._map.pop(key)
+            if ppage in self._dedup_ppages:
+                users = self._dedup_users[ppage]
+                users.discard(key)
+                self._pages_saved -= 1
+                if len(users) <= 1:
+                    self._dedup_ppages.discard(ppage)
+                    del self._dedup_users[ppage]
+            else:
+                retired.add(ppage)
+        return sorted(retired)
+
+    # ------------------------------------------------------------------
     # introspection
 
     def is_deduplicated_ppage(self, ppage: int) -> bool:

@@ -27,6 +27,7 @@ from ..core.checker import CoherenceChecker
 from ..core.protocols import PROTOCOLS, REGISTRY
 from ..core.protocols.base import CoherenceProtocol
 from ..stats.counters import RunStats
+from ..workloads.dynamics import ConsolidationEvent, ConsolidationPlan
 from ..workloads.generator import ConsolidatedWorkload, MemOp
 from ..workloads.placement import VMPlacement
 from .config import ChipConfig, DEFAULT_CHIP
@@ -246,11 +247,18 @@ class Chip:
         checker: Optional[CoherenceChecker] = None,
         protocol_kwargs: Optional[dict] = None,
         workload_specs: Optional[dict] = None,
+        plan: Optional[ConsolidationPlan] = None,
     ) -> None:
         """``workload_specs`` optionally pins the per-VM
         :class:`~repro.workloads.spec.WorkloadSpec` objects instead of
         resolving ``workload`` from the registry (sweep workers use it
-        to reproduce exactly what the dispatching process keyed)."""
+        to reproduce exactly what the dispatching process keyed).
+
+        ``plan`` optionally arms a
+        :class:`~repro.workloads.dynamics.ConsolidationPlan` whose
+        events fire mid-run through :meth:`apply_event`.  An empty plan
+        is normalized to ``None`` so statistics stay bit-identical to a
+        plan-less run."""
         if isinstance(protocol, CoherenceProtocol):
             self.protocol = protocol
         else:
@@ -284,6 +292,12 @@ class Chip:
         self.deadline: Optional[int] = None
         self._cores_running = 0
         self._finish_time = 0
+        if plan is not None and len(plan) == 0:
+            plan = None
+        self.plan = plan
+        #: VM of record for cores whose VM departed mid-run (the
+        #: placement no longer maps their tiles)
+        self._core_vm: Dict[Core, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -327,6 +341,27 @@ class Chip:
             self._cores_running -= 1
         self._finish_time = max(self._finish_time, now)
 
+    def _schedule_plan(self, cycles: int, warmup: int) -> None:
+        """Arm the consolidation plan: validate it against the window
+        and the initial placement, then schedule each event at its
+        absolute cycle (``warmup + event.cycle``).
+
+        Scheduled events force the cores' inline-draining fast path
+        back through the event heap around the fire cycle, so an event
+        never interleaves with a half-drained issue loop.
+        """
+        plan = self.plan
+        assert plan is not None
+        plan.validate(
+            cycles,
+            {vm: self.placement.tiles_of(vm) for vm in self.placement.vms},
+            self.config.n_tiles,
+        )
+        for ev in plan.events:
+            self.sim.schedule_at(
+                warmup + ev.cycle, lambda ev=ev: self.apply_event(ev)
+            )
+
     def run_cycles(self, cycles: int, warmup: int = 0) -> RunStats:
         """Fixed time window; the metric is committed operations.
 
@@ -338,6 +373,8 @@ class Chip:
         # cores normally have no ops_target here, but a caller may pin
         # one; initialise the running count so _core_finished stays sane
         self._cores_running = sum(1 for c in self.cores if not c.done)
+        if self.plan is not None:
+            self._schedule_plan(cycles, warmup)
         for core in self.cores:
             core.start()
         if warmup:
@@ -346,10 +383,132 @@ class Chip:
             ops_at_warmup = [c.ops_done for c in self.cores]
         self.sim.run(until=warmup + cycles)
         if warmup:
+            # cores admitted mid-run sit past the end of ops_at_warmup;
+            # zip leaves them whole (they committed nothing in warmup)
             for c, base_ops in zip(self.cores, ops_at_warmup):
                 c.ops_done -= base_ops
             self.protocol.stats.operations = sum(c.ops_done for c in self.cores)
         return self._finalize(cycles)
+
+    def run_cycles_windowed(
+        self, cycles: int, warmup: int, window: int, observe
+    ) -> RunStats:
+        """:meth:`run_cycles` with a periodic observation callback.
+
+        ``observe(measured_cycle)`` runs every ``window`` cycles of the
+        measurement window (and once at its end) with the simulation
+        quiescent, so it can sample live counters — the degradation
+        benchmark uses it to resolve per-event recovery spikes.  A
+        priming call ``observe(0)`` fires right after the warmup reset
+        so samplers can baseline counters (core op counts survive the
+        reset) before the first window.
+        """
+        self.deadline = warmup + cycles
+        self._cores_running = sum(1 for c in self.cores if not c.done)
+        if self.plan is not None:
+            self._schedule_plan(cycles, warmup)
+        for core in self.cores:
+            core.start()
+        if warmup:
+            self.sim.run(until=warmup)
+            self.protocol.reset_stats()
+            ops_at_warmup = [c.ops_done for c in self.cores]
+        observe(0)
+        t = warmup
+        end = warmup + cycles
+        while t < end:
+            t = min(end, t + window)
+            self.sim.run(until=t)
+            observe(t - warmup)
+        if warmup:
+            for c, base_ops in zip(self.cores, ops_at_warmup):
+                c.ops_done -= base_ops
+            self.protocol.stats.operations = sum(c.ops_done for c in self.cores)
+        return self._finalize(cycles)
+
+    # ------------------------------------------------------------------
+    # dynamic consolidation
+
+    def apply_event(self, ev: ConsolidationEvent) -> None:
+        """Apply one consolidation event at the current cycle.
+
+        Invoked by the scheduler (via :meth:`_schedule_plan`); callable
+        directly by tests.  Updates the placement, the workload's page
+        table, the protocol's coherence state and the per-event-type
+        statistics, and emits a ``consolidation`` trace event when a
+        tracer is attached.
+        """
+        now = self.sim.now
+        proto = self.protocol
+        st = proto.stats.consolidation
+        st[ev.kind] = st.get(ev.kind, 0) + 1
+        moved = flushed = pages = 0
+        if ev.kind == "vm_migrate":
+            old = self.placement.tiles_of(ev.vm)
+            core_by_tile = {c.tile: c for c in self.cores}
+            for src, dst in zip(old, ev.tiles):
+                m, f = proto.migrate_tile_state(src, dst, now)
+                moved += m
+                flushed += f
+            self.placement.migrate(ev.vm, ev.tiles)
+            for src, dst in zip(old, ev.tiles):
+                core = core_by_tile.get(src)
+                if core is not None:
+                    core.tile = dst
+            proto.set_active_tiles(self.placement.tiles_used)
+        elif ev.kind == "vm_depart":
+            tiles = self.placement.tiles_of(ev.vm)
+            for tile in tiles:
+                flushed += proto.drain_tile(tile, now, deactivate=True)
+            for core in self.cores:
+                if core.tile in tiles:
+                    self._core_vm[core] = ev.vm
+                    if not core.done:
+                        core.done = True
+                        self._core_finished(now)
+            self.placement.remove(ev.vm)
+            if hasattr(self.workload, "release_vm"):
+                self.workload.release_vm(ev.vm)
+        elif ev.kind == "vm_arrive":
+            self.placement.admit(ev.vm, ev.tiles)
+            if hasattr(self.workload, "admit_vm"):
+                self.workload.admit_vm(ev.vm, ev.benchmark)
+            proto.set_active_tiles(self.placement.tiles_used)
+            for tile in ev.tiles:
+                core = Core(tile, self)
+                self.cores.append(core)
+                self._cores_running += 1
+                core.start()
+        elif ev.kind == "dedup_break":
+            if hasattr(self.workload, "break_dedup"):
+                pages = len(self.workload.break_dedup(ev.vm, ev.pages))
+        elif ev.kind == "dedup_merge":
+            if hasattr(self.workload, "merge_dedup"):
+                merged = self.workload.merge_dedup(ev.vm, ev.pages)
+                pages = len(merged)
+                blocks_per_page = (
+                    self.config.memory.page_bytes // self.config.block_bytes
+                )
+                for old_ppage, _shared in merged:
+                    base = old_ppage * blocks_per_page
+                    for off in range(blocks_per_page):
+                        flushed += proto.shootdown_block(base + off, now)
+        else:
+            raise ValueError(f"unknown consolidation event kind {ev.kind!r}")
+        if moved:
+            st["blocks_migrated"] = st.get("blocks_migrated", 0) + moved
+        if flushed:
+            st["blocks_flushed"] = st.get("blocks_flushed", 0) + flushed
+        if pages:
+            key = (
+                "pages_broken" if ev.kind == "dedup_break" else "pages_merged"
+            )
+            st[key] = st.get(key, 0) + pages
+        if proto._trace is not None:
+            proto._trace.consolidation(
+                ev.kind, vm=ev.vm, tiles=ev.tiles, pages=pages,
+                moved=moved, flushed=flushed,
+            )
 
     def run_ops(self, ops_per_core: int) -> RunStats:
         """Fixed work per core; the metric is elapsed cycles."""
@@ -375,7 +534,9 @@ class Chip:
         """
         totals: Dict[int, int] = {}
         for core in self.cores:
-            vm = self.placement.vm_of(core.tile)
+            vm = self._core_vm.get(core)
+            if vm is None:
+                vm = self.placement.vm_of(core.tile)
             totals[vm] = totals.get(vm, 0) + core.ops_done
         return totals
 

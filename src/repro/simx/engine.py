@@ -421,6 +421,10 @@ class ArrayChip(Chip):
             os.environ.get("REPRO_SIMX_COMPILED", "1") == "0"
             or proto._trace is not None
             or proto.network._detailed
+            # a consolidation plan mutates placement/cores/page table
+            # mid-run — the compiled runners cache all three, so fall
+            # back to the object issue path (like tracer/detailed-NoC)
+            or self.plan is not None
             # registry capability flag: new protocol families (bus
             # transport, directoryless LLC) have no compiled mirrors —
             # fall back to the object issue path transparently

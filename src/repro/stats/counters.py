@@ -129,6 +129,11 @@ class RunStats:
     #: ``l1c_hits`` / ``l1c_updates`` and ``l2c_forced_relinquishes``,
     #: aggregated across tiles by ``finalize_stats``
     prediction: Dict[str, int] = field(default_factory=dict)
+    #: dynamic-consolidation totals (schema 6): per-event-kind counts
+    #: (``vm_migrate``, ``vm_depart``, ...) plus the effect counters
+    #: ``blocks_migrated`` / ``blocks_flushed`` / ``pages_broken`` /
+    #: ``pages_merged``; empty for plan-less runs
+    consolidation: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "RunStats") -> None:
         """Aggregate another run's statistics into this one.
@@ -182,6 +187,8 @@ class RunStats:
         self.network.merge(other.network)
         for key, count in other.prediction.items():
             self.prediction[key] = self.prediction.get(key, 0) + count
+        for key, count in other.consolidation.items():
+            self.consolidation[key] = self.consolidation.get(key, 0) + count
 
     def classify_miss(self, category: str) -> None:
         if category not in self.miss_categories:

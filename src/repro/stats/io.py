@@ -32,7 +32,12 @@ __all__ = ["STATS_SCHEMA", "stats_to_dict", "stats_from_dict", "save_stats",
 #: ``network.bus_*`` counters — transactions, flit traversals, busy and
 #: wait cycles on the arbitrated broadcast bus.  Older documents load
 #: with all four at 0.
-STATS_SCHEMA = 5
+#: schema 6 (the dynamic-consolidation release) adds the
+#: ``consolidation`` section — per-event-kind counts plus the
+#: ``blocks_migrated`` / ``blocks_flushed`` / ``pages_broken`` /
+#: ``pages_merged`` effect counters.  Older documents load with an
+#: empty dict (static runs by definition).
+STATS_SCHEMA = 6
 _SCHEMA = STATS_SCHEMA
 
 _SCALARS = (
@@ -87,6 +92,7 @@ def stats_to_dict(stats: RunStats) -> Dict:
         for group, access in stats.cache_access.items()
     }
     out["prediction"] = dict(stats.prediction)
+    out["consolidation"] = dict(stats.consolidation)
     net = stats.network
     out["network"] = {
         "messages": net.messages,
@@ -109,7 +115,7 @@ def stats_to_dict(stats: RunStats) -> Dict:
 
 def stats_from_dict(data: Mapping) -> RunStats:
     """Inverse of :func:`stats_to_dict`."""
-    if data.get("schema") not in (1, 2, 3, 4, _SCHEMA):
+    if data.get("schema") not in (1, 2, 3, 4, 5, _SCHEMA):
         raise ValueError(f"unsupported stats schema {data.get('schema')!r}")
     stats = RunStats()
     for name in _SCALARS:
@@ -130,6 +136,7 @@ def stats_from_dict(data: Mapping) -> RunStats:
         for f, v in fields.items():
             setattr(access, f, v)
     stats.prediction = dict(data.get("prediction", {}))
+    stats.consolidation = dict(data.get("consolidation", {}))
     net = data["network"]
     stats.network.messages = net["messages"]
     stats.network.local_messages = net.get("local_messages", 0)

@@ -30,6 +30,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..core.area import AreaMap
 from ..core.protocols.registry import REGISTRY
 from ..sim.chip import PROTOCOLS, Chip, paper_scaled_chip
 from ..sim.config import (
@@ -40,6 +41,7 @@ from ..sim.config import (
     NocConfig,
 )
 from ..stats.counters import RunStats
+from ..workloads.dynamics import ConsolidationPlan
 from ..workloads.placement import VMPlacement
 from ..workloads.spec import WorkloadSpec, workload_for_vm
 
@@ -196,6 +198,14 @@ class RunSpec:
     protocol_kwargs: Mapping[str, Any] = field(default_factory=dict)
     #: pinned per-VM workload content, or ``None`` to resolve by name
     workload_specs: Optional[Tuple[Tuple[int, Mapping[str, Any]], ...]] = None
+    #: dynamic-consolidation plan document
+    #: (:meth:`~repro.workloads.dynamics.ConsolidationPlan.to_dict`
+    #: form), or ``None`` for a static run.  Validated at construction
+    #: against the spec's own measurement window and initial placement,
+    #: so an event past ``cycles`` or a migration onto occupied tiles
+    #: fails here — naming the offending event index — instead of deep
+    #: inside a worker process.
+    plan: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         try:
@@ -232,6 +242,36 @@ class RunSpec:
                 f"expected a name or vm->tiles mapping, got "
                 f"{type(self.placement).__name__}",
             )
+        if self.plan is not None:
+            plan = ConsolidationPlan.from_dict(self.plan)
+            if len(plan) == 0:
+                # an empty plan is a static run: normalize to None so
+                # the fingerprint (and the result cache key) is shared
+                # with the plan-less spec it is bit-identical to
+                object.__setattr__(self, "plan", None)
+            else:
+                cfg = self.resolve_config()
+                plan.validate(
+                    self.cycles, self._initial_tiles_by_vm(cfg), cfg.n_tiles
+                )
+                # store the canonical document (events cycle-sorted) so
+                # equal plans serialize — and fingerprint — identically
+                object.__setattr__(self, "plan", plan.to_dict())
+
+    def _initial_tiles_by_vm(self, cfg: ChipConfig) -> Dict[int, Tuple[int, ...]]:
+        """The run's starting ``vm -> tiles`` map (pre-plan)."""
+        if self.placement == "aligned":
+            areas = AreaMap(cfg.mesh_width, cfg.mesh_height, cfg.n_areas)
+            placement = VMPlacement.area_aligned(areas, self.n_vms)
+        elif self.placement == "alt":
+            placement = VMPlacement.alternative(
+                cfg.mesh_width, cfg.mesh_height, self.n_vms
+            )
+        else:
+            placement = VMPlacement(
+                {int(vm): tuple(t) for vm, t in dict(self.placement).items()}
+            )
+        return {vm: placement.tiles_of(vm) for vm in placement.vms}
 
     # ------------------------------------------------------------------
 
@@ -243,11 +283,19 @@ class RunSpec:
             extra += " alt" if self.placement == "alt" else " custom-placement"
         if self.overrides:
             extra += " " + ",".join(f"{k}={v}" for k, v in self.overrides)
+        if self.plan is not None:
+            extra += f" plan[{len(self.plan['events'])}]"
         return f"{self.protocol}/{self.workload} seed={self.seed}{extra}"
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-ready document (inverse of :meth:`from_dict`)."""
-        return {
+        """Canonical JSON-ready document (inverse of :meth:`from_dict`).
+
+        The ``plan`` key is emitted only when a plan is armed: static
+        specs keep the exact document — and fingerprint — they had
+        before dynamic consolidation existed, so cached results stay
+        valid.
+        """
+        doc = {
             "protocol": self.protocol,
             "workload": self.workload,
             "seed": self.seed,
@@ -262,8 +310,14 @@ class RunSpec:
             "protocol_kwargs": dict(self.protocol_kwargs),
             "workload_specs": None
             if self.workload_specs is None
-            else [[vm, dict(doc)] for vm, doc in self.workload_specs],
+            else [[vm, dict(d)] for vm, d in self.workload_specs],
         }
+        if self.plan is not None:
+            doc["plan"] = {
+                "seed": self.plan["seed"],
+                "events": [dict(ev) for ev in self.plan["events"]],
+            }
+        return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "RunSpec":
@@ -283,6 +337,7 @@ class RunSpec:
             workload_specs=None
             if doc.get("workload_specs") is None
             else tuple((vm, d) for vm, d in doc["workload_specs"]),
+            plan=doc.get("plan"),
         )
 
     def canonical_json(self) -> str:
@@ -324,6 +379,7 @@ class RunSpec:
                 _freeze(self.overrides),
                 _freeze(self.protocol_kwargs),
                 _freeze(self.workload_specs),
+                _freeze(self.plan),
             )
         )
 
@@ -388,6 +444,9 @@ class RunSpec:
             n_vms=self.n_vms,
             protocol_kwargs=dict(self.protocol_kwargs),
             workload_specs=specs,
+            plan=None
+            if self.plan is None
+            else ConsolidationPlan.from_dict(self.plan),
         )
 
     def execute(

@@ -13,6 +13,10 @@ three instrumented layers:
 * ``cache`` — a structure-level ``fill`` / ``evict`` / ``invalidate``
   on one set-associative array (the structure name, e.g. ``l1[12]``,
   travels in ``attrs``).
+* ``consolidation`` — a dynamic-consolidation event (``vm_migrate``,
+  ``vm_depart``, ``vm_arrive``, ``dedup_break``, ``dedup_merge``) with
+  the VM, target tiles, churned pages and blocks moved/flushed in
+  ``attrs``.
 
 ``addr`` is the *block number* (the physical address shifted right by
 the block-offset bits) — the same unit every protocol structure is
@@ -35,7 +39,7 @@ class TraceEvent(NamedTuple):
     """One structured trace record."""
 
     cycle: int
-    #: ``protocol`` | ``noc`` | ``cache`` | ``run``
+    #: ``protocol`` | ``noc`` | ``cache`` | ``run`` | ``consolidation``
     layer: str
     #: event name within the layer (``transition``, ``send``, ``fill``, …)
     event: str

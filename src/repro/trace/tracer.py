@@ -163,6 +163,38 @@ class Tracer:
             )
         )
 
+    # -- consolidation layer --------------------------------------------
+
+    def consolidation(
+        self,
+        kind: str,
+        vm: int,
+        tiles: Tuple[int, ...] = (),
+        pages: int = 0,
+        moved: int = 0,
+        flushed: int = 0,
+    ) -> None:
+        """A dynamic-consolidation event fired (``vm_migrate``,
+        ``vm_depart``, ``vm_arrive``, ``dedup_break``, ``dedup_merge``)
+        with its effect counters — blocks moved/flushed, pages churned.
+        """
+        self.sink.emit(
+            TraceEvent(
+                self.clock(),
+                "consolidation",
+                kind,
+                None,
+                None,
+                {
+                    "vm": vm,
+                    "tiles": list(tiles),
+                    "pages": pages,
+                    "moved": moved,
+                    "flushed": flushed,
+                },
+            )
+        )
+
     # -- run layer ------------------------------------------------------
 
     def marker(self, name: str) -> None:

@@ -163,29 +163,47 @@ def run_trace(
     versions: List[int] = []
     now = 0
     for i, op in enumerate(ops):
-        seen_blocks.add(op.block)
         try:
-            now = _issue(proto, op, now, addr_shift)
-            if op.is_write:
-                expected[op.block] += 1
-            got = checker.current_version(op.block)
-            if got != expected[op.block]:
-                raise CoherenceViolation(
-                    f"commit-count oracle: block {op.block:#x} should be at "
-                    f"version {expected[op.block]} after op {i}, checker "
-                    f"says {got}",
-                    protocol=protocol,
-                    cycle=now,
-                    tile=op.tile,
-                    block=op.block,
-                )
-            # audit everything this op touched, plus a periodic sweep of
-            # every block seen so far (evictions can corrupt bystanders)
-            touched = set(commits)
-            commits.clear()
-            touched.add(op.block)
-            if full_audit_every and i % full_audit_every == 0:
+            if op.event is not None:
+                # consolidation action: no commit, no oracle bump — but
+                # audit *everything* seen so far, because migration,
+                # drain and shootdown have whole-cache side effects
+                now = _apply_event_op(proto, op, now)
+                touched = set(commits)
+                commits.clear()
                 touched |= seen_blocks
+            elif op.tile in getattr(proto, "_inactive_tiles", ()):
+                # ddmin can delete the migrate that would have
+                # reactivated this tile; skip the op (identically in
+                # every protocol and engine) so any subset of an event
+                # trace stays well-formed and shrinking never
+                # manufactures a failure the full sequence did not have
+                versions.append(checker.current_version(op.block))
+                continue
+            else:
+                seen_blocks.add(op.block)
+                now = _issue(proto, op, now, addr_shift)
+                if op.is_write:
+                    expected[op.block] += 1
+                got = checker.current_version(op.block)
+                if got != expected[op.block]:
+                    raise CoherenceViolation(
+                        f"commit-count oracle: block {op.block:#x} should "
+                        f"be at version {expected[op.block]} after op {i}, "
+                        f"checker says {got}",
+                        protocol=protocol,
+                        cycle=now,
+                        tile=op.tile,
+                        block=op.block,
+                    )
+                # audit everything this op touched, plus a periodic
+                # sweep of every block seen so far (evictions can
+                # corrupt bystanders)
+                touched = set(commits)
+                commits.clear()
+                touched.add(op.block)
+                if full_audit_every and i % full_audit_every == 0:
+                    touched |= seen_blocks
             for block in sorted(touched):
                 proto.audit_block(block, now=now)
         except CoherenceViolation as exc:
@@ -239,6 +257,19 @@ def _issue(proto: Any, op: Op, now: int, addr_shift: int) -> int:
         now = max(now + 1, r.retry_at)
         r = proto.access(op.tile, addr, op.is_write, now)
     return now + max(1, r.latency) + 1
+
+
+def _apply_event_op(proto: Any, op: Op, now: int) -> int:
+    """Execute one consolidation event op against the protocol."""
+    if op.event == "migrate":
+        proto.migrate_tile_state(op.tile, op.arg, now)
+    elif op.event == "drain":
+        proto.drain_tile(op.tile, now, deactivate=True)
+    elif op.event == "shootdown":
+        proto.shootdown_block(op.block, now)
+    else:
+        raise ValueError(f"unknown event op {op.event!r}")
+    return now + 1
 
 
 def _from_exc(

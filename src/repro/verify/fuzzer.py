@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Op", "SCENARIOS", "generate_ops"]
+__all__ = ["Op", "SCENARIOS", "EVENT_SCENARIOS", "generate_ops"]
 
 #: block-number pool; small enough that hot blocks collide constantly,
 #: large enough (vs the tiny test chip's 16-entry L1s) to force
@@ -33,19 +33,44 @@ SET_STRIDE = 8
 
 @dataclass(frozen=True)
 class Op:
-    """One memory operation of a fuzz trace."""
+    """One step of a fuzz trace: a memory operation, or — when
+    ``event`` is set — a consolidation action injected between ops:
+
+    * ``"migrate"`` — move ``tile``'s whole L1 state to tile ``arg``
+      (:meth:`migrate_tile_state`; the source tile goes inactive);
+    * ``"drain"`` — flush ``tile``'s L1 and deactivate it (a VM
+      departure, :meth:`drain_tile`);
+    * ``"shootdown"`` — invalidate every live copy of ``block``
+      (:meth:`shootdown_block`; what a dedup merge does to the retired
+      frame's blocks).
+    """
 
     tile: int
     block: int
     is_write: bool
+    #: consolidation action, or ``None`` for a plain memory op
+    event: Optional[str] = None
+    #: event operand (the migration's destination tile)
+    arg: int = 0
 
-    def to_list(self) -> List[int]:
-        return [self.tile, self.block, int(self.is_write)]
+    def to_list(self) -> List:
+        if self.event is None:
+            return [self.tile, self.block, int(self.is_write)]
+        return [self.tile, self.block, int(self.is_write), self.event, self.arg]
 
     @classmethod
-    def from_list(cls, doc: Sequence[int]) -> "Op":
-        tile, block, w = doc
-        return cls(tile=int(tile), block=int(block), is_write=bool(w))
+    def from_list(cls, doc: Sequence) -> "Op":
+        if len(doc) == 3:
+            tile, block, w = doc
+            return cls(tile=int(tile), block=int(block), is_write=bool(w))
+        tile, block, w, event, arg = doc
+        return cls(
+            tile=int(tile),
+            block=int(block),
+            is_write=bool(w),
+            event=str(event),
+            arg=int(arg),
+        )
 
 
 Generator = Callable[[random.Random, int, int], List[Op]]
@@ -118,6 +143,64 @@ def _mixed_random(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
     ]
 
 
+def _migrate_race(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """Hot-block traffic while one VM's L1 state ping-pongs between two
+    tiles — migration racing reads, upgrades and busy blocks."""
+    src, dst = 0, n_tiles - 1
+    others = list(range(1, n_tiles - 1)) or [0]
+    hot = rng.sample(range(DEFAULT_POOL), 4)
+    ops: List[Op] = []
+    at_src = True
+    while len(ops) < n_ops:
+        live = src if at_src else dst
+        for _ in range(rng.randrange(4, 10)):
+            tile = live if rng.random() < 0.5 else rng.choice(others)
+            ops.append(Op(tile, rng.choice(hot), rng.random() < 0.5))
+        ops.append(
+            Op(live, 0, False, event="migrate", arg=dst if at_src else src)
+        )
+        at_src = not at_src
+    return ops[:n_ops]
+
+
+def _depart_dirty_owner(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """One tile dirties a working set, then departs (drain) while the
+    survivors immediately re-read the blocks it owned."""
+    victim = n_tiles - 1
+    survivors = list(range(n_tiles - 1))
+    blocks = rng.sample(range(DEFAULT_POOL), 8)
+    ops: List[Op] = []
+    for _ in range(max(1, n_ops // 3)):
+        if rng.random() < 0.4:
+            ops.append(Op(victim, rng.choice(blocks), True))
+        else:
+            ops.append(
+                Op(rng.choice(survivors), rng.choice(blocks), rng.random() < 0.3)
+            )
+    ops.append(Op(victim, 0, False, event="drain"))
+    while len(ops) < n_ops:
+        ops.append(
+            Op(rng.choice(survivors), rng.choice(blocks), rng.random() < 0.5)
+        )
+    return ops[:n_ops]
+
+
+def _shootdown_upgrade(rng: random.Random, n_tiles: int, n_ops: int) -> List[Op]:
+    """Shared blocks shot down (a dedup merge retiring their frame)
+    right between the read phase and a racing wave of upgrades."""
+    hot = rng.sample(range(DEFAULT_POOL), 6)
+    ops: List[Op] = []
+    while len(ops) < n_ops:
+        block = rng.choice(hot)
+        racers = rng.sample(range(n_tiles), min(4, n_tiles))
+        for t in racers:
+            ops.append(Op(t, block, False))
+        ops.append(Op(0, block, False, event="shootdown"))
+        for t in racers:
+            ops.append(Op(t, block, True))
+    return ops[:n_ops]
+
+
 SCENARIOS: Dict[str, Generator] = {
     "false-sharing": _false_sharing,
     "ping-pong": _ping_pong,
@@ -125,6 +208,16 @@ SCENARIOS: Dict[str, Generator] = {
     "dedup-race": _dedup_race,
     "racing-upgrades": _racing_upgrades,
     "mixed-random": _mixed_random,
+}
+
+#: consolidation-event scenarios, kept out of :data:`SCENARIOS` so the
+#: default round rotation (pinned by tests and CI baselines) is
+#: unchanged — select them explicitly via ``--scenario`` / the
+#: ``scenarios=`` runner parameter
+EVENT_SCENARIOS: Dict[str, Generator] = {
+    "migrate-race": _migrate_race,
+    "depart-dirty-owner": _depart_dirty_owner,
+    "shootdown-upgrade": _shootdown_upgrade,
 }
 
 
@@ -136,17 +229,20 @@ def generate_ops(
 ) -> Tuple[str, List[Op]]:
     """Produce a seeded adversarial op sequence.
 
-    With ``scenario=None`` the seed also picks the scenario, so a round
-    counter alone sweeps the whole catalogue.  Returns the scenario
-    name with the ops so reports and bundles can say what was fuzzed.
+    With ``scenario=None`` the seed also picks the scenario (from the
+    classic catalogue only), so a round counter alone sweeps it.  An
+    explicit ``scenario`` may name any catalogue entry, including the
+    consolidation-event ones.  Returns the scenario name with the ops
+    so reports and bundles can say what was fuzzed.
     """
     rng = random.Random(seed)
     if scenario is None:
         scenario = sorted(SCENARIOS)[rng.randrange(len(SCENARIOS))]
+    catalogue = {**SCENARIOS, **EVENT_SCENARIOS}
     try:
-        gen = SCENARIOS[scenario]
+        gen = catalogue[scenario]
     except KeyError:
         raise ValueError(
-            f"unknown fuzz scenario {scenario!r}; options: {sorted(SCENARIOS)}"
+            f"unknown fuzz scenario {scenario!r}; options: {sorted(catalogue)}"
         ) from None
     return scenario, gen(rng, n_tiles, n_ops)

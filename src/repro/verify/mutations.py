@@ -22,6 +22,20 @@ docstring says which detection layer is expected to fire:
 * ``dls-stale-demotion`` — the DLS LLC-inclusion audit (a demotion
   leaves the former private owner's L1 copy alive on a shared block).
 
+Three consolidation mutations break the dynamic paths (exercised only
+by the event scenarios — ``migrate-race``, ``depart-dirty-owner``,
+``shootdown-upgrade``):
+
+* ``dico-migrate-stale-owner`` — the DiCo directory audit (an owner
+  migration forgets to repoint the L2C$ entry, which keeps naming the
+  now-inactive source tile);
+* ``directory-flush-lost-dirty`` — checker value-propagation (a
+  consolidation flush drops a dirty line's writeback, so the home
+  serves a stale version);
+* ``mesi-snoop-drain-ghost-owner`` — the snoop audit (a departing
+  tile's drain silently drops an E/M line, leaving the snoop record's
+  owner pointing at the deactivated tile).
+
 The factories build subclasses lazily so importing this module never
 pays protocol-import cost.
 """
@@ -210,6 +224,84 @@ def _dls_stale_demotion() -> type:
     return StaleDemotionDLS
 
 
+def _dico_migrate_stale_owner() -> type:
+    from ..core.protocols.dico import DiCoProtocol
+
+    class StaleMigrateOwnerDiCo(DiCoProtocol):
+        """An owner migration moves the line but skips repointing the
+        L2C$ entry, which keeps naming the now-inactive source tile."""
+
+        _mut_armed = False
+
+        def _migrate_block_state(self, block, src, dst, now):
+            self._mut_armed = True
+            try:
+                return super()._migrate_block_state(block, src, dst, now)
+            finally:
+                self._mut_armed = False
+
+        def _set_l1_owner(self, block, tile, now):
+            if self._mut_armed:
+                self._mut_armed = False  # forget exactly one repoint
+                return
+            super()._set_l1_owner(block, tile, now)
+
+    return StaleMigrateOwnerDiCo
+
+
+def _directory_flush_lost_dirty() -> type:
+    from ..core.protocols.directory import DirectoryProtocol
+
+    class LostDirtyFlushDirectory(DirectoryProtocol):
+        """A consolidation flush drops a dirty line without its
+        writeback, so the home keeps serving the stale version."""
+
+        _mut_armed = False
+
+        def flush_l1_block(self, tile, block, now):
+            self._mut_armed = True
+            try:
+                return super().flush_l1_block(tile, block, now)
+            finally:
+                self._mut_armed = False
+
+        def _evict_l1_line(self, tile, block, line, now):
+            if self._mut_armed and line.dirty:
+                self._mut_armed = False  # lose exactly one writeback
+                return
+            super()._evict_l1_line(tile, block, line, now)
+
+    return LostDirtyFlushDirectory
+
+
+def _mesi_snoop_drain_ghost_owner() -> type:
+    from ..core.protocols.snoop import MesiSnoopProtocol
+
+    class DrainGhostOwnerMesiSnoop(MesiSnoopProtocol):
+        """A departing tile's drain silently drops one E/M line, so the
+        snoop record's owner keeps naming the deactivated tile."""
+
+        _mut_armed = False
+
+        def drain_tile(self, tile, now, deactivate=False):
+            self._mut_armed = True
+            try:
+                return super().drain_tile(tile, now, deactivate=deactivate)
+            finally:
+                self._mut_armed = False
+
+        def flush_l1_block(self, tile, block, now):
+            if self._mut_armed:
+                line = self.l1s[tile].peek(block)
+                if line is not None and line.state.name in ("E", "M"):
+                    self._mut_armed = False  # ghost exactly one owner
+                    self.l1s[tile].invalidate(block)
+                    return True
+            return super().flush_l1_block(tile, block, now)
+
+    return DrainGhostOwnerMesiSnoop
+
+
 @dataclass(frozen=True)
 class Mutation:
     """One seeded protocol bug."""
@@ -218,6 +310,11 @@ class Mutation:
     protocol: str  #: the protocol this mutation applies to
     expected_detector: str  #: which layer should catch it (documentation)
     build: Callable[[], type]
+    #: fuzz scenario required to reach the mutated path (None: any
+    #: round of the default rotation fires it); the consolidation
+    #: mutations only arm on event ops, which the default rotation
+    #: never emits
+    scenario: Optional[str] = None
 
 
 MUTATIONS: Dict[str, Mutation] = {
@@ -270,6 +367,27 @@ MUTATIONS: Dict[str, Mutation] = {
             "dls",
             "LLC-inclusion audit",
             _dls_stale_demotion,
+        ),
+        Mutation(
+            "dico-migrate-stale-owner",
+            "dico",
+            "directory audit (inactive-tile pointer)",
+            _dico_migrate_stale_owner,
+            scenario="migrate-race",
+        ),
+        Mutation(
+            "directory-flush-lost-dirty",
+            "directory",
+            "checker value-propagation",
+            _directory_flush_lost_dirty,
+            scenario="depart-dirty-owner",
+        ),
+        Mutation(
+            "mesi-snoop-drain-ghost-owner",
+            "mesi-snoop",
+            "snoop audit (inactive-tile owner)",
+            _mesi_snoop_drain_ghost_owner,
+            scenario="depart-dirty-owner",
         ),
     )
 }

@@ -21,7 +21,7 @@ from ..sim.config import ChipConfig
 from ..trace.manifest import git_rev
 from .bundle import write_bundle
 from .differential import Violation, default_config, run_differential, run_trace
-from .fuzzer import SCENARIOS, generate_ops
+from .fuzzer import EVENT_SCENARIOS, SCENARIOS, generate_ops
 from .mutations import MUTATIONS, make_mutated_factory
 from .shrinker import ddmin
 
@@ -101,6 +101,7 @@ def run_verification(
     max_shrink_tests: int = 400,
     fail_fast: bool = True,
     engine: Optional[str] = None,
+    scenarios: Optional[Sequence[str]] = None,
 ) -> VerifyReport:
     """Fuzz ``protocols`` for ``rounds`` rounds (or until the budget).
 
@@ -114,10 +115,24 @@ def run_verification(
     defers to ``REPRO_ENGINE``); ``"both"`` additionally replays each
     protocol on both engines per round and fails on any
     ``engine-divergence``.
+
+    ``scenarios`` restricts the rotation to the named scenarios; this
+    is also the only way rounds reach the consolidation-event
+    scenarios (``migrate-race``, ``depart-dirty-owner``,
+    ``shootdown-upgrade``), which the default rotation deliberately
+    excludes to keep its long-standing baselines stable.
     """
     if protocols is None:
         protocols = list(DEFAULT_PROTOCOLS)
     protocols = list(protocols)
+    if scenarios is not None:
+        catalogue = {**SCENARIOS, **EVENT_SCENARIOS}
+        unknown = [s for s in scenarios if s not in catalogue]
+        if unknown:
+            raise ValueError(
+                f"unknown fuzz scenario(s) {unknown}; options: "
+                f"{sorted(catalogue)}"
+            )
     if mutation is not None and mutation not in MUTATIONS:
         raise ValueError(
             f"unknown mutation {mutation!r}; options: {sorted(MUTATIONS)}"
@@ -145,7 +160,9 @@ def run_verification(
         git_rev=git_rev(),
         engine=engine_label,
     )
-    scenario_names = sorted(SCENARIOS)
+    scenario_names = (
+        list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    )
     for r in range(rounds):
         if deadline is not None and time.monotonic() >= deadline:
             break

@@ -120,9 +120,13 @@ class ConsolidatedWorkload:
         if spec_by_vm is not None:
             self.spec_by_vm: Dict[int, WorkloadSpec] = dict(spec_by_vm)
         else:
+            # iterate the placement's actual VM ids (which need not be
+            # dense 0..n-1 — explicit placements and mid-run arrivals
+            # use arbitrary ids); the *positional* index keys the mix
+            # rotation so dense placements keep their exact traffic
             self.spec_by_vm = {
-                vm: workload_for_vm(workload, vm, placement.n_vms)
-                for vm in range(placement.n_vms)
+                vm: workload_for_vm(workload, i, placement.n_vms)
+                for i, vm in enumerate(placement.vms)
             }
         # virtual page layout per VM: [private(t0) .. private(tN)][shared][dedup]
         self._private_base: Dict[int, int] = {}
@@ -190,6 +194,108 @@ class ConsolidatedWorkload:
     @property
     def cow_breaks(self) -> int:
         return len(self.table.cow_events)
+
+    # ------------------------------------------------------------------
+    # dynamic consolidation (driven by Chip.apply_event)
+
+    def _dedup_peers(self, vm: int, j: int) -> List[Tuple[int, int]]:
+        """``(peer_vm, peer_vpage)`` holding the same content as the
+        ``j``-th dedup page of ``vm`` (guest-OS pages match every VM,
+        benchmark pages only VMs running the same benchmark)."""
+        spec = self.spec_by_vm[vm]
+        peers = []
+        for other, ospec in sorted(self.spec_by_vm.items()):
+            if other == vm:
+                continue
+            if j < self.os_pages:
+                peers.append((other, self._dedup_base[other] + j))
+            elif ospec.name == spec.name and (j - self.os_pages) < ospec.dedup_pages:
+                peers.append((other, self._dedup_base[other] + j))
+        return peers
+
+    def break_dedup(self, vm: int, pages: int) -> List[CowEvent]:
+        """Copy-on-write up to ``pages`` still-deduplicated pages of the
+        VM's dedup region (lowest virtual pages first; deterministic)."""
+        spec = self.spec_by_vm[vm]
+        base = self._dedup_base[vm]
+        events: List[CowEvent] = []
+        for j in range(self.os_pages + spec.dedup_pages):
+            if len(events) >= pages:
+                break
+            event = self.table.force_cow(vm, base + j)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def merge_dedup(self, vm: int, pages: int) -> List[Tuple[int, int]]:
+        """Re-merge up to ``pages`` previously broken pages onto their
+        content group's frame.  Returns ``(retired ppage, shared
+        ppage)`` per merged page; the caller is responsible for
+        shooting the retired frames' blocks out of the caches."""
+        spec = self.spec_by_vm[vm]
+        base = self._dedup_base[vm]
+        merged: List[Tuple[int, int]] = []
+        for j in range(self.os_pages + spec.dedup_pages):
+            if len(merged) >= pages:
+                break
+            vpage = base + j
+            if self.table.is_deduplicated_ppage(self.table.translate(vm, vpage)):
+                continue  # sharing still intact
+            for peer_vm, peer_vpage in self._dedup_peers(vm, j):
+                result = self.table.remap_shared(vm, vpage, peer_vm, peer_vpage)
+                if result is not None:
+                    merged.append(result)
+                break
+        return merged
+
+    def admit_vm(self, vm: int, benchmark: str | None = None) -> None:
+        """Build the address space of a VM admitted mid-run.
+
+        The placement must already contain the VM's tiles.  The new
+        VM's guest-OS and same-benchmark pages join the live dedup
+        groups (via an arbitrary resident peer's mapping); everything
+        else gets fresh frames.  Frame numbers are monotonic, so the
+        new VM can never alias a departed VM's cached blocks.
+        """
+        if vm in self.spec_by_vm:
+            raise ValueError(f"VM {vm} already has an address space")
+        idx = list(self.placement.vms).index(vm)
+        spec = workload_for_vm(
+            benchmark or self.name, idx, self.placement.n_vms
+        )
+        threads = self.placement.threads_per_vm(vm)
+        vpage = 0
+        self._private_base[vm] = vpage
+        for _ in range(threads * spec.private_pages):
+            self.table.map_private(vm, vpage)
+            vpage += 1
+        self._shared_base[vm] = vpage
+        for _ in range(spec.vm_shared_pages):
+            self.table.map_vm_shared(vm, vpage)
+            vpage += 1
+        self._dedup_base[vm] = vpage
+        self.spec_by_vm[vm] = spec
+        for j in range(self.os_pages + spec.dedup_pages):
+            peers = self._dedup_peers(vm, j)
+            if peers:
+                peer_vm, peer_vpage = peers[0]
+                self.table.map_shared_with(vm, vpage + j, peer_vm, peer_vpage)
+            else:
+                self.table.map_private(vm, vpage + j)
+        self._region_cache.pop((vm, "shared"), None)
+        self._region_cache.pop((vm, "dedup"), None)
+
+    def release_vm(self, vm: int) -> List[int]:
+        """Tear down a departed VM's address space; returns the
+        physical pages retired outright (its private frames)."""
+        retired = self.table.release_vm(vm)
+        self.spec_by_vm.pop(vm, None)
+        self._private_base.pop(vm, None)
+        self._shared_base.pop(vm, None)
+        self._dedup_base.pop(vm, None)
+        self._region_cache.pop((vm, "shared"), None)
+        self._region_cache.pop((vm, "dedup"), None)
+        return retired
 
     def _regions_for(self, vm: int, thread: int) -> List[_Region]:
         """Block-granular regions with Zipf popularity.

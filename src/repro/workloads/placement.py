@@ -71,10 +71,75 @@ class VMPlacement:
         return cls(tiles_by_vm)
 
     # ------------------------------------------------------------------
+    # dynamic consolidation (in-place: the chip and the workload share
+    # one placement object, so remaps must be visible to both)
+
+    def migrate(self, vm: int, tiles: Sequence[int]) -> None:
+        """Remap ``vm`` onto a new tile region (thread count preserved).
+
+        The new region may be non-contiguous and span any areas; it
+        must be disjoint from every *other* VM's tiles.
+        """
+        old = self._tiles_by_vm.get(vm)
+        if old is None:
+            raise KeyError(f"VM {vm} is not placed")
+        if len(tiles) != len(old):
+            raise ValueError(
+                f"VM {vm} runs {len(old)} threads; got {len(tiles)} tiles"
+            )
+        self._claim(vm, tiles, release=old)
+
+    def remove(self, vm: int) -> Tuple[int, ...]:
+        """Retire ``vm``; returns the tiles it vacated."""
+        tiles = self._tiles_by_vm.pop(vm, None)
+        if tiles is None:
+            raise KeyError(f"VM {vm} is not placed")
+        for t in tiles:
+            del self._vm_of[t]
+            del self._thread_of[t]
+        return tiles
+
+    def admit(self, vm: int, tiles: Sequence[int]) -> None:
+        """Place a new VM onto currently-free tiles."""
+        if vm in self._tiles_by_vm:
+            raise ValueError(f"VM {vm} is already placed")
+        if not tiles:
+            raise ValueError(f"VM {vm} needs at least one tile")
+        self._claim(vm, tiles)
+
+    def _claim(
+        self, vm: int, tiles: Sequence[int], release: Sequence[int] = ()
+    ) -> None:
+        taken = {
+            t: o
+            for t, o in self._vm_of.items()
+            if not (o == vm and t in release)
+        }
+        for t in tiles:
+            if t in taken:
+                raise ValueError(
+                    f"tile {t} is occupied by VM {taken[t]}"
+                )
+        if len(set(tiles)) != len(tiles):
+            raise ValueError(f"duplicate tiles in region {tuple(tiles)}")
+        for t in release:
+            del self._vm_of[t]
+            del self._thread_of[t]
+        self._tiles_by_vm[vm] = tuple(tiles)
+        for i, t in enumerate(tiles):
+            self._vm_of[t] = vm
+            self._thread_of[t] = i
+
+    # ------------------------------------------------------------------
 
     @property
     def n_vms(self) -> int:
         return len(self._tiles_by_vm)
+
+    @property
+    def vms(self) -> Tuple[int, ...]:
+        """The placed VM ids, sorted (not necessarily dense)."""
+        return tuple(sorted(self._tiles_by_vm))
 
     @property
     def tiles_used(self) -> Tuple[int, ...]:

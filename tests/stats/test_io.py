@@ -101,9 +101,10 @@ def test_schema2_network_detail_survives_round_trip(real_stats):
 
 def test_schema1_documents_still_load(real_stats):
     data = stats_to_dict(real_stats)
-    assert data["schema"] == 5
+    assert data["schema"] == 6
     data["schema"] = 1
     del data["prediction"]
+    del data["consolidation"]
     del data["network"]["flits_by_type"]
     del data["network"]["link_load"]
     del data["network"]["local_messages"]
@@ -155,6 +156,43 @@ def test_schema4_documents_still_load(real_stats):
     assert loaded.operations == real_stats.operations
     assert loaded.network.bus_transactions == 0
     assert loaded.network.bus_busy_cycles == 0
+
+
+def test_schema5_documents_still_load(real_stats):
+    """Pre-consolidation documents (schema 5) load with an empty
+    ``consolidation`` dict — static runs by definition."""
+    data = stats_to_dict(real_stats)
+    data["schema"] = 5
+    del data["consolidation"]
+    loaded = stats_from_dict(data)
+    assert loaded.operations == real_stats.operations
+    assert loaded.consolidation == {}
+
+
+def test_schema6_consolidation_round_trip(real_stats):
+    real_stats.consolidation["vm_migrate"] = 2
+    real_stats.consolidation["blocks_migrated"] = 137
+    real_stats.consolidation["blocks_flushed"] = 41
+    loaded = stats_from_dict(stats_to_dict(real_stats))
+    assert loaded.consolidation == {
+        "vm_migrate": 2,
+        "blocks_migrated": 137,
+        "blocks_flushed": 41,
+    }
+
+
+def test_schema6_consolidation_merges():
+    from repro.stats.counters import RunStats as RS
+
+    a, b = RS(), RS()
+    a.consolidation = {"vm_migrate": 1, "blocks_flushed": 10}
+    b.consolidation = {"vm_migrate": 2, "pages_broken": 6}
+    a.merge(b)
+    assert a.consolidation == {
+        "vm_migrate": 3,
+        "blocks_flushed": 10,
+        "pages_broken": 6,
+    }
 
 
 def test_schema5_bus_counters_round_trip(real_stats):

@@ -159,3 +159,104 @@ def getattr_path(obj, dotted):
     for part in dotted.split("."):
         obj = getattr(obj, part)
     return obj
+
+
+# ---------------------------------------------------------------------------
+# consolidation plans on specs
+
+#: a legal storyline for the 4x4 small test chip with 4 VMs: VM 3
+#: vacates, then VM 0 migrates onto its area
+PLAN_DOC = {
+    "seed": 9,
+    "events": [
+        {"cycle": 400, "kind": "vm_depart", "vm": 3},
+        {"cycle": 900, "kind": "vm_migrate", "vm": 0,
+         "tiles": [10, 11, 14, 15]},
+        {"cycle": 1_200, "kind": "dedup_break", "vm": 1, "pages": 2},
+    ],
+}
+
+
+def test_plan_round_trips_and_hashes():
+    spec = tiny_spec(plan=PLAN_DOC)
+    doc = json.loads(json.dumps(spec.to_dict()))
+    assert doc["plan"]["events"][0]["kind"] == "vm_depart"
+    rebuilt = RunSpec.from_dict(doc)
+    assert rebuilt == spec
+    assert hash(rebuilt) == hash(spec)
+
+
+def test_static_spec_emits_no_plan_key():
+    # pre-plan documents and fingerprints must stay byte-identical:
+    # the key only appears when a non-empty plan is armed
+    assert "plan" not in tiny_spec().to_dict()
+    assert "plan" not in tiny_spec(plan=None).to_dict()
+
+
+def test_empty_plan_normalizes_to_static():
+    empty = tiny_spec(plan={"seed": 5, "events": []})
+    static = tiny_spec()
+    assert empty.plan is None
+    assert empty.fingerprint() == static.fingerprint()
+    assert empty.canonical_json() == static.canonical_json()
+
+
+def test_plan_changes_the_fingerprint():
+    assert tiny_spec(plan=PLAN_DOC).fingerprint() != tiny_spec().fingerprint()
+
+
+def test_plan_events_canonically_cycle_sorted():
+    shuffled = dict(PLAN_DOC, events=list(reversed(PLAN_DOC["events"])))
+    spec = tiny_spec(plan=shuffled)
+    cycles = [ev["cycle"] for ev in spec.to_dict()["plan"]["events"]]
+    assert cycles == sorted(cycles)
+    assert spec.fingerprint() == tiny_spec(plan=PLAN_DOC).fingerprint()
+
+
+def test_plan_label_mentions_event_count():
+    assert "plan[3]" in tiny_spec(plan=PLAN_DOC).label
+
+
+def test_plan_validated_at_construction_names_event():
+    from repro.sim.config import ConfigError
+
+    late = {"seed": 0, "events": [
+        {"cycle": 99_999, "kind": "dedup_break", "vm": 0, "pages": 1},
+    ]}
+    with pytest.raises(ConfigError, match=r"event 0 \(dedup_break, vm 0\)"):
+        tiny_spec(plan=late)
+    overlap = {"seed": 0, "events": [
+        {"cycle": 100, "kind": "vm_migrate", "vm": 0,
+         "tiles": [2, 3, 6, 7]},
+    ]}
+    with pytest.raises(ConfigError, match=r"overlaps tiles of VM\(s\) \[1\]"):
+        tiny_spec(plan=overlap)
+
+
+def test_plan_validates_against_custom_placement():
+    from repro.sim.config import ConfigError
+
+    placement = {"0": [0, 3, 5], "1": [9, 10, 12]}
+    ok = tiny_spec(placement=placement, n_vms=2, plan={"seed": 0, "events": [
+        {"cycle": 100, "kind": "vm_migrate", "vm": 0, "tiles": [1, 2, 4]},
+    ]})
+    assert ok.plan is not None
+    with pytest.raises(ConfigError, match="overlaps"):
+        tiny_spec(placement=placement, n_vms=2, plan={"seed": 0, "events": [
+            {"cycle": 100, "kind": "vm_migrate", "vm": 0,
+             "tiles": [9, 2, 4]},
+        ]})
+
+
+def test_build_chip_arms_the_plan():
+    chip = tiny_spec(plan=PLAN_DOC).build_chip()
+    assert chip.plan is not None
+    assert len(chip.plan) == 3
+    assert tiny_spec().build_chip().plan is None
+
+
+def test_execute_with_plan_reports_consolidation():
+    stats = tiny_spec(plan=PLAN_DOC).execute()
+    assert stats.consolidation["vm_depart"] == 1
+    assert stats.consolidation["vm_migrate"] == 1
+    assert stats.consolidation["pages_broken"] == 2

@@ -165,3 +165,49 @@ def _stats_view(proto):
     class _View:
         network = proto.network.stats
     return _View()
+
+
+PLAN = {
+    "seed": 2,
+    "events": [
+        {"cycle": 1_000, "kind": "vm_depart", "vm": 3},
+        {"cycle": 2_000, "kind": "vm_migrate", "vm": 0,
+         "tiles": [10, 11, 14, 15]},
+        {"cycle": 2_800, "kind": "dedup_break", "vm": 1, "pages": 2},
+        {"cycle": 3_400, "kind": "dedup_merge", "vm": 1, "pages": 2},
+    ],
+}
+
+
+@pytest.mark.parametrize("protocol", ["directory", "dico-arin"])
+def test_consolidation_events_reconcile(protocol):
+    """A dynamic run's trace carries one ``consolidation`` event per
+    fired plan event, and reconcile checks them against the schema-6
+    per-kind counters (effect counters are aggregate-only)."""
+    acc = TrafficAccumulator()
+    result = simulate(
+        RunSpec(
+            protocol=protocol, workload="apache", seed=3,
+            cycles=4_000, warmup=1_000, config=TINY, plan=PLAN,
+        ),
+        trace=TraceOptions(sink=acc),
+    )
+    assert acc.consolidation == {
+        "vm_depart": 1, "vm_migrate": 1, "dedup_break": 1, "dedup_merge": 1,
+    }
+    totals = reconcile(acc, result.stats)
+    assert totals["messages"] == result.stats.network.messages
+
+
+def test_consolidation_mismatch_raises():
+    acc = TrafficAccumulator()
+    result = simulate(
+        RunSpec(
+            protocol="dico", workload="apache", seed=3,
+            cycles=4_000, warmup=1_000, config=TINY, plan=PLAN,
+        ),
+        trace=TraceOptions(sink=acc),
+    )
+    result.stats.consolidation["vm_migrate"] += 1
+    with pytest.raises(ReconciliationError, match="consolidation"):
+        reconcile(acc, result.stats)

@@ -54,7 +54,11 @@ def test_mutation_is_caught(name):
     factory = make_mutated_factory(name)
     caught = None
     for r in range(8):
-        _, ops = generate_ops(1_000_003 + r, 400, CONFIG.n_tiles)
+        # consolidation mutations only arm on event ops, so they name
+        # the scenario that reaches them; the rest use the rotation
+        _, ops = generate_ops(
+            1_000_003 + r, 400, CONFIG.n_tiles, scenario=mutation.scenario
+        )
         result = run_trace(
             mutation.protocol, ops, CONFIG, seed=r, factory=factory
         )

@@ -1,0 +1,229 @@
+"""Unit tests for dynamic-consolidation plans (events, validation,
+serialization and seeded generation)."""
+
+import json
+
+import pytest
+
+from repro.sim.config import ConfigError
+from repro.workloads.dynamics import (
+    EVENT_KINDS,
+    ConsolidationEvent,
+    ConsolidationPlan,
+)
+
+#: a 4x4 chip's area-aligned placement for three VMs (2x2 areas):
+#: area 3 — tiles (10, 11, 14, 15) — starts free
+TILES_BY_VM = {
+    0: (0, 1, 4, 5),
+    1: (2, 3, 6, 7),
+    2: (8, 9, 12, 13),
+}
+N_TILES = 16
+CYCLES = 10_000
+FREE = (10, 11, 14, 15)
+
+
+def plan_of(*events) -> ConsolidationPlan:
+    return ConsolidationPlan(events=tuple(events), seed=1)
+
+
+# ---------------------------------------------------------------------------
+# event / plan serialization
+
+
+def test_event_round_trip_minimal():
+    ev = ConsolidationEvent(cycle=100, kind="vm_depart", vm=2)
+    doc = ev.to_dict()
+    assert doc == {"cycle": 100, "kind": "vm_depart", "vm": 2}
+    assert ConsolidationEvent.from_dict(doc) == ev
+
+
+def test_event_round_trip_full():
+    ev = ConsolidationEvent(
+        cycle=5, kind="vm_arrive", vm=3, tiles=FREE, benchmark="jbb"
+    )
+    assert ConsolidationEvent.from_dict(ev.to_dict()) == ev
+    ev = ConsolidationEvent(cycle=7, kind="dedup_break", vm=0, pages=4)
+    assert ConsolidationEvent.from_dict(ev.to_dict()) == ev
+
+
+def test_plan_round_trip_through_json():
+    plan = plan_of(
+        ConsolidationEvent(200, "vm_migrate", 1, tiles=FREE),
+        ConsolidationEvent(500, "dedup_break", 0, pages=3),
+    )
+    doc = json.loads(json.dumps(plan.to_dict()))
+    assert ConsolidationPlan.from_dict(doc) == plan
+
+
+def test_plan_sorts_events_by_cycle_stably():
+    a = ConsolidationEvent(300, "dedup_break", 0, pages=1)
+    b = ConsolidationEvent(100, "dedup_break", 1, pages=1)
+    # two same-cycle events keep their given order (stable sort)
+    c1 = ConsolidationEvent(200, "dedup_break", 2, pages=1)
+    c2 = ConsolidationEvent(200, "dedup_merge", 2, pages=1)
+    plan = plan_of(a, c1, b, c2)
+    assert plan.events == (b, c1, c2, a)
+    assert len(plan) == 4
+
+
+def test_empty_plan_is_falsy_sized():
+    assert len(ConsolidationPlan()) == 0
+    assert ConsolidationPlan.from_dict({"seed": 0, "events": []}).events == ()
+
+
+# ---------------------------------------------------------------------------
+# validation: every rejection names the offending event index
+
+
+def check(plan):
+    plan.validate(CYCLES, TILES_BY_VM, N_TILES)
+
+
+def test_valid_storyline_passes():
+    check(plan_of(
+        ConsolidationEvent(1_000, "vm_migrate", 1, tiles=FREE),
+        ConsolidationEvent(2_000, "dedup_break", 0, pages=6),
+        ConsolidationEvent(3_000, "dedup_merge", 0, pages=6),
+        ConsolidationEvent(4_000, "vm_depart", 2),
+        ConsolidationEvent(5_000, "vm_arrive", 3, tiles=(8, 9, 12, 13)),
+    ))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError, match=r"event 0 \(vm_explode, vm 0\)"):
+        check(plan_of(ConsolidationEvent(10, "vm_explode", 0)))
+
+
+def test_cycle_outside_window_rejected():
+    with pytest.raises(ConfigError, match="outside the measurement"):
+        check(plan_of(
+            ConsolidationEvent(CYCLES + 1, "dedup_break", 0, pages=1)
+        ))
+    with pytest.raises(ConfigError, match="cycle 0"):
+        check(plan_of(ConsolidationEvent(0, "dedup_break", 0, pages=1)))
+
+
+def test_error_names_the_sorted_event_index():
+    # events are cycle-sorted before validation, so the index in the
+    # message matches the canonical (sorted) order a bundle records
+    with pytest.raises(ConfigError, match=r"event 1 \(vm_migrate, vm 9\)"):
+        check(plan_of(
+            ConsolidationEvent(9_000, "vm_migrate", 9, tiles=FREE),
+            ConsolidationEvent(1_000, "dedup_break", 0, pages=1),
+        ))
+
+
+def test_migrate_overlap_rejected():
+    with pytest.raises(ConfigError, match=r"overlaps tiles of VM\(s\) \[2\]"):
+        check(plan_of(
+            ConsolidationEvent(100, "vm_migrate", 1, tiles=(8, 9, 12, 13))
+        ))
+
+
+def test_migrate_thread_count_must_match():
+    with pytest.raises(ConfigError, match="2 tiles .* 4 threads"):
+        check(plan_of(
+            ConsolidationEvent(100, "vm_migrate", 1, tiles=(10, 11))
+        ))
+
+
+def test_migrate_unknown_vm_rejected():
+    with pytest.raises(ConfigError, match="VM 7 is not placed"):
+        check(plan_of(ConsolidationEvent(100, "vm_migrate", 7, tiles=FREE)))
+
+
+def test_tiles_outside_chip_rejected():
+    with pytest.raises(ConfigError, match=r"tiles \[16\] outside the chip"):
+        check(plan_of(
+            ConsolidationEvent(100, "vm_migrate", 1, tiles=(10, 11, 14, 16))
+        ))
+
+
+def test_duplicate_target_tiles_rejected():
+    with pytest.raises(ConfigError, match="duplicate tiles"):
+        check(plan_of(
+            ConsolidationEvent(100, "vm_migrate", 1, tiles=(10, 10, 11, 14))
+        ))
+
+
+def test_arrive_on_placed_vm_rejected():
+    with pytest.raises(ConfigError, match="VM 2 is already placed"):
+        check(plan_of(ConsolidationEvent(100, "vm_arrive", 2, tiles=FREE)))
+
+
+def test_arrive_needs_a_region():
+    with pytest.raises(ConfigError, match="non-empty tile region"):
+        check(plan_of(ConsolidationEvent(100, "vm_arrive", 3)))
+
+
+def test_dedup_needs_pages():
+    with pytest.raises(ConfigError, match="pages >= 1"):
+        check(plan_of(ConsolidationEvent(100, "dedup_break", 0)))
+
+
+def test_validation_replays_the_evolving_placement():
+    # VM 2 departs at 1000, so its old tiles are migratable at 2000 —
+    # and VM 2 itself is gone, so touching it later must fail
+    check(plan_of(
+        ConsolidationEvent(1_000, "vm_depart", 2),
+        ConsolidationEvent(2_000, "vm_migrate", 1, tiles=(8, 9, 12, 13)),
+    ))
+    with pytest.raises(ConfigError, match="VM 2 is not placed at cycle"):
+        check(plan_of(
+            ConsolidationEvent(1_000, "vm_depart", 2),
+            ConsolidationEvent(2_000, "dedup_break", 2, pages=1),
+        ))
+
+
+def test_migrate_back_onto_own_old_region_is_legal():
+    # a VM may move onto tiles it just vacated combined with free ones
+    check(plan_of(
+        ConsolidationEvent(1_000, "vm_migrate", 1, tiles=FREE),
+        ConsolidationEvent(2_000, "vm_migrate", 1, tiles=(2, 3, 6, 7)),
+    ))
+
+
+# ---------------------------------------------------------------------------
+# seeded generation
+
+
+def test_generate_is_deterministic():
+    a = ConsolidationPlan.generate(7, CYCLES, TILES_BY_VM, N_TILES, n_events=6)
+    b = ConsolidationPlan.generate(7, CYCLES, TILES_BY_VM, N_TILES, n_events=6)
+    assert a == b
+    assert a.seed == 7
+
+
+def test_generate_differs_by_seed():
+    plans = {
+        json.dumps(
+            ConsolidationPlan.generate(
+                s, CYCLES, TILES_BY_VM, N_TILES, n_events=6
+            ).to_dict(),
+            sort_keys=True,
+        )
+        for s in range(8)
+    }
+    assert len(plans) > 1
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_generated_plans_always_validate(seed):
+    plan = ConsolidationPlan.generate(
+        seed, CYCLES, TILES_BY_VM, N_TILES, n_events=8
+    )
+    plan.validate(CYCLES, TILES_BY_VM, N_TILES)
+    for ev in plan.events:
+        assert ev.kind in EVENT_KINDS
+        assert 1 <= ev.cycle <= CYCLES
+
+
+def test_generate_restricted_kinds():
+    plan = ConsolidationPlan.generate(
+        3, CYCLES, TILES_BY_VM, N_TILES, n_events=6,
+        kinds=("dedup_break", "dedup_merge"),
+    )
+    assert plan.events
+    assert {ev.kind for ev in plan.events} <= {"dedup_break", "dedup_merge"}

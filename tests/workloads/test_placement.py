@@ -75,3 +75,106 @@ def test_idle_tile_lookup_fails():
     p = VMPlacement({0: [0, 1]})
     with pytest.raises(KeyError):
         p.vm_of(5)
+
+
+# ---------------------------------------------------------------------------
+# dynamic consolidation: in-place mutators and non-contiguous regions
+
+
+def test_non_contiguous_region_is_first_class():
+    # a VM scattered across the chip (no area structure at all)
+    p = VMPlacement({0: (0, 7, 9, 14), 1: (3, 5)})
+    assert p.tiles_of(0) == (0, 7, 9, 14)
+    assert p.vm_of(14) == 0 and p.thread_of(14) == 3
+    assert p.tiles_used == (0, 3, 5, 7, 9, 14)
+    areas = AreaMap(4, 4, 4)
+    assert len(p.areas_spanned(0, areas)) > 1
+
+
+def test_non_dense_vm_ids():
+    p = VMPlacement({2: (0, 1), 7: (4, 5)})
+    assert p.vms == (2, 7)
+    assert p.n_vms == 2
+    assert p.vm_of(4) == 7
+
+
+def test_migrate_remaps_in_place():
+    p = VMPlacement({0: (0, 1), 1: (2, 3)})
+    p.migrate(1, (6, 9))  # non-contiguous target
+    assert p.tiles_of(1) == (6, 9)
+    assert p.vm_of(6) == 1 and p.thread_of(9) == 1
+    with pytest.raises(KeyError):
+        p.vm_of(2)  # vacated
+    assert p.tiles_used == (0, 1, 6, 9)
+
+
+def test_migrate_preserves_thread_count():
+    p = VMPlacement({0: (0, 1)})
+    with pytest.raises(ValueError, match="2 threads"):
+        p.migrate(0, (4, 5, 6))
+
+
+def test_migrate_rejects_occupied_target():
+    p = VMPlacement({0: (0, 1), 1: (2, 3)})
+    with pytest.raises(ValueError, match="occupied by VM 0"):
+        p.migrate(1, (1, 4))
+    # failed migrate leaves the placement untouched
+    assert p.tiles_of(1) == (2, 3)
+    assert p.vm_of(2) == 1
+
+
+def test_migrate_onto_own_tiles_allowed():
+    # partial overlap with the VM's own old region is legal (swap within)
+    p = VMPlacement({0: (0, 1), 1: (2, 3)})
+    p.migrate(1, (3, 6))
+    assert p.tiles_of(1) == (3, 6)
+    assert p.thread_of(3) == 0
+
+
+def test_migrate_unknown_vm():
+    p = VMPlacement({0: (0, 1)})
+    with pytest.raises(KeyError):
+        p.migrate(9, (4, 5))
+
+
+def test_remove_returns_vacated_tiles():
+    p = VMPlacement({0: (0, 1), 1: (2, 3)})
+    assert p.remove(1) == (2, 3)
+    assert p.vms == (0,)
+    with pytest.raises(KeyError):
+        p.vm_of(2)
+    with pytest.raises(KeyError):
+        p.remove(1)
+
+
+def test_admit_places_new_vm_on_free_tiles():
+    p = VMPlacement({0: (0, 1)})
+    p.admit(5, (8, 2))
+    assert p.vms == (0, 5)
+    assert p.tiles_of(5) == (8, 2)
+    assert p.thread_of(2) == 1
+    with pytest.raises(ValueError, match="already placed"):
+        p.admit(5, (10,))
+    with pytest.raises(ValueError, match="occupied"):
+        p.admit(6, (1,))
+    with pytest.raises(ValueError, match="at least one tile"):
+        p.admit(7, ())
+
+
+def test_admit_rejects_duplicate_tiles():
+    p = VMPlacement({0: (0, 1)})
+    with pytest.raises(ValueError, match="duplicate tiles"):
+        p.admit(1, (4, 4))
+
+
+def test_migrate_remove_admit_cycle_keeps_maps_consistent():
+    p = VMPlacement({0: (0, 1), 1: (2, 3), 2: (4, 5)})
+    p.migrate(0, (6, 7))
+    vacated = p.remove(1)
+    p.admit(3, vacated)
+    assert p.vms == (0, 2, 3)
+    for vm in p.vms:
+        for i, t in enumerate(p.tiles_of(vm)):
+            assert p.vm_of(t) == vm
+            assert p.thread_of(t) == i
+    assert p.tiles_used == (2, 3, 4, 5, 6, 7)
